@@ -1,0 +1,39 @@
+//! Baseline SGD-MF solvers the paper compares against.
+//!
+//! The paper's Figure 7 and Table 4 benchmark HCC-MF against the
+//! state-of-the-art single-processor solvers, using *modified* versions of
+//! their open-source code as HCC-MF's own worker kernels. This crate
+//! re-implements those comparators:
+//!
+//! * [`fpsgd`] — FPSGD (Chin et al., TIST 2015): the multi-core CPU solver.
+//!   The rating matrix is cut into a block grid; a lock-protected scheduler
+//!   hands each thread a *free* block (no other thread active in its block
+//!   row or column), so threads never touch the same factor rows.
+//! * [`cumf_sim`] — CuMF_SGD (Xie et al., HPDC 2017), structurally simulated:
+//!   a massively-parallel batched Hogwild sweep mimicking the GPU kernel's
+//!   warp-batch work queue, including the paper's "block sorting by row"
+//!   cache optimization (footnote 1, modification iii).
+//! * [`dsgd`] — DSGD (Gemulla et al., KDD 2011): the stratified distributed
+//!   solver from the paper's related work, whose per-stratum barriers and
+//!   equal splits are exactly what HCC-MF improves on.
+//! * [`nomad`] — NOMAD (Yun et al., VLDB 2014): decentralized asynchronous
+//!   column-ownership passing, the lock-free design §5 critiques for its
+//!   communication volume.
+//! * [`serial`] — plain serial SGD, the ground-truth reference.
+//!
+//! All solvers share [`TrainConfig`]/[`TrainReport`] so benches can sweep
+//! them uniformly.
+
+pub mod cumf_sim;
+pub mod dsgd;
+pub mod fpsgd;
+pub mod nomad;
+pub mod report;
+pub mod serial;
+
+pub use cumf_sim::CumfSgdSim;
+pub use dsgd::Dsgd;
+pub use fpsgd::Fpsgd;
+pub use nomad::Nomad;
+pub use report::{TrainConfig, TrainReport};
+pub use serial::SerialSgd;

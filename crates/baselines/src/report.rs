@@ -1,0 +1,121 @@
+//! Shared training configuration and result report.
+
+use hcc_sgd::{FactorMatrix, LearningRate};
+use std::time::Duration;
+
+/// Hyper-parameters shared by every solver.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Latent dimension `k`.
+    pub k: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning-rate schedule (paper: constant 0.005).
+    pub learning_rate: LearningRate,
+    /// L2 regularization λ1 on `P`.
+    pub lambda_p: f32,
+    /// L2 regularization λ2 on `Q`.
+    pub lambda_q: f32,
+    /// Worker threads (meaning is solver-specific; 0 = all cores).
+    pub threads: usize,
+    /// Seed for factor initialization and scheduling randomness.
+    pub seed: u64,
+    /// If true, compute RMSE over the training set after each epoch and
+    /// record it in the report (costs one extra pass per epoch).
+    pub track_rmse: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            k: 32,
+            epochs: 20,
+            learning_rate: LearningRate::paper_default(),
+            lambda_p: 0.01,
+            lambda_q: 0.01,
+            threads: 0,
+            seed: 0x5eed,
+            track_rmse: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Resolves `threads == 0` to the machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Final user factors.
+    pub p: FactorMatrix,
+    /// Final item factors.
+    pub q: FactorMatrix,
+    /// Per-epoch training RMSE (empty unless `track_rmse`).
+    pub rmse_history: Vec<f64>,
+    /// Per-epoch wall-clock time.
+    pub epoch_times: Vec<Duration>,
+    /// Total SGD updates performed (= nnz × epochs for full sweeps).
+    pub total_updates: u64,
+}
+
+impl TrainReport {
+    /// Total wall-clock training time.
+    pub fn total_time(&self) -> Duration {
+        self.epoch_times.iter().sum()
+    }
+
+    /// The paper's "computing power" metric (Eq. 8): updates per second.
+    pub fn computing_power(&self) -> f64 {
+        let secs = self.total_time().as_secs_f64();
+        if secs > 0.0 {
+            self.total_updates as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Final training RMSE, if tracked.
+    pub fn final_rmse(&self) -> Option<f64> {
+        self.rmse_history.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let cfg = TrainConfig::default();
+        assert_eq!(cfg.learning_rate, LearningRate::Constant(0.005));
+        assert_eq!(cfg.lambda_p, 0.01);
+        assert!(cfg.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_threads_respected() {
+        let cfg = TrainConfig { threads: 3, ..Default::default() };
+        assert_eq!(cfg.effective_threads(), 3);
+    }
+
+    #[test]
+    fn computing_power_formula() {
+        let report = TrainReport {
+            p: FactorMatrix::zeros(1, 1),
+            q: FactorMatrix::zeros(1, 1),
+            rmse_history: vec![],
+            epoch_times: vec![Duration::from_secs(2)],
+            total_updates: 10,
+        };
+        assert_eq!(report.computing_power(), 5.0);
+        assert_eq!(report.final_rmse(), None);
+    }
+}

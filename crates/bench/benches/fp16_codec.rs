@@ -1,0 +1,39 @@
+//! FP16 codec throughput: the compression cost of "Transmitting FP16 Data"
+//! (the paper accelerates it with AVX + multithreading; we compare the
+//! scalar and rayon-parallel paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcc_sgd::fp16;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp16");
+    for elems in [1usize << 12, 1 << 16, 1 << 20] {
+        let src: Vec<f32> = (0..elems).map(|j| (j % 977) as f32 * 0.013 - 2.0).collect();
+        let encoded = fp16::encode_vec(&src);
+        let mut dst16 = vec![0u16; elems];
+        let mut dst32 = vec![0f32; elems];
+        group.throughput(Throughput::Bytes(elems as u64 * 4));
+
+        group.bench_with_input(BenchmarkId::new("encode_scalar", elems), &elems, |b, _| {
+            b.iter(|| fp16::encode_slice(black_box(&src), &mut dst16))
+        });
+        group.bench_with_input(BenchmarkId::new("encode_parallel", elems), &elems, |b, _| {
+            b.iter(|| fp16::encode_parallel(black_box(&src), &mut dst16))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_scalar", elems), &elems, |b, _| {
+            b.iter(|| fp16::decode_slice(black_box(&encoded), &mut dst32))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_parallel", elems), &elems, |b, _| {
+            b.iter(|| fp16::decode_parallel(black_box(&encoded), &mut dst32))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codec
+}
+criterion_main!(benches);

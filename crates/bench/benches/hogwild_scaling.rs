@@ -1,0 +1,95 @@
+//! Hogwild thread-scaling and solver comparison on a fixed dataset: the
+//! real-engine analog of the paper's per-processor "computing power".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcc_baselines::{CumfSgdSim, Dsgd, Fpsgd, Nomad, SerialSgd, TrainConfig};
+use hcc_sgd::{hogwild_epoch, FactorMatrix, HogwildConfig, SharedFactors};
+use hcc_sparse::{GenConfig, SyntheticDataset};
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(GenConfig {
+        rows: 2_000,
+        cols: 1_000,
+        nnz: 100_000,
+        ..GenConfig::default()
+    })
+}
+
+fn bench_hogwild_threads(c: &mut Criterion) {
+    let ds = dataset();
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("hogwild_epoch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.matrix.nnz() as u64));
+    for threads in [1usize, 2, 4].into_iter().filter(|&t| t <= max.max(1) * 2) {
+        let p = SharedFactors::from_matrix(&FactorMatrix::random(2_000, 32, 1));
+        let q = SharedFactors::from_matrix(&FactorMatrix::random(1_000, 32, 2));
+        let cfg = HogwildConfig {
+            threads,
+            learning_rate: 0.005,
+            lambda_p: 0.01,
+            lambda_q: 0.01,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let ds = dataset();
+    let cfg = TrainConfig { k: 32, epochs: 1, threads: 2, ..Default::default() };
+    let mut group = c.benchmark_group("solver_epoch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.matrix.nnz() as u64));
+    group.bench_function("serial", |b| b.iter(|| SerialSgd.train(&ds.matrix, &cfg)));
+    group.bench_function("fpsgd", |b| b.iter(|| Fpsgd::default().train(&ds.matrix, &cfg)));
+    group.bench_function("cumf_sim", |b| {
+        b.iter(|| CumfSgdSim::default().train(&ds.matrix, &cfg))
+    });
+    group.bench_function("cumf_sim_unsorted", |b| {
+        let solver = CumfSgdSim { sort_by_row: false, ..Default::default() };
+        b.iter(|| solver.train(&ds.matrix, &cfg))
+    });
+    group.bench_function("dsgd", |b| b.iter(|| Dsgd::default().train(&ds.matrix, &cfg)));
+    group.bench_function("nomad", |b| b.iter(|| Nomad.train(&ds.matrix, &cfg)));
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    use hcc_sgd::adagrad::{adagrad_hogwild_epoch, AdaGradConfig, AdaGradState};
+    use hcc_sgd::momentum::{momentum_hogwild_epoch, MomentumConfig, MomentumState};
+    let ds = dataset();
+    let mut group = c.benchmark_group("optimizer_epoch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.matrix.nnz() as u64));
+
+    let p = SharedFactors::from_matrix(&FactorMatrix::random(2_000, 32, 1));
+    let q = SharedFactors::from_matrix(&FactorMatrix::random(1_000, 32, 2));
+    let sgd_cfg = HogwildConfig {
+        threads: 2,
+        learning_rate: 0.005,
+        lambda_p: 0.01,
+        lambda_q: 0.01,
+    };
+    group.bench_function("sgd", |b| {
+        b.iter(|| hogwild_epoch(ds.matrix.entries(), &p, &q, &sgd_cfg))
+    });
+
+    let ada_state = AdaGradState::new(2_000, 1_000, 32);
+    let ada_cfg = AdaGradConfig { threads: 2, ..Default::default() };
+    group.bench_function("adagrad", |b| {
+        b.iter(|| adagrad_hogwild_epoch(ds.matrix.entries(), &p, &q, &ada_state, &ada_cfg))
+    });
+
+    let mom_state = MomentumState::new(2_000, 1_000, 32);
+    let mom_cfg = MomentumConfig { threads: 2, ..Default::default() };
+    group.bench_function("momentum", |b| {
+        b.iter(|| momentum_hogwild_epoch(ds.matrix.entries(), &p, &q, &mom_state, &mom_cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hogwild_threads, bench_solvers, bench_optimizers);
+criterion_main!(benches);

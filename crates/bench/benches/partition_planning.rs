@@ -1,0 +1,68 @@
+//! Cost of partition planning and of one simulated epoch: the planner must
+//! be cheap relative to a training epoch ("almost no computational time
+//! overhead", §1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_bench::plan;
+use hcc_hetsim::{simulate_epoch, Platform, SimConfig, Workload};
+use hcc_partition::{dp0, dp2, equalize};
+use hcc_sparse::{Axis, DatasetProfile, GenConfig, GridPartition, SyntheticDataset};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_math");
+    for workers in [4usize, 16, 64] {
+        let a: Vec<f64> = (0..workers).map(|j| 1.0 + j as f64 * 0.3).collect();
+        let b = vec![0.05; workers];
+        group.bench_with_input(BenchmarkId::new("equalize", workers), &workers, |bench, _| {
+            bench.iter(|| equalize(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dp0", workers), &workers, |bench, _| {
+            bench.iter(|| dp0(black_box(&a)))
+        });
+        let x = dp0(&a);
+        group.bench_with_input(BenchmarkId::new("dp2", workers), &workers, |bench, _| {
+            bench.iter(|| dp2(black_box(&x), black_box(&a), 0.01))
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner_and_sim(c: &mut Criterion) {
+    let platform = Platform::paper_testbed_4workers();
+    let wl = Workload::from_profile(&DatasetProfile::netflix());
+    let cfg = SimConfig::default();
+    let mut group = c.benchmark_group("planning");
+    group.bench_function("full_plan_netflix", |b| {
+        b.iter(|| plan(black_box(&platform), black_box(&wl), black_box(&cfg)))
+    });
+    let p = plan(&platform, &wl, &cfg);
+    group.bench_function("simulate_epoch_netflix", |b| {
+        b.iter(|| simulate_epoch(black_box(&platform), &wl, &cfg, &p.fractions))
+    });
+    group.finish();
+}
+
+fn bench_grid_build(c: &mut Criterion) {
+    let ds = SyntheticDataset::generate(GenConfig {
+        rows: 50_000,
+        cols: 5_000,
+        nnz: 1_000_000,
+        ..GenConfig::default()
+    });
+    let mut group = c.benchmark_group("grid_build");
+    group.sample_size(10);
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| GridPartition::build_uniform(black_box(&ds.matrix), Axis::Row, w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_solvers, bench_planner_and_sim, bench_grid_build
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! COMM vs COMM-P transfer cost (the mechanism behind Table 5's ~6–7×
+//! shared-memory advantage) at feature-matrix payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcc_comm::{CommP, CommShared, Precision, Transport};
+use std::hint::black_box;
+
+fn roundtrip(transport: &dyn Transport, payload: &[f32], local: &mut [f32]) {
+    transport.publish(black_box(payload));
+    transport.pull(0, local);
+    transport.push(0, local);
+    transport.collect(0, local);
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_roundtrip");
+    group.sample_size(20);
+    for elems in [1usize << 14, 1 << 18, 1 << 22] {
+        let payload: Vec<f32> = (0..elems).map(|j| (j % 997) as f32 * 0.01).collect();
+        let mut local = vec![0f32; elems];
+        group.throughput(Throughput::Bytes(elems as u64 * 4 * 4));
+
+        let shared = CommShared::new(1, elems, elems, Precision::Fp32);
+        group.bench_with_input(BenchmarkId::new("comm_fp32", elems), &elems, |b, _| {
+            b.iter(|| roundtrip(&shared, &payload, &mut local))
+        });
+
+        let shared16 = CommShared::new(1, elems, elems, Precision::Fp16);
+        group.bench_with_input(BenchmarkId::new("comm_fp16", elems), &elems, |b, _| {
+            b.iter(|| roundtrip(&shared16, &payload, &mut local))
+        });
+
+        let commp = CommP::new(1, Precision::Fp32);
+        group.bench_with_input(BenchmarkId::new("comm_p_fp32", elems), &elems, |b, _| {
+            b.iter(|| roundtrip(&commp, &payload, &mut local))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

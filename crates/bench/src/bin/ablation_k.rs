@@ -1,0 +1,59 @@
+//! Ablation — the latent dimension `k`.
+//!
+//! `k` appears on *both* sides of the time-cost model: per-update memory
+//! traffic is `16k+4` bytes (compute) while transfer volume is `4kn`
+//! (communication) — both linear, so the compute/comm *ratio* is nearly
+//! k-invariant, but the sync tail and absolute times are not. This sweep
+//! quantifies that on the simulator, per dataset.
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin ablation_k
+//! ```
+
+use hcc_bench::{fmt_pct, fmt_secs, plan, print_table};
+use hcc_hetsim::{ideal_computing_power, simulate_training, Platform, SimConfig, Workload};
+use hcc_sparse::DatasetProfile;
+
+fn main() {
+    for profile in [DatasetProfile::netflix(), DatasetProfile::yahoo_r1()] {
+        let platform = Platform::paper_testbed_4workers();
+        let wl = Workload::from_profile(&profile);
+        let ideal = ideal_computing_power(&platform, &wl);
+        let mut rows = Vec::new();
+        for k in [16u64, 32, 64, 128, 256] {
+            // Calibrated rates are for k = 128; per-update traffic scales
+            // with (16k+4), so rates rescale inversely.
+            let rate_scale = (16.0 * 128.0 + 4.0) / (16.0 * k as f64 + 4.0);
+            let mut platform_k = platform.clone();
+            for w in platform_k.workers.iter_mut() {
+                w.profile.rates = w.profile.rates.scaled(rate_scale);
+            }
+            let cfg = SimConfig { k, ..Default::default() };
+            let p = plan(&platform_k, &wl, &cfg);
+            let sim = simulate_training(&platform_k, &wl, &cfg, &p.fractions, 20);
+            let comm: f64 = sim
+                .epoch
+                .totals
+                .iter()
+                .map(|t| (t.pull + t.push) * 20.0)
+                .sum();
+            rows.push(vec![
+                k.to_string(),
+                format!("{:?}", p.strategy),
+                fmt_secs(sim.total_time),
+                fmt_secs(comm),
+                fmt_pct(sim.computing_power / (ideal * rate_scale)),
+            ]);
+        }
+        print_table(
+            &format!("k sweep — {} (rates rescaled by (16·128+4)/(16k+4))", profile.name),
+            &["k", "strategy", "20-epoch time", "cumulative comm", "utilization"],
+            &rows,
+        );
+    }
+    println!(
+        "\nreading: compute and communication both scale ~linearly in k, so utilization and \
+         the DP1/DP2 choice are nearly k-invariant — k only moves absolute time. The paper's \
+         fixed k = 128 therefore loses no generality for the partition results."
+    );
+}

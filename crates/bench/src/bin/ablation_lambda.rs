@@ -1,0 +1,79 @@
+//! Ablation — the λ threshold of Eq. 5.
+//!
+//! The paper fixes λ = 10 ("its value should change with the scale of
+//! execution time… we take its value as 10"). This sweep shows, per
+//! dataset, which λ values flip the DP1/DP2 choice and what each choice
+//! costs, plus the partition's robustness to measurement noise (DP1 plans
+//! from wall-clock measurements that jitter).
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin ablation_lambda
+//! ```
+
+use hcc_bench::{fmt_secs, print_table};
+use hcc_hetsim::{
+    cost_model_for, standalone_times, virtual_measure, worker_classes, Platform, SimConfig,
+    Workload,
+};
+use hcc_partition::{equalize, perturbation_cost, sweep_lambda};
+use hcc_sparse::DatasetProfile;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let lambdas = [0.5, 2.0, 5.0, 10.0, 20.0, 50.0, 200.0];
+
+    for profile in [
+        DatasetProfile::netflix(),
+        DatasetProfile::yahoo_r1(),
+        DatasetProfile::yahoo_r2(),
+        DatasetProfile::movielens_20m(),
+    ] {
+        let platform = Platform::paper_testbed_4workers();
+        let wl = Workload::from_profile(&profile);
+        let model = cost_model_for(&platform, &wl, &cfg);
+        let results = sweep_lambda(
+            &model,
+            &standalone_times(&platform, &wl),
+            &worker_classes(&platform),
+            virtual_measure(&platform, &wl),
+            &lambdas,
+        );
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|(lambda, choice, epoch)| {
+                vec![format!("{lambda}"), format!("{choice:?}"), fmt_secs(*epoch)]
+            })
+            .collect();
+        print_table(
+            &format!("λ sweep — {} (paper uses λ = 10)", profile.name),
+            &["lambda", "choice", "predicted epoch"],
+            &rows,
+        );
+    }
+
+    // Partition noise robustness: perturb the Theorem-1 solution by moving
+    // eps of the data between workers and report the worst-case slowdown.
+    let platform = Platform::paper_testbed_4workers();
+    let wl = Workload::from_profile(&DatasetProfile::netflix());
+    let model = cost_model_for(&platform, &wl, &cfg);
+    let (a, b) = model.linear_coefficients();
+    let x = equalize(&a, &b);
+    let rows: Vec<Vec<String>> = [0.005, 0.01, 0.02, 0.05, 0.1]
+        .iter()
+        .map(|&eps| {
+            vec![
+                format!("{:.1}%", eps * 100.0),
+                format!("{:.2}%", perturbation_cost(&a, &b, &x, eps) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "partition noise robustness (Netflix, Theorem-1 optimum)",
+        &["data moved", "worst-case epoch increase"],
+        &rows,
+    );
+    println!(
+        "reading: a few percent of misplaced data costs about the same few percent of epoch \
+         time — Algorithm 1's 10% stopping tolerance is safe."
+    );
+}

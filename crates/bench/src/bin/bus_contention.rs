@@ -1,0 +1,73 @@
+//! What-if — shared PCI-E links.
+//!
+//! §2.2 asserts that "as long as these connection channels are sufficient,
+//! processors can communicate in parallel without losing bandwidth", and
+//! every evaluation result leans on that independence. This experiment
+//! quantifies what happens when it *doesn't* hold: both GPUs behind one
+//! x16 switch (a common workstation board layout).
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin bus_contention
+//! ```
+
+use hcc_bench::{fmt_pct, fmt_secs, plan, print_table};
+use hcc_hetsim::{
+    ideal_computing_power, simulate_training, BusKind, Platform, ProcessorProfile, SimConfig,
+    Workload,
+};
+use hcc_sparse::DatasetProfile;
+
+fn main() {
+    for profile in [DatasetProfile::netflix(), DatasetProfile::yahoo_r1()] {
+        let wl = Workload::from_profile(&profile);
+        // R1 runs the async strategy, as in the paper.
+        let cfg = if profile.name.contains("R1") {
+            SimConfig { streams: 4, ..Default::default() }
+        } else {
+            SimConfig::default()
+        };
+
+        let dedicated = Platform::new("dedicated x16 per GPU")
+            .with_worker(ProcessorProfile::xeon_6242_24t(), BusKind::Upi)
+            .with_worker(ProcessorProfile::rtx_2080(), BusKind::PciE3x16)
+            .with_worker(ProcessorProfile::rtx_2080_super(), BusKind::PciE3x16);
+        let shared = Platform::new("GPUs behind one x16 switch")
+            .with_worker(ProcessorProfile::xeon_6242_24t(), BusKind::Upi)
+            .with_worker_on_shared_bus(ProcessorProfile::rtx_2080(), BusKind::PciE3x16, 0)
+            .with_worker_on_shared_bus(
+                ProcessorProfile::rtx_2080_super(),
+                BusKind::PciE3x16,
+                0,
+            );
+
+        let mut rows = Vec::new();
+        for platform in [&dedicated, &shared] {
+            let p = plan(platform, &wl, &cfg);
+            let sim = simulate_training(platform, &wl, &cfg, &p.fractions, 20);
+            let ideal = ideal_computing_power(platform, &wl);
+            let comm: f64 = sim
+                .epoch
+                .totals
+                .iter()
+                .map(|t| (t.pull + t.push) * 20.0)
+                .sum();
+            rows.push(vec![
+                platform.name.clone(),
+                fmt_secs(sim.total_time),
+                fmt_secs(comm),
+                fmt_pct(sim.computing_power / ideal),
+            ]);
+        }
+        print_table(
+            &format!("bus contention — {} (20 epochs)", profile.name),
+            &["topology", "total time", "cumulative comm", "utilization"],
+            &rows,
+        );
+    }
+    println!(
+        "\nreading: on Netflix the Q-only payload is tiny, so halving GPU link bandwidth barely \
+         registers; on R1 the shared switch bites even through the 4-stream pipeline — the \
+         Fig.-2 channel-independence assumption matters exactly where communication is already \
+         the bottleneck."
+    );
+}

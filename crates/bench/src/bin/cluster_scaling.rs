@@ -1,0 +1,48 @@
+//! Beyond the paper — multi-node scaling on the Fig. 2 cluster.
+//!
+//! The paper's testbed is one node; its Fig. 2 motivates the design with a
+//! QPI ring of four 2-CPU nodes. This experiment asks: does HCC-MF's
+//! centralized parameter server keep scaling when workers sit behind a
+//! cross-node hop? (Spoiler, and the paper's own §4.6 logic: only while
+//! `nnz/min(m,n)` keeps compute dominant — the server's sync and the
+//! shared pull volume grow with worker count.)
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin cluster_scaling
+//! ```
+
+use hcc_bench::{fmt_mups, fmt_pct, plan, print_table};
+use hcc_hetsim::{ideal_computing_power, simulate_training, ClusterBuilder, SimConfig, Workload};
+use hcc_sparse::DatasetProfile;
+
+fn main() {
+    for profile in [DatasetProfile::yahoo_r2(), DatasetProfile::netflix()] {
+        let wl = Workload::from_profile(&profile);
+        let cfg = SimConfig::default();
+        let mut rows = Vec::new();
+        for nodes in 1..=4 {
+            let platform = ClusterBuilder::new(nodes).build();
+            let p = plan(&platform, &wl, &cfg);
+            let sim = simulate_training(&platform, &wl, &cfg, &p.fractions, 20);
+            let ideal = ideal_computing_power(&platform, &wl);
+            rows.push(vec![
+                nodes.to_string(),
+                platform.worker_count().to_string(),
+                format!("{:?}", p.strategy),
+                fmt_mups(sim.computing_power),
+                fmt_mups(ideal),
+                fmt_pct(sim.computing_power / ideal),
+            ]);
+        }
+        print_table(
+            &format!("cluster scaling — {} (2 CPUs + 2 GPUs per node)", profile.name),
+            &["nodes", "workers", "strategy", "HCC power", "ideal", "utilization"],
+            &rows,
+        );
+    }
+    println!(
+        "\nreading: power keeps growing with nodes but utilization decays — the centralized \
+         sync (serialized at the server) and the per-worker pull volume are the scaling \
+         ceiling, which is exactly the limitation §6 leaves to future work."
+    );
+}

@@ -1,0 +1,168 @@
+//! `hcc-sim` — interactive access to the virtual platform: plan a partition
+//! and simulate an epoch for any dataset/worker/strategy combination.
+//!
+//! ```text
+//! hcc-sim [--dataset netflix|r1|r1star|r2|movielens]
+//!         [--workers testbed4|testbed3|overall|FILE-less specs: 6242,2080,2080s,v100,6242l]
+//!         [--strategy pq|q|halfq] [--streams N] [--epochs N] [--csv PREFIX]
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin hcc-sim -- --dataset r1 --workers 6242,2080s --streams 4
+//! ```
+
+use hcc_bench::{fmt_mups, fmt_pct, fmt_secs, plan};
+use hcc_comm::TransferStrategy;
+use hcc_hetsim::{
+    export, ideal_computing_power, simulate_epoch, simulate_training, BusKind, Platform,
+    ProcessorProfile, SimConfig, Workload,
+};
+use hcc_sparse::DatasetProfile;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: hcc-sim [--dataset netflix|r1|r1star|r2|movielens] \
+                 [--workers testbed4|testbed3|overall|6242,2080s,...] \
+                 [--strategy pq|q|halfq] [--streams N] [--epochs N] [--csv PREFIX]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut dataset = "netflix".to_string();
+    let mut workers = "testbed4".to_string();
+    let mut strategy = TransferStrategy::QOnly;
+    let mut streams = 1usize;
+    let mut epochs = 20usize;
+    let mut csv: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--dataset" => dataset = next("--dataset")?,
+            "--workers" => workers = next("--workers")?,
+            "--streams" => {
+                streams = next("--streams")?.parse().map_err(|e| format!("--streams: {e}"))?
+            }
+            "--epochs" => {
+                epochs = next("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--csv" => csv = Some(next("--csv")?),
+            "--strategy" => {
+                strategy = match next("--strategy")?.as_str() {
+                    "pq" => TransferStrategy::FullPq,
+                    "q" => TransferStrategy::QOnly,
+                    "halfq" => TransferStrategy::HalfQ,
+                    other => return Err(format!("unknown strategy {other}")),
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let profile = match dataset.as_str() {
+        "netflix" => DatasetProfile::netflix(),
+        "r1" => DatasetProfile::yahoo_r1(),
+        "r1star" => DatasetProfile::r1_star(),
+        "r2" => DatasetProfile::yahoo_r2(),
+        "movielens" => DatasetProfile::movielens_20m(),
+        other => return Err(format!("unknown dataset {other}")),
+    };
+    let platform = parse_platform(&workers)?;
+    let wl = Workload::from_profile(&profile);
+    let cfg = SimConfig { strategy, streams, ..Default::default() };
+
+    println!(
+        "platform: {} ({} workers, ${:.0})",
+        platform.name,
+        platform.worker_count(),
+        platform.total_price()
+    );
+    println!(
+        "workload: {} (m={}, n={}, nnz={}); strategy {}, {} stream(s)",
+        profile.name,
+        wl.m,
+        wl.n,
+        wl.nnz,
+        strategy.label(),
+        streams
+    );
+
+    let p = plan(&platform, &wl, &cfg);
+    println!("\nplanned partition ({:?}, sync ratio {:.1}):", p.strategy, p.sync_ratio);
+    for (w, name) in platform.worker_names().iter().enumerate() {
+        println!("  {name:<12} {:5.1}%", p.fractions[w] * 100.0);
+    }
+
+    let trace = simulate_epoch(&platform, &wl, &cfg, &p.fractions);
+    println!("\nper-epoch phase totals:");
+    println!("  {:<12} {:>9} {:>9} {:>9}", "worker", "pull", "compute", "push");
+    for (w, name) in platform.worker_names().iter().enumerate() {
+        let t = &trace.totals[w];
+        println!(
+            "  {:<12} {:>9} {:>9} {:>9}",
+            name,
+            fmt_secs(t.pull),
+            fmt_secs(t.compute),
+            fmt_secs(t.push)
+        );
+    }
+    println!("  server sync total: {}", fmt_secs(trace.sync_total));
+    println!("  epoch makespan:    {}", fmt_secs(trace.epoch_time));
+
+    let sim = simulate_training(&platform, &wl, &cfg, &p.fractions, epochs);
+    let ideal = ideal_computing_power(&platform, &wl);
+    println!(
+        "\n{epochs} epochs: {} — {} of {} ideal ({})",
+        fmt_secs(sim.total_time),
+        fmt_mups(sim.computing_power),
+        fmt_mups(ideal),
+        fmt_pct(sim.computing_power / ideal)
+    );
+
+    if let Some(prefix) = csv {
+        let (spans, totals) = export::write_csvs(&prefix, &platform, &trace)
+            .map_err(|e| e.to_string())?;
+        println!("trace CSVs written: {} / {}", spans.display(), totals.display());
+    }
+    Ok(())
+}
+
+fn parse_platform(spec: &str) -> Result<Platform, String> {
+    match spec {
+        "testbed4" => return Ok(Platform::paper_testbed_4workers()),
+        "testbed3" => return Ok(Platform::paper_testbed_3workers()),
+        "overall" => return Ok(Platform::paper_testbed_overall()),
+        _ => {}
+    }
+    let mut platform = Platform::new(spec);
+    for part in spec.split(',') {
+        platform = match part {
+            "6242" => platform.with_worker(ProcessorProfile::xeon_6242_24t(), BusKind::Upi),
+            "6242-16t" => {
+                platform.with_worker(ProcessorProfile::xeon_6242_16t(), BusKind::Upi)
+            }
+            "6242l" => platform.with_server_worker(ProcessorProfile::xeon_6242_10t()),
+            "2080" => platform.with_worker(ProcessorProfile::rtx_2080(), BusKind::PciE3x16),
+            "2080s" => {
+                platform.with_worker(ProcessorProfile::rtx_2080_super(), BusKind::PciE3x16)
+            }
+            "v100" => platform.with_worker(ProcessorProfile::tesla_v100(), BusKind::PciE3x16),
+            other => return Err(format!("unknown worker {other}")),
+        };
+    }
+    Ok(platform)
+}

@@ -1,0 +1,89 @@
+//! Related-work shoot-out (§5): every solver in the repository trains the
+//! same dataset with the same budget — serial SGD, FPSGD, CuMF_SGD-sim,
+//! DSGD, NOMAD, and HCC-MF — reporting convergence and wall time.
+//!
+//! This is *real training* on this machine; on a single-core box the time
+//! column measures overhead structure (barriers, channels, scheduling),
+//! not parallel speedup.
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin related_work
+//! ```
+
+use hcc_baselines::{CumfSgdSim, Dsgd, Fpsgd, Nomad, SerialSgd, TrainConfig, TrainReport};
+use hcc_bench::{fmt_secs, print_table};
+use hcc_mf::{HccConfig, HccMf, LearningRate, WorkerSpec};
+use hcc_sparse::{DatasetProfile, SyntheticDataset};
+
+fn main() {
+    let profile = DatasetProfile::netflix();
+    let ds = SyntheticDataset::generate(profile.scaled_gen_config(600.0, 42));
+    let epochs = 25;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 4);
+    println!(
+        "dataset: Netflix-shaped {}×{} with {} ratings; k=16, {} epochs, {} thread(s)",
+        ds.matrix.rows(),
+        ds.matrix.cols(),
+        ds.matrix.nnz(),
+        epochs,
+        threads
+    );
+
+    let cfg = TrainConfig {
+        k: 16,
+        epochs,
+        learning_rate: LearningRate::Constant(0.01),
+        lambda_p: 0.01,
+        lambda_q: 0.01,
+        threads,
+        seed: 1,
+        track_rmse: true,
+    };
+
+    let mut rows = Vec::new();
+    let mut push = |name: &str, report: TrainReport| {
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", report.rmse_history[0]),
+            format!("{:.4}", report.rmse_history[epochs / 2]),
+            format!("{:.4}", report.rmse_history[epochs - 1]),
+            fmt_secs(report.total_time().as_secs_f64()),
+            format!("{:.1}M/s", report.computing_power() / 1e6),
+        ]);
+    };
+
+    push("serial SGD", SerialSgd.train(&ds.matrix, &cfg));
+    push("FPSGD", Fpsgd::default().train(&ds.matrix, &cfg));
+    push("CuMF_SGD-sim", CumfSgdSim::default().train(&ds.matrix, &cfg));
+    push("DSGD", Dsgd::default().train(&ds.matrix, &cfg));
+    push("NOMAD", Nomad.train(&ds.matrix, &cfg));
+
+    let hcc_cfg = HccConfig::builder()
+        .k(16)
+        .epochs(epochs)
+        .learning_rate(LearningRate::Constant(0.01))
+        .lambda(0.01)
+        .workers(vec![WorkerSpec::cpu(threads.div_ceil(2)), WorkerSpec::gpu_sim(threads)])
+        .track_rmse(true)
+        .build();
+    let report = HccMf::new(hcc_cfg).train(&ds.matrix).expect("hcc");
+    rows.push(vec![
+        "HCC-MF".to_string(),
+        format!("{:.4}", report.rmse_history[0]),
+        format!("{:.4}", report.rmse_history[epochs / 2]),
+        format!("{:.4}", report.rmse_history[epochs - 1]),
+        fmt_secs(report.total_time().as_secs_f64()),
+        format!("{:.1}M/s", report.computing_power() / 1e6),
+    ]);
+
+    print_table(
+        "related-work solvers, identical budget (real training)",
+        &["solver", "RMSE@1", "RMSE@mid", "RMSE@end", "time", "throughput"],
+        &rows,
+    );
+    println!(
+        "\nreading: all solvers reach comparable final RMSE (the §4.2 equivalence); structural \
+         overheads differ — DSGD pays d barriers/epoch, NOMAD pays channel hops, HCC-MF pays \
+         pull/push/sync but hides them."
+    );
+}

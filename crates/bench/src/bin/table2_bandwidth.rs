@@ -1,0 +1,51 @@
+//! Table 2 — runtime memory bandwidth per worker: independent ("IW", full
+//! data) vs. under the DP0 partition.
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin table2_bandwidth
+//! ```
+
+use hcc_bench::print_table;
+use hcc_hetsim::{bandwidth_table, standalone_times, Platform, Workload};
+use hcc_partition::dp0;
+use hcc_sparse::DatasetProfile;
+
+fn main() {
+    let platform = Platform::paper_testbed_4workers();
+    let wl = Workload::from_profile(&DatasetProfile::netflix());
+    let x0 = dp0(&standalone_times(&platform, &wl));
+
+    // Paper Table 2 (GB/s): worker → (IW, DP0).
+    let paper: &[(&str, f64, f64)] = &[
+        ("6242-24T", 67.3001, 67.75335),
+        ("6242L-10T", 39.31905, 39.5995),
+        ("RTX 2080", 378.616, 388.7935),
+        ("RTX 2080S", 407.095, 412.042),
+    ];
+
+    let rows: Vec<Vec<String>> = bandwidth_table(&platform, &x0)
+        .into_iter()
+        .map(|(name, iw, dp0_bw)| {
+            let reference = paper.iter().find(|(n, _, _)| *n == name);
+            let (p_iw, p_dp0) = reference.map(|(_, a, b)| (*a, *b)).unwrap_or((f64::NAN, f64::NAN));
+            vec![
+                name,
+                format!("{iw:.1}"),
+                format!("{dp0_bw:.1}"),
+                format!("{p_iw:.1}"),
+                format!("{p_dp0:.1}"),
+            ]
+        })
+        .collect();
+
+    print_table(
+        "Table 2: memory bandwidth (GB/s), Netflix DP0 shares",
+        &["worker", "IW (ours)", "DP0 (ours)", "IW (paper)", "DP0 (paper)"],
+        &rows,
+    );
+    println!(
+        "shape: GPU bandwidth rises slightly on the smaller DP0 shard; CPU bandwidth is flat \
+         — the effect DP1's compensation loop corrects."
+    );
+    println!("DP0 shares used: {:?}", x0.iter().map(|v| (v * 1000.0).round() / 10.0).collect::<Vec<_>>());
+}

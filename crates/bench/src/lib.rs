@@ -1,0 +1,106 @@
+//! Shared plumbing for the experiment binaries (`src/bin/fig*_*.rs`,
+//! `src/bin/table*_*.rs`) that regenerate the paper's tables and figures,
+//! and for the Criterion microbenches under `benches/`.
+//!
+//! Run an experiment with e.g.
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin table4_power
+//! ```
+//!
+//! Each binary prints the paper's reported values next to ours so the
+//! *shape* comparison (who wins, by what factor) is immediate; the full
+//! paper-vs-measured record lives in `EXPERIMENTS.md`.
+
+use hcc_hetsim::{
+    cost_model_for, standalone_times, virtual_measure_total, worker_classes, Platform, SimConfig,
+    Workload,
+};
+use hcc_partition::{PartitionPlan, PartitionPlanner};
+
+/// Plans a partition for a platform/workload/config triple on the virtual
+/// platform (DP0 seed → DP1 → λ dispatch to DP2), exactly as the framework
+/// does on real hardware. The measurement callback reports compute plus
+/// *exposed* communication, so Strategy-3 pipelining (which hides GPU
+/// transfers but not plain-CPU ones) is visible to the balancer — Theorem 1
+/// with per-worker fixed costs.
+pub fn plan(platform: &Platform, workload: &Workload, config: &SimConfig) -> PartitionPlan {
+    let model = cost_model_for(platform, workload, config);
+    PartitionPlanner::default().plan(
+        &model,
+        &standalone_times(platform, workload),
+        &worker_classes(platform),
+        virtual_measure_total(platform, workload, config),
+    )
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{:<width$}", cell, width = widths[c.min(cols - 1)]))
+            .collect();
+        parts.join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 10.0 {
+        format!("{s:.1}s")
+    } else if s >= 0.1 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+/// Formats updates/s in millions.
+pub fn fmt_mups(rate: f64) -> String {
+    format!("{:.0}M", rate / 1e6)
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.0}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_sparse::DatasetProfile;
+
+    #[test]
+    fn plan_produces_valid_partition() {
+        let platform = Platform::paper_testbed_4workers();
+        let wl = Workload::from_profile(&DatasetProfile::netflix());
+        let p = plan(&platform, &wl, &SimConfig::default());
+        assert_eq!(p.fractions.len(), 4);
+        assert!((p.fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(12.34), "12.3s");
+        assert_eq!(fmt_secs(1.234), "1.23s");
+        assert_eq!(fmt_secs(0.012), "12.0ms");
+        assert_eq!(fmt_mups(1.5e8), "150M");
+        assert_eq!(fmt_pct(0.861), "86%");
+    }
+}

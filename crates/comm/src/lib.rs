@@ -1,0 +1,43 @@
+//! The COMM layer of HCC-MF (§3.4–3.5 of the paper).
+//!
+//! COMM connects the parameter server to its workers. The paper implements
+//! it with shared pinned memory mapped into every process, one "pull buffer"
+//! per worker (server → worker) and one "push buffer" (worker → server), so
+//! a transfer is a single copy. This crate reproduces that design in-process:
+//!
+//! * [`strategy`] — the three communication optimization strategies:
+//!   transmit-P&Q (unoptimized), "Transmitting Q matrix only", and
+//!   "Transmitting FP16 Data" on top of Q-only ("half-Q"), with exact
+//!   volume accounting used by both the real engine and the simulator.
+//! * [`buffer`] — the shared pull/push buffers.
+//! * [`transport`] — two interchangeable transports: [`CommShared`] (the
+//!   paper's COMM: single-copy shared memory) and [`CommP`] (the ps-lite
+//!   style baseline: serialize → channel → staging copy → destination copy),
+//!   which Table 5 compares.
+//! * [`pipeline`] — the asynchronous pull→compute→push pipeline used by
+//!   Strategy 3 ("Asynchronous Computing-Transmission") to overlap
+//!   communication with computation across multiple streams.
+
+//!
+//! ```
+//! use hcc_comm::{CommShared, Precision, Transport};
+//!
+//! let comm = CommShared::new(2, 4, 4, Precision::Fp32);
+//! comm.publish(&[1.0, 2.0, 3.0, 4.0]);      // server → pull region
+//! let mut local = [0f32; 4];
+//! comm.pull(0, &mut local);                  // worker 0 reads it
+//! comm.push(0, &local);                      // …and pushes back
+//! let mut collected = [0f32; 4];
+//! comm.collect(0, &mut collected);           // server merges
+//! assert_eq!(collected, [1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+pub mod buffer;
+pub mod pipeline;
+pub mod strategy;
+pub mod transport;
+
+pub use buffer::SharedBuffer;
+pub use pipeline::{run_pipeline, PipelineStats};
+pub use strategy::TransferStrategy;
+pub use transport::{CommP, CommShared, Payload, Precision, Transport};

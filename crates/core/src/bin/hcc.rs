@@ -1,0 +1,28 @@
+//! `hcc` — the HCC-MF command line: train, analyze, recommend.
+//!
+//! ```sh
+//! hcc train ratings.txt --k 64 --workers cpu4,gpu8 --out model
+//! hcc analyze ratings.txt
+//! hcc recommend model.hccmf ratings.txt --user 7
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match hcc_mf::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{}", hcc_mf::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout();
+    match hcc_mf::cli::run(cmd, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Factor-matrix checkpointing.
+//!
+//! A compact binary format for trained models so long runs can be saved and
+//! recommenders served without retraining:
+//!
+//! ```text
+//! magic "HCCMF1\n"  |  u64 m  u64 n  u64 k  |  P (m·k f32 LE)  |  Q (n·k f32 LE)
+//! ```
+
+use crate::error::HccError;
+use hcc_sgd::FactorMatrix;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 7] = b"HCCMF1\n";
+
+/// Writes a `(P, Q)` model to `path`.
+pub fn save_model<P: AsRef<Path>>(
+    path: P,
+    p: &FactorMatrix,
+    q: &FactorMatrix,
+) -> Result<(), HccError> {
+    if p.k() != q.k() {
+        return Err(HccError::BadInput("P and Q must share latent dimension".into()));
+    }
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut out = BufWriter::new(file);
+    out.write_all(MAGIC).map_err(io_err)?;
+    for dim in [p.rows() as u64, q.rows() as u64, p.k() as u64] {
+        out.write_all(&dim.to_le_bytes()).map_err(io_err)?;
+    }
+    write_f32s(&mut out, p.as_slice())?;
+    write_f32s(&mut out, q.as_slice())?;
+    out.flush().map_err(io_err)
+}
+
+/// Reads a `(P, Q)` model from `path`.
+pub fn load_model<P: AsRef<Path>>(path: P) -> Result<(FactorMatrix, FactorMatrix), HccError> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut input = BufReader::new(file);
+    let mut magic = [0u8; 7];
+    input.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(HccError::BadInput("not an HCCMF1 checkpoint".into()));
+    }
+    let mut dims = [0u64; 3];
+    for d in dims.iter_mut() {
+        let mut buf = [0u8; 8];
+        input.read_exact(&mut buf).map_err(io_err)?;
+        *d = u64::from_le_bytes(buf);
+    }
+    let (m, n, k) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    if k == 0 || m.checked_mul(k).is_none() || n.checked_mul(k).is_none() {
+        return Err(HccError::BadInput("corrupt checkpoint header".into()));
+    }
+    let p = FactorMatrix::from_vec(m, k, read_f32s(&mut input, m * k)?);
+    let q = FactorMatrix::from_vec(n, k, read_f32s(&mut input, n * k)?);
+    Ok((p, q))
+}
+
+fn write_f32s<W: Write>(out: &mut W, data: &[f32]) -> Result<(), HccError> {
+    // Chunked conversion to LE bytes; avoids one giant temporary.
+    let mut buf = Vec::with_capacity(4096 * 4);
+    for chunk in data.chunks(4096) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        out.write_all(&buf).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(input: &mut R, count: usize) -> Result<Vec<f32>, HccError> {
+    let mut bytes = vec![0u8; count * 4];
+    input.read_exact(&mut bytes).map_err(io_err)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn io_err(err: std::io::Error) -> HccError {
+    HccError::BadInput(format!("checkpoint io: {err}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hcc_checkpoint_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = FactorMatrix::random(13, 4, 1);
+        let q = FactorMatrix::random(7, 4, 2);
+        let path = tmp("roundtrip.hccmf");
+        save_model(&path, &p, &q).unwrap();
+        let (p2, q2) = load_model(&path).unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(q, q2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_mismatched_k() {
+        let p = FactorMatrix::zeros(2, 3);
+        let q = FactorMatrix::zeros(2, 4);
+        assert!(save_model(tmp("bad_k.hccmf"), &p, &q).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_file() {
+        let path = tmp("garbage.hccmf");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let p = FactorMatrix::random(5, 2, 3);
+        let q = FactorMatrix::random(4, 2, 4);
+        let path = tmp("trunc.hccmf");
+        save_model(&path, &p, &q).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_model(tmp("does_not_exist.hccmf")).is_err());
+    }
+}

@@ -1,0 +1,482 @@
+//! Command-line interface plumbing for the `hcc` binary.
+//!
+//! Parsing lives here (not in the binary) so it is unit-testable. Commands:
+//!
+//! ```text
+//! hcc train <ratings.txt> [training flags]     train a model
+//! hcc analyze <ratings.txt>                    dataset statistics + verdict
+//! hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]
+//! ```
+
+use crate::config::{HccConfig, PartitionMode, WorkerSpec};
+use crate::metrics::evaluate_ranking;
+use crate::recommend::Recommender;
+use crate::train::HccMf;
+use hcc_comm::TransferStrategy;
+use hcc_sgd::LearningRate;
+use hcc_sparse::stats::row_count_quantiles;
+use hcc_sparse::MatrixStats;
+use std::io::Write;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// Train on a triples file.
+    Train(TrainArgs),
+    /// Print dataset statistics and the §4.6 collaboration verdict.
+    Analyze {
+        /// Ratings file.
+        path: String,
+    },
+    /// Serve top-k recommendations from a checkpoint.
+    Recommend {
+        /// Checkpoint path (written by `train --out`).
+        model: String,
+        /// Training ratings file (for seen-item exclusion).
+        ratings: String,
+        /// User to recommend for.
+        user: u32,
+        /// Recommendations to print.
+        count: usize,
+    },
+}
+
+/// Arguments of the `train` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    /// Ratings file.
+    pub path: String,
+    /// Latent dimension.
+    pub k: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Learning rate γ.
+    pub lr: f32,
+    /// L2 regularization.
+    pub lambda: f32,
+    /// Worker spec string (`cpu2,gpu4,...`).
+    pub workers: String,
+    /// Communication strategy.
+    pub strategy: TransferStrategy,
+    /// Async pipeline streams.
+    pub streams: usize,
+    /// Held-out fraction.
+    pub test_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Partition mode.
+    pub partition: PartitionMode,
+    /// Checkpoint path prefix.
+    pub out: Option<String>,
+    /// Evaluate ranking metrics on the held-out split.
+    pub rank_metrics: bool,
+}
+
+impl Default for TrainArgs {
+    fn default() -> Self {
+        TrainArgs {
+            path: String::new(),
+            k: 32,
+            epochs: 20,
+            lr: 0.005,
+            lambda: 0.01,
+            workers: "cpu2,cpu2".into(),
+            strategy: TransferStrategy::QOnly,
+            streams: 1,
+            test_frac: 0.1,
+            seed: 42,
+            partition: PartitionMode::Auto,
+            out: None,
+            rank_metrics: false,
+        }
+    }
+}
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "usage:
+  hcc train <ratings.txt> [--k N] [--epochs N] [--lr F] [--lambda F]
+            [--workers cpu2,gpu4[@0.5]] [--strategy pq|q|halfq] [--streams N]
+            [--partition auto|uniform|dp0|dp1|dp2] [--test-frac F] [--seed N]
+            [--out PREFIX] [--rank-metrics]
+  hcc analyze <ratings.txt>
+  hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]";
+
+/// Parses raw arguments (excluding the program name).
+pub fn parse(args: &[String]) -> Result<CliCommand, String> {
+    let mut it = args.iter().peekable();
+    let sub = it.next().ok_or("missing subcommand")?;
+    match sub.as_str() {
+        "train" => parse_train(&mut it).map(CliCommand::Train),
+        "analyze" => {
+            let path = it.next().ok_or("analyze needs a ratings file")?.clone();
+            if it.next().is_some() {
+                return Err("analyze takes exactly one argument".into());
+            }
+            Ok(CliCommand::Analyze { path })
+        }
+        "recommend" => {
+            let model = it.next().ok_or("recommend needs a model file")?.clone();
+            let ratings = it.next().ok_or("recommend needs a ratings file")?.clone();
+            let mut user = None;
+            let mut count = 10usize;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--user" => {
+                        user = Some(
+                            it.next()
+                                .ok_or("--user needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--user: {e}"))?,
+                        )
+                    }
+                    "--count" => {
+                        count = it
+                            .next()
+                            .ok_or("--count needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--count: {e}"))?
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(CliCommand::Recommend {
+                model,
+                ratings,
+                user: user.ok_or("recommend requires --user")?,
+                count,
+            })
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn parse_train<'a, I: Iterator<Item = &'a String>>(
+    it: &mut std::iter::Peekable<I>,
+) -> Result<TrainArgs, String> {
+    let mut args = TrainArgs::default();
+    let mut path = None;
+    while let Some(arg) = it.next() {
+        let mut next = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--k" => args.k = next("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--epochs" => {
+                args.epochs = next("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--lr" => args.lr = next("--lr")?.parse().map_err(|e| format!("--lr: {e}"))?,
+            "--lambda" => {
+                args.lambda = next("--lambda")?.parse().map_err(|e| format!("--lambda: {e}"))?
+            }
+            "--workers" => args.workers = next("--workers")?,
+            "--streams" => {
+                args.streams = next("--streams")?.parse().map_err(|e| format!("--streams: {e}"))?
+            }
+            "--test-frac" => {
+                args.test_frac =
+                    next("--test-frac")?.parse().map_err(|e| format!("--test-frac: {e}"))?
+            }
+            "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = Some(next("--out")?),
+            "--rank-metrics" => args.rank_metrics = true,
+            "--strategy" => {
+                args.strategy = match next("--strategy")?.as_str() {
+                    "pq" => TransferStrategy::FullPq,
+                    "q" => TransferStrategy::QOnly,
+                    "halfq" => TransferStrategy::HalfQ,
+                    other => return Err(format!("unknown strategy {other}")),
+                }
+            }
+            "--partition" => {
+                args.partition = match next("--partition")?.as_str() {
+                    "auto" => PartitionMode::Auto,
+                    "uniform" => PartitionMode::Uniform,
+                    "dp0" => PartitionMode::Dp0,
+                    "dp1" => PartitionMode::Dp1,
+                    "dp2" => PartitionMode::Dp2,
+                    other => return Err(format!("unknown partition mode {other}")),
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => path = Some(other.to_string()),
+        }
+    }
+    args.path = path.ok_or("train needs a ratings file")?;
+    Ok(args)
+}
+
+/// Parses `cpu2,gpu8,cpu4@0.5` — type + threads, optional `@speed`.
+pub fn parse_workers(spec: &str) -> Result<Vec<WorkerSpec>, String> {
+    spec.split(',')
+        .map(|part| {
+            let (body, speed) = match part.split_once('@') {
+                Some((b, s)) => {
+                    (b, s.parse::<f64>().map_err(|e| format!("speed in {part}: {e}"))?)
+                }
+                None => (part, 1.0),
+            };
+            let (kind, threads) = if let Some(t) = body.strip_prefix("cpu") {
+                ("cpu", t)
+            } else if let Some(t) = body.strip_prefix("gpu") {
+                ("gpu", t)
+            } else {
+                return Err(format!("worker {part} must start with cpu or gpu"));
+            };
+            let threads: usize =
+                threads.parse().map_err(|e| format!("threads in {part}: {e}"))?;
+            let base = if kind == "gpu" {
+                WorkerSpec::gpu_sim(threads)
+            } else {
+                WorkerSpec::cpu(threads)
+            };
+            Ok(base.throttled(speed))
+        })
+        .collect()
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
+    match cmd {
+        CliCommand::Analyze { path } => {
+            let matrix = hcc_sparse::io::read_triples_file(&path).map_err(|e| e.to_string())?;
+            let s = MatrixStats::compute(&matrix);
+            writeln!(out, "{path}: {} × {} with {} ratings", s.rows, s.cols, s.nnz).ok();
+            writeln!(out, "density        {:.4}%", s.density * 100.0).ok();
+            writeln!(out, "aspect (m/n)   {:.2}", s.aspect_ratio).ok();
+            writeln!(out, "nnz/(m+n)      {:.1}", s.nnz_per_dim).ok();
+            writeln!(out, "nnz/min(m,n)   {:.1}", s.nnz_per_min_dim).ok();
+            writeln!(out, "rating mean/sd {:.3} / {:.3}", s.mean_rating, s.std_rating).ok();
+            writeln!(out, "row/col gini   {:.2} / {:.2}", s.row_gini, s.col_gini).ok();
+            let (p50, p90, p99, max) = row_count_quantiles(&matrix);
+            writeln!(out, "row counts     p50={p50} p90={p90} p99={p99} max={max}").ok();
+            writeln!(
+                out,
+                "verdict        {} for multi-worker HCC-MF (threshold: nnz/min(m,n) >= 1000)",
+                if s.collaboration_friendly() { "GOOD" } else { "POOR" }
+            )
+            .ok();
+            Ok(())
+        }
+        CliCommand::Recommend { model, ratings, user, count } => {
+            let (p, q) = crate::checkpoint::load_model(&model).map_err(|e| e.to_string())?;
+            let matrix =
+                hcc_sparse::io::read_triples_file(&ratings).map_err(|e| e.to_string())?;
+            if user as usize >= p.rows() {
+                return Err(format!("user {user} out of range (model has {})", p.rows()));
+            }
+            let rec = Recommender::new(p, q, &matrix);
+            for (item, score) in rec.top_k(user, count) {
+                writeln!(out, "{item}\t{score:.3}").ok();
+            }
+            Ok(())
+        }
+        CliCommand::Train(args) => {
+            let matrix =
+                hcc_sparse::io::read_triples_file(&args.path).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "loaded {}: {} × {}, {} ratings",
+                args.path,
+                matrix.rows(),
+                matrix.cols(),
+                matrix.nnz()
+            )
+            .ok();
+            let (train, test) =
+                if args.test_frac > 0.0 && args.test_frac < 1.0 && matrix.nnz() > 10 {
+                    let (a, b) =
+                        hcc_sparse::train_test_split(&matrix, args.test_frac, args.seed)
+                            .map_err(|e| e.to_string())?;
+                    (a, Some(b))
+                } else {
+                    (matrix.clone(), None)
+                };
+            let config = HccConfig::builder()
+                .k(args.k)
+                .epochs(args.epochs)
+                .learning_rate(LearningRate::Constant(args.lr))
+                .lambda(args.lambda)
+                .workers(parse_workers(&args.workers)?)
+                .strategy(args.strategy)
+                .streams(args.streams)
+                .partition(args.partition)
+                .seed(args.seed)
+                .track_rmse(true)
+                .try_build()
+                .map_err(|e| e.to_string())?;
+            let report = HccMf::new(config).train(&train).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "trained {} epochs in {:.2?} ({:.1}M updates/s, strategy {:?}, wire {:.1} MiB)",
+                report.epoch_times.len(),
+                report.total_time(),
+                report.computing_power() / 1e6,
+                report.strategy_used,
+                report.wire_bytes as f64 / (1024.0 * 1024.0)
+            )
+            .ok();
+            writeln!(
+                out,
+                "train RMSE {:.4} -> {:.4}",
+                report.rmse_history.first().unwrap(),
+                report.final_rmse().unwrap()
+            )
+            .ok();
+            if let Some(test) = &test {
+                let rmse = hcc_sgd::rmse(test.entries(), &report.p, &report.q);
+                writeln!(out, "held-out RMSE: {rmse:.4}").ok();
+                if args.rank_metrics {
+                    let rec = Recommender::new(report.p.clone(), report.q.clone(), &train);
+                    let threshold = matrix.mean_rating() as f32;
+                    let m = evaluate_ranking(&rec, test, 10, threshold);
+                    writeln!(
+                        out,
+                        "ranking@10: precision {:.3}, recall {:.3}, NDCG {:.3} ({} users)",
+                        m.precision, m.recall, m.ndcg, m.users_evaluated
+                    )
+                    .ok();
+                }
+            }
+            if let Some(prefix) = &args.out {
+                let path = format!("{prefix}.hccmf");
+                crate::checkpoint::save_model(&path, &report.p, &report.q)
+                    .map_err(|e| e.to_string())?;
+                writeln!(out, "model written to {path}").ok();
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_train_defaults_and_flags() {
+        let cmd = parse(&argv("train data.txt --k 64 --epochs 5 --strategy halfq --partition dp2 --rank-metrics")).unwrap();
+        match cmd {
+            CliCommand::Train(args) => {
+                assert_eq!(args.path, "data.txt");
+                assert_eq!(args.k, 64);
+                assert_eq!(args.epochs, 5);
+                assert_eq!(args.strategy, TransferStrategy::HalfQ);
+                assert_eq!(args.partition, PartitionMode::Dp2);
+                assert!(args.rank_metrics);
+                assert_eq!(args.lr, 0.005); // default
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_analyze_and_recommend() {
+        assert_eq!(
+            parse(&argv("analyze r.txt")).unwrap(),
+            CliCommand::Analyze { path: "r.txt".into() }
+        );
+        assert_eq!(
+            parse(&argv("recommend m.hccmf r.txt --user 7 --count 3")).unwrap(),
+            CliCommand::Recommend {
+                model: "m.hccmf".into(),
+                ratings: "r.txt".into(),
+                user: 7,
+                count: 3
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("frobnicate x")).is_err());
+        assert!(parse(&argv("train")).is_err());
+        assert!(parse(&argv("train d.txt --bogus 3")).is_err());
+        assert!(parse(&argv("train d.txt --k notanumber")).is_err());
+        assert!(parse(&argv("recommend m.hccmf r.txt")).is_err()); // no --user
+        assert!(parse(&argv("analyze a.txt extra")).is_err());
+    }
+
+    #[test]
+    fn parse_workers_specs() {
+        let w = parse_workers("cpu2,gpu8,cpu4@0.5").unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(!w[0].is_gpu);
+        assert!(w[1].is_gpu);
+        assert_eq!(w[1].threads, 8);
+        assert_eq!(w[2].speed_factor, 0.5);
+        assert!(parse_workers("tpu3").is_err());
+        assert!(parse_workers("cpu").is_err());
+        assert!(parse_workers("cpu2@fast").is_err());
+    }
+
+    #[test]
+    fn end_to_end_train_analyze_recommend() {
+        use hcc_sparse::{GenConfig, SyntheticDataset};
+        let dir = std::env::temp_dir().join("hcc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ratings = dir.join("r.txt");
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 120,
+            cols: 60,
+            nnz: 2_500,
+            ..GenConfig::default()
+        });
+        hcc_sparse::io::write_triples_file(&ds.matrix, &ratings).unwrap();
+        let ratings = ratings.to_string_lossy().into_owned();
+        let model_prefix = dir.join("model").to_string_lossy().into_owned();
+
+        // analyze
+        let mut buf = Vec::new();
+        run(CliCommand::Analyze { path: ratings.clone() }, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("verdict"), "{text}");
+
+        // train with checkpoint + ranking metrics
+        let mut buf = Vec::new();
+        let cmd = parse(
+            &format!("train {ratings} --k 8 --epochs 8 --lr 0.02 --out {model_prefix} --rank-metrics")
+                .split_whitespace()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("held-out RMSE"), "{text}");
+        assert!(text.contains("ranking@10"), "{text}");
+        assert!(text.contains("model written"), "{text}");
+
+        // recommend from the checkpoint
+        let mut buf = Vec::new();
+        run(
+            CliCommand::Recommend {
+                model: format!("{model_prefix}.hccmf"),
+                ratings: ratings.clone(),
+                user: 50,
+                count: 4,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 4, "{text}");
+
+        // out-of-range user errors cleanly
+        let err = run(
+            CliCommand::Recommend {
+                model: format!("{model_prefix}.hccmf"),
+                ratings,
+                user: 10_000,
+                count: 4,
+            },
+            &mut Vec::new(),
+        );
+        assert!(err.is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,426 @@
+//! Training configuration.
+
+use crate::error::HccError;
+use hcc_comm::TransferStrategy;
+use hcc_sgd::LearningRate;
+
+/// One worker of the collaborative platform.
+///
+/// On this GPU-less substrate every worker is a thread pool; heterogeneity
+/// comes from thread counts and the optional `speed_factor` throttle (used
+/// by tests and benches to emulate slower processors deterministically).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSpec {
+    /// Display name.
+    pub name: String,
+    /// Hogwild threads inside this worker.
+    pub threads: usize,
+    /// Artificial speed multiplier in `(0, 1]`: after each compute chunk the
+    /// worker sleeps `elapsed·(1−f)/f`, making its effective rate `f` of
+    /// nominal. `1.0` = no throttle.
+    pub speed_factor: f64,
+    /// Treat this worker as a GPU for Algorithm 1's CPU/GPU group split
+    /// (e.g. a "simulated GPU" worker with many threads).
+    pub is_gpu: bool,
+}
+
+impl WorkerSpec {
+    /// A CPU worker with `threads` threads.
+    pub fn cpu(threads: usize) -> WorkerSpec {
+        WorkerSpec {
+            name: format!("cpu-{threads}t"),
+            threads,
+            speed_factor: 1.0,
+            is_gpu: false,
+        }
+    }
+
+    /// A "GPU-class" worker: a wide thread pool playing the CuMF_SGD role.
+    pub fn gpu_sim(threads: usize) -> WorkerSpec {
+        WorkerSpec {
+            name: format!("gpu-sim-{threads}t"),
+            threads,
+            speed_factor: 1.0,
+            is_gpu: true,
+        }
+    }
+
+    /// Applies a throttle, returning the modified spec.
+    pub fn throttled(mut self, speed_factor: f64) -> WorkerSpec {
+        self.speed_factor = speed_factor;
+        self
+    }
+
+    /// Renames the worker.
+    pub fn named(mut self, name: &str) -> WorkerSpec {
+        self.name = name.to_string();
+        self
+    }
+}
+
+/// How the server partitions data among workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// Equal shares — the "unbalanced data" straw man of Fig. 3(a) when the
+    /// platform is heterogeneous.
+    Uniform,
+    /// DP0 only: proportional to calibrated standalone speed (Eq. 6).
+    Dp0,
+    /// DP0 + Algorithm-1 compensation during the first epochs.
+    Dp1,
+    /// DP1 + hidden-synchronization staggering (Eq. 7).
+    Dp2,
+    /// The paper's λ dispatch (Eq. 5): DP1 when sync is negligible, else DP2.
+    Auto,
+}
+
+/// Which COMM implementation carries the feature matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Shared-memory single-copy buffers (the paper's COMM).
+    Shared,
+    /// Message-passing with serialize + staging copies (COMM-P / ps-lite).
+    CommP,
+}
+
+/// Which per-update rule the workers run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Plain SGD at the configured learning-rate schedule (the paper).
+    Sgd,
+    /// AdaGrad-scaled steps (CuMF_SGD's alternative kernel). `eta0` is the
+    /// base step; the learning-rate schedule is ignored. Accumulators are
+    /// per-worker and reset when the partition is rebuilt.
+    AdaGrad {
+        /// Base step η₀.
+        eta0: f32,
+        /// Stabilizer ε.
+        epsilon: f32,
+    },
+    /// Heavy-ball momentum at the configured learning-rate schedule.
+    /// Velocity buffers are per-worker and reset on repartition.
+    Momentum {
+        /// Momentum coefficient β ∈ [0, 1).
+        beta: f32,
+    },
+}
+
+/// Early-stopping rule: stop when the best RMSE of the last `patience`
+/// epochs fails to improve on the best before them by at least
+/// `min_rel_improvement` (relative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Required relative improvement, e.g. `0.001` = 0.1 %.
+    pub min_rel_improvement: f64,
+    /// Epochs allowed without that improvement.
+    pub patience: usize,
+}
+
+impl Default for EarlyStop {
+    fn default() -> Self {
+        EarlyStop { min_rel_improvement: 1e-3, patience: 3 }
+    }
+}
+
+/// Full training configuration. Build with [`HccConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HccConfig {
+    /// Latent dimension `k`.
+    pub k: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning-rate schedule.
+    pub learning_rate: LearningRate,
+    /// L2 regularization λ1 (on `P`).
+    pub lambda_p: f32,
+    /// L2 regularization λ2 (on `Q`).
+    pub lambda_q: f32,
+    /// The worker set.
+    pub workers: Vec<WorkerSpec>,
+    /// Data-partition mode.
+    pub partition: PartitionMode,
+    /// Communication strategy (what travels each epoch).
+    pub strategy: TransferStrategy,
+    /// COMM implementation.
+    pub transport: TransportKind,
+    /// Pipeline streams for asynchronous computing–transmission (1 = off).
+    pub streams: usize,
+    /// Epochs at the start reserved for Algorithm-1 adaptation (partition
+    /// may be revised after each of these).
+    pub adapt_epochs: usize,
+    /// Seed for initialization/shuffling.
+    pub seed: u64,
+    /// Record training RMSE after every epoch (extra pass).
+    pub track_rmse: bool,
+    /// Shuffle entries during preprocessing (step ① of Fig. 4).
+    pub shuffle: bool,
+    /// Optional early stopping (requires `track_rmse`).
+    pub early_stop: Option<EarlyStop>,
+    /// Per-update optimizer.
+    pub optimizer: Optimizer,
+    /// Optional warm-start factors `(P, Q)` in the *input* orientation.
+    /// Dimensions must match the training matrix and `k`; used instead of
+    /// random initialization (e.g. to resume from a checkpoint after new
+    /// ratings arrive).
+    pub warm_start: Option<(hcc_sgd::FactorMatrix, hcc_sgd::FactorMatrix)>,
+}
+
+impl HccConfig {
+    /// Starts a builder with the paper's defaults.
+    pub fn builder() -> HccConfigBuilder {
+        HccConfigBuilder::default()
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), HccError> {
+        if self.k == 0 {
+            return Err(HccError::BadConfig("k must be > 0".into()));
+        }
+        if self.epochs == 0 {
+            return Err(HccError::BadConfig("epochs must be > 0".into()));
+        }
+        if self.workers.is_empty() {
+            return Err(HccError::BadConfig("at least one worker required".into()));
+        }
+        if self.streams == 0 {
+            return Err(HccError::BadConfig("streams must be >= 1".into()));
+        }
+        if self.early_stop.is_some() && !self.track_rmse {
+            return Err(HccError::BadConfig("early stopping requires track_rmse".into()));
+        }
+        if let Some(es) = &self.early_stop {
+            if es.patience == 0 || !es.min_rel_improvement.is_finite() {
+                return Err(HccError::BadConfig("invalid early-stop parameters".into()));
+            }
+        }
+        if let Some((p, q)) = &self.warm_start {
+            if p.k() != self.k || q.k() != self.k {
+                return Err(HccError::BadConfig(format!(
+                    "warm-start factors have k = {}/{}, config k = {}",
+                    p.k(),
+                    q.k(),
+                    self.k
+                )));
+            }
+        }
+        for w in &self.workers {
+            if w.threads == 0 {
+                return Err(HccError::BadConfig(format!("worker {} has zero threads", w.name)));
+            }
+            if !(w.speed_factor > 0.0 && w.speed_factor <= 1.0) {
+                return Err(HccError::BadConfig(format!(
+                    "worker {} speed_factor {} outside (0, 1]",
+                    w.name, w.speed_factor
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`HccConfig`].
+#[derive(Debug, Clone)]
+pub struct HccConfigBuilder {
+    config: HccConfig,
+}
+
+impl Default for HccConfigBuilder {
+    fn default() -> Self {
+        HccConfigBuilder {
+            config: HccConfig {
+                k: 32,
+                epochs: 20,
+                learning_rate: LearningRate::paper_default(),
+                lambda_p: 0.01,
+                lambda_q: 0.01,
+                workers: vec![WorkerSpec::cpu(2), WorkerSpec::cpu(2)],
+                partition: PartitionMode::Auto,
+                strategy: TransferStrategy::QOnly,
+                transport: TransportKind::Shared,
+                streams: 1,
+                adapt_epochs: 3,
+                seed: 0x5eed,
+                track_rmse: false,
+                shuffle: true,
+                early_stop: None,
+                optimizer: Optimizer::Sgd,
+                warm_start: None,
+            },
+        }
+    }
+}
+
+impl HccConfigBuilder {
+    /// Latent dimension.
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Training epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// Learning-rate schedule.
+    pub fn learning_rate(mut self, lr: LearningRate) -> Self {
+        self.config.learning_rate = lr;
+        self
+    }
+
+    /// Sets both λ1 and λ2.
+    pub fn lambda(mut self, lambda: f32) -> Self {
+        self.config.lambda_p = lambda;
+        self.config.lambda_q = lambda;
+        self
+    }
+
+    /// The worker set.
+    pub fn workers(mut self, workers: Vec<WorkerSpec>) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Data-partition mode.
+    pub fn partition(mut self, mode: PartitionMode) -> Self {
+        self.config.partition = mode;
+        self
+    }
+
+    /// Communication strategy.
+    pub fn strategy(mut self, strategy: TransferStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// COMM implementation.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// Asynchronous pipeline streams (1 disables Strategy 3).
+    pub fn streams(mut self, streams: usize) -> Self {
+        self.config.streams = streams;
+        self
+    }
+
+    /// Adaptation epochs for Algorithm 1.
+    pub fn adapt_epochs(mut self, adapt_epochs: usize) -> Self {
+        self.config.adapt_epochs = adapt_epochs;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Track per-epoch RMSE.
+    pub fn track_rmse(mut self, track: bool) -> Self {
+        self.config.track_rmse = track;
+        self
+    }
+
+    /// Enable/disable the preprocessing shuffle.
+    pub fn shuffle(mut self, shuffle: bool) -> Self {
+        self.config.shuffle = shuffle;
+        self
+    }
+
+    /// Enables early stopping (requires `track_rmse`).
+    pub fn early_stop(mut self, rule: EarlyStop) -> Self {
+        self.config.early_stop = Some(rule);
+        self
+    }
+
+    /// Selects the per-update optimizer.
+    pub fn optimizer(mut self, optimizer: Optimizer) -> Self {
+        self.config.optimizer = optimizer;
+        self
+    }
+
+    /// Warm-starts training from existing factors (input orientation).
+    pub fn warm_start(mut self, p: hcc_sgd::FactorMatrix, q: hcc_sgd::FactorMatrix) -> Self {
+        self.config.warm_start = Some((p, q));
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid — use
+    /// [`try_build`](Self::try_build) for fallible construction.
+    pub fn build(self) -> HccConfig {
+        self.try_build().expect("invalid HccConfig")
+    }
+
+    /// Finalizes, returning an error on inconsistency.
+    pub fn try_build(self) -> Result<HccConfig, HccError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = HccConfig::builder().build();
+        assert_eq!(cfg.learning_rate, LearningRate::Constant(0.005));
+        assert_eq!(cfg.strategy, TransferStrategy::QOnly);
+        assert_eq!(cfg.partition, PartitionMode::Auto);
+        assert_eq!(cfg.streams, 1);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = HccConfig::builder()
+            .k(64)
+            .epochs(5)
+            .lambda(0.5)
+            .streams(3)
+            .partition(PartitionMode::Dp2)
+            .transport(TransportKind::CommP)
+            .build();
+        assert_eq!(cfg.k, 64);
+        assert_eq!(cfg.lambda_p, 0.5);
+        assert_eq!(cfg.lambda_q, 0.5);
+        assert_eq!(cfg.streams, 3);
+        assert_eq!(cfg.transport, TransportKind::CommP);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        assert!(HccConfig::builder().k(0).try_build().is_err());
+        assert!(HccConfig::builder().epochs(0).try_build().is_err());
+        assert!(HccConfig::builder().workers(vec![]).try_build().is_err());
+        assert!(HccConfig::builder().streams(0).try_build().is_err());
+        assert!(HccConfig::builder()
+            .workers(vec![WorkerSpec::cpu(0)])
+            .try_build()
+            .is_err());
+        assert!(HccConfig::builder()
+            .workers(vec![WorkerSpec::cpu(2).throttled(0.0)])
+            .try_build()
+            .is_err());
+        assert!(HccConfig::builder()
+            .workers(vec![WorkerSpec::cpu(2).throttled(1.5)])
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn worker_spec_helpers() {
+        let w = WorkerSpec::gpu_sim(16).throttled(0.5).named("fake-2080");
+        assert!(w.is_gpu);
+        assert_eq!(w.threads, 16);
+        assert_eq!(w.speed_factor, 0.5);
+        assert_eq!(w.name, "fake-2080");
+        assert!(!WorkerSpec::cpu(4).is_gpu);
+    }
+}

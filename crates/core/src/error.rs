@@ -1,0 +1,53 @@
+//! Framework error type.
+
+use std::fmt;
+
+/// Errors surfaced by the HCC-MF training pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HccError {
+    /// The configuration is inconsistent (message explains).
+    BadConfig(String),
+    /// The input matrix can't be trained on (empty, degenerate…).
+    BadInput(String),
+    /// An underlying sparse-matrix operation failed.
+    Sparse(hcc_sparse::SparseError),
+}
+
+impl fmt::Display for HccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HccError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            HccError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            HccError::Sparse(err) => write!(f, "sparse error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for HccError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HccError::Sparse(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<hcc_sparse::SparseError> for HccError {
+    fn from(err: hcc_sparse::SparseError) -> Self {
+        HccError::Sparse(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HccError::BadConfig("k must be > 0".into());
+        assert!(e.to_string().contains("k must be > 0"));
+        let s: HccError =
+            hcc_sparse::SparseError::EmptyDimension { what: "rows" }.into();
+        assert!(std::error::Error::source(&s).is_some());
+    }
+}

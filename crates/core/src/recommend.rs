@@ -1,0 +1,102 @@
+//! Downstream recommendation API: what an application does with the trained
+//! factors (the paper's motivating use case, §2.1).
+
+use hcc_sgd::{dot, FactorMatrix};
+use hcc_sparse::{CooMatrix, CsrMatrix};
+
+/// Serves predictions and top-k recommendations from trained factors.
+#[derive(Debug, Clone)]
+pub struct Recommender {
+    p: FactorMatrix,
+    q: FactorMatrix,
+    seen: CsrMatrix,
+}
+
+impl Recommender {
+    /// Builds a recommender from trained factors and the training matrix
+    /// (used to exclude already-rated items).
+    ///
+    /// # Panics
+    /// Panics if factor dimensions don't match the matrix.
+    pub fn new(p: FactorMatrix, q: FactorMatrix, train: &CooMatrix) -> Recommender {
+        assert_eq!(p.rows(), train.rows() as usize, "P rows must match users");
+        assert_eq!(q.rows(), train.cols() as usize, "Q rows must match items");
+        assert_eq!(p.k(), q.k(), "P and Q must share k");
+        Recommender { p, q, seen: CsrMatrix::from(train) }
+    }
+
+    /// Predicted rating for `(user, item)`.
+    pub fn predict(&self, user: u32, item: u32) -> f32 {
+        dot(self.p.row(user as usize), self.q.row(item as usize))
+    }
+
+    /// The `count` highest-predicted items for `user`, excluding items the
+    /// user already rated. Returns `(item, score)` sorted descending.
+    pub fn top_k(&self, user: u32, count: usize) -> Vec<(u32, f32)> {
+        let (seen_items, _) = self.seen.row(user);
+        let mut seen_sorted: Vec<u32> = seen_items.to_vec();
+        seen_sorted.sort_unstable();
+        let mut scored: Vec<(u32, f32)> = (0..self.q.rows() as u32)
+            .filter(|i| seen_sorted.binary_search(i).is_err())
+            .map(|i| (i, self.predict(user, i)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(count);
+        scored
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.q.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_sparse::Rating;
+
+    fn setup() -> Recommender {
+        // 2 users, 3 items, k=1: scores are products of scalars.
+        let p = FactorMatrix::from_vec(2, 1, vec![1.0, 2.0]);
+        let q = FactorMatrix::from_vec(3, 1, vec![3.0, 1.0, 2.0]);
+        let train =
+            CooMatrix::new(2, 3, vec![Rating::new(0, 0, 5.0), Rating::new(1, 2, 4.0)]).unwrap();
+        Recommender::new(p, q, &train)
+    }
+
+    #[test]
+    fn predict_is_dot_product() {
+        let r = setup();
+        assert_eq!(r.predict(0, 0), 3.0);
+        assert_eq!(r.predict(1, 2), 4.0);
+    }
+
+    #[test]
+    fn top_k_excludes_seen_and_sorts() {
+        let r = setup();
+        // User 0 has seen item 0; remaining scores: item1=1, item2=2.
+        assert_eq!(r.top_k(0, 2), vec![(2, 2.0), (1, 1.0)]);
+        // User 1 has seen item 2; remaining: item0=6, item1=2.
+        assert_eq!(r.top_k(1, 1), vec![(0, 6.0)]);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let r = setup();
+        assert_eq!(r.top_k(0, 10).len(), 2);
+        assert!(r.top_k(0, 0).is_empty());
+    }
+
+    #[test]
+    fn dims() {
+        let r = setup();
+        assert_eq!(r.users(), 2);
+        assert_eq!(r.items(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Server-side state: the global feature matrices, region layouts, and the
+//! synchronization merge (step ④ of Fig. 4).
+//!
+//! With a row grid, `P` rows are owned exclusively by workers, but any two
+//! workers can update the same `Q` row — the WAW race §3.1 warns about. The
+//! server therefore *merges* pushed `Q` copies with one multiply-add per
+//! parameter: `q_global = Σ_i w_i · q_i`, weighted by each worker's data
+//! share, which keeps `Q` a convex combination of worker results.
+
+use hcc_comm::TransferStrategy;
+
+/// Float offsets/lengths of a worker's view of the pull and push regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionLayout {
+    /// Pull region length in floats (shared by all workers).
+    pub pull_len: usize,
+    /// Push buffer length in floats (max over workers).
+    pub push_len: usize,
+    /// Offset of `Q` within the pull region.
+    pub pull_q_offset: usize,
+    /// Offset of `Q` within a push buffer.
+    pub push_q_offset: usize,
+}
+
+/// Computes region layouts for a strategy. Under `FullPq` the pull region is
+/// `[P | Q]` and each push buffer `[P_rows | Q]` (sized for the largest row
+/// range); under the optimized strategies both regions hold only `Q`.
+pub fn region_layout(
+    strategy: TransferStrategy,
+    m: usize,
+    n: usize,
+    k: usize,
+    max_assigned_rows: usize,
+) -> RegionLayout {
+    match strategy {
+        TransferStrategy::FullPq => RegionLayout {
+            pull_len: (m + n) * k,
+            push_len: (max_assigned_rows + n) * k,
+            pull_q_offset: m * k,
+            push_q_offset: max_assigned_rows * k,
+        },
+        TransferStrategy::QOnly | TransferStrategy::HalfQ => RegionLayout {
+            pull_len: n * k,
+            push_len: n * k,
+            pull_q_offset: 0,
+            push_q_offset: 0,
+        },
+    }
+}
+
+/// Accumulates `acc += w·src` — the server's multiply-add merge step.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn merge_weighted(acc: &mut [f32], src: &[f32], w: f32) {
+    assert_eq!(acc.len(), src.len(), "merge length mismatch");
+    for (a, &s) in acc.iter_mut().zip(src) {
+        *a += w * s;
+    }
+}
+
+/// In-place incremental merge used by the asynchronous path:
+/// `global = (1−w)·global + w·src` per element.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn merge_incremental(global: &mut [f32], src: &[f32], w: f32) {
+    assert_eq!(global.len(), src.len(), "merge length mismatch");
+    for (g, &s) in global.iter_mut().zip(src) {
+        *g = (1.0 - w) * *g + w * s;
+    }
+}
+
+/// Normalized merge weights from shard sizes (falls back to uniform when
+/// every shard is empty).
+pub fn merge_weights(shard_sizes: &[usize]) -> Vec<f32> {
+    let total: usize = shard_sizes.iter().sum();
+    if total == 0 {
+        return vec![1.0 / shard_sizes.len().max(1) as f32; shard_sizes.len()];
+    }
+    shard_sizes.iter().map(|&s| s as f32 / total as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_full_pq() {
+        let l = region_layout(TransferStrategy::FullPq, 100, 20, 8, 40);
+        assert_eq!(l.pull_len, 120 * 8);
+        assert_eq!(l.pull_q_offset, 800);
+        assert_eq!(l.push_len, 60 * 8);
+        assert_eq!(l.push_q_offset, 320);
+    }
+
+    #[test]
+    fn layout_q_only() {
+        for s in [TransferStrategy::QOnly, TransferStrategy::HalfQ] {
+            let l = region_layout(s, 100, 20, 8, 40);
+            assert_eq!(l.pull_len, 160);
+            assert_eq!(l.push_len, 160);
+            assert_eq!(l.pull_q_offset, 0);
+        }
+    }
+
+    #[test]
+    fn weighted_merge_is_convex_combination() {
+        let mut acc = vec![0.0f32; 3];
+        merge_weighted(&mut acc, &[1.0, 2.0, 3.0], 0.25);
+        merge_weighted(&mut acc, &[5.0, 6.0, 7.0], 0.75);
+        assert_eq!(acc, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn incremental_merge_moves_toward_src() {
+        let mut g = vec![0.0f32, 10.0];
+        merge_incremental(&mut g, &[10.0, 0.0], 0.5);
+        assert_eq!(g, vec![5.0, 5.0]);
+        merge_incremental(&mut g, &[5.0, 5.0], 1.0);
+        assert_eq!(g, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn weights_normalize() {
+        assert_eq!(merge_weights(&[10, 30]), vec![0.25, 0.75]);
+        let uniform = merge_weights(&[0, 0, 0]);
+        assert!((uniform.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn merge_length_mismatch_panics() {
+        merge_weighted(&mut [0.0], &[1.0, 2.0], 1.0);
+    }
+}

@@ -1,0 +1,784 @@
+//! The training orchestrator: preprocessing, partition planning, and the
+//! `pull → compute → push → sync` epoch loop of Fig. 4.
+
+use crate::config::{HccConfig, Optimizer, PartitionMode, TransportKind};
+use crate::error::HccError;
+use crate::report::{HccReport, WorkerEpochStats};
+use crate::server::{merge_weighted, merge_weights, region_layout, RegionLayout};
+use crate::worker::{bucket_by_stream, rebase_entries, stream_col_range, WorkerState};
+use hcc_comm::{CommP, CommShared, Precision, TransferStrategy, Transport};
+use hcc_partition::{dp0, dp1_step, dp2, StrategyChoice, WorkerClass};
+use hcc_sgd::{rmse_parallel, FactorMatrix, SharedFactors};
+use hcc_sparse::{Axis, CooMatrix, GridPartition};
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The HCC-MF framework entry point.
+#[derive(Debug, Clone)]
+pub struct HccMf {
+    config: HccConfig,
+}
+
+impl HccMf {
+    /// Wraps a validated configuration.
+    pub fn new(config: HccConfig) -> HccMf {
+        HccMf { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HccConfig {
+        &self.config
+    }
+
+    /// Trains factor matrices for `matrix`, returning the report.
+    pub fn train(&self, matrix: &CooMatrix) -> Result<HccReport, HccError> {
+        self.config.validate()?;
+        if matrix.nnz() == 0 {
+            return Err(HccError::BadInput("matrix has no observed entries".into()));
+        }
+        if self.config.streams > 1 {
+            if self.config.transport != TransportKind::Shared {
+                return Err(HccError::BadConfig(
+                    "asynchronous computing-transmission requires the shared COMM".into(),
+                ));
+            }
+            if self.config.strategy == TransferStrategy::FullPq {
+                return Err(HccError::BadConfig(
+                    "asynchronous computing-transmission requires Q-only transfers".into(),
+                ));
+            }
+        }
+
+        // Preprocessing (Fig. 4 steps ①–③): pick the grid axis by the longer
+        // dimension; internally we always row-grid, transposing when needed
+        // (the "Transmit P only" switch of Strategy 1).
+        let transposed = Axis::for_matrix(matrix.rows(), matrix.cols()) == Axis::Col;
+        let mut work = if transposed { matrix.clone().transpose() } else { matrix.clone() };
+        if self.config.shuffle {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+            work.shuffle(&mut rng);
+        }
+
+        let mut session = Session::create(&self.config, work)?;
+        session.run()?;
+        Ok(session.into_report(transposed))
+    }
+}
+
+/// Everything a training run owns.
+struct Session<'a> {
+    config: &'a HccConfig,
+    work: CooMatrix,
+    m: usize,
+    n: usize,
+    k: usize,
+    global_p: FactorMatrix,
+    global_q: Vec<f32>,
+    fractions: Vec<f64>,
+    classes: Vec<WorkerClass>,
+    workers: Vec<WorkerState>,
+    layout: RegionLayout,
+    transport: TransportArc,
+    // Accumulated report data.
+    rmse_history: Vec<f64>,
+    epoch_times: Vec<Duration>,
+    worker_stats: Vec<Vec<WorkerEpochStats>>,
+    sync_times: Vec<Duration>,
+    partition_history: Vec<Vec<f64>>,
+    strategy_used: StrategyChoice,
+    total_updates: u64,
+}
+
+/// Transport handle: the async path needs the concrete `CommShared` for
+/// ranged/chunked operations; the sync path only the trait.
+enum TransportArc {
+    Shared(Arc<CommShared>),
+    CommP(Arc<CommP>),
+}
+
+impl TransportArc {
+    fn as_dyn(&self) -> &dyn Transport {
+        match self {
+            TransportArc::Shared(t) => t.as_ref(),
+            TransportArc::CommP(t) => t.as_ref(),
+        }
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.as_dyn().wire_bytes()
+    }
+}
+
+impl<'a> Session<'a> {
+    fn create(config: &'a HccConfig, work: CooMatrix) -> Result<Session<'a>, HccError> {
+        let m = work.rows() as usize;
+        let n = work.cols() as usize;
+        let k = config.k;
+        let (global_p, global_q) = match &config.warm_start {
+            Some((p0, q0)) => {
+                // Warm-start factors arrive in input orientation; `work` may
+                // be transposed, in which case P and Q swap roles.
+                let (p0, q0) = if m == p0.rows() && n == q0.rows() {
+                    (p0.clone(), q0.clone())
+                } else if m == q0.rows() && n == p0.rows() {
+                    (q0.clone(), p0.clone())
+                } else {
+                    return Err(HccError::BadConfig(format!(
+                        "warm-start dimensions {}x{} don't match matrix {m}x{n}",
+                        p0.rows(),
+                        q0.rows()
+                    )));
+                };
+                (p0, q0.into_vec())
+            }
+            None => (
+                FactorMatrix::random(m, k, config.seed),
+                FactorMatrix::random(n, k, config.seed ^ 0x9e37_79b9).into_vec(),
+            ),
+        };
+        let classes: Vec<WorkerClass> = config
+            .workers
+            .iter()
+            .map(|w| if w.is_gpu { WorkerClass::Gpu } else { WorkerClass::Cpu })
+            .collect();
+
+        let fractions = initial_fractions(config, &work)?;
+
+        let mut session = Session {
+            config,
+            work,
+            m,
+            n,
+            k,
+            global_p,
+            global_q,
+            fractions: fractions.clone(),
+            classes,
+            workers: Vec::new(),
+            layout: region_layout(config.strategy, m, n, k, m),
+            transport: TransportArc::Shared(Arc::new(CommShared::new(
+                1,
+                1,
+                1,
+                Precision::Fp32,
+            ))),
+            rmse_history: Vec::new(),
+            epoch_times: Vec::new(),
+            worker_stats: Vec::new(),
+            sync_times: Vec::new(),
+            partition_history: Vec::new(),
+            strategy_used: match config.partition {
+                PartitionMode::Uniform | PartitionMode::Dp0 => StrategyChoice::Dp0,
+                PartitionMode::Dp1 => StrategyChoice::Dp1,
+                PartitionMode::Dp2 => StrategyChoice::Dp2,
+                PartitionMode::Auto => StrategyChoice::Dp1, // revised during adaptation
+            },
+            total_updates: 0,
+        };
+        session.rebuild_workers(fractions);
+        Ok(session)
+    }
+
+    /// (Re)builds worker states and the transport for a partition vector.
+    /// Worker-held `P` rows are flushed into `global_p` first so no training
+    /// progress is lost across repartitions.
+    fn rebuild_workers(&mut self, fractions: Vec<f64>) {
+        self.flush_local_p();
+        let grid = GridPartition::build(&self.work, Axis::Row, &fractions);
+        let k = self.k;
+        let mut workers = Vec::with_capacity(self.config.workers.len());
+        let mut max_rows = 0usize;
+        for (w, spec) in self.config.workers.iter().enumerate() {
+            let range = grid.range(w);
+            max_rows = max_rows.max((range.end - range.start) as usize);
+            let entries = rebase_entries(grid.shard(w), range.start);
+            let stream_buckets = if self.config.streams > 1 {
+                bucket_by_stream(&entries, self.n as u32, self.config.streams)
+            } else {
+                Vec::new()
+            };
+            let rows = (range.end - range.start) as usize;
+            let local_p = SharedFactors::zeros(rows.max(1), k);
+            if rows > 0 {
+                let packed: Vec<f32> = (range.start as usize..range.end as usize)
+                    .flat_map(|r| self.global_p.row(r).iter().copied())
+                    .collect();
+                local_p.copy_rows_from_slice(0, rows, &packed);
+            }
+            let local_q = SharedFactors::zeros(self.n, k);
+            let adagrad = match self.config.optimizer {
+                Optimizer::AdaGrad { .. } => {
+                    Some(hcc_sgd::AdaGradState::new(rows.max(1), self.n, k))
+                }
+                _ => None,
+            };
+            let momentum = match self.config.optimizer {
+                Optimizer::Momentum { .. } => {
+                    Some(hcc_sgd::MomentumState::new(rows.max(1), self.n, k))
+                }
+                _ => None,
+            };
+            workers.push(WorkerState {
+                spec: spec.clone(),
+                entries,
+                stream_buckets,
+                row_range: range,
+                local_p,
+                local_q,
+                optimizer: self.config.optimizer,
+                adagrad,
+                momentum,
+            });
+        }
+        self.layout = region_layout(self.config.strategy, self.m, self.n, k, max_rows);
+        let precision = if self.config.strategy.is_compressed() {
+            Precision::Fp16
+        } else {
+            Precision::Fp32
+        };
+        self.transport = match self.config.transport {
+            TransportKind::Shared => TransportArc::Shared(Arc::new(CommShared::new(
+                workers.len(),
+                self.layout.pull_len,
+                self.layout.push_len,
+                precision,
+            ))),
+            TransportKind::CommP => {
+                TransportArc::CommP(Arc::new(CommP::new(workers.len(), precision)))
+            }
+        };
+        self.workers = workers;
+        self.fractions = fractions;
+    }
+
+    /// Writes every worker's `P` rows back into the global matrix.
+    fn flush_local_p(&mut self) {
+        for state in &self.workers {
+            let lo = state.row_range.start as usize;
+            let rows = state.rows();
+            if rows == 0 {
+                continue;
+            }
+            let packed = state.local_p.snapshot_rows(0, rows);
+            for r in 0..rows {
+                self.global_p
+                    .row_mut(lo + r)
+                    .copy_from_slice(&packed[r * self.k..(r + 1) * self.k]);
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<(), HccError> {
+        for epoch in 0..self.config.epochs {
+            let lr = self.config.learning_rate.at(epoch);
+            let epoch_start = Instant::now();
+            let (stats, sync_time) = if self.config.streams > 1 {
+                self.run_epoch_async(lr)
+            } else {
+                self.run_epoch_sync(lr)
+            };
+            self.epoch_times.push(epoch_start.elapsed());
+            self.total_updates += stats.iter().map(|s| s.updates).sum::<u64>();
+            self.worker_stats.push(stats);
+            self.sync_times.push(sync_time);
+            self.partition_history.push(self.fractions.clone());
+
+            if self.config.track_rmse {
+                let rmse = self.evaluate();
+                self.rmse_history.push(rmse);
+                if self.should_stop_early() {
+                    break;
+                }
+            }
+            self.adapt(epoch);
+        }
+        self.flush_local_p();
+        Ok(())
+    }
+
+    /// Synchronous epoch: publish, parallel worker pull/compute/push, server
+    /// collect+merge (overlapped with still-running workers).
+    fn run_epoch_sync(&mut self, lr: f32) -> (Vec<WorkerEpochStats>, Duration) {
+        let k = self.k;
+        let n = self.n;
+        let layout = self.layout;
+        let strategy = self.config.strategy;
+        let transport = self.transport.as_dyn();
+
+        // Publish: [P | Q] under FullPq, [Q] otherwise.
+        let mut pull_staging = vec![0f32; layout.pull_len];
+        if strategy == TransferStrategy::FullPq {
+            pull_staging[..self.m * k].copy_from_slice(self.global_p.as_slice());
+        }
+        pull_staging[layout.pull_q_offset..layout.pull_q_offset + n * k]
+            .copy_from_slice(&self.global_q);
+        transport.publish(&pull_staging);
+
+        let weights = merge_weights(&self.workers.iter().map(|w| w.entries.len()).collect::<Vec<_>>());
+        let lambda_p = self.config.lambda_p;
+        let lambda_q = self.config.lambda_q;
+
+        let stats: Mutex<Vec<WorkerEpochStats>> =
+            Mutex::new(vec![WorkerEpochStats::default(); self.workers.len()]);
+        let mut q_acc = vec![0f32; n * k];
+        let mut p_updates: Vec<(usize, Vec<f32>)> = Vec::new();
+        let mut sync_time = Duration::ZERO;
+
+        std::thread::scope(|scope| {
+            for (w, state) in self.workers.iter().enumerate() {
+                let stats = &stats;
+                scope.spawn(move || {
+                    let mut staging = vec![0f32; layout.pull_len.max(layout.push_len)];
+
+                    // Pull.
+                    let t0 = Instant::now();
+                    transport.pull(w, &mut staging[..layout.pull_len]);
+                    state.local_q.copy_rows_from_slice(
+                        0,
+                        n,
+                        &staging[layout.pull_q_offset..layout.pull_q_offset + n * k],
+                    );
+                    if strategy == TransferStrategy::FullPq && state.rows() > 0 {
+                        let lo = state.row_range.start as usize;
+                        state.local_p.copy_rows_from_slice(
+                            0,
+                            state.rows(),
+                            &staging[lo * k..(lo + state.rows()) * k],
+                        );
+                    }
+                    let pull = t0.elapsed();
+
+                    // Compute.
+                    let compute = state.compute(&state.entries, lr, lambda_p, lambda_q);
+
+                    // Push.
+                    let t0 = Instant::now();
+                    let rows = state.rows();
+                    let push_len = if strategy == TransferStrategy::FullPq {
+                        let p_rows = state.local_p.snapshot_rows(0, rows);
+                        staging[..rows * k].copy_from_slice(&p_rows);
+                        let q = state.local_q.snapshot_rows(0, n);
+                        staging[layout.push_q_offset..layout.push_q_offset + n * k]
+                            .copy_from_slice(&q);
+                        layout.push_q_offset + n * k
+                    } else {
+                        let q = state.local_q.snapshot_rows(0, n);
+                        staging[..n * k].copy_from_slice(&q);
+                        n * k
+                    };
+                    transport.push(w, &staging[..push_len]);
+                    let push = t0.elapsed();
+
+                    stats.lock()[w] = WorkerEpochStats {
+                        pull,
+                        compute,
+                        push,
+                        updates: state.entries.len() as u64,
+                    };
+                });
+            }
+
+            // Server: collect and merge on this thread, overlapping the
+            // remaining workers' computation (the DP2 hiding effect).
+            let mut collect_staging = vec![0f32; layout.push_len];
+            #[allow(clippy::needless_range_loop)] // w indexes three arrays
+            for w in 0..self.workers.len() {
+                transport.collect(w, &mut collect_staging[..layout.push_len]);
+                let t0 = Instant::now();
+                merge_weighted(
+                    &mut q_acc,
+                    &collect_staging[layout.push_q_offset..layout.push_q_offset + n * k],
+                    weights[w],
+                );
+                if strategy == TransferStrategy::FullPq {
+                    let rows = self.workers[w].rows();
+                    p_updates.push((w, collect_staging[..rows * k].to_vec()));
+                }
+                sync_time += t0.elapsed();
+            }
+        });
+
+        self.global_q.copy_from_slice(&q_acc);
+        for (w, p_rows) in p_updates {
+            let lo = self.workers[w].row_range.start as usize;
+            let rows = self.workers[w].rows();
+            for r in 0..rows {
+                self.global_p.row_mut(lo + r).copy_from_slice(&p_rows[r * k..(r + 1) * k]);
+            }
+        }
+        (stats.into_inner(), sync_time)
+    }
+
+    /// Asynchronous epoch (Strategy 3): each worker pipelines
+    /// `pull(s) → compute(s) → push(s)` over column chunks of `Q`; the
+    /// server merges chunks as they arrive.
+    fn run_epoch_async(&mut self, lr: f32) -> (Vec<WorkerEpochStats>, Duration) {
+        let comm = match &self.transport {
+            TransportArc::Shared(c) => Arc::clone(c),
+            TransportArc::CommP(_) => unreachable!("validated in train()"),
+        };
+        let k = self.k;
+        let n = self.n;
+        let streams = self.config.streams;
+        let lambda_p = self.config.lambda_p;
+        let lambda_q = self.config.lambda_q;
+        let weights = merge_weights(&self.workers.iter().map(|w| w.entries.len()).collect::<Vec<_>>());
+
+        // Publish the whole Q once; workers pull it chunk-wise.
+        comm.publish_at(0, &self.global_q);
+
+        let stats: Mutex<Vec<WorkerEpochStats>> =
+            Mutex::new(vec![WorkerEpochStats::default(); self.workers.len()]);
+        let mut sync_time = Duration::ZERO;
+        let global_q = &mut self.global_q;
+        let total_chunks = self.workers.len() * streams;
+
+        std::thread::scope(|scope| {
+            for (w, state) in self.workers.iter().enumerate() {
+                let comm = Arc::clone(&comm);
+                let stats = &stats;
+                scope.spawn(move || {
+                    let pipe_stats = hcc_comm::run_pipeline(
+                        streams,
+                        streams,
+                        // Pull stage: read this chunk's Q columns.
+                        |s| {
+                            let range = stream_col_range(n as u32, streams, s);
+                            let lo = range.start as usize;
+                            let hi = range.end as usize;
+                            let mut buf = vec![0f32; (hi - lo) * k];
+                            comm.pull_at(lo * k, &mut buf);
+                            state.local_q.copy_rows_from_slice(lo, hi, &buf);
+                        },
+                        // Compute stage: train the entries touching them.
+                        |s, ()| {
+                            state.compute(&state.stream_buckets[s], lr, lambda_p, lambda_q);
+                        },
+                        // Push stage: write the chunk back.
+                        |s, ()| {
+                            let range = stream_col_range(n as u32, streams, s);
+                            let lo = range.start as usize;
+                            let hi = range.end as usize;
+                            let buf = state.local_q.snapshot_rows(lo, hi);
+                            comm.push_chunk(w, lo * k, &buf);
+                        },
+                    );
+                    stats.lock()[w] = WorkerEpochStats {
+                        pull: pipe_stats.pull_busy,
+                        compute: pipe_stats.compute_busy,
+                        push: pipe_stats.push_busy,
+                        updates: state.entries.len() as u64,
+                    };
+                });
+            }
+
+            // Server: merge chunks as they arrive (incremental multiply-add;
+            // §4.2 notes the async path trades exactness for speed).
+            let mut staging = vec![0f32; n * k];
+            for _ in 0..total_chunks {
+                let tag = comm.collect_chunk(&mut staging);
+                let t0 = Instant::now();
+                crate::server::merge_incremental(
+                    &mut global_q[tag.offset..tag.offset + tag.len],
+                    &staging[..tag.len],
+                    weights[tag.worker],
+                );
+                sync_time += t0.elapsed();
+            }
+        });
+
+        (stats.into_inner(), sync_time)
+    }
+
+    /// Early-stopping check: the best RMSE of the last `patience` epochs
+    /// must beat the best before them by the configured relative margin.
+    fn should_stop_early(&self) -> bool {
+        let Some(rule) = &self.config.early_stop else {
+            return false;
+        };
+        let h = &self.rmse_history;
+        if h.len() <= rule.patience {
+            return false;
+        }
+        let split = h.len() - rule.patience;
+        let prev_best = h[..split].iter().cloned().fold(f64::INFINITY, f64::min);
+        let recent_best = h[split..].iter().cloned().fold(f64::INFINITY, f64::min);
+        recent_best > prev_best * (1.0 - rule.min_rel_improvement)
+    }
+
+    /// Training-set RMSE with the current factors (worker-held `P` rows are
+    /// read directly; they never travel for evaluation).
+    fn evaluate(&mut self) -> f64 {
+        self.flush_local_p();
+        let q = FactorMatrix::from_vec(self.n, self.k, self.global_q.clone());
+        rmse_parallel(self.work.entries(), &self.global_p, &q)
+    }
+
+    /// Post-epoch partition adaptation (Algorithm 1 / Eq. 7).
+    fn adapt(&mut self, epoch: usize) {
+        let mode = self.config.partition;
+        if !matches!(mode, PartitionMode::Dp1 | PartitionMode::Dp2 | PartitionMode::Auto) {
+            return;
+        }
+        if epoch + 1 >= self.config.epochs || epoch >= self.config.adapt_epochs {
+            return;
+        }
+        let stats = self.worker_stats.last().expect("epoch recorded");
+        let t: Vec<f64> = stats.iter().map(|s| s.compute.as_secs_f64().max(1e-9)).collect();
+
+        let last_adapt_epoch = epoch + 1 == self.config.adapt_epochs;
+        if last_adapt_epoch && matches!(mode, PartitionMode::Dp2 | PartitionMode::Auto) {
+            let sync_total = self.sync_times.last().copied().unwrap_or_default().as_secs_f64();
+            let sync_per_worker = sync_total / self.workers.len() as f64;
+            let max_t = t.iter().cloned().fold(0.0f64, f64::max);
+            let ratio =
+                if sync_total > 0.0 { max_t / sync_total } else { f64::INFINITY };
+            let want_dp2 = mode == PartitionMode::Dp2
+                || (mode == PartitionMode::Auto && ratio < hcc_partition::CostModel::LAMBDA);
+            if want_dp2 {
+                let next = dp2(&self.fractions, &t, sync_per_worker);
+                self.strategy_used = StrategyChoice::Dp2;
+                self.rebuild_workers(next);
+                return;
+            }
+            self.strategy_used = StrategyChoice::Dp1;
+        }
+
+        if let Some(next) = dp1_step(&self.fractions, &t, &self.classes, 0.1) {
+            self.rebuild_workers(next);
+        }
+    }
+
+    fn into_report(mut self, transposed: bool) -> HccReport {
+        self.flush_local_p();
+        let q = FactorMatrix::from_vec(self.n, self.k, std::mem::take(&mut self.global_q));
+        let p = std::mem::replace(&mut self.global_p, FactorMatrix::zeros(1, 1));
+        let (p, q) = if transposed { (q, p) } else { (p, q) };
+        HccReport {
+            p,
+            q,
+            rmse_history: self.rmse_history,
+            epoch_times: self.epoch_times,
+            worker_stats: self.worker_stats,
+            sync_times: self.sync_times,
+            partition_history: self.partition_history,
+            strategy_used: self.strategy_used,
+            total_updates: self.total_updates,
+            wire_bytes: self.transport.wire_bytes(),
+            transposed,
+        }
+    }
+}
+
+/// Initial partition: uniform, or DP0 from a calibration run measuring each
+/// worker's standalone rate on a sample of the data.
+fn initial_fractions(config: &HccConfig, work: &CooMatrix) -> Result<Vec<f64>, HccError> {
+    let p = config.workers.len();
+    if config.partition == PartitionMode::Uniform {
+        return Ok(vec![1.0 / p as f64; p]);
+    }
+    // Calibration: each worker sweeps the same sample; standalone time per
+    // entry × nnz estimates T_i_e (Eq. 6's input).
+    let sample_len = work.nnz().min(50_000);
+    let sample = &work.entries()[..sample_len];
+    let k = config.k;
+    let m = work.rows() as usize;
+    let n = work.cols() as usize;
+    let mut standalone = Vec::with_capacity(p);
+    for spec in &config.workers {
+        let state = WorkerState {
+            spec: spec.clone(),
+            entries: Vec::new(),
+            stream_buckets: Vec::new(),
+            row_range: 0..work.rows(),
+            local_p: SharedFactors::zeros(m, k),
+            local_q: SharedFactors::zeros(n, k),
+            optimizer: crate::config::Optimizer::Sgd,
+            adagrad: None,
+            momentum: None,
+        };
+        // Warm-up pass (thread spawn, page faults), then the measured pass.
+        state.compute(&sample[..sample_len.min(4_096)], 0.0, 0.0, 0.0);
+        let elapsed = state.compute(sample, 0.0, 0.0, 0.0);
+        let per_entry = elapsed.as_secs_f64() / sample_len as f64;
+        standalone.push((per_entry * work.nnz() as f64).max(1e-12));
+    }
+    Ok(dp0(&standalone))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkerSpec;
+    use hcc_sgd::LearningRate;
+    use hcc_sparse::{GenConfig, SyntheticDataset};
+
+    fn dataset(rows: u32, cols: u32, nnz: usize) -> SyntheticDataset {
+        SyntheticDataset::generate(GenConfig {
+            rows,
+            cols,
+            nnz,
+            noise: 0.0,
+            ..GenConfig::default()
+        })
+    }
+
+    fn base_config() -> crate::config::HccConfigBuilder {
+        HccConfig::builder()
+            .k(8)
+            .epochs(12)
+            .learning_rate(LearningRate::Constant(0.02))
+            .lambda(0.01)
+            .workers(vec![WorkerSpec::cpu(2), WorkerSpec::cpu(2)])
+            .adapt_epochs(2)
+            .track_rmse(true)
+    }
+
+    #[test]
+    fn trains_and_converges_q_only() {
+        let ds = dataset(300, 150, 8_000);
+        let report = HccMf::new(base_config().build()).train(&ds.matrix).unwrap();
+        let hist = &report.rmse_history;
+        assert_eq!(hist.len(), 12);
+        assert!(
+            hist.last().unwrap() < &(hist[0] * 0.6),
+            "no convergence: {} -> {}",
+            hist[0],
+            hist.last().unwrap()
+        );
+        assert_eq!(report.p.rows(), 300);
+        assert_eq!(report.q.rows(), 150);
+        assert!(report.wire_bytes > 0);
+        assert!(!report.transposed);
+    }
+
+    #[test]
+    fn trains_full_pq() {
+        let ds = dataset(200, 100, 5_000);
+        let cfg = base_config().strategy(TransferStrategy::FullPq).build();
+        let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
+        assert!(report.rmse_history.last().unwrap() < &report.rmse_history[0]);
+    }
+
+    #[test]
+    fn trains_half_q() {
+        let ds = dataset(200, 100, 5_000);
+        let cfg = base_config().strategy(TransferStrategy::HalfQ).build();
+        let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
+        assert!(report.rmse_history.last().unwrap() < &report.rmse_history[0]);
+        // FP16 wire: fewer bytes than FP32 would use.
+        assert!(report.wire_bytes > 0);
+    }
+
+    #[test]
+    fn wide_matrix_is_transposed_internally() {
+        let ds = dataset(100, 400, 5_000);
+        let report = HccMf::new(base_config().build()).train(&ds.matrix).unwrap();
+        assert!(report.transposed);
+        // Factors come back in input orientation.
+        assert_eq!(report.p.rows(), 100);
+        assert_eq!(report.q.rows(), 400);
+        assert!(report.rmse_history.last().unwrap() < &report.rmse_history[0]);
+    }
+
+    #[test]
+    fn comm_p_transport_trains_too() {
+        let ds = dataset(150, 80, 3_000);
+        let cfg = base_config().transport(TransportKind::CommP).build();
+        let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
+        assert!(report.rmse_history.last().unwrap() < &report.rmse_history[0]);
+    }
+
+    #[test]
+    fn async_streams_train() {
+        let ds = dataset(200, 120, 6_000);
+        let cfg = base_config().streams(3).build();
+        let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
+        assert!(
+            report.rmse_history.last().unwrap() < &(report.rmse_history[0] * 0.7),
+            "async no convergence: {:?}",
+            report.rmse_history
+        );
+    }
+
+    #[test]
+    fn async_rejects_full_pq_and_comm_p() {
+        let ds = dataset(50, 30, 500);
+        let cfg = base_config().streams(2).strategy(TransferStrategy::FullPq).build();
+        assert!(HccMf::new(cfg).train(&ds.matrix).is_err());
+        let cfg = base_config().streams(2).transport(TransportKind::CommP).build();
+        assert!(HccMf::new(cfg).train(&ds.matrix).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let m = CooMatrix::new(5, 5, vec![]).unwrap();
+        assert!(HccMf::new(base_config().build()).train(&m).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_workers_rebalance() {
+        let ds = dataset(400, 150, 20_000);
+        let cfg = base_config()
+            .epochs(6)
+            .adapt_epochs(3)
+            .workers(vec![
+                WorkerSpec::cpu(1).throttled(0.5),
+                WorkerSpec::gpu_sim(4),
+            ])
+            .build();
+        let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
+        let final_x = report.final_partition().unwrap();
+        // The fast 4-thread "GPU" must hold more data than the throttled CPU.
+        assert!(
+            final_x[1] > final_x[0],
+            "no rebalance: {final_x:?}, history {:?}",
+            report.partition_history
+        );
+        assert!(report.rmse_history.last().unwrap() < &report.rmse_history[0]);
+    }
+
+    #[test]
+    fn uniform_mode_never_repartitions() {
+        let ds = dataset(200, 100, 4_000);
+        let cfg = base_config().partition(PartitionMode::Uniform).epochs(4).build();
+        let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
+        for x in &report.partition_history {
+            assert!(x.iter().all(|&v| (v - 0.5).abs() < 1e-12));
+        }
+        assert_eq!(report.strategy_used, StrategyChoice::Dp0);
+    }
+
+    #[test]
+    fn dp2_mode_staggers_partition() {
+        let ds = dataset(300, 150, 10_000);
+        let cfg = base_config()
+            .partition(PartitionMode::Dp2)
+            .epochs(5)
+            .adapt_epochs(2)
+            .workers(vec![WorkerSpec::cpu(2), WorkerSpec::cpu(2)])
+            .build();
+        let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
+        assert_eq!(report.strategy_used, StrategyChoice::Dp2);
+        // After the DP2 step, shares should differ (staggered).
+        let final_x = report.final_partition().unwrap();
+        assert!((final_x[0] - final_x[1]).abs() > 1e-6, "{final_x:?}");
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let ds = dataset(150, 80, 3_000);
+        let cfg = base_config().epochs(3).build();
+        let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
+        assert_eq!(report.epoch_times.len(), 3);
+        assert_eq!(report.worker_stats.len(), 3);
+        assert_eq!(report.sync_times.len(), 3);
+        assert_eq!(report.partition_history.len(), 3);
+        // Every entry is swept once per epoch.
+        assert_eq!(report.total_updates, 3_000 * 3);
+        assert!(report.computing_power() > 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Multi-node cluster topologies — the full Fig. 2 machine.
+//!
+//! The paper evaluates on a single node (2 CPUs + 2 GPUs) but motivates the
+//! design with the four-node QPI-ring workstation of Fig. 2 and the
+//! Summit/Sierra class of multi-CPU/GPU nodes. This module builds such
+//! platforms for the simulator: several nodes, each with CPUs and GPUs;
+//! workers on the server's node ride UPI/PCI-E, remote workers pay a
+//! cross-node QPI hop (lower effective bandwidth). It powers the
+//! beyond-the-paper scaling study (`cluster_scaling` bench).
+
+use crate::platform::Platform;
+use crate::profile::{BusKind, ProcessorProfile};
+
+/// Effective per-direction bandwidth of a cross-node QPI hop (two QPI
+/// segments in the Fig. 2 ring, conservatively derated).
+pub const CROSS_NODE_BANDWIDTH: f64 = 12.8e9;
+
+/// Builder for multi-node platforms.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    nodes: usize,
+    cpus_per_node: usize,
+    gpus_per_node: usize,
+    cpu_profile: ProcessorProfile,
+    gpu_profile: ProcessorProfile,
+    server_timeshares: bool,
+}
+
+impl ClusterBuilder {
+    /// Starts a cluster of `nodes` nodes with the paper's processor mix.
+    pub fn new(nodes: usize) -> ClusterBuilder {
+        ClusterBuilder {
+            nodes,
+            cpus_per_node: 2,
+            gpus_per_node: 2,
+            cpu_profile: ProcessorProfile::xeon_6242_24t(),
+            gpu_profile: ProcessorProfile::rtx_2080_super(),
+            server_timeshares: true,
+        }
+    }
+
+    /// CPUs per node (the server consumes one CPU of node 0).
+    pub fn cpus_per_node(mut self, count: usize) -> ClusterBuilder {
+        self.cpus_per_node = count;
+        self
+    }
+
+    /// GPUs per node.
+    pub fn gpus_per_node(mut self, count: usize) -> ClusterBuilder {
+        self.gpus_per_node = count;
+        self
+    }
+
+    /// CPU worker profile.
+    pub fn cpu_profile(mut self, profile: ProcessorProfile) -> ClusterBuilder {
+        self.cpu_profile = profile;
+        self
+    }
+
+    /// GPU worker profile.
+    pub fn gpu_profile(mut self, profile: ProcessorProfile) -> ClusterBuilder {
+        self.gpu_profile = profile;
+        self
+    }
+
+    /// Whether the server CPU also works (time-shared).
+    pub fn server_timeshares(mut self, yes: bool) -> ClusterBuilder {
+        self.server_timeshares = yes;
+        self
+    }
+
+    /// Builds the platform. Node 0 hosts the parameter server on its first
+    /// CPU; that CPU becomes a time-sharing worker if configured. All other
+    /// processors are ordinary workers: node-0 CPUs on UPI, node-0 GPUs on
+    /// PCI-E, and remote-node processors behind the cross-node QPI hop.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or node 0 has no CPU (the server needs one).
+    pub fn build(&self) -> Platform {
+        assert!(self.nodes > 0, "cluster needs at least one node");
+        assert!(self.cpus_per_node >= 1, "node 0 needs a CPU for the server");
+        let mut platform = Platform::new(&format!(
+            "{}-node cluster ({}C+{}G per node)",
+            self.nodes, self.cpus_per_node, self.gpus_per_node
+        ));
+
+        for node in 0..self.nodes {
+            let remote = node > 0;
+            let cpu_bus = if remote {
+                BusKind::Custom(CROSS_NODE_BANDWIDTH)
+            } else {
+                BusKind::Upi
+            };
+            let gpu_bus = if remote {
+                BusKind::Custom(CROSS_NODE_BANDWIDTH)
+            } else {
+                BusKind::PciE3x16
+            };
+            for c in 0..self.cpus_per_node {
+                let mut profile = self.cpu_profile.clone();
+                profile.name = format!("n{node}-cpu{c}");
+                if node == 0 && c == 0 {
+                    // The server's CPU.
+                    if self.server_timeshares {
+                        platform = platform.with_server_worker(profile);
+                    }
+                    continue;
+                }
+                platform = platform.with_worker(profile, cpu_bus);
+            }
+            for g in 0..self.gpus_per_node {
+                let mut profile = self.gpu_profile.clone();
+                profile.name = format!("n{node}-gpu{g}");
+                platform = platform.with_worker(profile, gpu_bus);
+            }
+        }
+        platform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate_epoch, SimConfig, Workload};
+    use crate::measure::{standalone_times, virtual_measure};
+    use hcc_partition::dp0;
+    use hcc_sparse::DatasetProfile;
+
+    #[test]
+    fn single_node_matches_paper_testbed_shape() {
+        let p = ClusterBuilder::new(1).build();
+        // 2 CPUs (one time-shared) + 2 GPUs.
+        assert_eq!(p.worker_count(), 4);
+        assert!(p.workers[0].timeshare_server);
+        assert_eq!(p.workers[1].bus, BusKind::Upi);
+        assert_eq!(p.workers[2].bus, BusKind::PciE3x16);
+    }
+
+    #[test]
+    fn remote_nodes_ride_the_slow_bus() {
+        let p = ClusterBuilder::new(2).build();
+        assert_eq!(p.worker_count(), 8);
+        let remote: Vec<_> = p.workers.iter().filter(|w| w.profile.name.starts_with("n1")).collect();
+        assert_eq!(remote.len(), 4);
+        for w in remote {
+            assert_eq!(w.bus, BusKind::Custom(CROSS_NODE_BANDWIDTH));
+        }
+    }
+
+    #[test]
+    fn no_timeshare_drops_the_server_cpu() {
+        let p = ClusterBuilder::new(1).server_timeshares(false).build();
+        assert_eq!(p.worker_count(), 3); // 1 CPU + 2 GPUs
+        assert!(p.workers.iter().all(|w| !w.timeshare_server));
+    }
+
+    #[test]
+    fn cluster_simulates_and_scales_compute() {
+        let wl = Workload::from_profile(&DatasetProfile::yahoo_r2());
+        let cfg = SimConfig::default();
+        let mut prev_compute = f64::INFINITY;
+        for nodes in 1..=3 {
+            let p = ClusterBuilder::new(nodes).build();
+            let x = dp0(&standalone_times(&p, &wl));
+            let trace = simulate_epoch(&p, &wl, &cfg, &x);
+            let max_compute =
+                trace.totals.iter().map(|t| t.compute).fold(0.0f64, f64::max);
+            assert!(
+                max_compute < prev_compute,
+                "{nodes} nodes: compute did not shrink ({max_compute} vs {prev_compute})"
+            );
+            prev_compute = max_compute;
+        }
+    }
+
+    #[test]
+    fn measurement_hooks_work_on_clusters() {
+        let p = ClusterBuilder::new(2).gpus_per_node(1).build();
+        let wl = Workload::from_profile(&DatasetProfile::netflix());
+        let mut measure = virtual_measure(&p, &wl);
+        let x = dp0(&standalone_times(&p, &wl));
+        let t = measure(&x);
+        assert_eq!(t.len(), p.worker_count());
+        assert!(t.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        ClusterBuilder::new(0).build();
+    }
+}

@@ -1,0 +1,476 @@
+//! The virtual-time epoch pipeline.
+//!
+//! One simulated epoch reproduces the paper's
+//! `pull → compute → push → sync` sequence (Fig. 4 steps ⑤–⑦ + ④):
+//!
+//! * every worker pulls over its own bus (independent channels, Fig. 2),
+//! * computes its shard at its calibrated rate,
+//! * pushes back, and
+//! * the server merges pushes FIFO at `3·bytes/B_server` (Eq. 3).
+//!
+//! Strategy 3 (asynchronous computing–transmission) is modeled by chunking
+//! an epoch into `streams` pieces pipelined through separate pull/push DMA
+//! channels — pulls of chunk `c+1` overlap computation of chunk `c`, and
+//! the server syncs chunks as they arrive (Fig. 6).
+//!
+//! The output [`EpochTrace`] carries exact phase spans, from which the
+//! Fig. 5 timelines, Fig. 8 stacked bars, Table 4/Fig. 9 computing power
+//! and Table 5/6 communication costs are all derived.
+
+use crate::platform::Platform;
+use hcc_comm::TransferStrategy;
+use hcc_sparse::DatasetProfile;
+use serde::{Deserialize, Serialize};
+
+/// The data shape a simulation runs against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Dataset name (drives the per-class rate lookup).
+    pub name: String,
+    /// Rows.
+    pub m: u64,
+    /// Columns.
+    pub n: u64,
+    /// Observed entries.
+    pub nnz: u64,
+}
+
+impl Workload {
+    /// Builds from a named dataset profile.
+    pub fn from_profile(profile: &DatasetProfile) -> Workload {
+        Workload { name: profile.name.to_string(), m: profile.m, n: profile.n, nnz: profile.nnz }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Latent dimension (paper: 128).
+    pub k: u64,
+    /// Communication strategy.
+    pub strategy: TransferStrategy,
+    /// Pipeline streams per worker (1 = synchronous; capped per worker by
+    /// its profile's `max_streams`).
+    pub streams: usize,
+    /// Fraction of nominal bus bandwidth the transport achieves
+    /// (COMM ≈ 1.0 by design §3.5; COMM-P ≈ 0.14, Table 5).
+    pub transport_efficiency: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            k: 128,
+            strategy: TransferStrategy::QOnly,
+            streams: 1,
+            transport_efficiency: 1.0,
+        }
+    }
+}
+
+/// Phase of a span in the epoch timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Server → worker transfer.
+    Pull,
+    /// Worker SGD computation.
+    Compute,
+    /// Worker → server transfer.
+    Push,
+    /// Server-side merge of one worker's push.
+    Sync,
+}
+
+/// One contiguous activity in the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Worker index (sync spans carry the worker whose push is merged).
+    pub worker: usize,
+    /// Phase kind.
+    pub phase: Phase,
+    /// Start time, seconds from epoch begin.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+impl PhaseSpan {
+    /// Span duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Per-worker accumulated phase durations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkerTotals {
+    /// Total pull time.
+    pub pull: f64,
+    /// Total compute time.
+    pub compute: f64,
+    /// Total push time.
+    pub push: f64,
+}
+
+impl WorkerTotals {
+    /// Pull + compute + push.
+    pub fn sum(&self) -> f64 {
+        self.pull + self.compute + self.push
+    }
+}
+
+/// The result of simulating one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochTrace {
+    /// Every phase span, workers first (in chunk order), then syncs in
+    /// service order.
+    pub spans: Vec<PhaseSpan>,
+    /// Per-worker totals.
+    pub totals: Vec<WorkerTotals>,
+    /// Total server sync busy time.
+    pub sync_total: f64,
+    /// Epoch makespan: all pushes transferred *and* merged.
+    pub epoch_time: f64,
+}
+
+impl EpochTrace {
+    /// Makespan excluding the trailing sync (the "max{T_i}" of Eq. 1).
+    pub fn max_worker_time(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.phase != Phase::Sync)
+            .map(|s| s.end)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Spans of one worker.
+    pub fn worker_spans(&self, worker: usize) -> Vec<PhaseSpan> {
+        self.spans.iter().copied().filter(|s| s.worker == worker).collect()
+    }
+}
+
+/// Simulates one epoch of HCC-MF on `platform` with data partition `x`.
+///
+/// # Panics
+/// Panics if `x.len()` differs from the worker count, any fraction is
+/// negative/non-finite, or the platform has no workers.
+pub fn simulate_epoch(
+    platform: &Platform,
+    workload: &Workload,
+    config: &SimConfig,
+    x: &[f64],
+) -> EpochTrace {
+    assert!(!platform.workers.is_empty(), "platform has no workers");
+    assert_eq!(x.len(), platform.workers.len(), "partition length mismatch");
+    assert!(
+        x.iter().all(|&v| v >= 0.0 && v.is_finite()),
+        "fractions must be non-negative and finite"
+    );
+    assert!(config.streams >= 1, "stream count must be >= 1");
+    assert!(
+        config.transport_efficiency > 0.0 && config.transport_efficiency <= 1.0,
+        "transport efficiency must lie in (0, 1]"
+    );
+
+    let mut spans = Vec::new();
+    let mut totals = vec![WorkerTotals::default(); platform.workers.len()];
+    // (arrival time, worker, sync payload bytes)
+    let mut arrivals: Vec<(f64, usize, f64)> = Vec::new();
+
+    for (w, slot) in platform.workers.iter().enumerate() {
+        let rate_raw = slot.profile.rate_at(&workload.name, workload.m, workload.n, workload.nnz, x[w]);
+        let rate = if slot.timeshare_server {
+            rate_raw * platform.timeshare_efficiency
+        } else {
+            rate_raw
+        };
+        let compute_total = if x[w] > 0.0 { x[w] * workload.nnz as f64 / rate } else { 0.0 };
+
+        let m_assigned = (x[w] * workload.m as f64).round() as u64;
+        let pull_bytes = config.strategy.pull_bytes(workload.m, workload.n, config.k) as f64;
+        let push_bytes =
+            config.strategy.push_bytes(m_assigned, workload.n, config.k) as f64;
+        // The server merges the *decompressed* payload (always FP32).
+        let sync_bytes = (config.strategy.push_elements(m_assigned, workload.n, config.k) * 4)
+            as f64;
+
+        let bus = platform.effective_bus_bandwidth(w) * config.transport_efficiency;
+        let pull_total = pull_bytes / bus;
+        let push_total = push_bytes / bus;
+
+        let streams = config.streams.min(slot.profile.max_streams).max(1);
+        let s64 = streams as f64;
+
+        // Independent DMA channels per direction (GPU copy engines).
+        let mut pull_free = 0.0f64;
+        let mut compute_free = 0.0f64;
+        let mut push_free = 0.0f64;
+        for _ in 0..streams {
+            let pull_start = pull_free;
+            let pull_end = pull_start + pull_total / s64;
+            pull_free = pull_end;
+            spans.push(PhaseSpan { worker: w, phase: Phase::Pull, start: pull_start, end: pull_end });
+
+            let comp_start = pull_end.max(compute_free);
+            let comp_end = comp_start + compute_total / s64;
+            compute_free = comp_end;
+            spans.push(PhaseSpan {
+                worker: w,
+                phase: Phase::Compute,
+                start: comp_start,
+                end: comp_end,
+            });
+
+            let push_start = comp_end.max(push_free);
+            let push_end = push_start + push_total / s64;
+            push_free = push_end;
+            spans.push(PhaseSpan { worker: w, phase: Phase::Push, start: push_start, end: push_end });
+
+            arrivals.push((push_end, w, sync_bytes / s64));
+        }
+
+        totals[w] = WorkerTotals { pull: pull_total, compute: compute_total, push: push_total };
+    }
+
+    // Server merges pushes in arrival order (FIFO), one at a time.
+    arrivals.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+    let mut server_free = 0.0f64;
+    let mut sync_total = 0.0f64;
+    for (arrival, w, bytes) in arrivals {
+        let dur = 3.0 * bytes / platform.server_bandwidth;
+        let start = arrival.max(server_free);
+        let end = start + dur;
+        server_free = end;
+        sync_total += dur;
+        spans.push(PhaseSpan { worker: w, phase: Phase::Sync, start, end });
+    }
+
+    let epoch_time = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+    EpochTrace { spans, totals, sync_total, epoch_time }
+}
+
+/// Multi-epoch summary (epochs are barrier-separated: the next pull needs
+/// the merged global matrix, so total time = epochs × epoch makespan).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSim {
+    /// The repeated epoch.
+    pub epoch: EpochTrace,
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Total virtual time.
+    pub total_time: f64,
+    /// The paper's Eq. 8: `nnz·epochs / total_time`.
+    pub computing_power: f64,
+}
+
+/// Simulates `epochs` epochs and summarizes.
+pub fn simulate_training(
+    platform: &Platform,
+    workload: &Workload,
+    config: &SimConfig,
+    x: &[f64],
+    epochs: usize,
+) -> TrainingSim {
+    let epoch = simulate_epoch(platform, workload, config, x);
+    let total_time = epoch.epoch_time * epochs as f64;
+    let computing_power = if total_time > 0.0 {
+        workload.nnz as f64 * epochs as f64 / total_time
+    } else {
+        0.0
+    };
+    TrainingSim { epoch, epochs, total_time, computing_power }
+}
+
+/// The platform's ideal computing power on a workload: the sum of every
+/// worker's standalone (full-data, no-communication) rate — Table 4's
+/// "Ideal" column.
+pub fn ideal_computing_power(platform: &Platform, workload: &Workload) -> f64 {
+    platform
+        .workers
+        .iter()
+        .map(|slot| slot.profile.rate_at(&workload.name, workload.m, workload.n, workload.nnz, 1.0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BusKind, ProcessorProfile};
+
+    fn uniform_platform(n: usize, rate: f64) -> Platform {
+        let mut p = Platform::new("test");
+        for i in 0..n {
+            p = p.with_worker(
+                ProcessorProfile::custom_cpu(&format!("cpu{i}"), 8, rate, 50e9),
+                BusKind::Custom(10e9),
+            );
+        }
+        p
+    }
+
+    fn workload() -> Workload {
+        Workload { name: "custom".into(), m: 100_000, n: 10_000, nnz: 10_000_000 }
+    }
+
+    #[test]
+    fn single_worker_epoch_decomposes() {
+        let p = uniform_platform(1, 1e8);
+        let cfg = SimConfig { k: 64, ..Default::default() };
+        let trace = simulate_epoch(&p, &workload(), &cfg, &[1.0]);
+        let t = &trace.totals[0];
+        // compute = nnz / rate
+        assert!((t.compute - 0.1).abs() < 1e-12, "compute {}", t.compute);
+        // pull = 4·k·n / bus
+        let expect_pull = (4 * 64 * 10_000) as f64 / 10e9;
+        assert!((t.pull - expect_pull).abs() < 1e-15);
+        assert!((t.push - expect_pull).abs() < 1e-15);
+        // Serial pipeline: epoch ≥ pull+compute+push, plus one sync.
+        assert!(trace.epoch_time >= t.sum());
+        assert!(trace.sync_total > 0.0);
+        assert!((trace.epoch_time - (t.sum() + trace.sync_total)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_are_ordered_within_worker() {
+        let p = uniform_platform(2, 1e8);
+        let trace = simulate_epoch(&p, &workload(), &SimConfig::default(), &[0.5, 0.5]);
+        for w in 0..2 {
+            let spans = trace.worker_spans(w);
+            let pull = spans.iter().find(|s| s.phase == Phase::Pull).unwrap();
+            let comp = spans.iter().find(|s| s.phase == Phase::Compute).unwrap();
+            let push = spans.iter().find(|s| s.phase == Phase::Push).unwrap();
+            assert!(pull.end <= comp.start + 1e-15);
+            assert!(comp.end <= push.start + 1e-15);
+        }
+    }
+
+    #[test]
+    fn sync_spans_never_overlap() {
+        let p = uniform_platform(4, 1e8);
+        let trace =
+            simulate_epoch(&p, &workload(), &SimConfig::default(), &[0.25, 0.25, 0.25, 0.25]);
+        let mut syncs: Vec<_> =
+            trace.spans.iter().filter(|s| s.phase == Phase::Sync).collect();
+        syncs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        assert_eq!(syncs.len(), 4);
+        for pair in syncs.windows(2) {
+            assert!(pair[0].end <= pair[1].start + 1e-15, "syncs overlap");
+        }
+    }
+
+    #[test]
+    fn balanced_partition_beats_unbalanced() {
+        let p = uniform_platform(2, 1e8);
+        let cfg = SimConfig::default();
+        let balanced = simulate_epoch(&p, &workload(), &cfg, &[0.5, 0.5]);
+        let skewed = simulate_epoch(&p, &workload(), &cfg, &[0.9, 0.1]);
+        assert!(balanced.epoch_time < skewed.epoch_time);
+    }
+
+    #[test]
+    fn faster_worker_lowers_epoch_time_when_loaded_accordingly() {
+        let mut p = uniform_platform(1, 1e8);
+        p = p.with_worker(
+            ProcessorProfile::custom_gpu("gpu", 1e9, 400e9, 0.0),
+            BusKind::PciE3x16,
+        );
+        let cfg = SimConfig::default();
+        // Load proportional to rates: 1/11 vs 10/11.
+        let good = simulate_epoch(&p, &workload(), &cfg, &[1.0 / 11.0, 10.0 / 11.0]);
+        let uniform = simulate_epoch(&p, &workload(), &cfg, &[0.5, 0.5]);
+        assert!(good.epoch_time < uniform.epoch_time);
+    }
+
+    #[test]
+    fn streams_hide_transfer_time() {
+        // Make comm comparable to compute so pipelining matters.
+        let p = Platform::new("t").with_worker(
+            ProcessorProfile::custom_gpu("gpu", 1e9, 400e9, 0.0),
+            BusKind::Custom(1e9),
+        );
+        let wl = Workload { name: "custom".into(), m: 50_000, n: 50_000, nnz: 20_000_000 };
+        let sync_cfg = SimConfig { k: 128, streams: 1, ..Default::default() };
+        let async_cfg = SimConfig { k: 128, streams: 4, ..Default::default() };
+        let sync_trace = simulate_epoch(&p, &wl, &sync_cfg, &[1.0]);
+        let async_trace = simulate_epoch(&p, &wl, &async_cfg, &[1.0]);
+        assert!(
+            async_trace.epoch_time < sync_trace.epoch_time,
+            "async {} !< sync {}",
+            async_trace.epoch_time,
+            sync_trace.epoch_time
+        );
+        // Compute totals are unchanged (Fig. 6: async does not reduce
+        // computational time).
+        assert!((async_trace.totals[0].compute - sync_trace.totals[0].compute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streams_capped_by_profile() {
+        // A CPU with max_streams = 1 can't pipeline: asking for 4 streams
+        // changes nothing.
+        let p = uniform_platform(1, 1e8);
+        let s1 = simulate_epoch(&p, &workload(), &SimConfig { streams: 1, ..Default::default() }, &[1.0]);
+        let s4 = simulate_epoch(&p, &workload(), &SimConfig { streams: 4, ..Default::default() }, &[1.0]);
+        assert!((s1.epoch_time - s4.epoch_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeshare_worker_is_slower() {
+        let prof = ProcessorProfile::custom_cpu("srv", 8, 1e8, 50e9);
+        let normal = Platform::new("a").with_worker(prof.clone(), BusKind::ServerLocal);
+        let shared = Platform::new("b").with_server_worker(prof);
+        let cfg = SimConfig::default();
+        let tn = simulate_epoch(&normal, &workload(), &cfg, &[1.0]);
+        let ts = simulate_epoch(&shared, &workload(), &cfg, &[1.0]);
+        let ratio = tn.totals[0].compute / ts.totals[0].compute;
+        assert!((ratio - shared.timeshare_efficiency).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_fraction_worker_contributes_nothing_but_still_transfers() {
+        let p = uniform_platform(2, 1e8);
+        let trace = simulate_epoch(&p, &workload(), &SimConfig::default(), &[1.0, 0.0]);
+        assert_eq!(trace.totals[1].compute, 0.0);
+        assert!(trace.totals[1].pull > 0.0);
+    }
+
+    #[test]
+    fn training_sim_scales_linearly() {
+        let p = uniform_platform(2, 1e8);
+        let sim = simulate_training(&p, &workload(), &SimConfig::default(), &[0.5, 0.5], 20);
+        assert!((sim.total_time - 20.0 * sim.epoch.epoch_time).abs() < 1e-9);
+        let power = 10_000_000.0 * 20.0 / sim.total_time;
+        assert!((sim.computing_power - power).abs() < 1.0);
+    }
+
+    #[test]
+    fn ideal_power_sums_standalone_rates() {
+        let p = uniform_platform(3, 1e8);
+        assert!((ideal_computing_power(&p, &workload()) - 3e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let p = Platform::paper_testbed_4workers();
+        let wl = Workload::from_profile(&hcc_sparse::DatasetProfile::netflix());
+        let cfg = SimConfig::default();
+        let x = [0.1, 0.2, 0.3, 0.4];
+        let a = simulate_epoch(&p, &wl, &cfg, &x);
+        let b = simulate_epoch(&p, &wl, &cfg, &x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition length")]
+    fn wrong_partition_length_panics() {
+        let p = uniform_platform(2, 1e8);
+        simulate_epoch(&p, &workload(), &SimConfig::default(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_fraction_panics() {
+        let p = uniform_platform(1, 1e8);
+        simulate_epoch(&p, &workload(), &SimConfig::default(), &[-0.5]);
+    }
+}

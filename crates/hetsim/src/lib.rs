@@ -1,0 +1,53 @@
+//! Virtual multi-CPU/GPU platform — the hardware-substitution substrate.
+//!
+//! The paper's testbed (2× Xeon Gold 6242, RTX 2080, RTX 2080 Super on
+//! PCI-E 3.0 x16 / Intel UPI) is unavailable here, and stable Rust cannot
+//! run custom SGD kernels on a GPU anyway. This crate substitutes a
+//! **discrete-event simulator** of that class of machine:
+//!
+//! * [`profile`] — per-processor profiles calibrated from the paper's *own
+//!   measurements*: Table 4's per-dataset "computing power" (updates/s) and
+//!   Table 2's runtime memory bandwidths, including the GPU effect that
+//!   bandwidth rises slightly as the input shard shrinks (which is why DP1
+//!   exists). Plus Fig. 3(b)'s price catalog.
+//! * [`platform`] — topologies: which processors, on which buses, which one
+//!   time-shares with the parameter server.
+//! * [`engine`] — the epoch pipeline in virtual time: per-worker
+//!   pull → compute → push with per-direction DMA channels, multi-stream
+//!   chunking (Strategy 3), and the server's FIFO synchronization queue.
+//!   Produces [`engine::EpochTrace`]s with full phase spans — the Fig. 5 /
+//!   Fig. 8 timelines.
+//! * [`measure`] — "virtual profiling": standalone execution times (DP0's
+//!   input), the `measure` callback DP1's Algorithm-1 loop needs, the
+//!   [`hcc_partition::CostModel`] for a platform/workload pair, and the
+//!   Table 2 bandwidth report.
+//!
+//! Everything is deterministic: same inputs → bit-identical traces.
+//!
+//! ```
+//! use hcc_hetsim::{simulate_epoch, Platform, SimConfig, Workload};
+//! use hcc_sparse::DatasetProfile;
+//!
+//! let platform = Platform::paper_testbed_4workers();
+//! let workload = Workload::from_profile(&DatasetProfile::netflix());
+//! let trace = simulate_epoch(&platform, &workload, &SimConfig::default(), &[0.25; 4]);
+//! assert!(trace.epoch_time > 0.0);
+//! assert_eq!(trace.totals.len(), 4);
+//! ```
+
+pub mod cluster;
+pub mod des;
+pub mod engine;
+pub mod export;
+pub mod measure;
+pub mod platform;
+pub mod profile;
+
+pub use engine::{ideal_computing_power, simulate_epoch, simulate_training, EpochTrace, Phase,
+    PhaseSpan, SimConfig, TrainingSim, Workload};
+pub use measure::{bandwidth_table, cost_model_for, standalone_times, virtual_measure,
+    virtual_measure_total, worker_classes};
+pub use cluster::ClusterBuilder;
+pub use des::simulate_epoch_des;
+pub use platform::{Platform, WorkerSlot};
+pub use profile::{BusKind, ProcKind, ProcessorProfile};

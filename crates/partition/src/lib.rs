@@ -1,0 +1,44 @@
+//! Time-cost model and data-partition strategies of HCC-MF (§3.2–3.3).
+//!
+//! Everything here is pure arithmetic over worker/bus/server parameters —
+//! no threads, no I/O — so the same code plans partitions for both the real
+//! threaded engine (`hcc-mf`) and the virtual platform simulator
+//! (`hcc-hetsim`). Measurement enters through callbacks: DP1's compensation
+//! loop (Algorithm 1) re-measures per-worker compute times after each
+//! adjustment via a caller-supplied `measure` function, which the real
+//! engine implements with wall clocks and the simulator with virtual time.
+//!
+//! * [`model::CostModel`] — Equations 1–5 and Table 1's parameters.
+//! * [`theorem::equalize`] — Theorem 1: `max(a_i x_i + b_i)` is minimized
+//!   (subject to `Σx = 1`) exactly when all `a_i x_i + b_i` are equal.
+//! * [`dp::dp0`] — the basic proportional split (Eq. 6).
+//! * [`dp::dp1`] — "data partition with heterogeneous load balance"
+//!   (Algorithm 1's compensation loop).
+//! * [`dp::dp2`] — "data partition with hidden synchronization" (Eq. 7).
+//! * [`planner::PartitionPlanner`] — the λ-threshold dispatch (Eq. 5)
+//!   between DP1 and DP2.
+
+//!
+//! ```
+//! use hcc_partition::{dp0, equalize};
+//!
+//! // DP0: shares proportional to speed (inverse standalone time, Eq. 6).
+//! let x = dp0(&[2.0, 1.0]);           // worker 1 is twice as fast
+//! assert!((x[1] - 2.0 / 3.0).abs() < 1e-12);
+//!
+//! // Theorem 1: equal-cost split under per-worker fixed costs.
+//! let x = equalize(&[1.0, 1.0], &[0.0, 0.5]);
+//! assert!(x[0] > x[1]);               // worker 1 pays fixed cost, gets less data
+//! ```
+
+pub mod dp;
+pub mod model;
+pub mod planner;
+pub mod sweep;
+pub mod theorem;
+
+pub use dp::{dp0, dp1, dp1_step, dp2, Dp1Options, WorkerClass};
+pub use model::CostModel;
+pub use planner::{PartitionPlan, PartitionPlanner, StrategyChoice};
+pub use sweep::{perturbation_cost, sweep_lambda};
+pub use theorem::equalize;

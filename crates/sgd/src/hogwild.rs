@@ -1,0 +1,197 @@
+//! Hogwild-style asynchronous parallel SGD over an entry shard.
+//!
+//! This is the compute engine inside each HCC-MF CPU worker (framework step
+//! ⑥): `threads` OS threads sweep disjoint stripes of the shard, updating the
+//! shared local factor matrices without locks. Races on hot rows are benign
+//! per Hogwild's analysis (sparse data ⇒ rare conflicts ⇒ convergence holds),
+//! which is exactly the argument the paper leans on in §2.1 and §4.2.
+
+use crate::factors::SharedFactors;
+use crate::kernel::sgd_step_shared;
+use hcc_sparse::Rating;
+
+/// Configuration for one Hogwild epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct HogwildConfig {
+    /// Worker threads to spawn (1 = serial, still through the shared path).
+    pub threads: usize,
+    /// Learning rate γ for this epoch.
+    pub learning_rate: f32,
+    /// L2 regularization on `P` (λ1).
+    pub lambda_p: f32,
+    /// L2 regularization on `Q` (λ2).
+    pub lambda_q: f32,
+}
+
+impl HogwildConfig {
+    /// Config with the paper's defaults (γ = 0.005) and a given thread count.
+    pub fn with_threads(threads: usize, lambda: f32) -> Self {
+        HogwildConfig { threads, learning_rate: 0.005, lambda_p: lambda, lambda_q: lambda }
+    }
+}
+
+/// Runs one asynchronous epoch over `entries`, updating `p` and `q` in place.
+///
+/// Entries are processed in stripes: thread `t` handles
+/// `entries[t], entries[t + threads], …`. Striping (rather than chunking)
+/// interleaves hot head-of-file rows across threads, which matters after the
+/// preprocessing shuffle has already randomized order.
+///
+/// Returns the summed squared prediction error observed during the sweep
+/// (errors are measured *before* each update, so this is a running training
+/// loss, not a post-epoch loss).
+///
+/// # Panics
+/// Panics if `config.threads == 0` or if an entry indexes outside `p`/`q`.
+pub fn hogwild_epoch(
+    entries: &[Rating],
+    p: &SharedFactors,
+    q: &SharedFactors,
+    config: &HogwildConfig,
+) -> f64 {
+    assert!(config.threads > 0, "thread count must be non-zero");
+    let k = p.k();
+    assert_eq!(q.k(), k, "P and Q must share latent dimension");
+
+    if entries.is_empty() {
+        return 0.0;
+    }
+
+    let threads = config.threads.min(entries.len());
+    if threads == 1 {
+        return sweep_stripe(entries, 0, 1, p, q, config);
+    }
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let p = p.clone();
+            let q = q.clone();
+            handles.push(scope.spawn(move || sweep_stripe(entries, t, threads, &p, &q, config)));
+        }
+        handles.into_iter().map(|h| h.join().expect("hogwild thread panicked")).sum()
+    })
+}
+
+fn sweep_stripe(
+    entries: &[Rating],
+    offset: usize,
+    stride: usize,
+    p: &SharedFactors,
+    q: &SharedFactors,
+    config: &HogwildConfig,
+) -> f64 {
+    let k = p.k();
+    let mut scratch = vec![0f32; 2 * k];
+    let mut sq_err = 0.0f64;
+    let mut idx = offset;
+    while idx < entries.len() {
+        let e = entries[idx];
+        let err = sgd_step_shared(
+            p,
+            q,
+            e.u as usize,
+            e.i as usize,
+            e.r,
+            config.learning_rate,
+            config.lambda_p,
+            config.lambda_q,
+            &mut scratch,
+        );
+        sq_err += (err as f64) * (err as f64);
+        idx += stride;
+    }
+    sq_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::FactorMatrix;
+    use crate::loss::rmse;
+    use hcc_sparse::{GenConfig, SyntheticDataset};
+
+    fn setup(k: usize) -> (SyntheticDataset, SharedFactors, SharedFactors) {
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 200,
+            cols: 100,
+            nnz: 5_000,
+            noise: 0.0,
+            ..GenConfig::default()
+        });
+        let p = SharedFactors::from_matrix(&FactorMatrix::random(200, k, 11));
+        let q = SharedFactors::from_matrix(&FactorMatrix::random(100, k, 12));
+        (ds, p, q)
+    }
+
+    #[test]
+    fn single_thread_epoch_reduces_rmse() {
+        let (ds, p, q) = setup(8);
+        let cfg = HogwildConfig { threads: 1, learning_rate: 0.02, lambda_p: 0.01, lambda_q: 0.01 };
+        let before = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
+        for _ in 0..15 {
+            hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg);
+        }
+        let after = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
+        assert!(after < before * 0.5, "rmse {before} -> {after}");
+    }
+
+    #[test]
+    fn multi_thread_epoch_converges_too() {
+        let (ds, p, q) = setup(8);
+        let cfg = HogwildConfig { threads: 4, learning_rate: 0.02, lambda_p: 0.01, lambda_q: 0.01 };
+        let before = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
+        for _ in 0..15 {
+            hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg);
+        }
+        let after = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
+        assert!(after < before * 0.5, "rmse {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_shard_is_noop() {
+        let (_, p, q) = setup(4);
+        let snap = p.snapshot();
+        let cfg = HogwildConfig::with_threads(4, 0.01);
+        let loss = hogwild_epoch(&[], &p, &q, &cfg);
+        assert_eq!(loss, 0.0);
+        assert_eq!(p.snapshot(), snap);
+    }
+
+    #[test]
+    fn more_threads_than_entries_is_fine() {
+        let (ds, p, q) = setup(4);
+        let few = &ds.matrix.entries()[..3];
+        let cfg = HogwildConfig::with_threads(16, 0.01);
+        let loss = hogwild_epoch(few, &p, &q, &cfg);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn returned_loss_is_sum_of_squared_errors_single_thread() {
+        let (ds, p, q) = setup(4);
+        let entries = &ds.matrix.entries()[..10];
+        // Compute expected running loss with an independent serial replay.
+        let p2 = SharedFactors::from_matrix(&p.snapshot());
+        let q2 = SharedFactors::from_matrix(&q.snapshot());
+        let cfg = HogwildConfig { threads: 1, learning_rate: 0.01, lambda_p: 0.0, lambda_q: 0.0 };
+        let got = hogwild_epoch(entries, &p, &q, &cfg);
+        let mut scratch = vec![0f32; 8];
+        let mut want = 0.0f64;
+        for e in entries {
+            let err = crate::kernel::sgd_step_shared(
+                &p2, &q2, e.u as usize, e.i as usize, e.r, 0.01, 0.0, 0.0, &mut scratch,
+            );
+            want += (err as f64) * (err as f64);
+        }
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let (ds, p, q) = setup(4);
+        let cfg = HogwildConfig { threads: 0, learning_rate: 0.01, lambda_p: 0.0, lambda_q: 0.0 };
+        hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg);
+    }
+}

@@ -1,0 +1,56 @@
+//! SGD kernels and numeric substrate for HCC-MF.
+//!
+//! This crate holds everything that touches feature-matrix numbers:
+//!
+//! * [`FactorMatrix`] — plain row-major `rows × k` factor storage, and
+//!   [`SharedFactors`] — the same data behind relaxed atomics so Hogwild-style
+//!   asynchronous SGD (Niu et al., the paper's convergence basis) can update
+//!   it from many threads without locks.
+//! * [`kernel`] — the single-rating SGD update rule with L2 regularization,
+//!   exactly the loss in Fig. 1 of the paper.
+//! * [`hogwild`] — multi-threaded asynchronous SGD over an entry shard; this
+//!   is the compute engine inside every CPU worker.
+//! * [`loss`] — RMSE evaluation (serial and parallel).
+//! * [`schedule`] — learning-rate schedules (the paper uses a constant γ).
+//! * [`fp16`] — IEEE-754 binary16 conversion implemented from scratch, used
+//!   by the "Transmitting FP16 Data" communication strategy.
+//! * [`biased`] — the biased-MF extension `μ + b_u + c_i + p·q`, the
+//!   standard production refinement of the paper's plain model.
+//! * [`adagrad`] — AdaGrad-scaled Hogwild (CuMF_SGD ships the same
+//!   alternative kernel).
+//! * [`momentum`] — heavy-ball Hogwild, completing the optimizer family.
+
+//!
+//! ```
+//! use hcc_sgd::{hogwild_epoch, FactorMatrix, HogwildConfig, SharedFactors, rmse};
+//! use hcc_sparse::{GenConfig, SyntheticDataset};
+//!
+//! let ds = SyntheticDataset::generate(GenConfig {
+//!     rows: 50, cols: 30, nnz: 500, noise: 0.0, ..GenConfig::default()
+//! });
+//! let p = SharedFactors::from_matrix(&FactorMatrix::random(50, 8, 1));
+//! let q = SharedFactors::from_matrix(&FactorMatrix::random(30, 8, 2));
+//! let cfg = HogwildConfig { threads: 2, learning_rate: 0.02, lambda_p: 0.01, lambda_q: 0.01 };
+//! let before = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
+//! for _ in 0..10 { hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg); }
+//! assert!(rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot()) < before);
+//! ```
+
+pub mod adagrad;
+pub mod biased;
+pub mod factors;
+pub mod fp16;
+pub mod hogwild;
+pub mod kernel;
+pub mod loss;
+pub mod momentum;
+pub mod schedule;
+
+pub use adagrad::{adagrad_hogwild_epoch, AdaGradConfig, AdaGradState};
+pub use biased::{biased_hogwild_epoch, train_biased, BiasedConfig, BiasedModel, SharedBias};
+pub use factors::{FactorMatrix, SharedFactors};
+pub use hogwild::{hogwild_epoch, HogwildConfig};
+pub use kernel::{dot, dot_unrolled, sgd_step};
+pub use loss::{rmse, rmse_parallel};
+pub use momentum::{momentum_hogwild_epoch, MomentumConfig, MomentumState};
+pub use schedule::LearningRate;

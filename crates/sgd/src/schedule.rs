@@ -1,0 +1,71 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with a constant γ = 0.005 (Table 3). Constant is the
+//! default; inverse-time and exponential decay are provided because FPSGD's
+//! reference implementation supports them and the ablation benches sweep
+//! them.
+
+/// A learning-rate schedule evaluated per epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LearningRate {
+    /// γ(t) = γ0 for all epochs (the paper's setting).
+    Constant(f32),
+    /// γ(t) = γ0 / (1 + decay·t).
+    InverseTime { gamma0: f32, decay: f32 },
+    /// γ(t) = γ0 · ratio^t.
+    Exponential { gamma0: f32, ratio: f32 },
+}
+
+impl LearningRate {
+    /// The rate for epoch `t` (0-based).
+    pub fn at(&self, epoch: usize) -> f32 {
+        match *self {
+            LearningRate::Constant(g) => g,
+            LearningRate::InverseTime { gamma0, decay } => gamma0 / (1.0 + decay * epoch as f32),
+            LearningRate::Exponential { gamma0, ratio } => gamma0 * ratio.powi(epoch as i32),
+        }
+    }
+
+    /// The paper's default: constant 0.005.
+    pub fn paper_default() -> Self {
+        LearningRate::Constant(0.005)
+    }
+}
+
+impl Default for LearningRate {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let lr = LearningRate::Constant(0.01);
+        assert_eq!(lr.at(0), 0.01);
+        assert_eq!(lr.at(1_000), 0.01);
+    }
+
+    #[test]
+    fn inverse_time_decays() {
+        let lr = LearningRate::InverseTime { gamma0: 0.1, decay: 1.0 };
+        assert_eq!(lr.at(0), 0.1);
+        assert!((lr.at(1) - 0.05).abs() < 1e-9);
+        assert!(lr.at(9) < lr.at(8));
+    }
+
+    #[test]
+    fn exponential_decays_geometrically() {
+        let lr = LearningRate::Exponential { gamma0: 0.1, ratio: 0.5 };
+        assert_eq!(lr.at(0), 0.1);
+        assert!((lr.at(2) - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_paper_value() {
+        assert_eq!(LearningRate::default(), LearningRate::Constant(0.005));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for sparse-matrix operations.
+
+use std::fmt;
+
+/// Errors produced while building or transforming sparse matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// An entry referenced a row at or beyond the declared row count.
+    RowOutOfBounds { row: u32, rows: u32 },
+    /// An entry referenced a column at or beyond the declared column count.
+    ColOutOfBounds { col: u32, cols: u32 },
+    /// A dimension was zero where a non-empty matrix is required.
+    EmptyDimension { what: &'static str },
+    /// A parse failure while reading a text triple file.
+    Parse { line: usize, message: String },
+    /// Underlying I/O failure (message carried, source dropped for `Clone`).
+    Io(String),
+    /// A requested split fraction was outside `(0, 1)`.
+    BadFraction(f64),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::RowOutOfBounds { row, rows } => {
+                write!(f, "row index {row} out of bounds for {rows} rows")
+            }
+            SparseError::ColOutOfBounds { col, cols } => {
+                write!(f, "column index {col} out of bounds for {cols} columns")
+            }
+            SparseError::EmptyDimension { what } => write!(f, "{what} must be non-zero"),
+            SparseError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SparseError::Io(message) => write!(f, "io error: {message}"),
+            SparseError::BadFraction(frac) => {
+                write!(f, "split fraction {frac} must lie strictly between 0 and 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SparseError::RowOutOfBounds { row: 7, rows: 5 };
+        assert!(err.to_string().contains("7"));
+        assert!(err.to_string().contains("5"));
+        let err = SparseError::BadFraction(1.5);
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: SparseError = io.into();
+        assert!(matches!(err, SparseError::Io(_)));
+    }
+}

@@ -1,0 +1,309 @@
+//! Plain-text triple I/O.
+//!
+//! Format: one `user item rating` triple per line, whitespace-separated —
+//! compatible with the MovieLens/LIBMF text convention. Dimensions are
+//! inferred as `max index + 1` unless given explicitly.
+
+use crate::coo::{CooMatrix, Rating};
+use crate::error::SparseError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads triples from any reader. Blank lines and lines starting with `#` or
+/// `%` are skipped.
+pub fn read_triples<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
+    let reader = BufReader::new(reader);
+    let mut entries = Vec::new();
+    let mut max_u = 0u32;
+    let mut max_i = 0u32;
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        lineno += 1;
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = |message: &str| SparseError::Parse {
+            line: lineno,
+            message: message.to_string(),
+        };
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing user"))?
+            .parse()
+            .map_err(|_| parse_err("bad user index"))?;
+        let i: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing item"))?
+            .parse()
+            .map_err(|_| parse_err("bad item index"))?;
+        let r: f32 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing rating"))?
+            .parse()
+            .map_err(|_| parse_err("bad rating"))?;
+        max_u = max_u.max(u);
+        max_i = max_i.max(i);
+        entries.push(Rating::new(u, i, r));
+    }
+    if entries.is_empty() {
+        return Err(SparseError::EmptyDimension { what: "input (no triples)" });
+    }
+    CooMatrix::new(max_u + 1, max_i + 1, entries)
+}
+
+/// Reads a triple file from disk.
+pub fn read_triples_file<P: AsRef<Path>>(path: P) -> Result<CooMatrix, SparseError> {
+    let file = std::fs::File::open(path)?;
+    read_triples(file)
+}
+
+/// Writes triples to any writer, one per line.
+pub fn write_triples<W: Write>(matrix: &CooMatrix, writer: W) -> Result<(), SparseError> {
+    let mut out = BufWriter::new(writer);
+    for e in matrix.entries() {
+        writeln!(out, "{} {} {}", e.u, e.i, e.r)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes a triple file to disk.
+pub fn write_triples_file<P: AsRef<Path>>(matrix: &CooMatrix, path: P) -> Result<(), SparseError> {
+    let file = std::fs::File::create(path)?;
+    write_triples(matrix, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = CooMatrix::new(
+            4,
+            3,
+            vec![Rating::new(0, 2, 4.5), Rating::new(3, 0, 1.0), Rating::new(1, 1, 3.25)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_triples(&m, &mut buf).unwrap();
+        let back = read_triples(&buf[..]).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n% matrix-market-ish\n0 0 5\n1 2 3.5\n";
+        let m = read_triples(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "0 0 5\nnot a line\n";
+        let err = read_triples(text.as_bytes()).unwrap_err();
+        match err {
+            SparseError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_error() {
+        assert!(read_triples("0 1\n".as_bytes()).is_err());
+        assert!(read_triples("0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(read_triples("".as_bytes()).is_err());
+        assert!(read_triples("# only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hcc_sparse_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("triples.txt");
+        let m = CooMatrix::new(2, 2, vec![Rating::new(0, 1, 2.0), Rating::new(1, 0, 3.0)])
+            .unwrap();
+        write_triples_file(&m, &path).unwrap();
+        let back = read_triples_file(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix Market
+// ---------------------------------------------------------------------------
+
+/// Reads a MatrixMarket `coordinate real general` file (the format most
+/// published rating datasets ship in). Indices in the file are 1-based.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    // Header line.
+    lineno += 1;
+    if reader.read_line(&mut line)? == 0 {
+        return Err(SparseError::Parse { line: lineno, message: "empty file".into() });
+    }
+    let header = line.trim().to_ascii_lowercase();
+    if !header.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: "not a MatrixMarket coordinate header".into(),
+        });
+    }
+    if header.contains("complex") || header.contains("hermitian") {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: "complex matrices are not supported".into(),
+        });
+    }
+    let pattern = header.contains("pattern");
+    let symmetric = header.contains("symmetric") || header.contains("skew-symmetric");
+
+    // Size line (skipping % comments).
+    let (rows, cols, nnz) = loop {
+        line.clear();
+        lineno += 1;
+        if reader.read_line(&mut line)? == 0 {
+            return Err(SparseError::Parse { line: lineno, message: "missing size line".into() });
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u64, SparseError> {
+            tok.ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|_| SparseError::Parse { line: lineno, message: format!("bad {what}") })
+        };
+        break (
+            parse(parts.next(), "rows")? as u32,
+            parse(parts.next(), "cols")? as u32,
+            parse(parts.next(), "nnz")? as usize,
+        );
+    };
+
+    let mut entries = Vec::with_capacity(if symmetric { nnz * 2 } else { nnz });
+    while entries.len() < if symmetric { usize::MAX } else { nnz } {
+        line.clear();
+        lineno += 1;
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err =
+            |msg: &str| SparseError::Parse { line: lineno, message: msg.to_string() };
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing row"))?
+            .parse()
+            .map_err(|_| parse_err("bad row"))?;
+        let i: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing col"))?
+            .parse()
+            .map_err(|_| parse_err("bad col"))?;
+        let r: f32 = if pattern {
+            1.0
+        } else {
+            parts
+                .next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?
+        };
+        if u == 0 || i == 0 {
+            return Err(parse_err("MatrixMarket indices are 1-based"));
+        }
+        entries.push(Rating::new(u - 1, i - 1, r));
+        if symmetric && u != i {
+            entries.push(Rating::new(i - 1, u - 1, r));
+        }
+    }
+    CooMatrix::new(rows, cols, entries)
+}
+
+/// Writes a MatrixMarket `coordinate real general` file (1-based indices).
+pub fn write_matrix_market<W: Write>(matrix: &CooMatrix, writer: W) -> Result<(), SparseError> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(out, "% written by hcc-sparse")?;
+    writeln!(out, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    for e in matrix.entries() {
+        writeln!(out, "{} {} {}", e.u + 1, e.i + 1, e.r)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod mm_tests {
+    use super::*;
+
+    #[test]
+    fn matrix_market_roundtrip() {
+        let m = CooMatrix::new(
+            3,
+            4,
+            vec![Rating::new(0, 3, 2.5), Rating::new(2, 0, 1.0), Rating::new(1, 1, 4.0)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reads_pattern_and_symmetric_variants() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        // (2,1) mirrors to (1,2); diagonal (3,3) does not duplicate.
+        assert_eq!(m.nnz(), 3);
+        assert!(m.entries().iter().all(|e| e.r == 1.0));
+        assert!(m.entries().iter().any(|e| e.u == 0 && e.i == 1));
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_indices() {
+        assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 2 3\n".as_bytes()
+        )
+        .is_err());
+        let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5\n";
+        assert!(read_matrix_market(zero_based.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_comments_before_size_line() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n1 2 3.5\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.entries()[0], Rating::new(0, 1, 3.5));
+    }
+}

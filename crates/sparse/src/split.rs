@@ -1,0 +1,100 @@
+//! Deterministic train/test splitting.
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Splits a rating matrix into train and test sets.
+///
+/// `test_fraction` of the entries (rounded down, at least leaving one train
+/// entry when possible) go to the test set. The split is deterministic in
+/// `seed`. Both outputs keep the original dimensions so factor matrices are
+/// shared.
+pub fn train_test_split(
+    matrix: &CooMatrix,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(CooMatrix, CooMatrix), SparseError> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(SparseError::BadFraction(test_fraction));
+    }
+    let mut entries = matrix.entries().to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    entries.shuffle(&mut rng);
+    let mut test_len = (entries.len() as f64 * test_fraction) as usize;
+    if test_len >= entries.len() && !entries.is_empty() {
+        test_len = entries.len() - 1;
+    }
+    let train_entries = entries.split_off(test_len);
+    let test_entries = entries;
+    Ok((
+        CooMatrix::new(matrix.rows(), matrix.cols(), train_entries)?,
+        CooMatrix::new(matrix.rows(), matrix.cols(), test_entries)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Rating;
+
+    fn matrix(nnz: usize) -> CooMatrix {
+        let entries = (0..nnz)
+            .map(|j| Rating::new((j % 10) as u32, (j % 7) as u32, 1.0 + (j % 5) as f32))
+            .collect();
+        CooMatrix::new(10, 7, entries).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_add_up() {
+        let m = matrix(100);
+        let (train, test) = train_test_split(&m, 0.2, 1).unwrap();
+        assert_eq!(train.nnz() + test.nnz(), 100);
+        assert_eq!(test.nnz(), 20);
+        assert_eq!(train.rows(), 10);
+        assert_eq!(test.cols(), 7);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let m = matrix(50);
+        let (a, _) = train_test_split(&m, 0.3, 9).unwrap();
+        let (b, _) = train_test_split(&m, 0.3, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = matrix(50);
+        let (a, _) = train_test_split(&m, 0.3, 1).unwrap();
+        let (b, _) = train_test_split(&m, 0.3, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bad_fractions_rejected() {
+        let m = matrix(10);
+        assert!(train_test_split(&m, 0.0, 1).is_err());
+        assert!(train_test_split(&m, 1.0, 1).is_err());
+        assert!(train_test_split(&m, -0.5, 1).is_err());
+        assert!(train_test_split(&m, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn no_entry_lost_or_duplicated() {
+        let m = matrix(37);
+        let (train, test) = train_test_split(&m, 0.25, 4).unwrap();
+        let mut all: Vec<_> = train
+            .entries()
+            .iter()
+            .chain(test.entries())
+            .map(|e| (e.u, e.i, e.r.to_bits()))
+            .collect();
+        all.sort_unstable();
+        let mut orig: Vec<_> = m.entries().iter().map(|e| (e.u, e.i, e.r.to_bits())).collect();
+        orig.sort_unstable();
+        assert_eq!(all, orig);
+    }
+}

@@ -1,0 +1,250 @@
+//! Dataset statistics.
+//!
+//! The communication/computation trade-off in HCC-MF is governed by a
+//! handful of shape statistics (§3.4's `nnz/(m+n)` rule, the popularity
+//! skew that stresses grid balancing). This module computes them so
+//! examples and benches can characterize inputs, and so users can predict
+//! — before training — whether a dataset is in the framework's sweet spot.
+
+use crate::coo::CooMatrix;
+
+/// Summary statistics of a rating matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Rows (users).
+    pub rows: u32,
+    /// Columns (items).
+    pub cols: u32,
+    /// Observed entries.
+    pub nnz: usize,
+    /// `nnz / (m·n)`.
+    pub density: f64,
+    /// `m / n`.
+    pub aspect_ratio: f64,
+    /// `nnz / (m + n)` — the paper's §3.4 indicator; below ~10³,
+    /// communication and computation are the same order of magnitude.
+    pub nnz_per_dim: f64,
+    /// `nnz / min(m, n)` — the same indicator *after* the Q-only
+    /// optimization (only the short dimension still travels); this is what
+    /// separates the datasets HCC-MF accelerates well (Netflix ≈ 5.6k,
+    /// R2 ≈ 2.8k) from the ones it can't (R1 ≈ 105, MovieLens ≈ 152, §4.6).
+    pub nnz_per_min_dim: f64,
+    /// Mean rating.
+    pub mean_rating: f64,
+    /// Rating standard deviation.
+    pub std_rating: f64,
+    /// Gini coefficient of per-row entry counts (0 = uniform, →1 = skewed).
+    pub row_gini: f64,
+    /// Gini coefficient of per-column entry counts.
+    pub col_gini: f64,
+    /// Maximum entries in any single row.
+    pub max_row_count: u32,
+    /// Maximum entries in any single column.
+    pub max_col_count: u32,
+    /// Rows with no entries.
+    pub empty_rows: u32,
+    /// Columns with no entries.
+    pub empty_cols: u32,
+}
+
+impl MatrixStats {
+    /// Computes all statistics in two passes over the entries.
+    pub fn compute(matrix: &CooMatrix) -> MatrixStats {
+        let rows = matrix.rows();
+        let cols = matrix.cols();
+        let nnz = matrix.nnz();
+        let row_counts = matrix.row_counts();
+        let col_counts = matrix.col_counts();
+
+        let (mean, std) = if nnz == 0 {
+            (0.0, 0.0)
+        } else {
+            let mean: f64 =
+                matrix.entries().iter().map(|e| e.r as f64).sum::<f64>() / nnz as f64;
+            let var: f64 = matrix
+                .entries()
+                .iter()
+                .map(|e| {
+                    let d = e.r as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / nnz as f64;
+            (mean, var.sqrt())
+        };
+
+        MatrixStats {
+            rows,
+            cols,
+            nnz,
+            density: matrix.density(),
+            aspect_ratio: rows as f64 / cols as f64,
+            nnz_per_dim: nnz as f64 / (rows as f64 + cols as f64),
+            nnz_per_min_dim: nnz as f64 / rows.min(cols) as f64,
+            mean_rating: mean,
+            std_rating: std,
+            row_gini: gini(&row_counts),
+            col_gini: gini(&col_counts),
+            max_row_count: row_counts.iter().copied().max().unwrap_or(0),
+            max_col_count: col_counts.iter().copied().max().unwrap_or(0),
+            empty_rows: row_counts.iter().filter(|&&c| c == 0).count() as u32,
+            empty_cols: col_counts.iter().filter(|&&c| c == 0).count() as u32,
+        }
+    }
+
+    /// The §4.6 verdict: is collaborative acceleration likely to pay off?
+    /// True when the post-Q-only communication indicator `nnz/min(m,n)`
+    /// clears 10³ — which is exactly the Netflix/R2 vs R1/MovieLens split
+    /// of Table 4.
+    pub fn collaboration_friendly(&self) -> bool {
+        self.nnz_per_min_dim >= 1e3
+    }
+}
+
+/// Gini coefficient of a non-negative count vector (0 for uniform or empty).
+pub fn gini(counts: &[u32]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n with 1-based ranks on sorted x.
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+/// Quantiles of per-row entry counts: `(p50, p90, p99, max)`.
+pub fn row_count_quantiles(matrix: &CooMatrix) -> (u32, u32, u32, u32) {
+    let mut counts = matrix.row_counts();
+    counts.sort_unstable();
+    let q = |p: f64| -> u32 {
+        if counts.is_empty() {
+            0
+        } else {
+            counts[((counts.len() - 1) as f64 * p) as usize]
+        }
+    };
+    (q(0.5), q(0.9), q(0.99), counts.last().copied().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Rating;
+    use crate::gen::{GenConfig, SyntheticDataset};
+    use crate::profiles::DatasetProfile;
+
+    #[test]
+    fn gini_uniform_is_zero() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_concentrated_approaches_one() {
+        let mut counts = vec![0u32; 100];
+        counts[0] = 1_000;
+        let g = gini(&counts);
+        assert!(g > 0.95, "gini {g}");
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1, 2, 3, 4]);
+        let b = gini(&[10, 20, 30, 40]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_known_matrix() {
+        let m = CooMatrix::new(
+            3,
+            2,
+            vec![
+                Rating::new(0, 0, 2.0),
+                Rating::new(0, 1, 4.0),
+                Rating::new(1, 0, 3.0),
+            ],
+        )
+        .unwrap();
+        let s = MatrixStats::compute(&m);
+        assert_eq!(s.nnz, 3);
+        assert!((s.mean_rating - 3.0).abs() < 1e-12);
+        assert!((s.std_rating - (2.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.max_row_count, 2);
+        assert_eq!(s.empty_rows, 1);
+        assert_eq!(s.empty_cols, 0);
+        assert!((s.aspect_ratio - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_generated_data_is_skewed() {
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 500,
+            cols: 300,
+            nnz: 10_000,
+            user_skew: 1.2,
+            item_skew: 1.2,
+            ..GenConfig::default()
+        });
+        let s = MatrixStats::compute(&ds.matrix);
+        assert!(s.row_gini > 0.3, "row gini {}", s.row_gini);
+        let uniform = SyntheticDataset::generate(GenConfig {
+            rows: 500,
+            cols: 300,
+            nnz: 10_000,
+            user_skew: 0.0,
+            item_skew: 0.0,
+            ..GenConfig::default()
+        });
+        let u = MatrixStats::compute(&uniform.matrix);
+        assert!(s.row_gini > u.row_gini, "{} !> {}", s.row_gini, u.row_gini);
+    }
+
+    #[test]
+    fn collaboration_verdict_matches_table4_split() {
+        // The verdict is a shape property: Netflix and R2 friendly, R1 and
+        // MovieLens not — exactly Table 4's high/low utilization split.
+        let per_min = |p: &DatasetProfile| p.nnz as f64 / p.m.min(p.n) as f64;
+        assert!(per_min(&DatasetProfile::netflix()) >= 1e3);
+        assert!(per_min(&DatasetProfile::yahoo_r2()) >= 1e3);
+        assert!(per_min(&DatasetProfile::yahoo_r1()) < 1e3);
+        assert!(per_min(&DatasetProfile::movielens_20m()) < 1e3);
+        // And through MatrixStats on generated data (shape is preserved by
+        // the scaled generator).
+        let ml = DatasetProfile::movielens_20m();
+        let ds = SyntheticDataset::generate(ml.scaled_gen_config(20_000.0, 1));
+        let s = MatrixStats::compute(&ds.matrix);
+        assert!(!s.collaboration_friendly());
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 200,
+            cols: 100,
+            nnz: 5_000,
+            ..GenConfig::default()
+        });
+        let (p50, p90, p99, max) = row_count_quantiles(&ds.matrix);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        assert!(max > 0);
+    }
+
+    #[test]
+    fn empty_matrix_stats_are_zeroed() {
+        let m = CooMatrix::new(5, 5, vec![]).unwrap();
+        let s = MatrixStats::compute(&m);
+        assert_eq!(s.mean_rating, 0.0);
+        assert_eq!(s.std_rating, 0.0);
+        assert_eq!(s.row_gini, 0.0);
+        assert_eq!(s.empty_rows, 5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration: the simulator, the cost model, and the planner
+//! agree with each other and with the paper's qualitative results.
+
+use hcc_comm::TransferStrategy;
+use hcc_hetsim::{
+    cost_model_for, ideal_computing_power, simulate_epoch, simulate_training, standalone_times,
+    virtual_measure, worker_classes, Phase, Platform, ProcessorProfile, SimConfig, Workload,
+};
+use hcc_partition::{dp0, dp2, PartitionPlanner, StrategyChoice};
+use hcc_sparse::DatasetProfile;
+
+fn netflix() -> Workload {
+    Workload::from_profile(&DatasetProfile::netflix())
+}
+
+#[test]
+fn simulator_matches_cost_model_epoch_time() {
+    // With one stream and one worker the simulator must equal the closed
+    // form: pull + compute + push + sync.
+    let platform = Platform::single(ProcessorProfile::rtx_2080());
+    let wl = netflix();
+    let cfg = SimConfig::default();
+    let model = cost_model_for(&platform, &wl, &cfg);
+    let trace = simulate_epoch(&platform, &wl, &cfg, &[1.0]);
+    let expect = model.worker_time(0, 1.0) + model.sync_time_per_worker();
+    // The model's sync uses the average assigned rows; with one worker the
+    // simulator's matches exactly.
+    assert!(
+        (trace.epoch_time - expect).abs() / expect < 1e-9,
+        "sim {} vs model {}",
+        trace.epoch_time,
+        expect
+    );
+}
+
+#[test]
+fn dp1_beats_uniform_and_dp0_beats_nothing_on_heterogeneous_platform() {
+    let platform = Platform::paper_testbed_4workers();
+    let wl = netflix();
+    let cfg = SimConfig::default();
+    let uniform = vec![0.25; 4];
+    let x0 = dp0(&standalone_times(&platform, &wl));
+    let plan = PartitionPlanner::default().plan(
+        &cost_model_for(&platform, &wl, &cfg),
+        &standalone_times(&platform, &wl),
+        &worker_classes(&platform),
+        virtual_measure(&platform, &wl),
+    );
+    let t_uniform = simulate_epoch(&platform, &wl, &cfg, &uniform).epoch_time;
+    let t_dp0 = simulate_epoch(&platform, &wl, &cfg, &x0).epoch_time;
+    let t_planned = simulate_epoch(&platform, &wl, &cfg, &plan.fractions).epoch_time;
+    assert!(t_dp0 < t_uniform, "dp0 {t_dp0} !< uniform {t_uniform}");
+    assert!(t_planned <= t_dp0 * 1.001, "planned {t_planned} > dp0 {t_dp0}");
+}
+
+#[test]
+fn dp2_hides_sync_on_r1_class_workload() {
+    // On R1 the sync tail matters; DP2's stagger should cut the epoch
+    // makespan relative to the balanced DP1 partition.
+    let platform = Platform::paper_testbed_3workers();
+    let wl = Workload::from_profile(&DatasetProfile::yahoo_r1());
+    let cfg = SimConfig::default();
+    let x0 = dp0(&standalone_times(&platform, &wl));
+    let model = cost_model_for(&platform, &wl, &cfg);
+    let mut measure = virtual_measure(&platform, &wl);
+    let t1 = measure(&x0);
+    let x2 = dp2(&x0, &t1, model.sync_time_per_worker());
+    let epoch_dp1 = simulate_epoch(&platform, &wl, &cfg, &x0);
+    let epoch_dp2 = simulate_epoch(&platform, &wl, &cfg, &x2);
+    assert!(
+        epoch_dp2.epoch_time < epoch_dp1.epoch_time,
+        "dp2 {} !< dp1 {}",
+        epoch_dp2.epoch_time,
+        epoch_dp1.epoch_time
+    );
+}
+
+#[test]
+fn q_only_strategy_shrinks_simulated_comm() {
+    let platform = Platform::paper_testbed_4workers();
+    let wl = netflix();
+    let x = vec![0.25; 4];
+    let full = simulate_epoch(
+        &platform,
+        &wl,
+        &SimConfig { strategy: TransferStrategy::FullPq, ..Default::default() },
+        &x,
+    );
+    let qonly = simulate_epoch(
+        &platform,
+        &wl,
+        &SimConfig { strategy: TransferStrategy::QOnly, ..Default::default() },
+        &x,
+    );
+    let half = simulate_epoch(
+        &platform,
+        &wl,
+        &SimConfig { strategy: TransferStrategy::HalfQ, ..Default::default() },
+        &x,
+    );
+    let comm = |t: &hcc_hetsim::EpochTrace| {
+        t.totals.iter().map(|w| w.pull + w.push).sum::<f64>()
+    };
+    assert!(comm(&qonly) < comm(&full) / 10.0, "Netflix Q-only must slash comm");
+    assert!((comm(&half) - comm(&qonly) / 2.0).abs() / comm(&qonly) < 0.01);
+    // Compute is untouched by the strategy.
+    assert!((full.totals[2].compute - qonly.totals[2].compute).abs() < 1e-12);
+}
+
+#[test]
+fn utilization_shape_matches_table4() {
+    // Netflix and R2 land high (>75%), R1 lands low — the Table 4 ordering.
+    let cfg = SimConfig::default();
+    let mut utils = Vec::new();
+    for profile in
+        [DatasetProfile::netflix(), DatasetProfile::yahoo_r2(), DatasetProfile::yahoo_r1()]
+    {
+        let platform = Platform::paper_testbed_4workers();
+        let wl = Workload::from_profile(&profile);
+        let plan = PartitionPlanner::default().plan(
+            &cost_model_for(&platform, &wl, &cfg),
+            &standalone_times(&platform, &wl),
+            &worker_classes(&platform),
+            virtual_measure(&platform, &wl),
+        );
+        let sim = simulate_training(&platform, &wl, &cfg, &plan.fractions, 20);
+        utils.push(sim.computing_power / ideal_computing_power(&platform, &wl));
+    }
+    assert!(utils[0] > 0.75, "netflix {utils:?}");
+    assert!(utils[1] > 0.75, "r2 {utils:?}");
+    assert!(utils[2] < utils[0] && utils[2] < utils[1], "r1 should be lowest {utils:?}");
+}
+
+#[test]
+fn planner_strategy_choices_match_paper() {
+    let cfg = SimConfig::default();
+    let expect = [
+        (DatasetProfile::netflix(), StrategyChoice::Dp1),
+        (DatasetProfile::yahoo_r2(), StrategyChoice::Dp1),
+        (DatasetProfile::yahoo_r1(), StrategyChoice::Dp2),
+        (DatasetProfile::r1_star(), StrategyChoice::Dp2),
+    ];
+    for (profile, want) in expect {
+        let platform = Platform::paper_testbed_4workers();
+        let wl = Workload::from_profile(&profile);
+        let plan = PartitionPlanner::default().plan(
+            &cost_model_for(&platform, &wl, &cfg),
+            &standalone_times(&platform, &wl),
+            &worker_classes(&platform),
+            virtual_measure(&platform, &wl),
+        );
+        assert_eq!(plan.strategy, want, "{} (ratio {})", profile.name, plan.sync_ratio);
+    }
+}
+
+#[test]
+fn multi_stream_simulation_reduces_exposed_comm_on_r1() {
+    let platform = Platform::paper_testbed_3workers();
+    let wl = Workload::from_profile(&DatasetProfile::yahoo_r1());
+    let x = dp0(&standalone_times(&platform, &wl));
+    let sync_cfg = SimConfig { streams: 1, ..Default::default() };
+    let async_cfg = SimConfig { streams: 4, ..Default::default() };
+    let t_sync = simulate_epoch(&platform, &wl, &sync_cfg, &x).epoch_time;
+    let t_async = simulate_epoch(&platform, &wl, &async_cfg, &x).epoch_time;
+    assert!(t_async < t_sync, "async {t_async} !< sync {t_sync}");
+}
+
+#[test]
+fn timeline_phases_are_complete_and_ordered() {
+    let platform = Platform::paper_testbed_4workers();
+    let wl = netflix();
+    let trace = simulate_epoch(&platform, &wl, &SimConfig::default(), &[0.25; 4]);
+    for w in 0..4 {
+        let spans = trace.worker_spans(w);
+        let phases: Vec<Phase> = spans.iter().map(|s| s.phase).collect();
+        assert!(phases.contains(&Phase::Pull));
+        assert!(phases.contains(&Phase::Compute));
+        assert!(phases.contains(&Phase::Push));
+        assert!(phases.contains(&Phase::Sync));
+        for s in &spans {
+            assert!(s.end >= s.start);
+        }
+    }
+}
