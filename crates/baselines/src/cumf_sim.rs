@@ -39,7 +39,10 @@ pub struct CumfSgdSim {
 
 impl Default for CumfSgdSim {
     fn default() -> Self {
-        CumfSgdSim { batch_size: 128, sort_by_row: true }
+        CumfSgdSim {
+            batch_size: 128,
+            sort_by_row: true,
+        }
     }
 }
 
@@ -105,28 +108,24 @@ impl CumfSgdSim {
                     let q = q.clone();
                     let cursor = &cursor;
                     let entries = &entries;
-                    scope.spawn(move || {
-                        let mut scratch = vec![0f32; 2 * config.k];
-                        loop {
-                            let b = cursor.fetch_add(1, Ordering::Relaxed);
-                            if b >= batches {
-                                break;
-                            }
-                            let lo = b * self.batch_size;
-                            let hi = (lo + self.batch_size).min(entries.len());
-                            for e in &entries[lo..hi] {
-                                sgd_step_shared(
-                                    &p,
-                                    &q,
-                                    e.u as usize,
-                                    e.i as usize,
-                                    e.r,
-                                    lr,
-                                    lambda_p,
-                                    lambda_q,
-                                    &mut scratch,
-                                );
-                            }
+                    scope.spawn(move || loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= batches {
+                            break;
+                        }
+                        let lo = b * self.batch_size;
+                        let hi = (lo + self.batch_size).min(entries.len());
+                        for e in &entries[lo..hi] {
+                            sgd_step_shared(
+                                &p,
+                                &q,
+                                e.u as usize,
+                                e.i as usize,
+                                e.r,
+                                lr,
+                                lambda_p,
+                                lambda_q,
+                            );
                         }
                     });
                 }
@@ -212,7 +211,10 @@ mod tests {
             track_rmse: true,
             ..Default::default()
         };
-        let solver = CumfSgdSim { sort_by_row: false, ..Default::default() };
+        let solver = CumfSgdSim {
+            sort_by_row: false,
+            ..Default::default()
+        };
         let report = solver.train(&ds.matrix, &cfg);
         assert!(report.rmse_history.last().unwrap() < &report.rmse_history[0]);
     }
@@ -225,9 +227,17 @@ mod tests {
             nnz: 300,
             ..GenConfig::default()
         });
-        let cfg = TrainConfig { k: 4, epochs: 2, threads: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            k: 4,
+            epochs: 2,
+            threads: 2,
+            ..Default::default()
+        };
         for batch_size in [1usize, 1_000_000] {
-            let solver = CumfSgdSim { batch_size, sort_by_row: true };
+            let solver = CumfSgdSim {
+                batch_size,
+                sort_by_row: true,
+            };
             let report = solver.train(&ds.matrix, &cfg);
             assert_eq!(report.total_updates, 300 * 2);
         }
@@ -242,7 +252,10 @@ mod tests {
             nnz: 10,
             ..GenConfig::default()
         });
-        let solver = CumfSgdSim { batch_size: 0, sort_by_row: false };
+        let solver = CumfSgdSim {
+            batch_size: 0,
+            sort_by_row: false,
+        };
         solver.train(&ds.matrix, &TrainConfig::default());
     }
 }

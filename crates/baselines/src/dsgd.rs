@@ -29,7 +29,11 @@ impl Dsgd {
     /// Trains on `matrix` with stratified parallel sub-epochs.
     pub fn train(&self, matrix: &CooMatrix, config: &TrainConfig) -> TrainReport {
         let threads = config.effective_threads();
-        let d = if self.grid_side > 0 { self.grid_side } else { threads.max(2) };
+        let d = if self.grid_side > 0 {
+            self.grid_side
+        } else {
+            threads.max(2)
+        };
         let grid = BlockGrid::build(matrix, d, d);
 
         let p = SharedFactors::from_matrix(&FactorMatrix::random(
@@ -62,7 +66,6 @@ impl Dsgd {
                         let p = p.clone();
                         let q = q.clone();
                         scope.spawn(move || {
-                            let mut scratch = vec![0f32; 2 * config.k];
                             for e in block {
                                 sgd_step_shared(
                                     &p,
@@ -73,7 +76,6 @@ impl Dsgd {
                                     lr,
                                     config.lambda_p,
                                     config.lambda_q,
-                                    &mut scratch,
                                 );
                             }
                         });
@@ -136,7 +138,12 @@ mod tests {
     #[test]
     fn explicit_grid_side_works() {
         let ds = dataset();
-        let cfg = TrainConfig { k: 4, epochs: 3, threads: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            k: 4,
+            epochs: 3,
+            threads: 2,
+            ..Default::default()
+        };
         for side in [2usize, 3, 7] {
             let report = Dsgd { grid_side: side }.train(&ds.matrix, &cfg);
             assert_eq!(report.epoch_times.len(), 3);
@@ -163,7 +170,12 @@ mod tests {
     #[test]
     fn single_entry_matrix() {
         let m = CooMatrix::new(4, 4, vec![Rating::new(1, 2, 3.0)]).unwrap();
-        let cfg = TrainConfig { k: 2, epochs: 2, threads: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            k: 2,
+            epochs: 2,
+            threads: 2,
+            ..Default::default()
+        };
         let report = Dsgd::default().train(&m, &cfg);
         assert_eq!(report.total_updates, 2);
     }

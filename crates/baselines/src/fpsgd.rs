@@ -69,7 +69,6 @@ impl Fpsgd {
                         .wrapping_add(t as u64);
                     scope.spawn(move || {
                         let mut rng = SmallRng::seed_from_u64(seed);
-                        let mut scratch = vec![0f32; 2 * config.k];
                         while let Some((br, bc)) = scheduler.acquire(&mut rng) {
                             for e in grid.block(br, bc) {
                                 sgd_step_shared(
@@ -81,7 +80,6 @@ impl Fpsgd {
                                     lr,
                                     config.lambda_p,
                                     config.lambda_q,
-                                    &mut scratch,
                                 );
                             }
                             scheduler.release(br, bc);
@@ -294,7 +292,12 @@ mod tests {
             nnz: 50,
             ..GenConfig::default()
         });
-        let cfg = TrainConfig { k: 4, epochs: 2, threads: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            k: 4,
+            epochs: 2,
+            threads: 8,
+            ..Default::default()
+        };
         // side = 16, 256 blocks — fine; also exercise tiny grid_factor.
         let report = Fpsgd { grid_factor: 1 }.train(&ds.matrix, &cfg);
         assert_eq!(report.epoch_times.len(), 2);

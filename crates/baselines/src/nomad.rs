@@ -15,10 +15,10 @@
 //! genuinely race-free (the shared-atomic storage is used only as plumbing).
 
 use crate::report::{TrainConfig, TrainReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use hcc_sgd::kernel::sgd_step_shared;
 use hcc_sgd::{rmse, FactorMatrix, SharedFactors};
 use hcc_sparse::{CooMatrix, GridPartition};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -95,7 +95,6 @@ impl Nomad {
                     let remaining = &remaining;
                     let rx: Receiver<ColumnToken> = rx.clone();
                     scope.spawn(move || {
-                        let mut scratch = vec![0f32; 2 * config.k];
                         while remaining.load(Ordering::Acquire) > 0 {
                             let Ok(mut token) =
                                 rx.recv_timeout(std::time::Duration::from_millis(5))
@@ -112,7 +111,6 @@ impl Nomad {
                                     lr,
                                     config.lambda_p,
                                     config.lambda_q,
-                                    &mut scratch,
                                 );
                             }
                             token.hops += 1;

@@ -46,7 +46,9 @@ impl TrainConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -102,7 +104,10 @@ mod tests {
 
     #[test]
     fn explicit_threads_respected() {
-        let cfg = TrainConfig { threads: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            threads: 3,
+            ..Default::default()
+        };
         assert_eq!(cfg.effective_threads(), 3);
     }
 

@@ -90,7 +90,11 @@ mod tests {
             nnz: 500,
             ..GenConfig::default()
         });
-        let cfg = TrainConfig { k: 4, epochs: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            k: 4,
+            epochs: 3,
+            ..Default::default()
+        };
         let a = SerialSgd.train(&ds.matrix, &cfg);
         let b = SerialSgd.train(&ds.matrix, &cfg);
         assert_eq!(a.p, b.p);
@@ -105,7 +109,13 @@ mod tests {
             nnz: 100,
             ..GenConfig::default()
         });
-        let report = SerialSgd.train(&ds.matrix, &TrainConfig { epochs: 1, ..Default::default() });
+        let report = SerialSgd.train(
+            &ds.matrix,
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         assert!(report.rmse_history.is_empty());
         assert!(report.final_rmse().is_none());
     }

@@ -18,15 +18,19 @@ fn bench_codec(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("encode_scalar", elems), &elems, |b, _| {
             b.iter(|| fp16::encode_slice(black_box(&src), &mut dst16))
         });
-        group.bench_with_input(BenchmarkId::new("encode_parallel", elems), &elems, |b, _| {
-            b.iter(|| fp16::encode_parallel(black_box(&src), &mut dst16))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode_parallel", elems),
+            &elems,
+            |b, _| b.iter(|| fp16::encode_parallel(black_box(&src), &mut dst16)),
+        );
         group.bench_with_input(BenchmarkId::new("decode_scalar", elems), &elems, |b, _| {
             b.iter(|| fp16::decode_slice(black_box(&encoded), &mut dst32))
         });
-        group.bench_with_input(BenchmarkId::new("decode_parallel", elems), &elems, |b, _| {
-            b.iter(|| fp16::decode_parallel(black_box(&encoded), &mut dst32))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_parallel", elems),
+            &elems,
+            |b, _| b.iter(|| fp16::decode_parallel(black_box(&encoded), &mut dst32)),
+        );
     }
     group.finish();
 }

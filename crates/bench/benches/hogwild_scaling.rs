@@ -17,7 +17,9 @@ fn dataset() -> SyntheticDataset {
 
 fn bench_hogwild_threads(c: &mut Criterion) {
     let ds = dataset();
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut group = c.benchmark_group("hogwild_epoch");
     group.sample_size(10);
     group.throughput(Throughput::Elements(ds.matrix.nnz() as u64));
@@ -29,6 +31,7 @@ fn bench_hogwild_threads(c: &mut Criterion) {
             learning_rate: 0.005,
             lambda_p: 0.01,
             lambda_q: 0.01,
+            schedule: Default::default(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg))
@@ -39,20 +42,32 @@ fn bench_hogwild_threads(c: &mut Criterion) {
 
 fn bench_solvers(c: &mut Criterion) {
     let ds = dataset();
-    let cfg = TrainConfig { k: 32, epochs: 1, threads: 2, ..Default::default() };
+    let cfg = TrainConfig {
+        k: 32,
+        epochs: 1,
+        threads: 2,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("solver_epoch");
     group.sample_size(10);
     group.throughput(Throughput::Elements(ds.matrix.nnz() as u64));
     group.bench_function("serial", |b| b.iter(|| SerialSgd.train(&ds.matrix, &cfg)));
-    group.bench_function("fpsgd", |b| b.iter(|| Fpsgd::default().train(&ds.matrix, &cfg)));
+    group.bench_function("fpsgd", |b| {
+        b.iter(|| Fpsgd::default().train(&ds.matrix, &cfg))
+    });
     group.bench_function("cumf_sim", |b| {
         b.iter(|| CumfSgdSim::default().train(&ds.matrix, &cfg))
     });
     group.bench_function("cumf_sim_unsorted", |b| {
-        let solver = CumfSgdSim { sort_by_row: false, ..Default::default() };
+        let solver = CumfSgdSim {
+            sort_by_row: false,
+            ..Default::default()
+        };
         b.iter(|| solver.train(&ds.matrix, &cfg))
     });
-    group.bench_function("dsgd", |b| b.iter(|| Dsgd::default().train(&ds.matrix, &cfg)));
+    group.bench_function("dsgd", |b| {
+        b.iter(|| Dsgd::default().train(&ds.matrix, &cfg))
+    });
     group.bench_function("nomad", |b| b.iter(|| Nomad.train(&ds.matrix, &cfg)));
     group.finish();
 }
@@ -72,24 +87,36 @@ fn bench_optimizers(c: &mut Criterion) {
         learning_rate: 0.005,
         lambda_p: 0.01,
         lambda_q: 0.01,
+        schedule: Default::default(),
     };
     group.bench_function("sgd", |b| {
         b.iter(|| hogwild_epoch(ds.matrix.entries(), &p, &q, &sgd_cfg))
     });
 
     let ada_state = AdaGradState::new(2_000, 1_000, 32);
-    let ada_cfg = AdaGradConfig { threads: 2, ..Default::default() };
+    let ada_cfg = AdaGradConfig {
+        threads: 2,
+        ..Default::default()
+    };
     group.bench_function("adagrad", |b| {
         b.iter(|| adagrad_hogwild_epoch(ds.matrix.entries(), &p, &q, &ada_state, &ada_cfg))
     });
 
     let mom_state = MomentumState::new(2_000, 1_000, 32);
-    let mom_cfg = MomentumConfig { threads: 2, ..Default::default() };
+    let mom_cfg = MomentumConfig {
+        threads: 2,
+        ..Default::default()
+    };
     group.bench_function("momentum", |b| {
         b.iter(|| momentum_hogwild_epoch(ds.matrix.entries(), &p, &q, &mom_state, &mom_cfg))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_hogwild_threads, bench_solvers, bench_optimizers);
+criterion_group!(
+    benches,
+    bench_hogwild_threads,
+    bench_solvers,
+    bench_optimizers
+);
 criterion_main!(benches);

@@ -14,9 +14,11 @@ fn bench_solvers(c: &mut Criterion) {
     for workers in [4usize, 16, 64] {
         let a: Vec<f64> = (0..workers).map(|j| 1.0 + j as f64 * 0.3).collect();
         let b = vec![0.05; workers];
-        group.bench_with_input(BenchmarkId::new("equalize", workers), &workers, |bench, _| {
-            bench.iter(|| equalize(black_box(&a), black_box(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("equalize", workers),
+            &workers,
+            |bench, _| bench.iter(|| equalize(black_box(&a), black_box(&b))),
+        );
         group.bench_with_input(BenchmarkId::new("dp0", workers), &workers, |bench, _| {
             bench.iter(|| dp0(black_box(&a)))
         });

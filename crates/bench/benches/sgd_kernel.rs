@@ -30,27 +30,14 @@ fn bench_sgd_step(c: &mut Criterion) {
         let mut q: Vec<f32> = (0..k).map(|j| 0.2 + j as f32 * 0.001).collect();
         group.throughput(Throughput::Elements(k as u64));
         group.bench_with_input(BenchmarkId::new("plain", k), &k, |bench, _| {
-            bench.iter(|| {
-                sgd_step(black_box(&mut p), black_box(&mut q), 3.5, 0.005, 0.01, 0.01)
-            })
+            bench.iter(|| sgd_step(black_box(&mut p), black_box(&mut q), 3.5, 0.005, 0.01, 0.01))
         });
 
         let ps = SharedFactors::from_matrix(&FactorMatrix::random(64, k, 1));
         let qs = SharedFactors::from_matrix(&FactorMatrix::random(64, k, 2));
-        let mut scratch = vec![0f32; 2 * k];
         group.bench_with_input(BenchmarkId::new("shared", k), &k, |bench, _| {
             bench.iter(|| {
-                sgd_step_shared(
-                    black_box(&ps),
-                    black_box(&qs),
-                    7,
-                    9,
-                    3.5,
-                    0.005,
-                    0.01,
-                    0.01,
-                    &mut scratch,
-                )
+                sgd_step_shared(black_box(&ps), black_box(&qs), 7, 9, 3.5, 0.005, 0.01, 0.01)
             })
         });
     }

@@ -28,7 +28,10 @@ fn main() {
             for w in platform_k.workers.iter_mut() {
                 w.profile.rates = w.profile.rates.scaled(rate_scale);
             }
-            let cfg = SimConfig { k, ..Default::default() };
+            let cfg = SimConfig {
+                k,
+                ..Default::default()
+            };
             let p = plan(&platform_k, &wl, &cfg);
             let sim = simulate_training(&platform_k, &wl, &cfg, &p.fractions, 20);
             let comm: f64 = sim
@@ -46,8 +49,17 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("k sweep — {} (rates rescaled by (16·128+4)/(16k+4))", profile.name),
-            &["k", "strategy", "20-epoch time", "cumulative comm", "utilization"],
+            &format!(
+                "k sweep — {} (rates rescaled by (16·128+4)/(16k+4))",
+                profile.name
+            ),
+            &[
+                "k",
+                "strategy",
+                "20-epoch time",
+                "cumulative comm",
+                "utilization",
+            ],
             &rows,
         );
     }

@@ -23,16 +23,22 @@ fn main() {
             &SimConfig::default(),
             &plan(&platform, &wl, &SimConfig::default()).fractions,
         );
-        let base_exposed = base.epoch_time
-            - base.totals.iter().map(|t| t.compute).fold(0.0f64, f64::max);
+        let base_exposed =
+            base.epoch_time - base.totals.iter().map(|t| t.compute).fold(0.0f64, f64::max);
 
         let mut rows = Vec::new();
         for streams in [1usize, 2, 4, 8, 16] {
-            let cfg = SimConfig { streams, ..Default::default() };
+            let cfg = SimConfig {
+                streams,
+                ..Default::default()
+            };
             let p = plan(&platform, &wl, &cfg);
             let trace = simulate_epoch(&platform, &wl, &cfg, &p.fractions);
-            let max_compute =
-                trace.totals.iter().map(|t| t.compute).fold(0.0f64, f64::max);
+            let max_compute = trace
+                .totals
+                .iter()
+                .map(|t| t.compute)
+                .fold(0.0f64, f64::max);
             let exposed = (trace.epoch_time - max_compute).max(0.0);
             rows.push(vec![
                 streams.to_string(),
@@ -47,7 +53,13 @@ fn main() {
                 "stream sweep — {} (Fig. 6: exposed transfer → 1/streams; GPUs cap at 4 streams)",
                 profile.name
             ),
-            &["streams", "epoch", "max compute", "exposed comm+sync", "vs 1 stream"],
+            &[
+                "streams",
+                "epoch",
+                "max compute",
+                "exposed comm+sync",
+                "vs 1 stream",
+            ],
             &rows,
         );
     }

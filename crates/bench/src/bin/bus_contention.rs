@@ -22,7 +22,10 @@ fn main() {
         let wl = Workload::from_profile(&profile);
         // R1 runs the async strategy, as in the paper.
         let cfg = if profile.name.contains("R1") {
-            SimConfig { streams: 4, ..Default::default() }
+            SimConfig {
+                streams: 4,
+                ..Default::default()
+            }
         } else {
             SimConfig::default()
         };
@@ -34,11 +37,7 @@ fn main() {
         let shared = Platform::new("GPUs behind one x16 switch")
             .with_worker(ProcessorProfile::xeon_6242_24t(), BusKind::Upi)
             .with_worker_on_shared_bus(ProcessorProfile::rtx_2080(), BusKind::PciE3x16, 0)
-            .with_worker_on_shared_bus(
-                ProcessorProfile::rtx_2080_super(),
-                BusKind::PciE3x16,
-                0,
-            );
+            .with_worker_on_shared_bus(ProcessorProfile::rtx_2080_super(), BusKind::PciE3x16, 0);
 
         let mut rows = Vec::new();
         for platform in [&dedicated, &shared] {

@@ -35,8 +35,18 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("cluster scaling — {} (2 CPUs + 2 GPUs per node)", profile.name),
-            &["nodes", "workers", "strategy", "HCC power", "ideal", "utilization"],
+            &format!(
+                "cluster scaling — {} (2 CPUs + 2 GPUs per node)",
+                profile.name
+            ),
+            &[
+                "nodes",
+                "workers",
+                "strategy",
+                "HCC power",
+                "ideal",
+                "utilization",
+            ],
             &rows,
         );
     }

@@ -35,19 +35,34 @@ fn main() {
 
     // Good collaborations: planned partition, Q-only, shared COMM.
     let pairs = [
-        Platform::pair(ProcessorProfile::xeon_6242_16t(), ProcessorProfile::rtx_2080()),
-        Platform::pair(ProcessorProfile::xeon_6242_16t(), ProcessorProfile::rtx_2080_super()),
-        Platform::pair(ProcessorProfile::rtx_2080(), ProcessorProfile::rtx_2080_super()),
+        Platform::pair(
+            ProcessorProfile::xeon_6242_16t(),
+            ProcessorProfile::rtx_2080(),
+        ),
+        Platform::pair(
+            ProcessorProfile::xeon_6242_16t(),
+            ProcessorProfile::rtx_2080_super(),
+        ),
+        Platform::pair(
+            ProcessorProfile::rtx_2080(),
+            ProcessorProfile::rtx_2080_super(),
+        ),
     ];
     for platform in &pairs {
         let p = plan(platform, &wl, &cfg);
         let sim = simulate_training(platform, &wl, &cfg, &p.fractions, epochs);
-        rows.push(vec![platform.name.clone(), "good collab".into(), fmt_secs(sim.total_time)]);
+        rows.push(vec![
+            platform.name.clone(),
+            "good collab".into(),
+            fmt_secs(sim.total_time),
+        ]);
     }
 
     // Bad collaborations, all on 6242 + 2080S.
-    let bad_platform =
-        Platform::pair(ProcessorProfile::xeon_6242_16t(), ProcessorProfile::rtx_2080_super());
+    let bad_platform = Platform::pair(
+        ProcessorProfile::xeon_6242_16t(),
+        ProcessorProfile::rtx_2080_super(),
+    );
     // Bad communication: unoptimized P&Q over the ps-lite transport.
     let bad_comm_cfg = SimConfig {
         strategy: TransferStrategy::FullPq,
@@ -70,8 +85,10 @@ fn main() {
     ]);
     // Bad thread configuration: the CPU crippled to 10 threads but loaded
     // as if it had 16.
-    let crippled =
-        Platform::pair(ProcessorProfile::xeon_6242_10t(), ProcessorProfile::rtx_2080_super());
+    let crippled = Platform::pair(
+        ProcessorProfile::xeon_6242_10t(),
+        ProcessorProfile::rtx_2080_super(),
+    );
     let p16 = plan(&bad_platform, &wl, &cfg); // partition planned for 16T
     let sim = simulate_training(&crippled, &wl, &cfg, &p16.fractions, epochs);
     rows.push(vec![
@@ -98,12 +115,22 @@ fn main() {
         ProcessorProfile::rtx_2080_super(),
         ProcessorProfile::tesla_v100(),
     ] {
-        price_rows.push(vec![profile.name.clone(), format!("${:.0}", profile.price_usd)]);
+        price_rows.push(vec![
+            profile.name.clone(),
+            format!("${:.0}", profile.price_usd),
+        ]);
     }
     for platform in &pairs {
-        price_rows.push(vec![platform.name.clone(), format!("${:.0}", platform.total_price())]);
+        price_rows.push(vec![
+            platform.name.clone(),
+            format!("${:.0}", platform.total_price()),
+        ]);
     }
-    print_table("Fig 3(b): platform prices (catalog estimates)", &["platform", "price"], &price_rows);
+    print_table(
+        "Fig 3(b): platform prices (catalog estimates)",
+        &["platform", "price"],
+        &price_rows,
+    );
     let combo = Platform::pair(
         ProcessorProfile::xeon_6242_16t(),
         ProcessorProfile::rtx_2080_super(),

@@ -20,9 +20,16 @@ fn main() {
     // Left sub-figure: original timing, no optimization — uniform split,
     // full P&Q transfers.
     let wl = Workload::from_profile(&DatasetProfile::netflix());
-    let cfg = SimConfig { strategy: TransferStrategy::FullPq, ..Default::default() };
+    let cfg = SimConfig {
+        strategy: TransferStrategy::FullPq,
+        ..Default::default()
+    };
     let trace = simulate_epoch(&platform, &wl, &cfg, &[0.25; 4]);
-    render("unoptimized: uniform partition, P&Q transfers (Netflix)", &platform, &trace);
+    render(
+        "unoptimized: uniform partition, P&Q transfers (Netflix)",
+        &platform,
+        &trace,
+    );
 
     // Middle: optimized without considering sync — DP1 partition, Q-only.
     let cfg = SimConfig::default();
@@ -61,7 +68,11 @@ fn render(title: &str, platform: &Platform, trace: &EpochTrace) {
                 *cell = ch;
             }
         }
-        println!("  {:<10} |{}|", name, String::from_utf8_lossy(&line[..WIDTH]));
+        println!(
+            "  {:<10} |{}|",
+            name,
+            String::from_utf8_lossy(&line[..WIDTH])
+        );
     }
     println!("  {:<10}  < pull   # compute   > push   S server sync", "");
 }

@@ -18,7 +18,9 @@ use hcc_mf::{HccConfig, HccMf, LearningRate, WorkerSpec};
 use hcc_sparse::{DatasetProfile, SyntheticDataset};
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("running real training on {cores} core(s); k = 16, 40 epochs, scaled datasets");
     if cores == 1 {
         println!("NOTE: single-core machine — wall-clock speedups between solvers are not");
@@ -81,7 +83,9 @@ fn main() {
             .track_rmse(true)
             .build();
         let t0 = std::time::Instant::now();
-        let hcc = HccMf::new(hcc_cfg).train(&ds.matrix).expect("hcc training failed");
+        let hcc = HccMf::new(hcc_cfg)
+            .train(&ds.matrix)
+            .expect("hcc training failed");
         let hcc_time = t0.elapsed();
 
         // (a–c): RMSE vs epoch, sampled.
@@ -109,20 +113,34 @@ fn main() {
         // (d–f): measured wall time + simulated paper-scale speedups.
         let wl = Workload::from_profile(&profile);
         let (platform, sim_cfg) = if profile.name.contains("R1") {
-            (Platform::paper_testbed_3workers(), SimConfig { streams: 4, ..Default::default() })
+            (
+                Platform::paper_testbed_3workers(),
+                SimConfig {
+                    streams: 4,
+                    ..Default::default()
+                },
+            )
         } else {
             (Platform::paper_testbed_overall(), SimConfig::default())
         };
         let p = plan(&platform, &wl, &sim_cfg);
         let hcc_sim = simulate_training(&platform, &wl, &sim_cfg, &p.fractions, 20);
-        let cumf_sim_time = wl.nnz as f64 * 20.0 / ProcessorProfile::rtx_2080_super().rates.rate(
-            &wl.name, wl.m, wl.n, wl.nnz,
-        );
+        let cumf_sim_time = wl.nnz as f64 * 20.0
+            / ProcessorProfile::rtx_2080_super()
+                .rates
+                .rate(&wl.name, wl.m, wl.n, wl.nnz);
         let fpsgd_sim_time = wl.nnz as f64 * 20.0
-            / ProcessorProfile::xeon_6242_24t().rates.rate(&wl.name, wl.m, wl.n, wl.nnz);
+            / ProcessorProfile::xeon_6242_24t()
+                .rates
+                .rate(&wl.name, wl.m, wl.n, wl.nnz);
         print_table(
             &format!("Fig 7(d–f): {} — training time", profile.name),
-            &["solver", "measured (this box)", "paper-scale sim (20 ep)", "sim speedup vs HCC"],
+            &[
+                "solver",
+                "measured (this box)",
+                "paper-scale sim (20 ep)",
+                "sim speedup vs HCC",
+            ],
             &[
                 vec![
                     "HCC".into(),

@@ -8,8 +8,8 @@
 
 use hcc_bench::{fmt_secs, print_table};
 use hcc_hetsim::{
-    cost_model_for, simulate_training, standalone_times, virtual_measure, worker_classes,
-    Platform, SimConfig, Workload,
+    cost_model_for, simulate_training, standalone_times, virtual_measure, worker_classes, Platform,
+    SimConfig, Workload,
 };
 use hcc_partition::{dp0, dp1, dp2, Dp1Options};
 use hcc_sparse::DatasetProfile;

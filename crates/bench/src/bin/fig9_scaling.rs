@@ -24,7 +24,10 @@ fn main() {
         // On the communication-heavy R1/R1* the paper runs Strategy 3
         // (asynchronous computing-transmission, 4 streams on the GPUs).
         let cfg = if profile.name.contains("R1") {
-            SimConfig { streams: 4, ..Default::default() }
+            SimConfig {
+                streams: 4,
+                ..Default::default()
+            }
         } else {
             SimConfig::default()
         };
@@ -35,7 +38,11 @@ fn main() {
             (ProcessorProfile::rtx_2080_super(), BusKind::PciE3x16, false),
             (ProcessorProfile::xeon_6242_24t(), BusKind::Upi, false),
             (ProcessorProfile::rtx_2080(), BusKind::PciE3x16, false),
-            (ProcessorProfile::xeon_6242_10t(), BusKind::ServerLocal, true),
+            (
+                ProcessorProfile::xeon_6242_10t(),
+                BusKind::ServerLocal,
+                true,
+            ),
         ];
         let steps = if profile.name.contains("R1") { 3 } else { 4 };
 
@@ -67,7 +74,13 @@ fn main() {
         }
         print_table(
             &format!("Fig 9: {} — power as workers are added", profile.name),
-            &["worker added", "HCC power", "ideal", "utilization", "marginal/standalone"],
+            &[
+                "worker added",
+                "HCC power",
+                "ideal",
+                "utilization",
+                "marginal/standalone",
+            ],
             &rows,
         );
     }

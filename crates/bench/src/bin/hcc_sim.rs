@@ -55,10 +55,14 @@ fn run(args: &[String]) -> Result<(), String> {
             "--dataset" => dataset = next("--dataset")?,
             "--workers" => workers = next("--workers")?,
             "--streams" => {
-                streams = next("--streams")?.parse().map_err(|e| format!("--streams: {e}"))?
+                streams = next("--streams")?
+                    .parse()
+                    .map_err(|e| format!("--streams: {e}"))?
             }
             "--epochs" => {
-                epochs = next("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+                epochs = next("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
             }
             "--csv" => csv = Some(next("--csv")?),
             "--strategy" => {
@@ -83,7 +87,11 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let platform = parse_platform(&workers)?;
     let wl = Workload::from_profile(&profile);
-    let cfg = SimConfig { strategy, streams, ..Default::default() };
+    let cfg = SimConfig {
+        strategy,
+        streams,
+        ..Default::default()
+    };
 
     println!(
         "platform: {} ({} workers, ${:.0})",
@@ -102,14 +110,20 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     let p = plan(&platform, &wl, &cfg);
-    println!("\nplanned partition ({:?}, sync ratio {:.1}):", p.strategy, p.sync_ratio);
+    println!(
+        "\nplanned partition ({:?}, sync ratio {:.1}):",
+        p.strategy, p.sync_ratio
+    );
     for (w, name) in platform.worker_names().iter().enumerate() {
         println!("  {name:<12} {:5.1}%", p.fractions[w] * 100.0);
     }
 
     let trace = simulate_epoch(&platform, &wl, &cfg, &p.fractions);
     println!("\nper-epoch phase totals:");
-    println!("  {:<12} {:>9} {:>9} {:>9}", "worker", "pull", "compute", "push");
+    println!(
+        "  {:<12} {:>9} {:>9} {:>9}",
+        "worker", "pull", "compute", "push"
+    );
     for (w, name) in platform.worker_names().iter().enumerate() {
         let t = &trace.totals[w];
         println!(
@@ -134,9 +148,13 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     if let Some(prefix) = csv {
-        let (spans, totals) = export::write_csvs(&prefix, &platform, &trace)
-            .map_err(|e| e.to_string())?;
-        println!("trace CSVs written: {} / {}", spans.display(), totals.display());
+        let (spans, totals) =
+            export::write_csvs(&prefix, &platform, &trace).map_err(|e| e.to_string())?;
+        println!(
+            "trace CSVs written: {} / {}",
+            spans.display(),
+            totals.display()
+        );
     }
     Ok(())
 }
@@ -152,14 +170,10 @@ fn parse_platform(spec: &str) -> Result<Platform, String> {
     for part in spec.split(',') {
         platform = match part {
             "6242" => platform.with_worker(ProcessorProfile::xeon_6242_24t(), BusKind::Upi),
-            "6242-16t" => {
-                platform.with_worker(ProcessorProfile::xeon_6242_16t(), BusKind::Upi)
-            }
+            "6242-16t" => platform.with_worker(ProcessorProfile::xeon_6242_16t(), BusKind::Upi),
             "6242l" => platform.with_server_worker(ProcessorProfile::xeon_6242_10t()),
             "2080" => platform.with_worker(ProcessorProfile::rtx_2080(), BusKind::PciE3x16),
-            "2080s" => {
-                platform.with_worker(ProcessorProfile::rtx_2080_super(), BusKind::PciE3x16)
-            }
+            "2080s" => platform.with_worker(ProcessorProfile::rtx_2080_super(), BusKind::PciE3x16),
             "v100" => platform.with_worker(ProcessorProfile::tesla_v100(), BusKind::PciE3x16),
             other => return Err(format!("unknown worker {other}")),
         };

@@ -36,9 +36,7 @@ fn main() {
         let x0 = dp0(&standalone_times(&platform, &wl));
         let planned = plan(&platform, &wl, &cfg).fractions;
 
-        for (name, x) in
-            [("uniform", &uniform), ("DP0", &x0), ("planned", &planned)]
-        {
+        for (name, x) in [("uniform", &uniform), ("DP0", &x0), ("planned", &planned)] {
             let trace = simulate_epoch(&platform, &wl, &cfg, x);
             // Eq. 4 with every sync trailing the slowest worker — an upper
             // bound; and with one trailing sync — a lower bound. The
@@ -69,7 +67,15 @@ fn main() {
 
     print_table(
         "time-cost model vs discrete-event simulation (one epoch, 4-worker testbed)",
-        &["dataset", "partition", "model (1 sync)", "simulated", "model (p syncs)", "in bounds", "err vs midpoint"],
+        &[
+            "dataset",
+            "partition",
+            "model (1 sync)",
+            "simulated",
+            "model (p syncs)",
+            "in bounds",
+            "err vs midpoint",
+        ],
         &rows,
     );
     println!(

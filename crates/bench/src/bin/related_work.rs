@@ -19,7 +19,10 @@ fn main() {
     let profile = DatasetProfile::netflix();
     let ds = SyntheticDataset::generate(profile.scaled_gen_config(600.0, 42));
     let epochs = 25;
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4);
     println!(
         "dataset: Netflix-shaped {}×{} with {} ratings; k=16, {} epochs, {} thread(s)",
         ds.matrix.rows(),
@@ -54,7 +57,10 @@ fn main() {
 
     push("serial SGD", SerialSgd.train(&ds.matrix, &cfg));
     push("FPSGD", Fpsgd::default().train(&ds.matrix, &cfg));
-    push("CuMF_SGD-sim", CumfSgdSim::default().train(&ds.matrix, &cfg));
+    push(
+        "CuMF_SGD-sim",
+        CumfSgdSim::default().train(&ds.matrix, &cfg),
+    );
     push("DSGD", Dsgd::default().train(&ds.matrix, &cfg));
     push("NOMAD", Nomad.train(&ds.matrix, &cfg));
 
@@ -63,7 +69,10 @@ fn main() {
         .epochs(epochs)
         .learning_rate(LearningRate::Constant(0.01))
         .lambda(0.01)
-        .workers(vec![WorkerSpec::cpu(threads.div_ceil(2)), WorkerSpec::gpu_sim(threads)])
+        .workers(vec![
+            WorkerSpec::cpu(threads.div_ceil(2)),
+            WorkerSpec::gpu_sim(threads),
+        ])
         .track_rmse(true)
         .build();
     let report = HccMf::new(hcc_cfg).train(&ds.matrix).expect("hcc");
@@ -78,7 +87,14 @@ fn main() {
 
     print_table(
         "related-work solvers, identical budget (real training)",
-        &["solver", "RMSE@1", "RMSE@mid", "RMSE@end", "time", "throughput"],
+        &[
+            "solver",
+            "RMSE@1",
+            "RMSE@mid",
+            "RMSE@end",
+            "time",
+            "throughput",
+        ],
         &rows,
     );
     println!(

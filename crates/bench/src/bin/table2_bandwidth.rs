@@ -27,7 +27,9 @@ fn main() {
         .into_iter()
         .map(|(name, iw, dp0_bw)| {
             let reference = paper.iter().find(|(n, _, _)| *n == name);
-            let (p_iw, p_dp0) = reference.map(|(_, a, b)| (*a, *b)).unwrap_or((f64::NAN, f64::NAN));
+            let (p_iw, p_dp0) = reference
+                .map(|(_, a, b)| (*a, *b))
+                .unwrap_or((f64::NAN, f64::NAN));
             vec![
                 name,
                 format!("{iw:.1}"),
@@ -40,12 +42,23 @@ fn main() {
 
     print_table(
         "Table 2: memory bandwidth (GB/s), Netflix DP0 shares",
-        &["worker", "IW (ours)", "DP0 (ours)", "IW (paper)", "DP0 (paper)"],
+        &[
+            "worker",
+            "IW (ours)",
+            "DP0 (ours)",
+            "IW (paper)",
+            "DP0 (paper)",
+        ],
         &rows,
     );
     println!(
         "shape: GPU bandwidth rises slightly on the smaller DP0 shard; CPU bandwidth is flat \
          — the effect DP1's compensation loop corrects."
     );
-    println!("DP0 shares used: {:?}", x0.iter().map(|v| (v * 1000.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "DP0 shares used: {:?}",
+        x0.iter()
+            .map(|v| (v * 1000.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
 }

@@ -13,7 +13,12 @@ fn main() {
     let epochs = 20;
 
     // Paper Table 4 utilization for comparison.
-    let paper_util = [("Netflix", 0.86), ("Yahoo! Music R1", 0.62), ("Yahoo! Music R2", 0.88), ("MovieLens-20m", 0.46)];
+    let paper_util = [
+        ("Netflix", 0.86),
+        ("Yahoo! Music R1", 0.62),
+        ("Yahoo! Music R2", 0.88),
+        ("MovieLens-20m", 0.46),
+    ];
 
     let mut rows = Vec::new();
     for profile in [
@@ -29,7 +34,10 @@ fn main() {
         let (platform, cfg) = if profile.name.contains("R1") {
             (
                 Platform::paper_testbed_3workers(),
-                SimConfig { streams: 4, ..Default::default() },
+                SimConfig {
+                    streams: 4,
+                    ..Default::default()
+                },
             )
         } else {
             (Platform::paper_testbed_overall(), SimConfig::default())
@@ -68,7 +76,14 @@ fn main() {
 
     print_table(
         "Table 4: computing power over 20 epochs (updates/s)",
-        &["dataset", "standalone rates", "ideal", "HCC", "util (ours)", "util (paper)"],
+        &[
+            "dataset",
+            "standalone rates",
+            "ideal",
+            "HCC",
+            "util (ours)",
+            "util (paper)",
+        ],
         &rows,
     );
     println!(

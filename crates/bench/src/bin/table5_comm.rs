@@ -38,17 +38,26 @@ fn main() {
         probe_rows.push(vec![name.to_string(), format!("{gbps:.2} GB/s")]);
     }
     let commp_efficiency = (rates[1] / rates[0]).clamp(0.01, 1.0);
-    print_table("transport probe (32 MiB FP32 roundtrips)", &["transport", "bandwidth"], &probe_rows);
-    println!("probed COMM-P efficiency: {:.2}× of COMM (paper Table 5 implies ~0.15×)", commp_efficiency);
+    print_table(
+        "transport probe (32 MiB FP32 roundtrips)",
+        &["transport", "bandwidth"],
+        &probe_rows,
+    );
+    println!(
+        "probed COMM-P efficiency: {:.2}× of COMM (paper Table 5 implies ~0.15×)",
+        commp_efficiency
+    );
 
     // --- Part 2: paper-scale communication times --------------------------
     // "Communication time" in Table 5 = cumulative pull+push across workers
     // over 20 epochs, on the 4-worker testbed (R1_NEW is the paper's label
     // for the R1 run in this table).
     let epochs = 20;
-    for profile in
-        [DatasetProfile::netflix(), DatasetProfile::yahoo_r1(), DatasetProfile::yahoo_r2()]
-    {
+    for profile in [
+        DatasetProfile::netflix(),
+        DatasetProfile::yahoo_r1(),
+        DatasetProfile::yahoo_r2(),
+    ] {
         let wl = Workload::from_profile(&profile);
         let platform = Platform::paper_testbed_4workers();
         let x = dp0(&standalone_times(&platform, &wl));

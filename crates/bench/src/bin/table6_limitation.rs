@@ -17,7 +17,10 @@ fn main() {
     let epochs = 20;
 
     let single = Platform::single(ProcessorProfile::rtx_2080_super());
-    let pair = Platform::pair(ProcessorProfile::rtx_2080_super(), ProcessorProfile::rtx_2080());
+    let pair = Platform::pair(
+        ProcessorProfile::rtx_2080_super(),
+        ProcessorProfile::rtx_2080(),
+    );
 
     let mut rows = Vec::new();
     let mut totals = Vec::new();

@@ -68,7 +68,9 @@ impl SharedBuffer {
         } else {
             dst.copy_from_slice(src);
         }
-        self.inner.bytes_written.fetch_add(src.len() as u64 * 4, Ordering::Relaxed);
+        self.inner
+            .bytes_written
+            .fetch_add(src.len() as u64 * 4, Ordering::Relaxed);
     }
 
     /// Copies the region at `offset` into `dst`.
@@ -85,7 +87,9 @@ impl SharedBuffer {
         } else {
             dst.copy_from_slice(src);
         }
-        self.inner.bytes_read.fetch_add(dst.len() as u64 * 4, Ordering::Relaxed);
+        self.inner
+            .bytes_read
+            .fetch_add(dst.len() as u64 * 4, Ordering::Relaxed);
     }
 
     /// Runs `f` with a read view of the whole buffer *without copying* — the

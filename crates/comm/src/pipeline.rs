@@ -111,7 +111,13 @@ where
         )
     });
 
-    PipelineStats { chunks, pull_busy, compute_busy, push_busy, wall: start.elapsed() }
+    PipelineStats {
+        chunks,
+        pull_busy,
+        compute_busy,
+        push_busy,
+        wall: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +173,11 @@ mod tests {
         );
         let sync_cost = Duration::from_millis(160);
         assert!(stats.wall < sync_cost * 3 / 4, "wall {:?}", stats.wall);
-        assert!(stats.overlap_efficiency() > 0.5, "eff {}", stats.overlap_efficiency());
+        assert!(
+            stats.overlap_efficiency() > 0.5,
+            "eff {}",
+            stats.overlap_efficiency()
+        );
     }
 
     #[test]
@@ -181,8 +191,7 @@ mod tests {
             16,
             1,
             |_| {
-                let gap = pulled.fetch_add(1, Ordering::SeqCst) + 1
-                    - pushed.load(Ordering::SeqCst);
+                let gap = pulled.fetch_add(1, Ordering::SeqCst) + 1 - pushed.load(Ordering::SeqCst);
                 max_gap.fetch_max(gap, Ordering::SeqCst);
             },
             |_, _| std::thread::sleep(Duration::from_micros(200)),
@@ -191,7 +200,11 @@ mod tests {
             },
         );
         // 1 slot in each channel + 1 in each stage = at most 4 in flight.
-        assert!(max_gap.load(Ordering::SeqCst) <= 4, "gap {}", max_gap.load(Ordering::SeqCst));
+        assert!(
+            max_gap.load(Ordering::SeqCst) <= 4,
+            "gap {}",
+            max_gap.load(Ordering::SeqCst)
+        );
     }
 
     #[test]

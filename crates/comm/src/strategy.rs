@@ -26,8 +26,11 @@ pub enum TransferStrategy {
 
 impl TransferStrategy {
     /// All strategies, in the order Table 5 reports them.
-    pub const ALL: [TransferStrategy; 3] =
-        [TransferStrategy::FullPq, TransferStrategy::QOnly, TransferStrategy::HalfQ];
+    pub const ALL: [TransferStrategy; 3] = [
+        TransferStrategy::FullPq,
+        TransferStrategy::QOnly,
+        TransferStrategy::HalfQ,
+    ];
 
     /// Short label as used in the paper's tables.
     pub fn label(&self) -> &'static str {
@@ -144,8 +147,14 @@ mod tests {
     #[test]
     fn final_push_only_for_optimized() {
         assert_eq!(TransferStrategy::FullPq.final_push_extra_bytes(100, 8), 0);
-        assert_eq!(TransferStrategy::QOnly.final_push_extra_bytes(100, 8), 4 * 8 * 100);
-        assert_eq!(TransferStrategy::HalfQ.final_push_extra_bytes(100, 8), 4 * 8 * 100);
+        assert_eq!(
+            TransferStrategy::QOnly.final_push_extra_bytes(100, 8),
+            4 * 8 * 100
+        );
+        assert_eq!(
+            TransferStrategy::HalfQ.final_push_extra_bytes(100, 8),
+            4 * 8 * 100
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl WireBuffer {
             Precision::Fp32 => WireStore::F32(SharedBuffer::new(len)),
             Precision::Fp16 => WireStore::F16(RwLock::new(vec![0u16; len])),
         };
-        WireBuffer { store, bytes: AtomicU64::new(0) }
+        WireBuffer {
+            store,
+            bytes: AtomicU64::new(0),
+        }
     }
 
     fn write_f32(&self, src: &[f32]) {
@@ -176,7 +179,9 @@ impl CommShared {
         let (chunk_tx, chunk_rx) = unbounded();
         CommShared {
             pull_region: WireBuffer::new(pull_len, precision),
-            push_buffers: (0..workers).map(|_| WireBuffer::new(push_len, precision)).collect(),
+            push_buffers: (0..workers)
+                .map(|_| WireBuffer::new(push_len, precision))
+                .collect(),
             push_ready: (0..workers)
                 .map(|_| (Mutex::new(false), parking_lot::Condvar::new()))
                 .collect(),
@@ -201,7 +206,11 @@ impl CommShared {
     pub fn push_chunk(&self, worker: usize, offset: usize, src: &[f32]) {
         self.push_buffers[worker].write_f32_at(offset, src);
         self.chunk_tx
-            .send(ChunkTag { worker, offset, len: src.len() })
+            .send(ChunkTag {
+                worker,
+                offset,
+                len: src.len(),
+            })
             .expect("chunk receiver dropped");
     }
 
@@ -335,25 +344,34 @@ impl CommP {
 impl Transport for CommP {
     fn publish(&self, src: &[f32]) {
         let msg = self.serialize(src);
-        self.wire_bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.wire_bytes
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
         *self.published.write() = Arc::new(msg);
     }
 
     fn pull(&self, _worker: usize, dst: &mut [f32]) {
         let msg = self.published.read().clone();
-        self.wire_bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.wire_bytes
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.deserialize(&msg, dst);
     }
 
     fn push(&self, worker: usize, src: &[f32]) {
         let msg = self.serialize(src);
-        self.wire_bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
-        self.senders[worker].send(msg).expect("server receiver dropped");
+        self.wire_bytes
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.senders[worker]
+            .send(msg)
+            .expect("server receiver dropped");
     }
 
     fn collect(&self, worker: usize, dst: &mut [f32]) {
-        let msg = self.receivers[worker].lock().recv().expect("worker sender dropped");
-        self.wire_bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        let msg = self.receivers[worker]
+            .lock()
+            .recv()
+            .expect("worker sender dropped");
+        self.wire_bytes
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.deserialize(&msg, dst);
     }
 
@@ -482,10 +500,24 @@ mod chunk_tests {
         t.push_chunk(0, 0, &[3.0]);
         let mut buf = vec![0f32; 8];
         let tag = t.collect_chunk(&mut buf);
-        assert_eq!(tag, ChunkTag { worker: 1, offset: 4, len: 2 });
+        assert_eq!(
+            tag,
+            ChunkTag {
+                worker: 1,
+                offset: 4,
+                len: 2
+            }
+        );
         assert_eq!(&buf[..2], &[1.0, 2.0]);
         let tag = t.collect_chunk(&mut buf);
-        assert_eq!(tag, ChunkTag { worker: 0, offset: 0, len: 1 });
+        assert_eq!(
+            tag,
+            ChunkTag {
+                worker: 0,
+                offset: 0,
+                len: 1
+            }
+        );
         assert_eq!(buf[0], 3.0);
         assert_eq!(t.pending_chunks(), 0);
     }

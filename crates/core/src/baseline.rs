@@ -34,7 +34,10 @@ impl BaselinePredictor {
     /// # Panics
     /// Panics if `damping` is negative or non-finite.
     pub fn fit(matrix: &CooMatrix, damping: f32) -> BaselinePredictor {
-        assert!(damping >= 0.0 && damping.is_finite(), "damping must be non-negative");
+        assert!(
+            damping >= 0.0 && damping.is_finite(),
+            "damping must be non-negative"
+        );
         let m = matrix.rows() as usize;
         let n = matrix.cols() as usize;
         let mu = matrix.mean_rating() as f32;
@@ -63,7 +66,12 @@ impl BaselinePredictor {
             .map(|(&s, &c)| (s / (c as f64 + damping as f64)) as f32)
             .collect();
 
-        BaselinePredictor { mu, user_bias, item_bias, damping }
+        BaselinePredictor {
+            mu,
+            user_bias,
+            item_bias,
+            damping,
+        }
     }
 
     /// The baseline prediction `μ + b_u + c_i`.
@@ -209,7 +217,11 @@ mod tests {
             .collect();
         let matrix = CooMatrix::new(m, n, entries).unwrap();
         let baseline = BaselinePredictor::fit(&matrix, 0.0);
-        assert!(baseline.rmse(matrix.entries()) < 1e-5, "{}", baseline.rmse(matrix.entries()));
+        assert!(
+            baseline.rmse(matrix.entries()) < 1e-5,
+            "{}",
+            baseline.rmse(matrix.entries())
+        );
     }
 
     #[test]
@@ -237,7 +249,11 @@ mod tests {
         });
         let baseline = BaselinePredictor::fit(&ds.matrix, 5.0);
         let residuals = baseline.residual_matrix(&ds.matrix);
-        assert!(residuals.mean_rating().abs() < 0.1, "{}", residuals.mean_rating());
+        assert!(
+            residuals.mean_rating().abs() < 0.1,
+            "{}",
+            residuals.mean_rating()
+        );
         assert_eq!(residuals.nnz(), ds.matrix.nnz());
     }
 

@@ -21,7 +21,9 @@ pub fn save_model<P: AsRef<Path>>(
     q: &FactorMatrix,
 ) -> Result<(), HccError> {
     if p.k() != q.k() {
-        return Err(HccError::BadInput("P and Q must share latent dimension".into()));
+        return Err(HccError::BadInput(
+            "P and Q must share latent dimension".into(),
+        ));
     }
     let file = std::fs::File::create(path).map_err(io_err)?;
     let mut out = BufWriter::new(file);

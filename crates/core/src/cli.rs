@@ -13,7 +13,7 @@ use crate::metrics::evaluate_ranking;
 use crate::recommend::Recommender;
 use crate::train::HccMf;
 use hcc_comm::TransferStrategy;
-use hcc_sgd::LearningRate;
+use hcc_sgd::{LearningRate, Schedule};
 use hcc_sparse::stats::row_count_quantiles;
 use hcc_sparse::MatrixStats;
 use std::io::Write;
@@ -66,6 +66,8 @@ pub struct TrainArgs {
     pub seed: u64,
     /// Partition mode.
     pub partition: PartitionMode,
+    /// Hogwild schedule inside each worker.
+    pub schedule: Schedule,
     /// Checkpoint path prefix.
     pub out: Option<String>,
     /// Evaluate ranking metrics on the held-out split.
@@ -86,6 +88,7 @@ impl Default for TrainArgs {
             test_frac: 0.1,
             seed: 42,
             partition: PartitionMode::Auto,
+            schedule: Schedule::Stripe,
             out: None,
             rank_metrics: false,
         }
@@ -96,8 +99,8 @@ impl Default for TrainArgs {
 pub const USAGE: &str = "usage:
   hcc train <ratings.txt> [--k N] [--epochs N] [--lr F] [--lambda F]
             [--workers cpu2,gpu4[@0.5]] [--strategy pq|q|halfq] [--streams N]
-            [--partition auto|uniform|dp0|dp1|dp2] [--test-frac F] [--seed N]
-            [--out PREFIX] [--rank-metrics]
+            [--partition auto|uniform|dp0|dp1|dp2] [--schedule stripe|tiled]
+            [--test-frac F] [--seed N] [--out PREFIX] [--rank-metrics]
   hcc analyze <ratings.txt>
   hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]";
 
@@ -162,21 +165,32 @@ fn parse_train<'a, I: Iterator<Item = &'a String>>(
         match arg.as_str() {
             "--k" => args.k = next("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--epochs" => {
-                args.epochs = next("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+                args.epochs = next("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
             }
             "--lr" => args.lr = next("--lr")?.parse().map_err(|e| format!("--lr: {e}"))?,
             "--lambda" => {
-                args.lambda = next("--lambda")?.parse().map_err(|e| format!("--lambda: {e}"))?
+                args.lambda = next("--lambda")?
+                    .parse()
+                    .map_err(|e| format!("--lambda: {e}"))?
             }
             "--workers" => args.workers = next("--workers")?,
             "--streams" => {
-                args.streams = next("--streams")?.parse().map_err(|e| format!("--streams: {e}"))?
+                args.streams = next("--streams")?
+                    .parse()
+                    .map_err(|e| format!("--streams: {e}"))?
             }
             "--test-frac" => {
-                args.test_frac =
-                    next("--test-frac")?.parse().map_err(|e| format!("--test-frac: {e}"))?
+                args.test_frac = next("--test-frac")?
+                    .parse()
+                    .map_err(|e| format!("--test-frac: {e}"))?
             }
-            "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--out" => args.out = Some(next("--out")?),
             "--rank-metrics" => args.rank_metrics = true,
             "--strategy" => {
@@ -187,6 +201,7 @@ fn parse_train<'a, I: Iterator<Item = &'a String>>(
                     other => return Err(format!("unknown strategy {other}")),
                 }
             }
+            "--schedule" => args.schedule = next("--schedule")?.parse()?,
             "--partition" => {
                 args.partition = match next("--partition")?.as_str() {
                     "auto" => PartitionMode::Auto,
@@ -210,9 +225,11 @@ pub fn parse_workers(spec: &str) -> Result<Vec<WorkerSpec>, String> {
     spec.split(',')
         .map(|part| {
             let (body, speed) = match part.split_once('@') {
-                Some((b, s)) => {
-                    (b, s.parse::<f64>().map_err(|e| format!("speed in {part}: {e}"))?)
-                }
+                Some((b, s)) => (
+                    b,
+                    s.parse::<f64>()
+                        .map_err(|e| format!("speed in {part}: {e}"))?,
+                ),
                 None => (part, 1.0),
             };
             let (kind, threads) = if let Some(t) = body.strip_prefix("cpu") {
@@ -222,8 +239,9 @@ pub fn parse_workers(spec: &str) -> Result<Vec<WorkerSpec>, String> {
             } else {
                 return Err(format!("worker {part} must start with cpu or gpu"));
             };
-            let threads: usize =
-                threads.parse().map_err(|e| format!("threads in {part}: {e}"))?;
+            let threads: usize = threads
+                .parse()
+                .map_err(|e| format!("threads in {part}: {e}"))?;
             let base = if kind == "gpu" {
                 WorkerSpec::gpu_sim(threads)
             } else {
@@ -240,27 +258,49 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
         CliCommand::Analyze { path } => {
             let matrix = hcc_sparse::io::read_triples_file(&path).map_err(|e| e.to_string())?;
             let s = MatrixStats::compute(&matrix);
-            writeln!(out, "{path}: {} × {} with {} ratings", s.rows, s.cols, s.nnz).ok();
+            writeln!(
+                out,
+                "{path}: {} × {} with {} ratings",
+                s.rows, s.cols, s.nnz
+            )
+            .ok();
             writeln!(out, "density        {:.4}%", s.density * 100.0).ok();
             writeln!(out, "aspect (m/n)   {:.2}", s.aspect_ratio).ok();
             writeln!(out, "nnz/(m+n)      {:.1}", s.nnz_per_dim).ok();
             writeln!(out, "nnz/min(m,n)   {:.1}", s.nnz_per_min_dim).ok();
-            writeln!(out, "rating mean/sd {:.3} / {:.3}", s.mean_rating, s.std_rating).ok();
+            writeln!(
+                out,
+                "rating mean/sd {:.3} / {:.3}",
+                s.mean_rating, s.std_rating
+            )
+            .ok();
             writeln!(out, "row/col gini   {:.2} / {:.2}", s.row_gini, s.col_gini).ok();
             let (p50, p90, p99, max) = row_count_quantiles(&matrix);
-            writeln!(out, "row counts     p50={p50} p90={p90} p99={p99} max={max}").ok();
+            writeln!(
+                out,
+                "row counts     p50={p50} p90={p90} p99={p99} max={max}"
+            )
+            .ok();
             writeln!(
                 out,
                 "verdict        {} for multi-worker HCC-MF (threshold: nnz/min(m,n) >= 1000)",
-                if s.collaboration_friendly() { "GOOD" } else { "POOR" }
+                if s.collaboration_friendly() {
+                    "GOOD"
+                } else {
+                    "POOR"
+                }
             )
             .ok();
             Ok(())
         }
-        CliCommand::Recommend { model, ratings, user, count } => {
+        CliCommand::Recommend {
+            model,
+            ratings,
+            user,
+            count,
+        } => {
             let (p, q) = crate::checkpoint::load_model(&model).map_err(|e| e.to_string())?;
-            let matrix =
-                hcc_sparse::io::read_triples_file(&ratings).map_err(|e| e.to_string())?;
+            let matrix = hcc_sparse::io::read_triples_file(&ratings).map_err(|e| e.to_string())?;
             if user as usize >= p.rows() {
                 return Err(format!("user {user} out of range (model has {})", p.rows()));
             }
@@ -282,15 +322,14 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                 matrix.nnz()
             )
             .ok();
-            let (train, test) =
-                if args.test_frac > 0.0 && args.test_frac < 1.0 && matrix.nnz() > 10 {
-                    let (a, b) =
-                        hcc_sparse::train_test_split(&matrix, args.test_frac, args.seed)
-                            .map_err(|e| e.to_string())?;
-                    (a, Some(b))
-                } else {
-                    (matrix.clone(), None)
-                };
+            let (train, test) = if args.test_frac > 0.0 && args.test_frac < 1.0 && matrix.nnz() > 10
+            {
+                let (a, b) = hcc_sparse::train_test_split(&matrix, args.test_frac, args.seed)
+                    .map_err(|e| e.to_string())?;
+                (a, Some(b))
+            } else {
+                (matrix.clone(), None)
+            };
             let config = HccConfig::builder()
                 .k(args.k)
                 .epochs(args.epochs)
@@ -300,11 +339,14 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                 .strategy(args.strategy)
                 .streams(args.streams)
                 .partition(args.partition)
+                .schedule(args.schedule)
                 .seed(args.seed)
                 .track_rmse(true)
                 .try_build()
                 .map_err(|e| e.to_string())?;
-            let report = HccMf::new(config).train(&train).map_err(|e| e.to_string())?;
+            let report = HccMf::new(config)
+                .train(&train)
+                .map_err(|e| e.to_string())?;
             writeln!(
                 out,
                 "trained {} epochs in {:.2?} ({:.1}M updates/s, strategy {:?}, wire {:.1} MiB)",
@@ -358,7 +400,7 @@ mod tests {
 
     #[test]
     fn parse_train_defaults_and_flags() {
-        let cmd = parse(&argv("train data.txt --k 64 --epochs 5 --strategy halfq --partition dp2 --rank-metrics")).unwrap();
+        let cmd = parse(&argv("train data.txt --k 64 --epochs 5 --strategy halfq --partition dp2 --schedule tiled --rank-metrics")).unwrap();
         match cmd {
             CliCommand::Train(args) => {
                 assert_eq!(args.path, "data.txt");
@@ -366,6 +408,7 @@ mod tests {
                 assert_eq!(args.epochs, 5);
                 assert_eq!(args.strategy, TransferStrategy::HalfQ);
                 assert_eq!(args.partition, PartitionMode::Dp2);
+                assert_eq!(args.schedule, Schedule::Tiled);
                 assert!(args.rank_metrics);
                 assert_eq!(args.lr, 0.005); // default
             }
@@ -377,7 +420,9 @@ mod tests {
     fn parse_analyze_and_recommend() {
         assert_eq!(
             parse(&argv("analyze r.txt")).unwrap(),
-            CliCommand::Analyze { path: "r.txt".into() }
+            CliCommand::Analyze {
+                path: "r.txt".into()
+            }
         );
         assert_eq!(
             parse(&argv("recommend m.hccmf r.txt --user 7 --count 3")).unwrap(),
@@ -397,6 +442,7 @@ mod tests {
         assert!(parse(&argv("train")).is_err());
         assert!(parse(&argv("train d.txt --bogus 3")).is_err());
         assert!(parse(&argv("train d.txt --k notanumber")).is_err());
+        assert!(parse(&argv("train d.txt --schedule diagonal")).is_err());
         assert!(parse(&argv("recommend m.hccmf r.txt")).is_err()); // no --user
         assert!(parse(&argv("analyze a.txt extra")).is_err());
     }
@@ -432,17 +478,25 @@ mod tests {
 
         // analyze
         let mut buf = Vec::new();
-        run(CliCommand::Analyze { path: ratings.clone() }, &mut buf).unwrap();
+        run(
+            CliCommand::Analyze {
+                path: ratings.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("verdict"), "{text}");
 
         // train with checkpoint + ranking metrics
         let mut buf = Vec::new();
         let cmd = parse(
-            &format!("train {ratings} --k 8 --epochs 8 --lr 0.02 --out {model_prefix} --rank-metrics")
-                .split_whitespace()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>(),
+            &format!(
+                "train {ratings} --k 8 --epochs 8 --lr 0.02 --out {model_prefix} --rank-metrics"
+            )
+            .split_whitespace()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
         )
         .unwrap();
         run(cmd, &mut buf).unwrap();

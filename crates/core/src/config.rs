@@ -2,7 +2,7 @@
 
 use crate::error::HccError;
 use hcc_comm::TransferStrategy;
-use hcc_sgd::LearningRate;
+use hcc_sgd::{LearningRate, Schedule};
 
 /// One worker of the collaborative platform.
 ///
@@ -118,7 +118,10 @@ pub struct EarlyStop {
 
 impl Default for EarlyStop {
     fn default() -> Self {
-        EarlyStop { min_rel_improvement: 1e-3, patience: 3 }
+        EarlyStop {
+            min_rel_improvement: 1e-3,
+            patience: 3,
+        }
     }
 }
 
@@ -158,6 +161,10 @@ pub struct HccConfig {
     pub early_stop: Option<EarlyStop>,
     /// Per-update optimizer.
     pub optimizer: Optimizer,
+    /// Hogwild entry-to-thread schedule inside each worker (plain SGD only;
+    /// `stripe` is the classic interleaving, `tiled` the cache-blocked
+    /// scheduler).
+    pub schedule: Schedule,
     /// Optional warm-start factors `(P, Q)` in the *input* orientation.
     /// Dimensions must match the training matrix and `k`; used instead of
     /// random initialization (e.g. to resume from a checkpoint after new
@@ -186,7 +193,9 @@ impl HccConfig {
             return Err(HccError::BadConfig("streams must be >= 1".into()));
         }
         if self.early_stop.is_some() && !self.track_rmse {
-            return Err(HccError::BadConfig("early stopping requires track_rmse".into()));
+            return Err(HccError::BadConfig(
+                "early stopping requires track_rmse".into(),
+            ));
         }
         if let Some(es) = &self.early_stop {
             if es.patience == 0 || !es.min_rel_improvement.is_finite() {
@@ -205,7 +214,10 @@ impl HccConfig {
         }
         for w in &self.workers {
             if w.threads == 0 {
-                return Err(HccError::BadConfig(format!("worker {} has zero threads", w.name)));
+                return Err(HccError::BadConfig(format!(
+                    "worker {} has zero threads",
+                    w.name
+                )));
             }
             if !(w.speed_factor > 0.0 && w.speed_factor <= 1.0) {
                 return Err(HccError::BadConfig(format!(
@@ -244,6 +256,7 @@ impl Default for HccConfigBuilder {
                 shuffle: true,
                 early_stop: None,
                 optimizer: Optimizer::Sgd,
+                schedule: Schedule::Stripe,
                 warm_start: None,
             },
         }
@@ -342,6 +355,12 @@ impl HccConfigBuilder {
         self
     }
 
+    /// Selects the worker-internal Hogwild schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
     /// Warm-starts training from existing factors (input orientation).
     pub fn warm_start(mut self, p: hcc_sgd::FactorMatrix, q: hcc_sgd::FactorMatrix) -> Self {
         self.config.warm_start = Some((p, q));
@@ -375,6 +394,7 @@ mod tests {
         assert_eq!(cfg.strategy, TransferStrategy::QOnly);
         assert_eq!(cfg.partition, PartitionMode::Auto);
         assert_eq!(cfg.streams, 1);
+        assert_eq!(cfg.schedule, Schedule::Stripe);
     }
 
     #[test]
@@ -386,12 +406,14 @@ mod tests {
             .streams(3)
             .partition(PartitionMode::Dp2)
             .transport(TransportKind::CommP)
+            .schedule(Schedule::Tiled)
             .build();
         assert_eq!(cfg.k, 64);
         assert_eq!(cfg.lambda_p, 0.5);
         assert_eq!(cfg.lambda_q, 0.5);
         assert_eq!(cfg.streams, 3);
         assert_eq!(cfg.transport, TransportKind::CommP);
+        assert_eq!(cfg.schedule, Schedule::Tiled);
     }
 
     #[test]

@@ -46,8 +46,7 @@ mod tests {
     fn display_and_source() {
         let e = HccError::BadConfig("k must be > 0".into());
         assert!(e.to_string().contains("k must be > 0"));
-        let s: HccError =
-            hcc_sparse::SparseError::EmptyDimension { what: "rows" }.into();
+        let s: HccError = hcc_sparse::SparseError::EmptyDimension { what: "rows" }.into();
         assert!(std::error::Error::source(&s).is_some());
     }
 }

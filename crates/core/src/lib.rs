@@ -56,8 +56,9 @@ pub mod worker;
 
 pub use baseline::{BaselinePredictor, BiasedRecommender};
 pub use checkpoint::{load_model, save_model};
-pub use config::{EarlyStop, HccConfig, HccConfigBuilder, Optimizer, PartitionMode,
-    TransportKind, WorkerSpec};
+pub use config::{
+    EarlyStop, HccConfig, HccConfigBuilder, Optimizer, PartitionMode, TransportKind, WorkerSpec,
+};
 pub use error::HccError;
 pub use metrics::{evaluate_ranking, RankingMetrics};
 pub use recommend::Recommender;

@@ -61,8 +61,10 @@ pub fn evaluate_ranking(
         users += 1;
 
         let top = rec.top_k(u, k);
-        let hits: Vec<bool> =
-            top.iter().map(|(i, _)| relevant.binary_search(i).is_ok()).collect();
+        let hits: Vec<bool> = top
+            .iter()
+            .map(|(i, _)| relevant.binary_search(i).is_ok())
+            .collect();
         let hit_count = hits.iter().filter(|&&h| h).count();
 
         precision_sum += hit_count as f64 / k as f64;

@@ -22,7 +22,11 @@ impl Recommender {
         assert_eq!(p.rows(), train.rows() as usize, "P rows must match users");
         assert_eq!(q.rows(), train.cols() as usize, "Q rows must match items");
         assert_eq!(p.k(), q.k(), "P and Q must share k");
-        Recommender { p, q, seen: CsrMatrix::from(train) }
+        Recommender {
+            p,
+            q,
+            seen: CsrMatrix::from(train),
+        }
     }
 
     /// Predicted rating for `(user, item)`.

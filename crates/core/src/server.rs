@@ -78,7 +78,10 @@ pub fn merge_weights(shard_sizes: &[usize]) -> Vec<f32> {
     if total == 0 {
         return vec![1.0 / shard_sizes.len().max(1) as f32; shard_sizes.len()];
     }
-    shard_sizes.iter().map(|&s| s as f32 / total as f32).collect()
+    shard_sizes
+        .iter()
+        .map(|&s| s as f32 / total as f32)
+        .collect()
 }
 
 #[cfg(test)]

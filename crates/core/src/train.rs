@@ -56,7 +56,11 @@ impl HccMf {
         // dimension; internally we always row-grid, transposing when needed
         // (the "Transmit P only" switch of Strategy 1).
         let transposed = Axis::for_matrix(matrix.rows(), matrix.cols()) == Axis::Col;
-        let mut work = if transposed { matrix.clone().transpose() } else { matrix.clone() };
+        let mut work = if transposed {
+            matrix.clone().transpose()
+        } else {
+            matrix.clone()
+        };
         if self.config.shuffle {
             let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
             work.shuffle(&mut rng);
@@ -142,7 +146,13 @@ impl<'a> Session<'a> {
         let classes: Vec<WorkerClass> = config
             .workers
             .iter()
-            .map(|w| if w.is_gpu { WorkerClass::Gpu } else { WorkerClass::Cpu })
+            .map(|w| {
+                if w.is_gpu {
+                    WorkerClass::Gpu
+                } else {
+                    WorkerClass::Cpu
+                }
+            })
             .collect();
 
         let fractions = initial_fractions(config, &work)?;
@@ -159,12 +169,7 @@ impl<'a> Session<'a> {
             classes,
             workers: Vec::new(),
             layout: region_layout(config.strategy, m, n, k, m),
-            transport: TransportArc::Shared(Arc::new(CommShared::new(
-                1,
-                1,
-                1,
-                Precision::Fp32,
-            ))),
+            transport: TransportArc::Shared(Arc::new(CommShared::new(1, 1, 1, Precision::Fp32))),
             rmse_history: Vec::new(),
             epoch_times: Vec::new(),
             worker_stats: Vec::new(),
@@ -231,6 +236,7 @@ impl<'a> Session<'a> {
                 optimizer: self.config.optimizer,
                 adagrad,
                 momentum,
+                schedule: self.config.schedule,
             });
         }
         self.layout = region_layout(self.config.strategy, self.m, self.n, k, max_rows);
@@ -317,7 +323,13 @@ impl<'a> Session<'a> {
             .copy_from_slice(&self.global_q);
         transport.publish(&pull_staging);
 
-        let weights = merge_weights(&self.workers.iter().map(|w| w.entries.len()).collect::<Vec<_>>());
+        let weights = merge_weights(
+            &self
+                .workers
+                .iter()
+                .map(|w| w.entries.len())
+                .collect::<Vec<_>>(),
+        );
         let lambda_p = self.config.lambda_p;
         let lambda_q = self.config.lambda_q;
 
@@ -406,7 +418,9 @@ impl<'a> Session<'a> {
             let lo = self.workers[w].row_range.start as usize;
             let rows = self.workers[w].rows();
             for r in 0..rows {
-                self.global_p.row_mut(lo + r).copy_from_slice(&p_rows[r * k..(r + 1) * k]);
+                self.global_p
+                    .row_mut(lo + r)
+                    .copy_from_slice(&p_rows[r * k..(r + 1) * k]);
             }
         }
         (stats.into_inner(), sync_time)
@@ -425,7 +439,13 @@ impl<'a> Session<'a> {
         let streams = self.config.streams;
         let lambda_p = self.config.lambda_p;
         let lambda_q = self.config.lambda_q;
-        let weights = merge_weights(&self.workers.iter().map(|w| w.entries.len()).collect::<Vec<_>>());
+        let weights = merge_weights(
+            &self
+                .workers
+                .iter()
+                .map(|w| w.entries.len())
+                .collect::<Vec<_>>(),
+        );
 
         // Publish the whole Q once; workers pull it chunk-wise.
         comm.publish_at(0, &self.global_q);
@@ -520,22 +540,36 @@ impl<'a> Session<'a> {
     /// Post-epoch partition adaptation (Algorithm 1 / Eq. 7).
     fn adapt(&mut self, epoch: usize) {
         let mode = self.config.partition;
-        if !matches!(mode, PartitionMode::Dp1 | PartitionMode::Dp2 | PartitionMode::Auto) {
+        if !matches!(
+            mode,
+            PartitionMode::Dp1 | PartitionMode::Dp2 | PartitionMode::Auto
+        ) {
             return;
         }
         if epoch + 1 >= self.config.epochs || epoch >= self.config.adapt_epochs {
             return;
         }
         let stats = self.worker_stats.last().expect("epoch recorded");
-        let t: Vec<f64> = stats.iter().map(|s| s.compute.as_secs_f64().max(1e-9)).collect();
+        let t: Vec<f64> = stats
+            .iter()
+            .map(|s| s.compute.as_secs_f64().max(1e-9))
+            .collect();
 
         let last_adapt_epoch = epoch + 1 == self.config.adapt_epochs;
         if last_adapt_epoch && matches!(mode, PartitionMode::Dp2 | PartitionMode::Auto) {
-            let sync_total = self.sync_times.last().copied().unwrap_or_default().as_secs_f64();
+            let sync_total = self
+                .sync_times
+                .last()
+                .copied()
+                .unwrap_or_default()
+                .as_secs_f64();
             let sync_per_worker = sync_total / self.workers.len() as f64;
             let max_t = t.iter().cloned().fold(0.0f64, f64::max);
-            let ratio =
-                if sync_total > 0.0 { max_t / sync_total } else { f64::INFINITY };
+            let ratio = if sync_total > 0.0 {
+                max_t / sync_total
+            } else {
+                f64::INFINITY
+            };
             let want_dp2 = mode == PartitionMode::Dp2
                 || (mode == PartitionMode::Auto && ratio < hcc_partition::CostModel::LAMBDA);
             if want_dp2 {
@@ -599,6 +633,7 @@ fn initial_fractions(config: &HccConfig, work: &CooMatrix) -> Result<Vec<f64>, H
             optimizer: crate::config::Optimizer::Sgd,
             adagrad: None,
             momentum: None,
+            schedule: config.schedule,
         };
         // Warm-up pass (thread spawn, page faults), then the measured pass.
         state.compute(&sample[..sample_len.min(4_096)], 0.0, 0.0, 0.0);
@@ -707,9 +742,15 @@ mod tests {
     #[test]
     fn async_rejects_full_pq_and_comm_p() {
         let ds = dataset(50, 30, 500);
-        let cfg = base_config().streams(2).strategy(TransferStrategy::FullPq).build();
+        let cfg = base_config()
+            .streams(2)
+            .strategy(TransferStrategy::FullPq)
+            .build();
         assert!(HccMf::new(cfg).train(&ds.matrix).is_err());
-        let cfg = base_config().streams(2).transport(TransportKind::CommP).build();
+        let cfg = base_config()
+            .streams(2)
+            .transport(TransportKind::CommP)
+            .build();
         assert!(HccMf::new(cfg).train(&ds.matrix).is_err());
     }
 
@@ -744,7 +785,10 @@ mod tests {
     #[test]
     fn uniform_mode_never_repartitions() {
         let ds = dataset(200, 100, 4_000);
-        let cfg = base_config().partition(PartitionMode::Uniform).epochs(4).build();
+        let cfg = base_config()
+            .partition(PartitionMode::Uniform)
+            .epochs(4)
+            .build();
         let report = HccMf::new(cfg).train(&ds.matrix).unwrap();
         for x in &report.partition_history {
             assert!(x.iter().all(|&v| (v - 0.5).abs() < 1e-12));

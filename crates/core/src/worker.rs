@@ -8,7 +8,7 @@
 use crate::config::{Optimizer, WorkerSpec};
 use hcc_sgd::adagrad::{adagrad_hogwild_epoch, AdaGradConfig, AdaGradState};
 use hcc_sgd::momentum::{momentum_hogwild_epoch, MomentumConfig, MomentumState};
-use hcc_sgd::{hogwild_epoch, HogwildConfig, SharedFactors};
+use hcc_sgd::{hogwild_epoch, HogwildConfig, Schedule, SharedFactors};
 use hcc_sparse::Rating;
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -41,6 +41,9 @@ pub(crate) struct WorkerState {
     pub adagrad: Option<AdaGradState>,
     /// Momentum velocity buffers (present iff `optimizer` is Momentum).
     pub momentum: Option<MomentumState>,
+    /// Entry-to-thread schedule for the plain-SGD Hogwild sweep (the
+    /// AdaGrad/Momentum kernels keep their own striped sweeps).
+    pub schedule: Schedule,
 }
 
 impl WorkerState {
@@ -75,6 +78,7 @@ impl WorkerState {
                     learning_rate: lr,
                     lambda_p,
                     lambda_q,
+                    schedule: self.schedule,
                 };
                 hogwild_epoch(chunk, &self.local_p, &self.local_q, &cfg);
             }
@@ -86,8 +90,8 @@ impl WorkerState {
                 let t0 = Instant::now();
                 run(chunk);
                 let elapsed = t0.elapsed();
-                let penalty = elapsed
-                    .mul_f64((1.0 - self.spec.speed_factor) / self.spec.speed_factor);
+                let penalty =
+                    elapsed.mul_f64((1.0 - self.spec.speed_factor) / self.spec.speed_factor);
                 std::thread::sleep(penalty);
             }
         }
@@ -128,7 +132,11 @@ pub(crate) fn bucket_by_stream(entries: &[Rating], n: u32, streams: usize) -> Ve
 pub(crate) fn stream_col_range(n: u32, streams: usize, s: usize) -> Range<u32> {
     let chunk = n.div_ceil(streams as u32).max(1);
     let lo = (s as u32 * chunk).min(n);
-    let hi = if s + 1 == streams { n } else { ((s as u32 + 1) * chunk).min(n) };
+    let hi = if s + 1 == streams {
+        n
+    } else {
+        ((s as u32 + 1) * chunk).min(n)
+    };
     lo..hi
 }
 
@@ -148,6 +156,7 @@ mod tests {
             optimizer: Optimizer::Sgd,
             adagrad: None,
             momentum: None,
+            schedule: Schedule::Stripe,
         }
     }
 

@@ -140,7 +140,11 @@ mod tests {
     fn remote_nodes_ride_the_slow_bus() {
         let p = ClusterBuilder::new(2).build();
         assert_eq!(p.worker_count(), 8);
-        let remote: Vec<_> = p.workers.iter().filter(|w| w.profile.name.starts_with("n1")).collect();
+        let remote: Vec<_> = p
+            .workers
+            .iter()
+            .filter(|w| w.profile.name.starts_with("n1"))
+            .collect();
         assert_eq!(remote.len(), 4);
         for w in remote {
             assert_eq!(w.bus, BusKind::Custom(CROSS_NODE_BANDWIDTH));
@@ -163,8 +167,11 @@ mod tests {
             let p = ClusterBuilder::new(nodes).build();
             let x = dp0(&standalone_times(&p, &wl));
             let trace = simulate_epoch(&p, &wl, &cfg, &x);
-            let max_compute =
-                trace.totals.iter().map(|t| t.compute).fold(0.0f64, f64::max);
+            let max_compute = trace
+                .totals
+                .iter()
+                .map(|t| t.compute)
+                .fold(0.0f64, f64::max);
             assert!(
                 max_compute < prev_compute,
                 "{nodes} nodes: compute did not shrink ({max_compute} vs {prev_compute})"

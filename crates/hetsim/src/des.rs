@@ -10,7 +10,7 @@
 //! For dedicated buses and FIFO sync the two schedulers should agree almost
 //! exactly; under contention the event calendar is the reference.
 
-use crate::engine::{EpochTrace, Phase, PhaseSpan, SimConfig, Workload, WorkerTotals};
+use crate::engine::{EpochTrace, Phase, PhaseSpan, SimConfig, WorkerTotals, Workload};
 use crate::platform::Platform;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -40,7 +40,10 @@ impl PartialOrd for Key {
 }
 impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap().then(self.1.cmp(&other.1))
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap()
+            .then(self.1.cmp(&other.1))
     }
 }
 
@@ -84,25 +87,33 @@ pub fn simulate_epoch_des(
     let mut totals = vec![WorkerTotals::default(); workers];
     for (w, slot) in platform.workers.iter().enumerate() {
         let rate_raw =
-            slot.profile.rate_at(&workload.name, workload.m, workload.n, workload.nnz, x[w]);
+            slot.profile
+                .rate_at(&workload.name, workload.m, workload.n, workload.nnz, x[w]);
         let rate = if slot.timeshare_server {
             rate_raw * platform.timeshare_efficiency
         } else {
             rate_raw
         };
-        let compute_total = if x[w] > 0.0 { x[w] * workload.nnz as f64 / rate } else { 0.0 };
+        let compute_total = if x[w] > 0.0 {
+            x[w] * workload.nnz as f64 / rate
+        } else {
+            0.0
+        };
         let m_assigned = (x[w] * workload.m as f64).round() as u64;
         let bus = slot.bus.bandwidth() * config.transport_efficiency;
-        let pull_total =
-            config.strategy.pull_bytes(workload.m, workload.n, config.k) as f64 / bus;
-        let push_total =
-            config.strategy.push_bytes(m_assigned, workload.n, config.k) as f64 / bus;
-        let sync_bytes =
-            (config.strategy.push_elements(m_assigned, workload.n, config.k) * 4) as f64;
+        let pull_total = config.strategy.pull_bytes(workload.m, workload.n, config.k) as f64 / bus;
+        let push_total = config.strategy.push_bytes(m_assigned, workload.n, config.k) as f64 / bus;
+        let sync_bytes = (config
+            .strategy
+            .push_elements(m_assigned, workload.n, config.k)
+            * 4) as f64;
         let streams = config.streams.min(slot.profile.max_streams).max(1);
         let s64 = streams as f64;
-        totals[w] =
-            WorkerTotals { pull: pull_total, compute: compute_total, push: push_total };
+        totals[w] = WorkerTotals {
+            pull: pull_total,
+            compute: compute_total,
+            push: push_total,
+        };
         for chunk in 0..streams {
             let id = tasks.len();
             tasks.push(Task {
@@ -124,7 +135,10 @@ pub fn simulate_epoch_des(
     // Track each worker's previous chunk completion per phase to release the
     // next chunk's pull.
     let streams_of = |w: usize| {
-        config.streams.min(platform.workers[w].profile.max_streams).max(1)
+        config
+            .streams
+            .min(platform.workers[w].profile.max_streams)
+            .max(1)
     };
 
     while let Some(Reverse((Key(ready, _), id))) = calendar.pop() {
@@ -151,7 +165,12 @@ pub fn simulate_epoch_des(
             Phase::Sync => unreachable!("sync handled after the loop"),
         };
         let end = clock_after;
-        spans.push(PhaseSpan { worker: w, phase: task.phase, start, end });
+        spans.push(PhaseSpan {
+            worker: w,
+            phase: task.phase,
+            start,
+            end,
+        });
 
         // Schedule the successor.
         match task.phase {
@@ -169,8 +188,11 @@ pub fn simulate_epoch_des(
                 } else {
                     rate_raw
                 };
-                let compute_total =
-                    if x[w] > 0.0 { x[w] * workload.nnz as f64 / rate } else { 0.0 };
+                let compute_total = if x[w] > 0.0 {
+                    x[w] * workload.nnz as f64 / rate
+                } else {
+                    0.0
+                };
                 let id2 = tasks.len();
                 tasks.push(Task {
                     phase: Phase::Compute,
@@ -217,11 +239,21 @@ pub fn simulate_epoch_des(
         let start = arrival.max(server_free);
         server_free = start + dur;
         sync_total += dur;
-        spans.push(PhaseSpan { worker: w, phase: Phase::Sync, start, end: server_free });
+        spans.push(PhaseSpan {
+            worker: w,
+            phase: Phase::Sync,
+            start,
+            end: server_free,
+        });
     }
 
     let epoch_time = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
-    EpochTrace { spans, totals, sync_total, epoch_time }
+    EpochTrace {
+        spans,
+        totals,
+        sync_total,
+        epoch_time,
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +272,10 @@ mod tests {
     fn agrees_with_fast_engine_on_dedicated_buses() {
         for streams in [1usize, 4] {
             let platform = Platform::paper_testbed_4workers();
-            let cfg = SimConfig { streams, ..Default::default() };
+            let cfg = SimConfig {
+                streams,
+                ..Default::default()
+            };
             let x = [0.1, 0.2, 0.3, 0.4];
             let fast = simulate_epoch(&platform, &netflix(), &cfg, &x);
             let des = simulate_epoch_des(&platform, &netflix(), &cfg, &x);
@@ -273,13 +308,19 @@ mod tests {
         let fast = simulate_epoch(&shared, &wl, &cfg, &x).epoch_time;
         let des = simulate_epoch_des(&shared, &wl, &cfg, &x).epoch_time;
         assert!(fast >= des * 0.99, "fair-share optimistic: {fast} < {des}");
-        assert!(fast <= des * 2.0, "fair-share too pessimistic: {fast} vs {des}");
+        assert!(
+            fast <= des * 2.0,
+            "fair-share too pessimistic: {fast} vs {des}"
+        );
     }
 
     #[test]
     fn des_is_deterministic() {
         let platform = Platform::paper_testbed_3workers();
-        let cfg = SimConfig { streams: 4, ..Default::default() };
+        let cfg = SimConfig {
+            streams: 4,
+            ..Default::default()
+        };
         let x = [0.2, 0.4, 0.4];
         let a = simulate_epoch_des(&platform, &netflix(), &cfg, &x);
         let b = simulate_epoch_des(&platform, &netflix(), &cfg, &x);
@@ -289,7 +330,10 @@ mod tests {
     #[test]
     fn des_phases_respect_dependencies() {
         let platform = Platform::paper_testbed_3workers();
-        let cfg = SimConfig { streams: 4, ..Default::default() };
+        let cfg = SimConfig {
+            streams: 4,
+            ..Default::default()
+        };
         let trace = simulate_epoch_des(&platform, &netflix(), &cfg, &[0.3, 0.3, 0.4]);
         // Within a worker, chunk pipelines never compute before pulling.
         for w in 0..3 {

@@ -38,7 +38,12 @@ pub struct Workload {
 impl Workload {
     /// Builds from a named dataset profile.
     pub fn from_profile(profile: &DatasetProfile) -> Workload {
-        Workload { name: profile.name.to_string(), m: profile.m, n: profile.n, nnz: profile.nnz }
+        Workload {
+            name: profile.name.to_string(),
+            m: profile.m,
+            n: profile.n,
+            nnz: profile.nnz,
+        }
     }
 }
 
@@ -145,7 +150,11 @@ impl EpochTrace {
 
     /// Spans of one worker.
     pub fn worker_spans(&self, worker: usize) -> Vec<PhaseSpan> {
-        self.spans.iter().copied().filter(|s| s.worker == worker).collect()
+        self.spans
+            .iter()
+            .copied()
+            .filter(|s| s.worker == worker)
+            .collect()
     }
 }
 
@@ -178,21 +187,28 @@ pub fn simulate_epoch(
     let mut arrivals: Vec<(f64, usize, f64)> = Vec::new();
 
     for (w, slot) in platform.workers.iter().enumerate() {
-        let rate_raw = slot.profile.rate_at(&workload.name, workload.m, workload.n, workload.nnz, x[w]);
+        let rate_raw =
+            slot.profile
+                .rate_at(&workload.name, workload.m, workload.n, workload.nnz, x[w]);
         let rate = if slot.timeshare_server {
             rate_raw * platform.timeshare_efficiency
         } else {
             rate_raw
         };
-        let compute_total = if x[w] > 0.0 { x[w] * workload.nnz as f64 / rate } else { 0.0 };
+        let compute_total = if x[w] > 0.0 {
+            x[w] * workload.nnz as f64 / rate
+        } else {
+            0.0
+        };
 
         let m_assigned = (x[w] * workload.m as f64).round() as u64;
         let pull_bytes = config.strategy.pull_bytes(workload.m, workload.n, config.k) as f64;
-        let push_bytes =
-            config.strategy.push_bytes(m_assigned, workload.n, config.k) as f64;
+        let push_bytes = config.strategy.push_bytes(m_assigned, workload.n, config.k) as f64;
         // The server merges the *decompressed* payload (always FP32).
-        let sync_bytes = (config.strategy.push_elements(m_assigned, workload.n, config.k) * 4)
-            as f64;
+        let sync_bytes = (config
+            .strategy
+            .push_elements(m_assigned, workload.n, config.k)
+            * 4) as f64;
 
         let bus = platform.effective_bus_bandwidth(w) * config.transport_efficiency;
         let pull_total = pull_bytes / bus;
@@ -209,7 +225,12 @@ pub fn simulate_epoch(
             let pull_start = pull_free;
             let pull_end = pull_start + pull_total / s64;
             pull_free = pull_end;
-            spans.push(PhaseSpan { worker: w, phase: Phase::Pull, start: pull_start, end: pull_end });
+            spans.push(PhaseSpan {
+                worker: w,
+                phase: Phase::Pull,
+                start: pull_start,
+                end: pull_end,
+            });
 
             let comp_start = pull_end.max(compute_free);
             let comp_end = comp_start + compute_total / s64;
@@ -224,12 +245,21 @@ pub fn simulate_epoch(
             let push_start = comp_end.max(push_free);
             let push_end = push_start + push_total / s64;
             push_free = push_end;
-            spans.push(PhaseSpan { worker: w, phase: Phase::Push, start: push_start, end: push_end });
+            spans.push(PhaseSpan {
+                worker: w,
+                phase: Phase::Push,
+                start: push_start,
+                end: push_end,
+            });
 
             arrivals.push((push_end, w, sync_bytes / s64));
         }
 
-        totals[w] = WorkerTotals { pull: pull_total, compute: compute_total, push: push_total };
+        totals[w] = WorkerTotals {
+            pull: pull_total,
+            compute: compute_total,
+            push: push_total,
+        };
     }
 
     // Server merges pushes in arrival order (FIFO), one at a time.
@@ -242,11 +272,21 @@ pub fn simulate_epoch(
         let end = start + dur;
         server_free = end;
         sync_total += dur;
-        spans.push(PhaseSpan { worker: w, phase: Phase::Sync, start, end });
+        spans.push(PhaseSpan {
+            worker: w,
+            phase: Phase::Sync,
+            start,
+            end,
+        });
     }
 
     let epoch_time = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
-    EpochTrace { spans, totals, sync_total, epoch_time }
+    EpochTrace {
+        spans,
+        totals,
+        sync_total,
+        epoch_time,
+    }
 }
 
 /// Multi-epoch summary (epochs are barrier-separated: the next pull needs
@@ -278,7 +318,12 @@ pub fn simulate_training(
     } else {
         0.0
     };
-    TrainingSim { epoch, epochs, total_time, computing_power }
+    TrainingSim {
+        epoch,
+        epochs,
+        total_time,
+        computing_power,
+    }
 }
 
 /// The platform's ideal computing power on a workload: the sum of every
@@ -288,7 +333,10 @@ pub fn ideal_computing_power(platform: &Platform, workload: &Workload) -> f64 {
     platform
         .workers
         .iter()
-        .map(|slot| slot.profile.rate_at(&workload.name, workload.m, workload.n, workload.nnz, 1.0))
+        .map(|slot| {
+            slot.profile
+                .rate_at(&workload.name, workload.m, workload.n, workload.nnz, 1.0)
+        })
         .sum()
 }
 
@@ -309,13 +357,21 @@ mod tests {
     }
 
     fn workload() -> Workload {
-        Workload { name: "custom".into(), m: 100_000, n: 10_000, nnz: 10_000_000 }
+        Workload {
+            name: "custom".into(),
+            m: 100_000,
+            n: 10_000,
+            nnz: 10_000_000,
+        }
     }
 
     #[test]
     fn single_worker_epoch_decomposes() {
         let p = uniform_platform(1, 1e8);
-        let cfg = SimConfig { k: 64, ..Default::default() };
+        let cfg = SimConfig {
+            k: 64,
+            ..Default::default()
+        };
         let trace = simulate_epoch(&p, &workload(), &cfg, &[1.0]);
         let t = &trace.totals[0];
         // compute = nnz / rate
@@ -347,10 +403,17 @@ mod tests {
     #[test]
     fn sync_spans_never_overlap() {
         let p = uniform_platform(4, 1e8);
-        let trace =
-            simulate_epoch(&p, &workload(), &SimConfig::default(), &[0.25, 0.25, 0.25, 0.25]);
-        let mut syncs: Vec<_> =
-            trace.spans.iter().filter(|s| s.phase == Phase::Sync).collect();
+        let trace = simulate_epoch(
+            &p,
+            &workload(),
+            &SimConfig::default(),
+            &[0.25, 0.25, 0.25, 0.25],
+        );
+        let mut syncs: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.phase == Phase::Sync)
+            .collect();
         syncs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         assert_eq!(syncs.len(), 4);
         for pair in syncs.windows(2) {
@@ -388,9 +451,22 @@ mod tests {
             ProcessorProfile::custom_gpu("gpu", 1e9, 400e9, 0.0),
             BusKind::Custom(1e9),
         );
-        let wl = Workload { name: "custom".into(), m: 50_000, n: 50_000, nnz: 20_000_000 };
-        let sync_cfg = SimConfig { k: 128, streams: 1, ..Default::default() };
-        let async_cfg = SimConfig { k: 128, streams: 4, ..Default::default() };
+        let wl = Workload {
+            name: "custom".into(),
+            m: 50_000,
+            n: 50_000,
+            nnz: 20_000_000,
+        };
+        let sync_cfg = SimConfig {
+            k: 128,
+            streams: 1,
+            ..Default::default()
+        };
+        let async_cfg = SimConfig {
+            k: 128,
+            streams: 4,
+            ..Default::default()
+        };
         let sync_trace = simulate_epoch(&p, &wl, &sync_cfg, &[1.0]);
         let async_trace = simulate_epoch(&p, &wl, &async_cfg, &[1.0]);
         assert!(
@@ -409,8 +485,24 @@ mod tests {
         // A CPU with max_streams = 1 can't pipeline: asking for 4 streams
         // changes nothing.
         let p = uniform_platform(1, 1e8);
-        let s1 = simulate_epoch(&p, &workload(), &SimConfig { streams: 1, ..Default::default() }, &[1.0]);
-        let s4 = simulate_epoch(&p, &workload(), &SimConfig { streams: 4, ..Default::default() }, &[1.0]);
+        let s1 = simulate_epoch(
+            &p,
+            &workload(),
+            &SimConfig {
+                streams: 1,
+                ..Default::default()
+            },
+            &[1.0],
+        );
+        let s4 = simulate_epoch(
+            &p,
+            &workload(),
+            &SimConfig {
+                streams: 4,
+                ..Default::default()
+            },
+            &[1.0],
+        );
         assert!((s1.epoch_time - s4.epoch_time).abs() < 1e-12);
     }
 
@@ -423,7 +515,10 @@ mod tests {
         let tn = simulate_epoch(&normal, &workload(), &cfg, &[1.0]);
         let ts = simulate_epoch(&shared, &workload(), &cfg, &[1.0]);
         let ratio = tn.totals[0].compute / ts.totals[0].compute;
-        assert!((ratio - shared.timeshare_efficiency).abs() < 1e-9, "ratio {ratio}");
+        assert!(
+            (ratio - shared.timeshare_efficiency).abs() < 1e-9,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

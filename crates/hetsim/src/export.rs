@@ -92,7 +92,10 @@ mod tests {
         let (platform, trace) = trace_and_platform();
         let csv = spans_to_csv(&platform, &trace);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "worker,worker_name,phase,start_s,end_s,duration_s");
+        assert_eq!(
+            lines[0],
+            "worker,worker_name,phase,start_s,end_s,duration_s"
+        );
         assert_eq!(lines.len(), trace.spans.len() + 1);
         // 3 workers × (pull+compute+push) + 3 syncs = 12 spans.
         assert_eq!(trace.spans.len(), 12);

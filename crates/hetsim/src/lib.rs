@@ -43,11 +43,15 @@ pub mod measure;
 pub mod platform;
 pub mod profile;
 
-pub use engine::{ideal_computing_power, simulate_epoch, simulate_training, EpochTrace, Phase,
-    PhaseSpan, SimConfig, TrainingSim, Workload};
-pub use measure::{bandwidth_table, cost_model_for, standalone_times, virtual_measure,
-    virtual_measure_total, worker_classes};
 pub use cluster::ClusterBuilder;
 pub use des::simulate_epoch_des;
+pub use engine::{
+    ideal_computing_power, simulate_epoch, simulate_training, EpochTrace, Phase, PhaseSpan,
+    SimConfig, TrainingSim, Workload,
+};
+pub use measure::{
+    bandwidth_table, cost_model_for, standalone_times, virtual_measure, virtual_measure_total,
+    worker_classes,
+};
 pub use platform::{Platform, WorkerSlot};
 pub use profile::{BusKind, ProcKind, ProcessorProfile};

@@ -22,7 +22,8 @@ pub fn standalone_times(platform: &Platform, workload: &Workload) -> Vec<f64> {
         .iter()
         .map(|slot| {
             let rate =
-                slot.profile.rate_at(&workload.name, workload.m, workload.n, workload.nnz, 1.0);
+                slot.profile
+                    .rate_at(&workload.name, workload.m, workload.n, workload.nnz, 1.0);
             workload.nnz as f64 / rate
         })
         .collect()
@@ -42,13 +43,14 @@ pub fn virtual_measure<'a>(
             .iter()
             .zip(x)
             .map(|(slot, &xi)| {
-                let rate = slot.profile.rate_at(
-                    &workload.name,
-                    workload.m,
-                    workload.n,
-                    workload.nnz,
-                    xi,
-                ) * if slot.timeshare_server { platform.timeshare_efficiency } else { 1.0 };
+                let rate =
+                    slot.profile
+                        .rate_at(&workload.name, workload.m, workload.n, workload.nnz, xi)
+                        * if slot.timeshare_server {
+                            platform.timeshare_efficiency
+                        } else {
+                            1.0
+                        };
                 if xi > 0.0 {
                     xi * workload.nnz as f64 / rate
                 } else {
@@ -84,12 +86,10 @@ pub fn virtual_measure_total<'a>(
                 let streams = config.streams.min(slot.profile.max_streams).max(1) as f64;
                 let bus = platform.effective_bus_bandwidth(w) * config.transport_efficiency;
                 let m_assigned = (xi * workload.m as f64).round() as u64;
-                let pull = config.strategy.pull_bytes(workload.m, workload.n, config.k) as f64
-                    / bus;
-                let push = config
-                    .strategy
-                    .push_bytes(m_assigned, workload.n, config.k) as f64
-                    / bus;
+                let pull =
+                    config.strategy.pull_bytes(workload.m, workload.n, config.k) as f64 / bus;
+                let push =
+                    config.strategy.push_bytes(m_assigned, workload.n, config.k) as f64 / bus;
                 // With S streams, roughly one chunk's transfer each side
                 // stays exposed at the pipeline's ends.
                 t + (pull + push) / streams
@@ -103,7 +103,13 @@ pub fn worker_classes(platform: &Platform) -> Vec<WorkerClass> {
     platform
         .workers
         .iter()
-        .map(|slot| if slot.profile.kind.is_gpu() { WorkerClass::Gpu } else { WorkerClass::Cpu })
+        .map(|slot| {
+            if slot.profile.kind.is_gpu() {
+                WorkerClass::Gpu
+            } else {
+                WorkerClass::Cpu
+            }
+        })
         .collect()
 }
 
@@ -118,8 +124,13 @@ pub fn cost_model_for(platform: &Platform, workload: &Workload, config: &SimConf
         .iter()
         .map(|slot| {
             let rate =
-                slot.profile.rate_at(&workload.name, workload.m, workload.n, workload.nnz, 1.0)
-                    * if slot.timeshare_server { platform.timeshare_efficiency } else { 1.0 };
+                slot.profile
+                    .rate_at(&workload.name, workload.m, workload.n, workload.nnz, 1.0)
+                    * if slot.timeshare_server {
+                        platform.timeshare_efficiency
+                    } else {
+                        1.0
+                    };
             rate * bytes_per_update
         })
         .collect();
@@ -156,7 +167,11 @@ pub fn cost_model_for(platform: &Platform, workload: &Workload, config: &SimConf
 /// independently ("IW", full data) vs. under a DP0 partition. Returns
 /// `(name, iw_gbps, dp0_gbps)` rows.
 pub fn bandwidth_table(platform: &Platform, dp0_fractions: &[f64]) -> Vec<(String, f64, f64)> {
-    assert_eq!(dp0_fractions.len(), platform.workers.len(), "partition length mismatch");
+    assert_eq!(
+        dp0_fractions.len(),
+        platform.workers.len(),
+        "partition length mismatch"
+    );
     platform
         .workers
         .iter()
@@ -213,7 +228,12 @@ mod tests {
         let wl = netflix();
         let x0 = dp0(&standalone_times(&p, &wl));
         let classes = worker_classes(&p);
-        let x1 = dp1(&x0, &classes, Dp1Options::default(), virtual_measure(&p, &wl));
+        let x1 = dp1(
+            &x0,
+            &classes,
+            Dp1Options::default(),
+            virtual_measure(&p, &wl),
+        );
         let mut measure = virtual_measure(&p, &wl);
         let t1 = measure(&x1);
         let cpu_mean = (t1[0] + t1[1]) / 2.0;
@@ -238,7 +258,12 @@ mod tests {
             &worker_classes(&p),
             virtual_measure(&p, &wl),
         );
-        assert_eq!(plan.strategy, StrategyChoice::Dp1, "netflix ratio {}", plan.sync_ratio);
+        assert_eq!(
+            plan.strategy,
+            StrategyChoice::Dp1,
+            "netflix ratio {}",
+            plan.sync_ratio
+        );
 
         let wl = r1();
         let model = cost_model_for(&p, &wl, &cfg);
@@ -248,7 +273,12 @@ mod tests {
             &worker_classes(&p),
             virtual_measure(&p, &wl),
         );
-        assert_eq!(plan.strategy, StrategyChoice::Dp2, "r1 ratio {}", plan.sync_ratio);
+        assert_eq!(
+            plan.strategy,
+            StrategyChoice::Dp2,
+            "r1 ratio {}",
+            plan.sync_ratio
+        );
     }
 
     #[test]
@@ -256,7 +286,12 @@ mod tests {
         let p = Platform::paper_testbed_4workers();
         assert_eq!(
             worker_classes(&p),
-            vec![WorkerClass::Cpu, WorkerClass::Cpu, WorkerClass::Gpu, WorkerClass::Gpu]
+            vec![
+                WorkerClass::Cpu,
+                WorkerClass::Cpu,
+                WorkerClass::Gpu,
+                WorkerClass::Gpu
+            ]
         );
     }
 

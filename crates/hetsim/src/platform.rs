@@ -119,7 +119,10 @@ impl Platform {
 
     /// Worker display names, in slot order.
     pub fn worker_names(&self) -> Vec<&str> {
-        self.workers.iter().map(|w| w.profile.name.as_str()).collect()
+        self.workers
+            .iter()
+            .map(|w| w.profile.name.as_str())
+            .collect()
     }
 
     /// Total hardware price (server CPU counted once via its worker slot).
@@ -164,16 +167,30 @@ impl Platform {
     /// Single-processor platform (for the Fig. 3 standalone bars).
     pub fn single(profile: ProcessorProfile) -> Platform {
         let name = profile.name.clone();
-        let bus = if profile.kind.is_gpu() { BusKind::PciE3x16 } else { BusKind::Upi };
+        let bus = if profile.kind.is_gpu() {
+            BusKind::PciE3x16
+        } else {
+            BusKind::Upi
+        };
         Platform::new(&name).with_worker(profile, bus)
     }
 
     /// Two-processor collaboration (Fig. 3's "6242-2080" style bars).
     pub fn pair(a: ProcessorProfile, b: ProcessorProfile) -> Platform {
         let name = format!("{}-{}", a.name, b.name);
-        let bus_a = if a.kind.is_gpu() { BusKind::PciE3x16 } else { BusKind::Upi };
-        let bus_b = if b.kind.is_gpu() { BusKind::PciE3x16 } else { BusKind::Upi };
-        Platform::new(&name).with_worker(a, bus_a).with_worker(b, bus_b)
+        let bus_a = if a.kind.is_gpu() {
+            BusKind::PciE3x16
+        } else {
+            BusKind::Upi
+        };
+        let bus_b = if b.kind.is_gpu() {
+            BusKind::PciE3x16
+        } else {
+            BusKind::Upi
+        };
+        Platform::new(&name)
+            .with_worker(a, bus_a)
+            .with_worker(b, bus_b)
     }
 }
 
@@ -214,7 +231,10 @@ mod tests {
 
     #[test]
     fn price_sums_workers() {
-        let p = Platform::pair(ProcessorProfile::xeon_6242_16t(), ProcessorProfile::rtx_2080());
+        let p = Platform::pair(
+            ProcessorProfile::xeon_6242_16t(),
+            ProcessorProfile::rtx_2080(),
+        );
         assert_eq!(p.total_price(), 2_700.0);
     }
 

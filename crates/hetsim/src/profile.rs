@@ -79,7 +79,12 @@ pub struct RateTable {
 impl RateTable {
     /// Uniform table (used for custom processors in tests/examples).
     pub fn uniform(rate: f64) -> RateTable {
-        RateTable { netflix: rate, r1: rate, r2: rate, movielens: rate }
+        RateTable {
+            netflix: rate,
+            r1: rate,
+            r2: rate,
+            movielens: rate,
+        }
     }
 
     /// Scales every rate by `factor`.
@@ -300,7 +305,10 @@ mod tests {
 
     #[test]
     fn table4_rates_encoded() {
-        assert_eq!(ProcessorProfile::xeon_6242_24t().rates.netflix, 348_790_567.0);
+        assert_eq!(
+            ProcessorProfile::xeon_6242_24t().rates.netflix,
+            348_790_567.0
+        );
         assert_eq!(ProcessorProfile::rtx_2080_super().rates.r2, 354_261_903.0);
         assert_eq!(ProcessorProfile::rtx_2080().rates.movielens, 835_890_149.0);
     }

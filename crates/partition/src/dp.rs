@@ -35,7 +35,10 @@ pub fn dp0(standalone_times: &[f64]) -> Vec<f64> {
         "standalone times must be positive and finite"
     );
     let inv_sum: f64 = standalone_times.iter().map(|&t| 1.0 / t).sum();
-    standalone_times.iter().map(|&t| (1.0 / t) / inv_sum).collect()
+    standalone_times
+        .iter()
+        .map(|&t| (1.0 / t) / inv_sum)
+        .collect()
 }
 
 /// Options for the DP1 compensation loop.
@@ -50,7 +53,10 @@ pub struct Dp1Options {
 
 impl Default for Dp1Options {
     fn default() -> Self {
-        Dp1Options { tolerance: 0.1, max_iterations: 16 }
+        Dp1Options {
+            tolerance: 0.1,
+            max_iterations: 16,
+        }
     }
 }
 
@@ -103,12 +109,7 @@ pub fn dp1(
 /// Exposed separately so the real engine can interleave one adjustment per
 /// *training* epoch — the measurement on line 12 is then simply the next
 /// epoch itself.
-pub fn dp1_step(
-    x: &[f64],
-    t: &[f64],
-    classes: &[WorkerClass],
-    tolerance: f64,
-) -> Option<Vec<f64>> {
+pub fn dp1_step(x: &[f64], t: &[f64], classes: &[WorkerClass], tolerance: f64) -> Option<Vec<f64>> {
     assert_eq!(x.len(), classes.len(), "length mismatch");
     assert_eq!(t.len(), classes.len(), "length mismatch");
     let c = classes.iter().filter(|&&w| w == WorkerClass::Cpu).count();
@@ -157,8 +158,14 @@ pub fn dp1_step(
 pub fn dp2(x: &[f64], t: &[f64], sync_time: f64) -> Vec<f64> {
     assert_eq!(x.len(), t.len(), "length mismatch");
     assert!(!x.is_empty(), "need at least one worker");
-    assert!(sync_time >= 0.0 && sync_time.is_finite(), "sync time must be non-negative");
-    assert!(t.iter().all(|&v| v > 0.0 && v.is_finite()), "compute times must be positive");
+    assert!(
+        sync_time >= 0.0 && sync_time.is_finite(),
+        "sync time must be non-negative"
+    );
+    assert!(
+        t.iter().all(|&v| v > 0.0 && v.is_finite()),
+        "compute times must be positive"
+    );
 
     let median = median_of(t);
     let p = x.len();
@@ -264,7 +271,12 @@ mod tests {
 
     #[test]
     fn dp1_closes_the_cpu_gpu_gap() {
-        let classes = vec![WorkerClass::Cpu, WorkerClass::Cpu, WorkerClass::Gpu, WorkerClass::Gpu];
+        let classes = vec![
+            WorkerClass::Cpu,
+            WorkerClass::Cpu,
+            WorkerClass::Gpu,
+            WorkerClass::Gpu,
+        ];
         let rates = vec![1e5, 1.2e5, 9e5, 1e6];
         // DP0 from standalone times (x = 1 → full data each).
         let standalone: Vec<f64> = rates.iter().map(|r| 1e6 / r).collect();
@@ -280,7 +292,10 @@ mod tests {
         let (c1, g1) = group_means(&t1, &classes);
         let gap1 = (c1 - g1).abs() / c1.min(g1);
         assert!(gap1 <= 0.1 + 1e-9, "gap after DP1: {gap1}");
-        assert!(gap1 <= gap0 + 1e-12, "DP1 worsened the gap: {gap0} -> {gap1}");
+        assert!(
+            gap1 <= gap0 + 1e-12,
+            "DP1 worsened the gap: {gap0} -> {gap1}"
+        );
         assert!((x1.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
@@ -288,7 +303,9 @@ mod tests {
     fn dp1_with_single_class_is_identity() {
         let classes = vec![WorkerClass::Cpu; 3];
         let x0 = vec![0.2, 0.3, 0.5];
-        let x1 = dp1(&x0, &classes, Dp1Options::default(), |_| vec![1.0, 1.0, 1.0]);
+        let x1 = dp1(&x0, &classes, Dp1Options::default(), |_| {
+            vec![1.0, 1.0, 1.0]
+        });
         assert_eq!(x0, x1);
     }
 

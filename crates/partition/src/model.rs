@@ -119,7 +119,9 @@ impl CostModel {
         let a = (0..self.workers())
             .map(|i| self.nnz as f64 * self.bytes_per_update() / self.worker_bandwidth[i])
             .collect();
-        let b = (0..self.workers()).map(|i| 2.0 * self.transfer_time(i)).collect();
+        let b = (0..self.workers())
+            .map(|i| 2.0 * self.transfer_time(i))
+            .collect();
         (a, b)
     }
 

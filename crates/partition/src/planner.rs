@@ -47,7 +47,10 @@ pub struct PartitionPlanner {
 
 impl Default for PartitionPlanner {
     fn default() -> Self {
-        PartitionPlanner { lambda: CostModel::LAMBDA, dp1_options: Dp1Options::default() }
+        PartitionPlanner {
+            lambda: CostModel::LAMBDA,
+            dp1_options: Dp1Options::default(),
+        }
     }
 }
 
@@ -65,7 +68,11 @@ impl PartitionPlanner {
         classes: &[WorkerClass],
         mut measure: impl FnMut(&[f64]) -> Vec<f64>,
     ) -> PartitionPlan {
-        assert_eq!(standalone_times.len(), model.workers(), "worker count mismatch");
+        assert_eq!(
+            standalone_times.len(),
+            model.workers(),
+            "worker count mismatch"
+        );
         assert_eq!(classes.len(), model.workers(), "class count mismatch");
 
         let x0 = dp0(standalone_times);
@@ -130,7 +137,9 @@ impl PartitionPlanner {
 }
 
 fn compute_epoch_worker_max(model: &CostModel, x: &[f64]) -> f64 {
-    (0..model.workers()).map(|i| model.worker_time(i, x[i])).fold(0.0f64, f64::max)
+    (0..model.workers())
+        .map(|i| model.worker_time(i, x[i]))
+        .fold(0.0f64, f64::max)
 }
 
 #[cfg(test)]
@@ -158,16 +167,15 @@ mod tests {
     #[test]
     fn small_sync_chooses_dp1() {
         let m = model(4 * 128 * 17_771); // Q-only payload: tiny vs compute
-        let standalone: Vec<f64> =
-            (0..4).map(|i| m.compute_time(i, 1.0)).collect();
-        let classes =
-            [WorkerClass::Cpu, WorkerClass::Cpu, WorkerClass::Gpu, WorkerClass::Gpu];
-        let plan = PartitionPlanner::default().plan(
-            &m,
-            &standalone,
-            &classes,
-            model_measure(m.clone()),
-        );
+        let standalone: Vec<f64> = (0..4).map(|i| m.compute_time(i, 1.0)).collect();
+        let classes = [
+            WorkerClass::Cpu,
+            WorkerClass::Cpu,
+            WorkerClass::Gpu,
+            WorkerClass::Gpu,
+        ];
+        let plan =
+            PartitionPlanner::default().plan(&m, &standalone, &classes, model_measure(m.clone()));
         assert_eq!(plan.strategy, StrategyChoice::Dp1);
         assert!(plan.sync_ratio >= 10.0, "ratio {}", plan.sync_ratio);
         assert!((plan.fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -189,18 +197,16 @@ mod tests {
         };
         let standalone: Vec<f64> = (0..3).map(|i| m.compute_time(i, 1.0)).collect();
         let classes = [WorkerClass::Cpu, WorkerClass::Gpu, WorkerClass::Gpu];
-        let plan = PartitionPlanner::default().plan(
-            &m,
-            &standalone,
-            &classes,
-            model_measure(m.clone()),
-        );
+        let plan =
+            PartitionPlanner::default().plan(&m, &standalone, &classes, model_measure(m.clone()));
         assert_eq!(plan.strategy, StrategyChoice::Dp2);
         assert!(plan.sync_ratio < 10.0, "ratio {}", plan.sync_ratio);
         // DP2 staggers: fractions strictly increasing in worker order when
         // rates are comparable per group — at minimum, not all equal.
-        let all_equal =
-            plan.fractions.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12);
+        let all_equal = plan
+            .fractions
+            .windows(2)
+            .all(|w| (w[0] - w[1]).abs() < 1e-12);
         assert!(!all_equal, "{:?}", plan.fractions);
     }
 
@@ -208,14 +214,14 @@ mod tests {
     fn plan_reports_compute_times_for_final_partition() {
         let m = model(4 * 128 * 17_771);
         let standalone: Vec<f64> = (0..4).map(|i| m.compute_time(i, 1.0)).collect();
-        let classes =
-            [WorkerClass::Cpu, WorkerClass::Cpu, WorkerClass::Gpu, WorkerClass::Gpu];
-        let plan = PartitionPlanner::default().plan(
-            &m,
-            &standalone,
-            &classes,
-            model_measure(m.clone()),
-        );
+        let classes = [
+            WorkerClass::Cpu,
+            WorkerClass::Cpu,
+            WorkerClass::Gpu,
+            WorkerClass::Gpu,
+        ];
+        let plan =
+            PartitionPlanner::default().plan(&m, &standalone, &classes, model_measure(m.clone()));
         assert_eq!(plan.compute_times.len(), 4);
         for (i, &t) in plan.compute_times.iter().enumerate() {
             let expect = m.compute_time(i, plan.fractions[i]);

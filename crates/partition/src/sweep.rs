@@ -22,7 +22,10 @@ pub fn sweep_lambda(
     lambdas
         .iter()
         .map(|&lambda| {
-            let planner = PartitionPlanner { lambda, ..Default::default() };
+            let planner = PartitionPlanner {
+                lambda,
+                ..Default::default()
+            };
             let plan = planner.plan(model, standalone_times, classes, &mut measure);
             (lambda, plan.strategy, plan.predicted_epoch)
         })
@@ -79,7 +82,11 @@ mod tests {
     }
 
     fn measure_for(model: CostModel) -> impl FnMut(&[f64]) -> Vec<f64> {
-        move |x: &[f64]| (0..model.workers()).map(|i| model.compute_time(i, x[i])).collect()
+        move |x: &[f64]| {
+            (0..model.workers())
+                .map(|i| model.compute_time(i, x[i]))
+                .collect()
+        }
     }
 
     #[test]

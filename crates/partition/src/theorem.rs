@@ -29,7 +29,10 @@ pub fn equalize(a: &[f64], b: &[f64]) -> Vec<f64> {
         a.iter().all(|&v| v > 0.0 && v.is_finite()),
         "per-unit costs must be positive and finite"
     );
-    assert!(b.iter().all(|&v| v >= 0.0 && v.is_finite()), "fixed costs must be non-negative");
+    assert!(
+        b.iter().all(|&v| v >= 0.0 && v.is_finite()),
+        "fixed costs must be non-negative"
+    );
 
     let n = a.len();
     let mut active = vec![true; n];
@@ -139,9 +142,11 @@ mod tests {
                 let mut y = x.clone();
                 y[i] -= eps;
                 y[j] += eps;
-                let cost =
-                    (0..3).map(|w| a[w] * y[w] + b[w]).fold(0.0f64, f64::max);
-                assert!(cost >= best - 1e-12, "perturbation improved: {cost} < {best}");
+                let cost = (0..3).map(|w| a[w] * y[w] + b[w]).fold(0.0f64, f64::max);
+                assert!(
+                    cost >= best - 1e-12,
+                    "perturbation improved: {cost} < {best}"
+                );
             }
         }
     }

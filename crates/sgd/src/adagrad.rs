@@ -128,8 +128,16 @@ pub fn adagrad_hogwild_epoch(
         let mut idx = offset;
         while idx < entries.len() {
             let e = entries[idx];
-            let err =
-                adagrad_step(p, q, state, e.u as usize, e.i as usize, e.r, cfg, &mut scratch);
+            let err = adagrad_step(
+                p,
+                q,
+                state,
+                e.u as usize,
+                e.i as usize,
+                e.r,
+                cfg,
+                &mut scratch,
+            );
             acc += (err as f64) * (err as f64);
             idx += threads;
         }
@@ -139,8 +147,13 @@ pub fn adagrad_hogwild_epoch(
         return sweep(0);
     }
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads).map(|t| scope.spawn(move || sweep(t))).collect();
-        handles.into_iter().map(|h| h.join().expect("adagrad thread panicked")).sum()
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || sweep(t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("adagrad thread panicked"))
+            .sum()
     })
 }
 
@@ -168,7 +181,10 @@ mod tests {
     #[test]
     fn adagrad_converges() {
         let (ds, p, q, state) = setup();
-        let cfg = AdaGradConfig { threads: 2, ..Default::default() };
+        let cfg = AdaGradConfig {
+            threads: 2,
+            ..Default::default()
+        };
         let before = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
         for _ in 0..15 {
             adagrad_hogwild_epoch(ds.matrix.entries(), &p, &q, &state, &cfg);
@@ -182,7 +198,11 @@ mod tests {
         // With the same (aggressive) base step, plain SGD oscillates where
         // AdaGrad's per-parameter damping keeps progress steady.
         let (ds, p, q, state) = setup();
-        let cfg = AdaGradConfig { threads: 1, eta0: 0.1, ..Default::default() };
+        let cfg = AdaGradConfig {
+            threads: 1,
+            eta0: 0.1,
+            ..Default::default()
+        };
         for _ in 0..5 {
             adagrad_hogwild_epoch(ds.matrix.entries(), &p, &q, &state, &cfg);
         }
@@ -195,6 +215,7 @@ mod tests {
             learning_rate: 0.1,
             lambda_p: 0.01,
             lambda_q: 0.01,
+            schedule: Default::default(),
         };
         for _ in 0..5 {
             crate::hogwild::hogwild_epoch(ds.matrix.entries(), &p2, &q2, &hw);
@@ -206,7 +227,10 @@ mod tests {
     #[test]
     fn accumulators_grow_monotonically() {
         let (ds, p, q, state) = setup();
-        let cfg = AdaGradConfig { threads: 1, ..Default::default() };
+        let cfg = AdaGradConfig {
+            threads: 1,
+            ..Default::default()
+        };
         let mut last = 0.0;
         for _ in 0..3 {
             adagrad_hogwild_epoch(ds.matrix.entries(), &p, &q, &state, &cfg);

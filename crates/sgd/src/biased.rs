@@ -24,7 +24,9 @@ pub struct SharedBias {
 impl SharedBias {
     /// Zero biases of length `len`.
     pub fn zeros(len: usize) -> SharedBias {
-        SharedBias { cells: (0..len).map(|_| AtomicU32::new(0f32.to_bits())).collect() }
+        SharedBias {
+            cells: (0..len).map(|_| AtomicU32::new(0f32.to_bits())).collect(),
+        }
     }
 
     /// Number of biases.
@@ -51,7 +53,10 @@ impl SharedBias {
 
     /// Snapshots to a plain vector.
     pub fn snapshot(&self) -> Vec<f32> {
-        self.cells.iter().map(|c| f32::from_bits(c.load(Ordering::Relaxed))).collect()
+        self.cells
+            .iter()
+            .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -141,8 +146,12 @@ pub fn sgd_step_biased(
     let e = r - (model.mu + bu + ci + dot(pu, qi));
 
     let lr = config.learning_rate;
-    model.user_bias.store(u, bu + lr * (e - config.lambda_bias * bu));
-    model.item_bias.store(i, ci + lr * (e - config.lambda_bias * ci));
+    model
+        .user_bias
+        .store(u, bu + lr * (e - config.lambda_bias * bu));
+    model
+        .item_bias
+        .store(i, ci + lr * (e - config.lambda_bias * ci));
     let p_cells = model.p.row_cells(u);
     let q_cells = model.q.row_cells(i);
     for j in 0..k {
@@ -157,11 +166,7 @@ pub fn sgd_step_biased(
 
 /// One Hogwild epoch of biased MF over `entries`. Returns summed squared
 /// pre-update errors (a running training loss).
-pub fn biased_hogwild_epoch(
-    entries: &[Rating],
-    model: &BiasedModel,
-    config: &BiasedConfig,
-) -> f64 {
+pub fn biased_hogwild_epoch(entries: &[Rating], model: &BiasedModel, config: &BiasedConfig) -> f64 {
     assert!(config.threads > 0, "thread count must be non-zero");
     if entries.is_empty() {
         return 0.0;
@@ -174,8 +179,7 @@ pub fn biased_hogwild_epoch(
         let mut idx = offset;
         while idx < entries.len() {
             let e = entries[idx];
-            let err =
-                sgd_step_biased(model, e.u as usize, e.i as usize, e.r, config, &mut scratch);
+            let err = sgd_step_biased(model, e.u as usize, e.i as usize, e.r, config, &mut scratch);
             acc += (err as f64) * (err as f64);
             idx += threads;
         }
@@ -185,8 +189,13 @@ pub fn biased_hogwild_epoch(
         return sweep(0);
     }
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads).map(|t| scope.spawn(move || sweep(t))).collect();
-        handles.into_iter().map(|h| h.join().expect("biased hogwild thread panicked")).sum()
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || sweep(t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("biased hogwild thread panicked"))
+            .sum()
     })
 }
 
@@ -277,9 +286,16 @@ mod tests {
         for _ in 0..4_000 {
             let u = rng.random_range(0..m);
             let i = rng.random_range(0..n);
-            entries.push(Rating::new(u, i, 3.0 + user_b[u as usize] + item_b[i as usize]));
+            entries.push(Rating::new(
+                u,
+                i,
+                3.0 + user_b[u as usize] + item_b[i as usize],
+            ));
         }
-        let cfg = BiasedConfig { threads: 1, ..config() };
+        let cfg = BiasedConfig {
+            threads: 1,
+            ..config()
+        };
         let model = train_biased(&entries, m as usize, n as usize, 1, 30, &cfg, 7);
         let biased_rmse = model.rmse(&entries);
         assert!(biased_rmse < 0.15, "biased rmse {biased_rmse}");
@@ -292,6 +308,7 @@ mod tests {
             learning_rate: 0.02,
             lambda_p: 0.01,
             lambda_q: 0.01,
+            schedule: Default::default(),
         };
         for _ in 0..30 {
             crate::hogwild::hogwild_epoch(&entries, &p, &q, &hw);

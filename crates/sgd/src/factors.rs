@@ -30,7 +30,11 @@ impl FactorMatrix {
     /// Allocates a zeroed matrix.
     pub fn zeros(rows: usize, k: usize) -> Self {
         assert!(k > 0, "latent dimension must be non-zero");
-        FactorMatrix { rows, k, data: vec![0.0; rows * k] }
+        FactorMatrix {
+            rows,
+            k,
+            data: vec![0.0; rows * k],
+        }
     }
 
     /// Random initialization: uniform in `[0, 1/sqrt(k))`, the scheme used by
@@ -113,7 +117,11 @@ impl FactorMatrix {
 
     /// Frobenius norm (for regularization diagnostics).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -131,16 +139,24 @@ impl SharedFactors {
     /// Allocates zeroed shared storage.
     pub fn zeros(rows: usize, k: usize) -> Self {
         assert!(k > 0, "latent dimension must be non-zero");
-        let data: Arc<[AtomicU32]> =
-            (0..rows * k).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+        let data: Arc<[AtomicU32]> = (0..rows * k)
+            .map(|_| AtomicU32::new(0f32.to_bits()))
+            .collect();
         SharedFactors { rows, k, data }
     }
 
     /// Copies a plain matrix into shared storage.
     pub fn from_matrix(m: &FactorMatrix) -> Self {
-        let data: Arc<[AtomicU32]> =
-            m.as_slice().iter().map(|&v| AtomicU32::new(v.to_bits())).collect();
-        SharedFactors { rows: m.rows(), k: m.k(), data }
+        let data: Arc<[AtomicU32]> = m
+            .as_slice()
+            .iter()
+            .map(|&v| AtomicU32::new(v.to_bits()))
+            .collect();
+        SharedFactors {
+            rows: m.rows(),
+            k: m.k(),
+            data,
+        }
     }
 
     /// Number of rows.
@@ -195,8 +211,11 @@ impl SharedFactors {
 
     /// Snapshots the whole matrix into a plain `FactorMatrix`.
     pub fn snapshot(&self) -> FactorMatrix {
-        let data: Vec<f32> =
-            self.data.iter().map(|c| f32::from_bits(c.load(Ordering::Relaxed))).collect();
+        let data: Vec<f32> = self
+            .data
+            .iter()
+            .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
+            .collect();
         FactorMatrix::from_vec(self.rows, self.k, data)
     }
 

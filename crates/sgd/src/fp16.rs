@@ -4,8 +4,10 @@
 //! matrices to half precision before transfer (§3.4, Strategy 2), using AVX
 //! and multi-threading on the CPU side. This module is the Rust analog: a
 //! bit-exact scalar codec with round-to-nearest-even, subnormal, infinity
-//! and NaN handling, plus chunked rayon-parallel bulk variants whose chunk
-//! size keeps each task in L1.
+//! and NaN handling, with the bulk slice codecs dispatched through
+//! [`crate::simd`] (F16C vector conversion on capable CPUs, this scalar
+//! codec otherwise), plus chunked rayon-parallel variants whose chunk size
+//! keeps each task in L1.
 
 use rayon::prelude::*;
 
@@ -80,8 +82,13 @@ pub fn f16_to_f32(h: u16) -> f32 {
         return f32::from_bits(sign | (e << 23) | ((m & 0x03ff) << 13));
     }
     if exp == 0x1f {
-        // Infinity (man == 0) or NaN (payload shifted up).
-        return f32::from_bits(sign | 0x7f80_0000 | (man << 13));
+        if man == 0 {
+            return f32::from_bits(sign | 0x7f80_0000); // ±infinity
+        }
+        // NaN: shift the payload up and set the quiet bit, exactly as
+        // VCVTPH2PS does — signaling NaNs come out quieted, so the scalar
+        // and F16C decode paths stay bit-identical.
+        return f32::from_bits(sign | 0x7fc0_0000 | (man << 13));
     }
     f32::from_bits(sign | ((exp + 112) << 23) | (man << 13))
 }
@@ -93,24 +100,27 @@ pub const F16_MIN_POSITIVE: f32 = 6.103_515_6e-5;
 
 /// Encodes a slice. `dst` must be the same length as `src`.
 ///
+/// Dispatches to the F16C vector codec where the CPU supports it; the result
+/// is bit-exact with [`f32_to_f16`] either way (VCVTPS2PH implements the same
+/// round-to-nearest-even, subnormal and NaN-quieting behaviour).
+///
 /// # Panics
 /// Panics on length mismatch.
 pub fn encode_slice(src: &[f32], dst: &mut [u16]) {
     assert_eq!(src.len(), dst.len(), "encode buffers must match");
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = f32_to_f16(s);
-    }
+    crate::simd::encode_f16(src, dst);
 }
 
 /// Decodes a slice. `dst` must be the same length as `src`.
+///
+/// Dispatches to the F16C vector codec where available; bit-exact with
+/// [`f16_to_f32`] either way.
 ///
 /// # Panics
 /// Panics on length mismatch.
 pub fn decode_slice(src: &[u16], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len(), "decode buffers must match");
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = f16_to_f32(s);
-    }
+    crate::simd::decode_f16(src, dst);
 }
 
 /// Chunk size for the parallel codecs: 16 KiB of f32 per task.
@@ -119,17 +129,21 @@ const PAR_CHUNK: usize = 4096;
 /// Parallel encode (the paper's multi-threaded AVX conversion analog).
 pub fn encode_parallel(src: &[f32], dst: &mut [u16]) {
     assert_eq!(src.len(), dst.len(), "encode buffers must match");
-    dst.par_chunks_mut(PAR_CHUNK).zip(src.par_chunks(PAR_CHUNK)).for_each(|(d, s)| {
-        encode_slice(s, d);
-    });
+    dst.par_chunks_mut(PAR_CHUNK)
+        .zip(src.par_chunks(PAR_CHUNK))
+        .for_each(|(d, s)| {
+            encode_slice(s, d);
+        });
 }
 
 /// Parallel decode.
 pub fn decode_parallel(src: &[u16], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len(), "decode buffers must match");
-    dst.par_chunks_mut(PAR_CHUNK).zip(src.par_chunks(PAR_CHUNK)).for_each(|(d, s)| {
-        decode_slice(s, d);
-    });
+    dst.par_chunks_mut(PAR_CHUNK)
+        .zip(src.par_chunks(PAR_CHUNK))
+        .for_each(|(d, s)| {
+            decode_slice(s, d);
+        });
 }
 
 /// Encodes into a fresh vector.

@@ -1,14 +1,69 @@
 //! Hogwild-style asynchronous parallel SGD over an entry shard.
 //!
 //! This is the compute engine inside each HCC-MF CPU worker (framework step
-//! ⑥): `threads` OS threads sweep disjoint stripes of the shard, updating the
-//! shared local factor matrices without locks. Races on hot rows are benign
-//! per Hogwild's analysis (sparse data ⇒ rare conflicts ⇒ convergence holds),
-//! which is exactly the argument the paper leans on in §2.1 and §4.2.
+//! ⑥): `threads` OS threads sweep the shard, updating the shared local factor
+//! matrices without locks. Races on hot rows are benign per Hogwild's
+//! analysis (sparse data ⇒ rare conflicts ⇒ convergence holds), which is
+//! exactly the argument the paper leans on in §2.1 and §4.2.
+//!
+//! Two schedules decide *which* entries a thread sweeps:
+//!
+//! * [`Schedule::Stripe`] — thread `t` handles `entries[t], entries[t +
+//!   threads], …` in shuffled arrival order. Maximally decorrelated, but at
+//!   `k = 128` every update touches two ~512 B factor rows at effectively
+//!   random addresses, so both rows miss L2 almost every step.
+//! * [`Schedule::Tiled`] — the shard is pre-bucketed into L2-sized
+//!   `u_block × i_block` tiles ([`hcc_sparse::TileGrid`]) and threads claim
+//!   whole tiles from a shared atomic cursor. All factor rows a tile touches
+//!   fit in cache, so each row is reused for every rating in the tile.
+//!   Convergence is unaffected: order within a tile stays shuffled, and
+//!   Hogwild tolerates any visiting order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::factors::SharedFactors;
 use crate::kernel::sgd_step_shared;
-use hcc_sparse::Rating;
+use hcc_sparse::{Rating, TileGrid};
+
+/// Which entry-to-thread assignment [`hogwild_epoch`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Interleaved striping over the shuffled entry list (the classic
+    /// Hogwild layout; the seed's only behaviour).
+    #[default]
+    Stripe,
+    /// Cache-tiled: threads claim whole L2-sized tiles of the rating matrix.
+    Tiled,
+}
+
+impl Schedule {
+    /// CLI-facing name (`stripe` | `tiled`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Stripe => "stripe",
+            Schedule::Tiled => "tiled",
+        }
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "stripe" => Ok(Schedule::Stripe),
+            "tiled" => Ok(Schedule::Tiled),
+            other => Err(format!(
+                "unknown schedule '{other}' (expected 'stripe' or 'tiled')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Configuration for one Hogwild epoch.
 #[derive(Debug, Clone, Copy)]
@@ -21,21 +76,34 @@ pub struct HogwildConfig {
     pub lambda_p: f32,
     /// L2 regularization on `Q` (λ2).
     pub lambda_q: f32,
+    /// Entry-to-thread assignment.
+    pub schedule: Schedule,
 }
 
 impl HogwildConfig {
-    /// Config with the paper's defaults (γ = 0.005) and a given thread count.
+    /// Config with the paper's defaults (γ = 0.005, striped) and a given
+    /// thread count.
     pub fn with_threads(threads: usize, lambda: f32) -> Self {
-        HogwildConfig { threads, learning_rate: 0.005, lambda_p: lambda, lambda_q: lambda }
+        HogwildConfig {
+            threads,
+            learning_rate: 0.005,
+            lambda_p: lambda,
+            lambda_q: lambda,
+            schedule: Schedule::Stripe,
+        }
     }
 }
 
 /// Runs one asynchronous epoch over `entries`, updating `p` and `q` in place.
 ///
-/// Entries are processed in stripes: thread `t` handles
-/// `entries[t], entries[t + threads], …`. Striping (rather than chunking)
-/// interleaves hot head-of-file rows across threads, which matters after the
-/// preprocessing shuffle has already randomized order.
+/// With [`Schedule::Stripe`], entries are processed in stripes: thread `t`
+/// handles `entries[t], entries[t + threads], …`. Striping (rather than
+/// chunking) interleaves hot head-of-file rows across threads, which matters
+/// after the preprocessing shuffle has already randomized order. With
+/// [`Schedule::Tiled`], a [`TileGrid`] is built for the shard (one `O(nnz)`
+/// counting sort) and threads claim whole tiles; callers that run many epochs
+/// over the same shard should build the grid once and use
+/// [`hogwild_epoch_tiled`] instead.
 ///
 /// Returns the summed squared prediction error observed during the sweep
 /// (errors are measured *before* each update, so this is a running training
@@ -57,19 +125,76 @@ pub fn hogwild_epoch(
         return 0.0;
     }
 
-    let threads = config.threads.min(entries.len());
+    match config.schedule {
+        Schedule::Stripe => {
+            let threads = config.threads.min(entries.len());
+            if threads == 1 {
+                return sweep_stripe(entries, 0, 1, p, q, config);
+            }
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let p = p.clone();
+                    let q = q.clone();
+                    handles.push(
+                        scope.spawn(move || sweep_stripe(entries, t, threads, &p, &q, config)),
+                    );
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("hogwild thread panicked"))
+                    .sum()
+            })
+        }
+        Schedule::Tiled => {
+            let grid = TileGrid::with_default_budget(entries, p.rows(), q.rows(), k);
+            hogwild_epoch_tiled(&grid, p, q, config)
+        }
+    }
+}
+
+/// Tile-scheduled epoch over a pre-built [`TileGrid`]; the fast path when the
+/// same shard is swept many times (training loops, benchmarks), since the
+/// per-epoch counting sort in [`hogwild_epoch`] is skipped.
+///
+/// Threads claim tiles from a shared atomic cursor, so tile load imbalance
+/// (Zipf-skewed shards concentrate mass in few tiles) self-levels the way
+/// work stealing does.
+///
+/// # Panics
+/// Panics if `config.threads == 0` or if a tile entry indexes outside `p`/`q`.
+pub fn hogwild_epoch_tiled(
+    grid: &TileGrid,
+    p: &SharedFactors,
+    q: &SharedFactors,
+    config: &HogwildConfig,
+) -> f64 {
+    assert!(config.threads > 0, "thread count must be non-zero");
+    let k = p.k();
+    assert_eq!(q.k(), k, "P and Q must share latent dimension");
+
+    if grid.is_empty() {
+        return 0.0;
+    }
+
+    let threads = config.threads.min(grid.num_tiles());
+    let cursor = AtomicUsize::new(0);
     if threads == 1 {
-        return sweep_stripe(entries, 0, 1, p, q, config);
+        return sweep_tiles(grid, &cursor, p, q, config);
     }
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
+        for _ in 0..threads {
             let p = p.clone();
             let q = q.clone();
-            handles.push(scope.spawn(move || sweep_stripe(entries, t, threads, &p, &q, config)));
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || sweep_tiles(grid, cursor, &p, &q, config)));
         }
-        handles.into_iter().map(|h| h.join().expect("hogwild thread panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hogwild thread panicked"))
+            .sum()
     })
 }
 
@@ -81,8 +206,6 @@ fn sweep_stripe(
     q: &SharedFactors,
     config: &HogwildConfig,
 ) -> f64 {
-    let k = p.k();
-    let mut scratch = vec![0f32; 2 * k];
     let mut sq_err = 0.0f64;
     let mut idx = offset;
     while idx < entries.len() {
@@ -96,12 +219,40 @@ fn sweep_stripe(
             config.learning_rate,
             config.lambda_p,
             config.lambda_q,
-            &mut scratch,
         );
         sq_err += (err as f64) * (err as f64);
         idx += stride;
     }
     sq_err
+}
+
+fn sweep_tiles(
+    grid: &TileGrid,
+    cursor: &AtomicUsize,
+    p: &SharedFactors,
+    q: &SharedFactors,
+    config: &HogwildConfig,
+) -> f64 {
+    let mut sq_err = 0.0f64;
+    loop {
+        let t = cursor.fetch_add(1, Ordering::Relaxed);
+        if t >= grid.num_tiles() {
+            return sq_err;
+        }
+        for e in grid.tile(t) {
+            let err = sgd_step_shared(
+                p,
+                q,
+                e.u as usize,
+                e.i as usize,
+                e.r,
+                config.learning_rate,
+                config.lambda_p,
+                config.lambda_q,
+            );
+            sq_err += (err as f64) * (err as f64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,10 +275,20 @@ mod tests {
         (ds, p, q)
     }
 
+    fn cfg(threads: usize, schedule: Schedule) -> HogwildConfig {
+        HogwildConfig {
+            threads,
+            learning_rate: 0.02,
+            lambda_p: 0.01,
+            lambda_q: 0.01,
+            schedule,
+        }
+    }
+
     #[test]
     fn single_thread_epoch_reduces_rmse() {
         let (ds, p, q) = setup(8);
-        let cfg = HogwildConfig { threads: 1, learning_rate: 0.02, lambda_p: 0.01, lambda_q: 0.01 };
+        let cfg = cfg(1, Schedule::Stripe);
         let before = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
         for _ in 0..15 {
             hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg);
@@ -139,13 +300,53 @@ mod tests {
     #[test]
     fn multi_thread_epoch_converges_too() {
         let (ds, p, q) = setup(8);
-        let cfg = HogwildConfig { threads: 4, learning_rate: 0.02, lambda_p: 0.01, lambda_q: 0.01 };
+        let cfg = cfg(4, Schedule::Stripe);
         let before = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
         for _ in 0..15 {
             hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg);
         }
         let after = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
         assert!(after < before * 0.5, "rmse {before} -> {after}");
+    }
+
+    #[test]
+    fn tiled_schedule_reaches_same_rmse_band_as_striping() {
+        // Convergence parity: same data, same inits, 15 epochs each way.
+        let (ds, p_s, q_s) = setup(8);
+        let (_, p_t, q_t) = setup(8);
+        for _ in 0..15 {
+            hogwild_epoch(ds.matrix.entries(), &p_s, &q_s, &cfg(4, Schedule::Stripe));
+            hogwild_epoch(ds.matrix.entries(), &p_t, &q_t, &cfg(4, Schedule::Tiled));
+        }
+        let rmse_stripe = rmse(ds.matrix.entries(), &p_s.snapshot(), &q_s.snapshot());
+        let rmse_tiled = rmse(ds.matrix.entries(), &p_t.snapshot(), &q_t.snapshot());
+        // Both must have converged hard, and land in the same band (±25%).
+        assert!(
+            rmse_stripe < 0.5,
+            "stripe failed to converge: {rmse_stripe}"
+        );
+        assert!(rmse_tiled < 0.5, "tiled failed to converge: {rmse_tiled}");
+        let ratio = rmse_tiled / rmse_stripe;
+        assert!(
+            (0.75..1.34).contains(&ratio),
+            "rmse band mismatch: {rmse_stripe} vs {rmse_tiled}"
+        );
+    }
+
+    #[test]
+    fn tiled_epoch_over_prebuilt_grid_matches_adhoc() {
+        // hogwild_epoch(Tiled) and hogwild_epoch_tiled over the same grid
+        // must do the same updates (single thread => deterministic order).
+        let (ds, p_a, q_a) = setup(8);
+        let (_, p_b, q_b) = setup(8);
+        let config = cfg(1, Schedule::Tiled);
+        let loss_a = hogwild_epoch(ds.matrix.entries(), &p_a, &q_a, &config);
+        let grid =
+            TileGrid::with_default_budget(ds.matrix.entries(), p_b.rows(), q_b.rows(), p_b.k());
+        let loss_b = hogwild_epoch_tiled(&grid, &p_b, &q_b, &config);
+        assert_eq!(loss_a, loss_b);
+        assert_eq!(p_a.snapshot(), p_b.snapshot());
+        assert_eq!(q_a.snapshot(), q_b.snapshot());
     }
 
     #[test]
@@ -156,6 +357,9 @@ mod tests {
         let loss = hogwild_epoch(&[], &p, &q, &cfg);
         assert_eq!(loss, 0.0);
         assert_eq!(p.snapshot(), snap);
+        let grid = TileGrid::with_default_budget(&[], p.rows(), q.rows(), p.k());
+        assert_eq!(hogwild_epoch_tiled(&grid, &p, &q, &cfg), 0.0);
+        assert_eq!(p.snapshot(), snap);
     }
 
     #[test]
@@ -165,22 +369,42 @@ mod tests {
         let cfg = HogwildConfig::with_threads(16, 0.01);
         let loss = hogwild_epoch(few, &p, &q, &cfg);
         assert!(loss.is_finite());
+        let tiled = HogwildConfig {
+            schedule: Schedule::Tiled,
+            ..cfg
+        };
+        let loss = hogwild_epoch(few, &p, &q, &tiled);
+        assert!(loss.is_finite());
     }
 
     #[test]
     fn returned_loss_is_sum_of_squared_errors_single_thread() {
+        // Replay must hit the same backend as the epoch for exact equality.
+        let _guard = crate::simd::test_lock();
         let (ds, p, q) = setup(4);
         let entries = &ds.matrix.entries()[..10];
         // Compute expected running loss with an independent serial replay.
         let p2 = SharedFactors::from_matrix(&p.snapshot());
         let q2 = SharedFactors::from_matrix(&q.snapshot());
-        let cfg = HogwildConfig { threads: 1, learning_rate: 0.01, lambda_p: 0.0, lambda_q: 0.0 };
+        let cfg = HogwildConfig {
+            threads: 1,
+            learning_rate: 0.01,
+            lambda_p: 0.0,
+            lambda_q: 0.0,
+            schedule: Schedule::Stripe,
+        };
         let got = hogwild_epoch(entries, &p, &q, &cfg);
-        let mut scratch = vec![0f32; 8];
         let mut want = 0.0f64;
         for e in entries {
             let err = crate::kernel::sgd_step_shared(
-                &p2, &q2, e.u as usize, e.i as usize, e.r, 0.01, 0.0, 0.0, &mut scratch,
+                &p2,
+                &q2,
+                e.u as usize,
+                e.i as usize,
+                e.r,
+                0.01,
+                0.0,
+                0.0,
             );
             want += (err as f64) * (err as f64);
         }
@@ -188,10 +412,25 @@ mod tests {
     }
 
     #[test]
+    fn schedule_parses_and_displays() {
+        assert_eq!("stripe".parse::<Schedule>().unwrap(), Schedule::Stripe);
+        assert_eq!("tiled".parse::<Schedule>().unwrap(), Schedule::Tiled);
+        assert!("diagonal".parse::<Schedule>().is_err());
+        assert_eq!(Schedule::Tiled.to_string(), "tiled");
+        assert_eq!(Schedule::default(), Schedule::Stripe);
+    }
+
+    #[test]
     #[should_panic(expected = "thread count")]
     fn zero_threads_panics() {
         let (ds, p, q) = setup(4);
-        let cfg = HogwildConfig { threads: 0, learning_rate: 0.01, lambda_p: 0.0, lambda_q: 0.0 };
+        let cfg = HogwildConfig {
+            threads: 0,
+            learning_rate: 0.01,
+            lambda_p: 0.0,
+            lambda_q: 0.0,
+            schedule: Schedule::Stripe,
+        };
         hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg);
     }
 }

@@ -12,32 +12,28 @@
 //!
 //! The kernel is written over plain slices (used by serial SGD, FPSGD blocks,
 //! and tests) and over [`SharedFactors`] rows (used by Hogwild threads). Both
-//! use the *old* `p_u` in the `q_i` update, matching FPSGD/CuMF_SGD.
+//! use the *old* `p_u` in the `q_i` update, matching FPSGD/CuMF_SGD, and both
+//! route through the same runtime-dispatched fused kernel in [`crate::simd`],
+//! so within one process they produce bit-identical results.
 
 use crate::factors::SharedFactors;
-use std::sync::atomic::Ordering;
+use crate::simd;
 
-/// Inner product of two equal-length slices.
-///
-/// Written as a plain indexed loop over a fixed-length zip so LLVM can
-/// auto-vectorize it (the paper's hand-written AVX512 analog).
+/// Inner product of two equal-length slices, through the runtime-dispatched
+/// kernel (AVX2+FMA where available, plain auto-vectorizable loop otherwise).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        acc += x * y;
-    }
-    acc
+    simd::dot(a, b)
 }
 
 /// Inner product with 8 independent lane accumulators.
 ///
-/// The serial-dependence-free form of the paper's AVX512 inner-product
-/// kernel: eight partial sums break the add-chain so the compiler can keep
-/// eight FMA lanes busy. Result differs from [`dot`] only by floating-point
-/// reassociation. Measured by the `sgd_kernel` bench; at the paper's
-/// k = 128 it is the faster choice, at small k the plain loop wins.
+/// The serial-dependence-free *portable* form of the paper's AVX512
+/// inner-product kernel, kept as a bench baseline: eight partial sums break
+/// the add-chain so the compiler can keep eight FMA lanes busy even without
+/// intrinsics. The hot path now uses [`dot`], which dispatches to the
+/// hand-written AVX2 kernel at runtime.
 #[inline]
 pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -59,22 +55,29 @@ pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
 /// One SGD update on plain factor rows. Returns the prediction error
 /// `e = r − p·q` *before* the update.
 #[inline]
-pub fn sgd_step(p: &mut [f32], q: &mut [f32], r: f32, lr: f32, lambda_p: f32, lambda_q: f32) -> f32 {
+pub fn sgd_step(
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    lr: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
     debug_assert_eq!(p.len(), q.len());
-    let e = r - dot(p, q);
-    for (pu, qi) in p.iter_mut().zip(q.iter_mut()) {
-        let p_old = *pu;
-        *pu += lr * (e * *qi - lambda_p * p_old);
-        *qi += lr * (e * p_old - lambda_q * *qi);
-    }
-    e
+    let k = p.len();
+    // SAFETY: `p` and `q` are exclusive borrows of `k` f32s each, so the
+    // pointers are valid and writable for the whole call, and two distinct
+    // `&mut` slices can never overlap.
+    unsafe { simd::fused_step_ptr(p.as_mut_ptr(), q.as_mut_ptr(), k, r, lr, lambda_p, lambda_q) }
 }
 
 /// One SGD update on shared (Hogwild) factor rows; same math as [`sgd_step`]
-/// but element values are loaded/stored through relaxed atomics.
+/// but operating directly inside the `AtomicU32` bit-cells of `p` row `u` and
+/// `q` row `i` — no scratch copy, no per-element atomic loop, so the fused
+/// SIMD kernel runs at full speed on the shared rows.
 ///
-/// `scratch` must have length `2k` and is reused across calls to avoid
-/// per-update allocation; it holds the locally loaded copies of `p_u`, `q_i`.
+/// `p` and `q` must be *different* matrices (they always are in MF: `P` is
+/// users, `Q` is items), otherwise the two rows could alias.
 #[inline]
 #[allow(clippy::too_many_arguments)] // hot kernel: flat scalars beat a params struct
 pub fn sgd_step_shared(
@@ -86,28 +89,44 @@ pub fn sgd_step_shared(
     lr: f32,
     lambda_p: f32,
     lambda_q: f32,
-    scratch: &mut [f32],
 ) -> f32 {
     let k = p.k();
     debug_assert_eq!(q.k(), k);
-    debug_assert_eq!(scratch.len(), 2 * k);
-    let (pl, ql) = scratch.split_at_mut(k);
-
     let p_cells = p.row_cells(u);
     let q_cells = q.row_cells(i);
-    for j in 0..k {
-        pl[j] = f32::from_bits(p_cells[j].load(Ordering::Relaxed));
-        ql[j] = f32::from_bits(q_cells[j].load(Ordering::Relaxed));
+    // SAFETY: this reads and writes the shared rows through plain (and SIMD)
+    // loads/stores derived from the `AtomicU32` cells. The argument:
+    //
+    // * Validity/layout — `AtomicU32` has the same size, alignment and bit
+    //   validity as `u32` (std guarantee), which has the same layout as
+    //   `f32`, so `p_cells.as_ptr() as *mut f32` points to `k` valid,
+    //   4-byte-aligned f32 lanes inside one live allocation for the whole
+    //   call (the `&[AtomicU32]` borrows keep the rows alive).
+    // * Mutability — the cells' interior is an `UnsafeCell`, so writing
+    //   through a pointer derived from a shared reference is permitted.
+    // * No aliasing between rows — `p` and `q` are distinct matrices per the
+    //   contract above, so the two rows occupy disjoint memory.
+    // * Tearing-freedom — every access the kernel performs is a 4-byte
+    //   element load/store or an 8-lane vector load/store of such elements;
+    //   on x86-64 (and every target Rust supports) aligned 4-byte accesses
+    //   are single-copy atomic, so a racing reader observes some previously
+    //   stored lane value, never a torn one. This is exactly the guarantee
+    //   the seed's per-element `Relaxed` atomic loop provided: Hogwild
+    //   tolerates stale lane values (sparse conflicts, §2.1/§4.2), it only
+    //   needs them untorn. Concurrent access is confined to Hogwild threads
+    //   running this same kernel on rows of the same `SharedFactors`, and
+    //   no ordering beyond per-lane atomicity is required or implied.
+    unsafe {
+        simd::fused_step_ptr(
+            p_cells.as_ptr() as *mut f32,
+            q_cells.as_ptr() as *mut f32,
+            k,
+            r,
+            lr,
+            lambda_p,
+            lambda_q,
+        )
     }
-    let e = r - dot(pl, ql);
-    for j in 0..k {
-        let p_old = pl[j];
-        let p_new = p_old + lr * (e * ql[j] - lambda_p * p_old);
-        let q_new = ql[j] + lr * (e * p_old - lambda_q * ql[j]);
-        p_cells[j].store(p_new.to_bits(), Ordering::Relaxed);
-        q_cells[j].store(q_new.to_bits(), Ordering::Relaxed);
-    }
-    e
 }
 
 #[cfg(test)]
@@ -169,27 +188,30 @@ mod tests {
 
     #[test]
     fn shared_step_matches_plain_step() {
-        let k = 4;
-        let pm = FactorMatrix::random(2, k, 1);
-        let qm = FactorMatrix::random(3, k, 2);
-        // Plain version.
-        let mut p_plain = pm.row(1).to_vec();
-        let mut q_plain = qm.row(2).to_vec();
-        let e_plain = sgd_step(&mut p_plain, &mut q_plain, 3.5, 0.01, 0.02, 0.03);
-        // Shared version.
-        let ps = SharedFactors::from_matrix(&pm);
-        let qs = SharedFactors::from_matrix(&qm);
-        let mut scratch = vec![0f32; 2 * k];
-        let e_shared = sgd_step_shared(&ps, &qs, 1, 2, 3.5, 0.01, 0.02, 0.03, &mut scratch);
-        assert_eq!(e_plain, e_shared);
-        let mut buf = vec![0f32; k];
-        ps.load_row_into(1, &mut buf);
-        assert_eq!(buf, p_plain);
-        qs.load_row_into(2, &mut buf);
-        assert_eq!(buf, q_plain);
-        // Untouched rows stay untouched.
-        ps.load_row_into(0, &mut buf);
-        assert_eq!(buf, pm.row(0));
+        // Exact equality relies on both paths hitting the same backend, so
+        // hold the dispatch lock against backend-forcing tests.
+        let _guard = crate::simd::test_lock();
+        for k in [4usize, 8, 13, 128] {
+            let pm = FactorMatrix::random(2, k, 1);
+            let qm = FactorMatrix::random(3, k, 2);
+            // Plain version.
+            let mut p_plain = pm.row(1).to_vec();
+            let mut q_plain = qm.row(2).to_vec();
+            let e_plain = sgd_step(&mut p_plain, &mut q_plain, 3.5, 0.01, 0.02, 0.03);
+            // Shared version.
+            let ps = SharedFactors::from_matrix(&pm);
+            let qs = SharedFactors::from_matrix(&qm);
+            let e_shared = sgd_step_shared(&ps, &qs, 1, 2, 3.5, 0.01, 0.02, 0.03);
+            assert_eq!(e_plain, e_shared, "k {k}");
+            let mut buf = vec![0f32; k];
+            ps.load_row_into(1, &mut buf);
+            assert_eq!(buf, p_plain, "k {k}");
+            qs.load_row_into(2, &mut buf);
+            assert_eq!(buf, q_plain, "k {k}");
+            // Untouched rows stay untouched.
+            ps.load_row_into(0, &mut buf);
+            assert_eq!(buf, pm.row(0), "k {k}");
+        }
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`adagrad`] — AdaGrad-scaled Hogwild (CuMF_SGD ships the same
 //!   alternative kernel).
 //! * [`momentum`] — heavy-ball Hogwild, completing the optimizer family.
+//! * [`simd`] — runtime-dispatched SIMD kernels (AVX2+FMA fused SGD step,
+//!   F16C half-precision codec) with portable scalar fallbacks.
 
 //!
 //! ```
@@ -30,7 +32,10 @@
 //! });
 //! let p = SharedFactors::from_matrix(&FactorMatrix::random(50, 8, 1));
 //! let q = SharedFactors::from_matrix(&FactorMatrix::random(30, 8, 2));
-//! let cfg = HogwildConfig { threads: 2, learning_rate: 0.02, lambda_p: 0.01, lambda_q: 0.01 };
+//! let cfg = HogwildConfig {
+//!     threads: 2, learning_rate: 0.02, lambda_p: 0.01, lambda_q: 0.01,
+//!     schedule: Default::default(),
+//! };
 //! let before = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
 //! for _ in 0..10 { hogwild_epoch(ds.matrix.entries(), &p, &q, &cfg); }
 //! assert!(rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot()) < before);
@@ -45,11 +50,12 @@ pub mod kernel;
 pub mod loss;
 pub mod momentum;
 pub mod schedule;
+pub mod simd;
 
 pub use adagrad::{adagrad_hogwild_epoch, AdaGradConfig, AdaGradState};
 pub use biased::{biased_hogwild_epoch, train_biased, BiasedConfig, BiasedModel, SharedBias};
 pub use factors::{FactorMatrix, SharedFactors};
-pub use hogwild::{hogwild_epoch, HogwildConfig};
+pub use hogwild::{hogwild_epoch, hogwild_epoch_tiled, HogwildConfig, Schedule};
 pub use kernel::{dot, dot_unrolled, sgd_step};
 pub use loss::{rmse, rmse_parallel};
 pub use momentum::{momentum_hogwild_epoch, MomentumConfig, MomentumState};

@@ -97,10 +97,14 @@ pub fn momentum_hogwild_epoch(
                 let vq = cfg.beta * f32::from_bits(vq_cells[j].load(Ordering::Relaxed)) + gq;
                 vp_cells[j].store(vp.to_bits(), Ordering::Relaxed);
                 vq_cells[j].store(vq.to_bits(), Ordering::Relaxed);
-                p_cells[j]
-                    .store((pl[j] + cfg.learning_rate * vp).to_bits(), Ordering::Relaxed);
-                q_cells[j]
-                    .store((ql[j] + cfg.learning_rate * vq).to_bits(), Ordering::Relaxed);
+                p_cells[j].store(
+                    (pl[j] + cfg.learning_rate * vp).to_bits(),
+                    Ordering::Relaxed,
+                );
+                q_cells[j].store(
+                    (ql[j] + cfg.learning_rate * vq).to_bits(),
+                    Ordering::Relaxed,
+                );
             }
             acc += (err as f64) * (err as f64);
             idx += threads;
@@ -111,8 +115,13 @@ pub fn momentum_hogwild_epoch(
         return sweep(0);
     }
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads).map(|t| scope.spawn(move || sweep(t))).collect();
-        handles.into_iter().map(|h| h.join().expect("momentum thread panicked")).sum()
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || sweep(t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("momentum thread panicked"))
+            .sum()
     })
 }
 
@@ -123,7 +132,12 @@ mod tests {
     use crate::FactorMatrix;
     use hcc_sparse::{GenConfig, SyntheticDataset};
 
-    fn setup() -> (SyntheticDataset, SharedFactors, SharedFactors, MomentumState) {
+    fn setup() -> (
+        SyntheticDataset,
+        SharedFactors,
+        SharedFactors,
+        MomentumState,
+    ) {
         let ds = SyntheticDataset::generate(GenConfig {
             rows: 200,
             cols: 100,
@@ -139,7 +153,11 @@ mod tests {
     #[test]
     fn momentum_converges() {
         let (ds, p, q, state) = setup();
-        let cfg = MomentumConfig { threads: 2, learning_rate: 0.005, ..Default::default() };
+        let cfg = MomentumConfig {
+            threads: 2,
+            learning_rate: 0.005,
+            ..Default::default()
+        };
         let before = rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot());
         for _ in 0..15 {
             momentum_hogwild_epoch(ds.matrix.entries(), &p, &q, &state, &cfg);
@@ -169,6 +187,7 @@ mod tests {
             learning_rate: 0.01,
             lambda_p: 0.02,
             lambda_q: 0.03,
+            schedule: Default::default(),
         };
         crate::hogwild::hogwild_epoch(entries, &p2, &q2, &hw);
         let a = p.snapshot();
@@ -182,7 +201,10 @@ mod tests {
     #[should_panic(expected = "beta")]
     fn invalid_beta_panics() {
         let (ds, p, q, state) = setup();
-        let cfg = MomentumConfig { beta: 1.0, ..Default::default() };
+        let cfg = MomentumConfig {
+            beta: 1.0,
+            ..Default::default()
+        };
         momentum_hogwild_epoch(ds.matrix.entries(), &p, &q, &state, &cfg);
     }
 

@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn inverse_time_decays() {
-        let lr = LearningRate::InverseTime { gamma0: 0.1, decay: 1.0 };
+        let lr = LearningRate::InverseTime {
+            gamma0: 0.1,
+            decay: 1.0,
+        };
         assert_eq!(lr.at(0), 0.1);
         assert!((lr.at(1) - 0.05).abs() < 1e-9);
         assert!(lr.at(9) < lr.at(8));
@@ -59,7 +62,10 @@ mod tests {
 
     #[test]
     fn exponential_decays_geometrically() {
-        let lr = LearningRate::Exponential { gamma0: 0.1, ratio: 0.5 };
+        let lr = LearningRate::Exponential {
+            gamma0: 0.1,
+            ratio: 0.5,
+        };
         assert_eq!(lr.at(0), 0.1);
         assert!((lr.at(2) - 0.025).abs() < 1e-9);
     }

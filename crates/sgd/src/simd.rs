@@ -1,0 +1,680 @@
+//! Runtime-dispatched SIMD kernels for the SGD hot path and the fp16 codec.
+//!
+//! The paper's CPU workers get their throughput from hand-written AVX512
+//! kernels (§3.4). This module is the portable-Rust analog: AVX2+FMA
+//! `std::arch` implementations of the fused dot+update SGD step and an F16C
+//! path for the binary16 codec, selected **once at runtime** via
+//! `is_x86_feature_detected!` and cached. Every entry point has a scalar
+//! fallback with identical semantics (up to floating-point reassociation in
+//! the dot product), so the crate builds and tests pass on any architecture.
+//!
+//! Dispatch granularity is one branch on a relaxed atomic per kernel call —
+//! noise next to the `O(k)` work each call does at the paper's k = 128.
+//!
+//! # Backend equality guarantees
+//!
+//! * `fp16` encode/decode: **bit-exact** across backends. VCVTPS2PH with
+//!   round-to-nearest-even implements the same IEEE-754 conversion as the
+//!   scalar codec in [`crate::fp16`], including subnormals (the F16C
+//!   instructions are exempt from DAZ/FTZ) and NaN quieting.
+//! * `dot` / `fused_step_ptr`: scalar and AVX2 differ only by reassociation
+//!   of the dot reduction and FMA contraction in the update (relative error
+//!   ≤ ~k·ε). Within one process the backend is fixed, so the plain and
+//!   shared SGD paths — both of which route through [`fused_step_ptr`] —
+//!   produce identical results to each other.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Kernel implementation tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar loops (auto-vectorizable, no intrinsics).
+    Scalar,
+    /// AVX2 + FMA + F16C `std::arch` kernels (x86-64 only).
+    Avx2,
+}
+
+impl Backend {
+    /// Short name used in bench output and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+const BK_UNSET: u8 = 0;
+const BK_SCALAR: u8 = 1;
+const BK_AVX2: u8 = 2;
+
+/// Cached dispatch decision; `BK_UNSET` until first use or after
+/// [`reset_backend`].
+static ACTIVE: AtomicU8 = AtomicU8::new(BK_UNSET);
+
+/// Probes CPU features. AVX2, FMA and F16C are grouped as one tier: every
+/// mainstream core since Haswell (2013) has all three, and grouping keeps
+/// the dispatch table binary.
+fn detect() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+            && is_x86_feature_detected!("f16c")
+        {
+            return Backend::Avx2;
+        }
+    }
+    Backend::Scalar
+}
+
+/// The backend all dispatched kernels currently use. First call detects and
+/// caches; later calls are a single relaxed load.
+#[inline]
+pub fn active_backend() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        BK_AVX2 => Backend::Avx2,
+        BK_SCALAR => Backend::Scalar,
+        _ => {
+            let b = detect();
+            let code = match b {
+                Backend::Scalar => BK_SCALAR,
+                Backend::Avx2 => BK_AVX2,
+            };
+            ACTIVE.store(code, Ordering::Relaxed);
+            b
+        }
+    }
+}
+
+/// Forces a specific backend (benchmarks and equivalence tests).
+///
+/// Returns `Err` without changing anything if the requested backend is not
+/// available on this CPU, so tests stay green on non-AVX2 machines.
+pub fn set_backend(b: Backend) -> Result<(), &'static str> {
+    if b == Backend::Avx2 && detect() != Backend::Avx2 {
+        return Err("avx2 backend not supported on this CPU");
+    }
+    let code = match b {
+        Backend::Scalar => BK_SCALAR,
+        Backend::Avx2 => BK_AVX2,
+    };
+    ACTIVE.store(code, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Drops any forced backend; the next kernel call re-detects.
+pub fn reset_backend() {
+    ACTIVE.store(BK_UNSET, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Dot product
+// ---------------------------------------------------------------------------
+
+/// Dispatched inner product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            // SAFETY: `active_backend() == Avx2` implies AVX2+FMA were
+            // detected at runtime; both pointers cover `a.len()` valid f32s.
+            unsafe { avx2::dot_ptr(a.as_ptr(), b.as_ptr(), a.len()) }
+        }
+        _ => scalar::dot(a, b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused dot + update SGD step over raw rows
+// ---------------------------------------------------------------------------
+
+/// One fused SGD step over raw factor rows: computes `e = r − p·q`, then
+///
+/// ```text
+/// p[j] += lr * (e*q[j] − lambda_p*p[j])
+/// q[j] += lr * (e*p_old[j] − lambda_q*q[j])
+/// ```
+///
+/// using the *old* `p[j]` in the `q` update (FPSGD/CuMF_SGD convention).
+/// Returns `e`. Both the plain-slice and the shared-atomic SGD paths call
+/// this one function, which is what makes them bit-identical to each other.
+///
+/// # Safety
+///
+/// * `p` and `q` must each point to `k` valid, aligned, writable `f32`s.
+/// * The two rows must not overlap.
+/// * Concurrent plain access from other threads (the Hogwild case) is
+///   tolerated by the algorithm but must come from rows obtained via
+///   [`crate::factors::SharedFactors`]; see `sgd_step_shared` for the
+///   aliasing argument.
+#[inline]
+pub unsafe fn fused_step_ptr(
+    p: *mut f32,
+    q: *mut f32,
+    k: usize,
+    r: f32,
+    lr: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            // SAFETY: backend implies AVX2+FMA present; pointer contracts are
+            // the caller's (documented above) and forwarded unchanged.
+            unsafe { avx2::fused_step_ptr(p, q, k, r, lr, lambda_p, lambda_q) }
+        }
+        // SAFETY: pointer contracts forwarded unchanged.
+        _ => unsafe { scalar::fused_step_ptr(p, q, k, r, lr, lambda_p, lambda_q) },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fp16 codec bulk conversion
+// ---------------------------------------------------------------------------
+
+/// Dispatched bulk f32 → binary16 conversion; bit-exact with
+/// [`crate::fp16::f32_to_f16`] on every input including NaN and subnormals.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn encode_f16(src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len(), "encode buffers must match");
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            // SAFETY: backend implies F16C present; lengths checked above.
+            unsafe { avx2::encode_f16(src, dst) }
+        }
+        _ => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = crate::fp16::f32_to_f16(s);
+            }
+        }
+    }
+}
+
+/// Dispatched bulk binary16 → f32 conversion; bit-exact with
+/// [`crate::fp16::f16_to_f32`].
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn decode_f16(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "decode buffers must match");
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            // SAFETY: backend implies F16C present; lengths checked above.
+            unsafe { avx2::decode_f16(src, dst) }
+        }
+        _ => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = crate::fp16::f16_to_f32(s);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations
+// ---------------------------------------------------------------------------
+
+/// Portable fallbacks. These are the *reference semantics* the SIMD paths are
+/// tested against; they intentionally mirror the pre-SIMD seed kernels.
+pub mod scalar {
+    /// Plain-loop inner product (LLVM auto-vectorizes the zip).
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0f32;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    /// Scalar fused step. See [`super::fused_step_ptr`] for the contract.
+    ///
+    /// # Safety
+    /// Same as [`super::fused_step_ptr`].
+    #[inline]
+    pub unsafe fn fused_step_ptr(
+        p: *mut f32,
+        q: *mut f32,
+        k: usize,
+        r: f32,
+        lr: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> f32 {
+        let mut acc = 0.0f32;
+        for j in 0..k {
+            // SAFETY: j < k and the caller guarantees k valid elements.
+            unsafe {
+                acc += *p.add(j) * *q.add(j);
+            }
+        }
+        let e = r - acc;
+        for j in 0..k {
+            // SAFETY: j < k; rows don't overlap, so the reads of p_old/q_old
+            // see the values from before this loop iteration's writes.
+            unsafe {
+                let pj = p.add(j);
+                let qj = q.add(j);
+                let p_old = *pj;
+                let q_old = *qj;
+                *pj = p_old + lr * (e * q_old - lambda_p * p_old);
+                *qj = q_old + lr * (e * p_old - lambda_q * q_old);
+            }
+        }
+        e
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA + F16C implementations
+// ---------------------------------------------------------------------------
+
+/// x86-64 vector kernels. Every function here requires the CPU features its
+/// `#[target_feature]` attribute names; the dispatcher guarantees that by
+/// construction, and tests gate direct calls on [`super::detect`]-equivalent
+/// checks.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of one 8-lane register.
+    ///
+    /// # Safety
+    /// Requires AVX.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        // Register-only intrinsics are safe inside a matching
+        // #[target_feature] fn — no pointer access, so no unsafe block.
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// 8-lane FMA inner product with two independent accumulators (breaks
+    /// the add chain so both FMA ports stay busy at k = 128).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; `a` and `b` must point to `k` valid f32s.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_ptr(a: *const f32, b: *const f32, k: usize) -> f32 {
+        // SAFETY: all element accesses below stay inside `0..k`, which the
+        // caller guarantees is valid for both pointers; loads are unaligned
+        // (`loadu`) so no alignment requirement beyond f32's.
+        unsafe {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut j = 0usize;
+            while j + 16 <= k {
+                acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(j)), _mm256_loadu_ps(b.add(j)), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(a.add(j + 8)),
+                    _mm256_loadu_ps(b.add(j + 8)),
+                    acc1,
+                );
+                j += 16;
+            }
+            if j + 8 <= k {
+                acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(j)), _mm256_loadu_ps(b.add(j)), acc0);
+                j += 8;
+            }
+            let mut acc = hsum(_mm256_add_ps(acc0, acc1));
+            while j < k {
+                acc += *a.add(j) * *b.add(j);
+                j += 1;
+            }
+            acc
+        }
+    }
+
+    /// Fused dot+update step, vector form. Same math as
+    /// [`super::scalar::fused_step_ptr`] with FMA contraction.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; same pointer contract as
+    /// [`super::fused_step_ptr`] (`k` valid f32s each, non-overlapping).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fused_step_ptr(
+        p: *mut f32,
+        q: *mut f32,
+        k: usize,
+        r: f32,
+        lr: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> f32 {
+        // SAFETY: element accesses stay in `0..k` (caller contract); the
+        // rows don't overlap, so loading pv/qv before storing both keeps
+        // the "old p in the q update" semantics of the scalar kernel.
+        unsafe {
+            let e = r - dot_ptr(p, q, k);
+            let e_v = _mm256_set1_ps(e);
+            let lr_v = _mm256_set1_ps(lr);
+            let lp_v = _mm256_set1_ps(lambda_p);
+            let lq_v = _mm256_set1_ps(lambda_q);
+            let mut j = 0usize;
+            while j + 8 <= k {
+                let pv = _mm256_loadu_ps(p.add(j));
+                let qv = _mm256_loadu_ps(q.add(j));
+                // gp = e*q − λp*p ; gq = e*p_old − λq*q (fnmadd: −a*b + c)
+                let gp = _mm256_fnmadd_ps(lp_v, pv, _mm256_mul_ps(e_v, qv));
+                let gq = _mm256_fnmadd_ps(lq_v, qv, _mm256_mul_ps(e_v, pv));
+                _mm256_storeu_ps(p.add(j), _mm256_fmadd_ps(lr_v, gp, pv));
+                _mm256_storeu_ps(q.add(j), _mm256_fmadd_ps(lr_v, gq, qv));
+                j += 8;
+            }
+            while j < k {
+                let pj = p.add(j);
+                let qj = q.add(j);
+                let p_old = *pj;
+                let q_old = *qj;
+                *pj = p_old + lr * (e * q_old - lambda_p * p_old);
+                *qj = q_old + lr * (e * p_old - lambda_q * q_old);
+                j += 1;
+            }
+            e
+        }
+    }
+
+    /// Bulk f32 → f16 via VCVTPS2PH (round-to-nearest-even), 8 lanes/iter.
+    ///
+    /// # Safety
+    /// Requires F16C (+AVX); `src` and `dst` must be equal length.
+    #[target_feature(enable = "avx,f16c")]
+    pub unsafe fn encode_f16(src: &[f32], dst: &mut [u16]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let mut j = 0usize;
+        // SAFETY: accesses stay in `0..n`, within both slices; the 128-bit
+        // store writes 8 u16 = 16 bytes at dp+j, valid while j+8 <= n.
+        unsafe {
+            while j + 8 <= n {
+                let v = _mm256_loadu_ps(sp.add(j));
+                // Rounding imm 0 = round-to-nearest-even, matching the
+                // scalar codec (stdarch's 3-bit imm check rejects the
+                // traditional `| _MM_FROUND_NO_EXC` spelling).
+                let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+                _mm_storeu_si128(dp.add(j) as *mut __m128i, h);
+                j += 8;
+            }
+        }
+        for jj in j..n {
+            dst[jj] = crate::fp16::f32_to_f16(src[jj]);
+        }
+    }
+
+    /// Bulk f16 → f32 via VCVTPH2PS, 8 lanes/iter.
+    ///
+    /// # Safety
+    /// Requires F16C (+AVX); `src` and `dst` must be equal length.
+    #[target_feature(enable = "avx,f16c")]
+    pub unsafe fn decode_f16(src: &[u16], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let mut j = 0usize;
+        // SAFETY: accesses stay in `0..n`; the 128-bit load reads 8 u16 =
+        // 16 bytes at sp+j, valid while j+8 <= n.
+        unsafe {
+            while j + 8 <= n {
+                let h = _mm_loadu_si128(sp.add(j) as *const __m128i);
+                _mm256_storeu_ps(dp.add(j), _mm256_cvtph_ps(h));
+                j += 8;
+            }
+        }
+        for jj in j..n {
+            dst[jj] = crate::fp16::f16_to_f32(src[jj]);
+        }
+    }
+}
+
+/// Serializes tests that force the global backend or depend on it staying
+/// fixed across several kernel calls (e.g. exact plain-vs-shared equality).
+/// The default test harness runs tests on multiple threads in one process,
+/// and `ACTIVE` is process-global.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// True when the AVX2 tier is runtime-available; direct `avx2::` calls
+    /// below are gated on this, so the suite passes on any CPU.
+    fn avx2_available() -> bool {
+        detect() == Backend::Avx2
+    }
+
+    #[test]
+    fn detection_is_stable_and_cached() {
+        let _guard = test_lock();
+        reset_backend();
+        let a = active_backend();
+        let b = active_backend();
+        assert_eq!(a, b);
+        assert_eq!(a, detect());
+    }
+
+    #[test]
+    fn forcing_scalar_always_works_and_avx2_errors_when_absent() {
+        let _guard = test_lock();
+        assert!(set_backend(Backend::Scalar).is_ok());
+        assert_eq!(active_backend(), Backend::Scalar);
+        match (avx2_available(), set_backend(Backend::Avx2)) {
+            (true, res) => {
+                assert!(res.is_ok());
+                assert_eq!(active_backend(), Backend::Avx2);
+            }
+            (false, res) => {
+                assert!(res.is_err());
+                // A refused override leaves the previous choice in place.
+                assert_eq!(active_backend(), Backend::Scalar);
+            }
+        }
+        reset_backend();
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn dot_backends_agree_within_reassociation_tolerance() {
+        if !avx2_available() {
+            return;
+        }
+        for k in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 127, 128, 333] {
+            let a: Vec<f32> = (0..k)
+                .map(|j| ((j * 37 + 11) as f32 * 0.01).sin())
+                .collect();
+            let b: Vec<f32> = (0..k)
+                .map(|j| ((j * 53 + 29) as f32 * 0.01).cos())
+                .collect();
+            let s = scalar::dot(&a, &b) as f64;
+            // SAFETY: AVX2+FMA runtime-checked above; slices hold k f32s.
+            let v = unsafe { avx2::dot_ptr(a.as_ptr(), b.as_ptr(), k) } as f64;
+            assert!(
+                (s - v).abs() <= 1e-5 * s.abs().max(1.0),
+                "k {k}: scalar {s} vs avx2 {v}"
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn fused_step_backends_agree_within_tolerance() {
+        if !avx2_available() {
+            return;
+        }
+        for k in [1usize, 4, 8, 12, 16, 100, 128] {
+            let base_p: Vec<f32> = (0..k).map(|j| 0.1 + (j as f32) * 0.003).collect();
+            let base_q: Vec<f32> = (0..k).map(|j| 0.2 - (j as f32) * 0.001).collect();
+            let mut ps = base_p.clone();
+            let mut qs = base_q.clone();
+            // SAFETY: ps/qs are distinct exclusive buffers of length k.
+            let es = unsafe {
+                scalar::fused_step_ptr(ps.as_mut_ptr(), qs.as_mut_ptr(), k, 3.3, 0.01, 0.02, 0.03)
+            };
+            let mut pv = base_p.clone();
+            let mut qv = base_q.clone();
+            // SAFETY: AVX2+FMA runtime-checked; pv/qv distinct, length k.
+            let ev = unsafe {
+                avx2::fused_step_ptr(pv.as_mut_ptr(), qv.as_mut_ptr(), k, 3.3, 0.01, 0.02, 0.03)
+            };
+            assert!(
+                (es - ev).abs() <= 1e-5 * es.abs().max(1.0),
+                "k {k}: e {es} vs {ev}"
+            );
+            for j in 0..k {
+                assert!(
+                    (ps[j] - pv[j]).abs() <= 1e-5 * ps[j].abs().max(1.0),
+                    "k {k} p[{j}]: {} vs {}",
+                    ps[j],
+                    pv[j]
+                );
+                assert!(
+                    (qs[j] - qv[j]).abs() <= 1e-5 * qs[j].abs().max(1.0),
+                    "k {k} q[{j}]: {} vs {}",
+                    qs[j],
+                    qv[j]
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn f16_codec_backends_bit_exact_including_odd_tails() {
+        if !avx2_available() {
+            return;
+        }
+        // Mix of normals, subnormals, ±0, ±inf, NaN and rounding boundaries;
+        // length 21 exercises the vector body and a 5-element tail.
+        let src: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            65504.0,
+            65520.0,
+            -1e6,
+            1e-10,
+            2.0f32.powi(-25),
+            2.0f32.powi(-25) * 1.5,
+            2.0f32.powi(-14),
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            1.0 + 2.0f32.powi(-11),
+            1.0 + 3.0 * 2.0f32.powi(-11),
+            std::f32::consts::PI,
+            -std::f32::consts::E,
+            1234.5678,
+            -0.000123,
+            42.0,
+        ];
+        let scalar_out: Vec<u16> = src.iter().map(|&x| crate::fp16::f32_to_f16(x)).collect();
+        let mut simd_out = vec![0u16; src.len()];
+        // SAFETY: F16C runtime-checked; equal lengths.
+        unsafe { avx2::encode_f16(&src, &mut simd_out) };
+        assert_eq!(scalar_out, simd_out);
+        // Decode every possible f16 pattern both ways: also bit-exact.
+        let all: Vec<u16> = (0..=u16::MAX).collect();
+        let ds: Vec<f32> = all.iter().map(|&h| crate::fp16::f16_to_f32(h)).collect();
+        let mut dv = vec![0f32; all.len()];
+        // SAFETY: F16C runtime-checked; equal lengths.
+        unsafe { avx2::decode_f16(&all, &mut dv) };
+        for (j, (x, y)) in ds.iter().zip(dv.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "pattern {j:#06x}");
+        }
+    }
+
+    /// Property tests pitting the AVX2 tier against the scalar reference on
+    /// randomized inputs (bit-exact for the f16 codec, reassociation
+    /// tolerance for the arithmetic kernels). Vacuous on non-AVX2 hardware.
+    #[cfg(target_arch = "x86_64")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_f16_encode_bit_exact_vs_scalar(
+                bits in proptest::collection::vec(0u64..(1u64 << 32), 0..64)
+            ) {
+                if !avx2_available() {
+                    return;
+                }
+                let src: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b as u32)).collect();
+                let want: Vec<u16> = src.iter().map(|&x| crate::fp16::f32_to_f16(x)).collect();
+                let mut got = vec![0u16; src.len()];
+                // SAFETY: F16C runtime-checked above; equal lengths.
+                unsafe { avx2::encode_f16(&src, &mut got) };
+                prop_assert_eq!(want, got);
+            }
+
+            #[test]
+            fn prop_f16_decode_bit_exact_vs_scalar(
+                halves in proptest::collection::vec(0u64..65536, 0..64)
+            ) {
+                if !avx2_available() {
+                    return;
+                }
+                let src: Vec<u16> = halves.iter().map(|&h| h as u16).collect();
+                let want: Vec<u32> =
+                    src.iter().map(|&h| crate::fp16::f16_to_f32(h).to_bits()).collect();
+                let mut got = vec![0f32; src.len()];
+                // SAFETY: F16C runtime-checked above; equal lengths.
+                unsafe { avx2::decode_f16(&src, &mut got) };
+                let got: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(want, got);
+            }
+
+            #[test]
+            fn prop_fused_step_backends_agree(
+                a in proptest::collection::vec(-1.5f32..1.5, 1..160),
+                b in proptest::collection::vec(-1.5f32..1.5, 1..160),
+                r in -5.0f32..5.0,
+            ) {
+                if !avx2_available() {
+                    return;
+                }
+                let k = a.len().min(b.len());
+                let mut ps = a[..k].to_vec();
+                let mut qs = b[..k].to_vec();
+                // SAFETY: ps/qs are distinct exclusive buffers of length k.
+                let es = unsafe {
+                    scalar::fused_step_ptr(ps.as_mut_ptr(), qs.as_mut_ptr(), k, r, 0.01, 0.02, 0.03)
+                };
+                let mut pv = a[..k].to_vec();
+                let mut qv = b[..k].to_vec();
+                // SAFETY: AVX2+FMA runtime-checked; pv/qv distinct, length k.
+                let ev = unsafe {
+                    avx2::fused_step_ptr(pv.as_mut_ptr(), qv.as_mut_ptr(), k, r, 0.01, 0.02, 0.03)
+                };
+                prop_assert!((es - ev).abs() <= 1e-5 * es.abs().max(1.0));
+                for j in 0..k {
+                    prop_assert!((ps[j] - pv[j]).abs() <= 1e-5 * ps[j].abs().max(1.0));
+                    prop_assert!((qs[j] - qv[j]).abs() <= 1e-5 * qs[j].abs().max(1.0));
+                }
+            }
+        }
+    }
+}

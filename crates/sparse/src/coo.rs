@@ -58,14 +58,22 @@ impl CooMatrix {
                 return Err(SparseError::ColOutOfBounds { col: e.i, cols });
             }
         }
-        Ok(CooMatrix { rows, cols, entries })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            entries,
+        })
     }
 
     /// Builds without bound checks. Caller must guarantee the invariants;
     /// used by generators that construct indices in-range by construction.
     pub(crate) fn from_parts_unchecked(rows: u32, cols: u32, entries: Vec<Rating>) -> Self {
         debug_assert!(entries.iter().all(|e| e.u < rows && e.i < cols));
-        CooMatrix { rows, cols, entries }
+        CooMatrix {
+            rows,
+            cols,
+            entries,
+        }
     }
 
     /// Number of rows (`m` in the paper: users).
@@ -271,7 +279,10 @@ mod tests {
         let t = sample().transpose();
         assert_eq!(t.rows(), 4);
         assert_eq!(t.cols(), 3);
-        assert!(t.entries().iter().any(|e| e.u == 1 && e.i == 0 && e.r == 5.0));
+        assert!(t
+            .entries()
+            .iter()
+            .any(|e| e.u == 1 && e.i == 0 && e.r == 5.0));
         // Double transpose is identity.
         let m = sample();
         assert_eq!(m.clone().transpose().transpose(), m);

@@ -99,7 +99,13 @@ impl From<&CooMatrix> for CscMatrix {
             values[pos] = e.r;
             cursor[e.i as usize] += 1;
         }
-        CscMatrix { rows, cols, col_ptr, row_idx, values }
+        CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 }
 
@@ -140,8 +146,16 @@ mod tests {
     fn roundtrip_preserves_entries() {
         let coo = sample();
         let back = CscMatrix::from(&coo).to_coo();
-        let mut a: Vec<_> = coo.entries().iter().map(|e| (e.u, e.i, e.r.to_bits())).collect();
-        let mut b: Vec<_> = back.entries().iter().map(|e| (e.u, e.i, e.r.to_bits())).collect();
+        let mut a: Vec<_> = coo
+            .entries()
+            .iter()
+            .map(|e| (e.u, e.i, e.r.to_bits()))
+            .collect();
+        let mut b: Vec<_> = back
+            .entries()
+            .iter()
+            .map(|e| (e.u, e.i, e.r.to_bits()))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

@@ -98,7 +98,13 @@ impl From<&CooMatrix> for CsrMatrix {
             values[pos] = e.r;
             cursor[e.u as usize] += 1;
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -151,8 +157,16 @@ mod tests {
         let coo = sample();
         let csr = CsrMatrix::from(&coo);
         let back = csr.to_coo();
-        let mut a: Vec<_> = coo.entries().iter().map(|e| (e.u, e.i, e.r.to_bits())).collect();
-        let mut b: Vec<_> = back.entries().iter().map(|e| (e.u, e.i, e.r.to_bits())).collect();
+        let mut a: Vec<_> = coo
+            .entries()
+            .iter()
+            .map(|e| (e.u, e.i, e.r.to_bits()))
+            .collect();
+        let mut b: Vec<_> = back
+            .entries()
+            .iter()
+            .map(|e| (e.u, e.i, e.r.to_bits()))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

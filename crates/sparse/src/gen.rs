@@ -80,7 +80,10 @@ impl SyntheticDataset {
     /// result has exactly `min(nnz, feasible)` distinct cells; for the sparse
     /// regimes used here rejection is cheap.
     pub fn generate(config: GenConfig) -> SyntheticDataset {
-        assert!(config.rows > 0 && config.cols > 0, "dimensions must be non-zero");
+        assert!(
+            config.rows > 0 && config.cols > 0,
+            "dimensions must be non-zero"
+        );
         assert!(config.planted_rank > 0, "planted rank must be non-zero");
         assert!(
             config.scale_min <= config.scale_max,
@@ -139,7 +142,12 @@ impl SyntheticDataset {
         }
 
         let matrix = CooMatrix::from_parts_unchecked(config.rows, config.cols, entries);
-        SyntheticDataset { matrix, true_p, true_q, config }
+        SyntheticDataset {
+            matrix,
+            true_p,
+            true_q,
+            config,
+        }
     }
 
     /// The planted prediction for cell `(u, i)` (noise-free).
@@ -193,7 +201,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> ZipfSampler {
         assert!(n > 0, "sampler domain must be non-empty");
-        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for j in 0..n {
@@ -242,13 +253,21 @@ mod tests {
     #[test]
     fn seed_changes_output() {
         let a = SyntheticDataset::generate(GenConfig::default());
-        let b = SyntheticDataset::generate(GenConfig { seed: 99, ..GenConfig::default() });
+        let b = SyntheticDataset::generate(GenConfig {
+            seed: 99,
+            ..GenConfig::default()
+        });
         assert_ne!(a.matrix, b.matrix);
     }
 
     #[test]
     fn nnz_and_bounds_respected() {
-        let cfg = GenConfig { rows: 100, cols: 50, nnz: 2_000, ..GenConfig::default() };
+        let cfg = GenConfig {
+            rows: 100,
+            cols: 50,
+            nnz: 2_000,
+            ..GenConfig::default()
+        };
         let ds = SyntheticDataset::generate(cfg.clone());
         assert_eq!(ds.matrix.nnz(), 2_000);
         assert_eq!(ds.matrix.rows(), 100);
@@ -353,7 +372,14 @@ mod tests {
         });
         for e in ds.matrix.entries().iter().take(50) {
             let expect = ds.true_rating(e.u, e.i);
-            assert!((e.r - expect).abs() < 1e-6, "({},{}) {} vs {}", e.u, e.i, e.r, expect);
+            assert!(
+                (e.r - expect).abs() < 1e-6,
+                "({},{}) {} vs {}",
+                e.u,
+                e.i,
+                e.r,
+                expect
+            );
         }
     }
 }

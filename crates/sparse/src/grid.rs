@@ -115,7 +115,11 @@ impl GridPartition {
             let w = (boundaries.partition_point(|&b| b <= key) - 1).min(workers - 1);
             shards[w].push(e);
         }
-        GridPartition { axis, boundaries, shards }
+        GridPartition {
+            axis,
+            boundaries,
+            shards,
+        }
     }
 
     /// Builds an equal-fraction grid over `workers` workers.
@@ -170,7 +174,10 @@ impl GridPartition {
         if total == 0 {
             return vec![0.0; self.shards.len()];
         }
-        self.shards.iter().map(|s| s.len() as f64 / total as f64).collect()
+        self.shards
+            .iter()
+            .map(|s| s.len() as f64 / total as f64)
+            .collect()
     }
 }
 
@@ -194,7 +201,10 @@ impl BlockGrid {
     /// # Panics
     /// Panics if `grid_rows` or `grid_cols` is zero.
     pub fn build(matrix: &CooMatrix, grid_rows: usize, grid_cols: usize) -> BlockGrid {
-        assert!(grid_rows > 0 && grid_cols > 0, "grid dimensions must be non-zero");
+        assert!(
+            grid_rows > 0 && grid_cols > 0,
+            "grid dimensions must be non-zero"
+        );
         let row_bin_size = matrix.rows().div_ceil(grid_rows as u32).max(1);
         let col_bin_size = matrix.cols().div_ceil(grid_cols as u32).max(1);
         let mut blocks: Vec<Vec<Rating>> = vec![Vec::new(); grid_rows * grid_cols];
@@ -203,7 +213,13 @@ impl BlockGrid {
             let bc = ((e.i / col_bin_size) as usize).min(grid_cols - 1);
             blocks[br * grid_cols + bc].push(e);
         }
-        BlockGrid { grid_rows, grid_cols, row_bin_size, col_bin_size, blocks }
+        BlockGrid {
+            grid_rows,
+            grid_cols,
+            row_bin_size,
+            col_bin_size,
+            blocks,
+        }
     }
 
     /// Grid height in blocks.
@@ -306,7 +322,12 @@ mod tests {
         for w in 0..3 {
             let range = g.range(w);
             for e in g.shard(w) {
-                assert!(range.contains(&e.u), "entry row {} outside {:?}", e.u, range);
+                assert!(
+                    range.contains(&e.u),
+                    "entry row {} outside {:?}",
+                    e.u,
+                    range
+                );
             }
         }
         assert_eq!(g.range(0).start, 0);

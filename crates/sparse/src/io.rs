@@ -54,7 +54,9 @@ pub fn read_triples<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
         entries.push(Rating::new(u, i, r));
     }
     if entries.is_empty() {
-        return Err(SparseError::EmptyDimension { what: "input (no triples)" });
+        return Err(SparseError::EmptyDimension {
+            what: "input (no triples)",
+        });
     }
     CooMatrix::new(max_u + 1, max_i + 1, entries)
 }
@@ -90,7 +92,11 @@ mod tests {
         let m = CooMatrix::new(
             4,
             3,
-            vec![Rating::new(0, 2, 4.5), Rating::new(3, 0, 1.0), Rating::new(1, 1, 3.25)],
+            vec![
+                Rating::new(0, 2, 4.5),
+                Rating::new(3, 0, 1.0),
+                Rating::new(1, 1, 3.25),
+            ],
         )
         .unwrap();
         let mut buf = Vec::new();
@@ -135,8 +141,7 @@ mod tests {
         let dir = std::env::temp_dir().join("hcc_sparse_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("triples.txt");
-        let m = CooMatrix::new(2, 2, vec![Rating::new(0, 1, 2.0), Rating::new(1, 0, 3.0)])
-            .unwrap();
+        let m = CooMatrix::new(2, 2, vec![Rating::new(0, 1, 2.0), Rating::new(1, 0, 3.0)]).unwrap();
         write_triples_file(&m, &path).unwrap();
         let back = read_triples_file(&path).unwrap();
         assert_eq!(back, m);
@@ -158,7 +163,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
     // Header line.
     lineno += 1;
     if reader.read_line(&mut line)? == 0 {
-        return Err(SparseError::Parse { line: lineno, message: "empty file".into() });
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: "empty file".into(),
+        });
     }
     let header = line.trim().to_ascii_lowercase();
     if !header.starts_with("%%matrixmarket matrix coordinate") {
@@ -181,7 +189,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
         line.clear();
         lineno += 1;
         if reader.read_line(&mut line)? == 0 {
-            return Err(SparseError::Parse { line: lineno, message: "missing size line".into() });
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: "missing size line".into(),
+            });
         }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
@@ -194,7 +205,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
                 message: format!("missing {what}"),
             })?
             .parse()
-            .map_err(|_| SparseError::Parse { line: lineno, message: format!("bad {what}") })
+            .map_err(|_| SparseError::Parse {
+                line: lineno,
+                message: format!("bad {what}"),
+            })
         };
         break (
             parse(parts.next(), "rows")? as u32,
@@ -215,8 +229,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let parse_err =
-            |msg: &str| SparseError::Parse { line: lineno, message: msg.to_string() };
+        let parse_err = |msg: &str| SparseError::Parse {
+            line: lineno,
+            message: msg.to_string(),
+        };
         let u: u32 = parts
             .next()
             .ok_or_else(|| parse_err("missing row"))?
@@ -269,7 +285,11 @@ mod mm_tests {
         let m = CooMatrix::new(
             3,
             4,
-            vec![Rating::new(0, 3, 2.5), Rating::new(2, 0, 1.0), Rating::new(1, 1, 4.0)],
+            vec![
+                Rating::new(0, 3, 2.5),
+                Rating::new(2, 0, 1.0),
+                Rating::new(1, 1, 4.0),
+            ],
         )
         .unwrap();
         let mut buf = Vec::new();

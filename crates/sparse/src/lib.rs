@@ -18,6 +18,8 @@
 //! * [`split`] — deterministic train/test splitting.
 //! * [`io`] — plain-text triple I/O compatible with the common
 //!   `user item rating` format.
+//! * [`tile`] — regrouping a shard into L2-sized `u_block × i_block` tiles
+//!   for the locality-aware Hogwild scheduler.
 
 //!
 //! ```
@@ -41,6 +43,7 @@ pub mod io;
 pub mod profiles;
 pub mod split;
 pub mod stats;
+pub mod tile;
 
 pub use coo::{CooMatrix, Rating};
 pub use csc::CscMatrix;
@@ -51,3 +54,4 @@ pub use grid::{Axis, BlockGrid, GridPartition};
 pub use profiles::DatasetProfile;
 pub use split::train_test_split;
 pub use stats::MatrixStats;
+pub use tile::TileGrid;

@@ -93,7 +93,11 @@ mod tests {
             .map(|e| (e.u, e.i, e.r.to_bits()))
             .collect();
         all.sort_unstable();
-        let mut orig: Vec<_> = m.entries().iter().map(|e| (e.u, e.i, e.r.to_bits())).collect();
+        let mut orig: Vec<_> = m
+            .entries()
+            .iter()
+            .map(|e| (e.u, e.i, e.r.to_bits()))
+            .collect();
         orig.sort_unstable();
         assert_eq!(all, orig);
     }

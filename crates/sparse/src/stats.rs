@@ -59,8 +59,7 @@ impl MatrixStats {
         let (mean, std) = if nnz == 0 {
             (0.0, 0.0)
         } else {
-            let mean: f64 =
-                matrix.entries().iter().map(|e| e.r as f64).sum::<f64>() / nnz as f64;
+            let mean: f64 = matrix.entries().iter().map(|e| e.r as f64).sum::<f64>() / nnz as f64;
             let var: f64 = matrix
                 .entries()
                 .iter()
@@ -114,8 +113,11 @@ pub fn gini(counts: &[u32]) -> f64 {
     sorted.sort_unstable();
     let n = sorted.len() as f64;
     // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n with 1-based ranks on sorted x.
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
     (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
 }
 

@@ -1,0 +1,253 @@
+//! Locality-aware tiling of a rating shard for cache-friendly Hogwild.
+//!
+//! Striped Hogwild walks the (shuffled) entry list in arrival order, so
+//! consecutive updates touch essentially random `P`/`Q` rows: at realistic
+//! dimensions (`k = 128` ⇒ 512 B per factor row) every update misses L2 on
+//! both rows. Tiling groups the shard into `u_block × i_block` rectangles
+//! sized so that all factor rows a tile can touch — `(u_block + i_block)·k`
+//! floats — fit in a fraction of L2. A thread then processes a whole tile
+//! before moving on, so each resident row is reused for every rating that
+//! falls in the tile instead of being refetched per update.
+//!
+//! The regrouping is a counting sort over tile ids: one pass to count, one to
+//! scatter, `O(nnz)` time and one extra entry buffer. Within a tile the
+//! original (shuffled) entry order is preserved, so SGD still sees a random
+//! order *locally*; only the global visiting order becomes block-structured.
+//! That is the same trade FPSGD makes with its block grid, applied here to
+//! the shared-memory scheduler instead of the partition layer.
+
+use crate::coo::Rating;
+
+/// Default per-tile cache budget: half of a conservative 512 KiB L2, leaving
+/// the other half for the streamed entries and whatever else the core runs.
+pub const DEFAULT_L2_BYTES: usize = 256 * 1024;
+
+/// A shard regrouped into cache-sized tiles, ready for tile-at-a-time
+/// scheduling.
+///
+/// Tiles are stored back-to-back in one buffer (CSR-style offsets), ordered
+/// row-major over the `grid_u × grid_i` tile grid; empty tiles are kept (they
+/// are free) so tile ids map directly to grid coordinates.
+#[derive(Debug, Clone)]
+pub struct TileGrid {
+    u_block: usize,
+    i_block: usize,
+    grid_u: usize,
+    grid_i: usize,
+    /// Entries permuted into tile-major order.
+    entries: Vec<Rating>,
+    /// `offsets[t]..offsets[t + 1]` bounds tile `t` in `entries`.
+    offsets: Vec<usize>,
+}
+
+impl TileGrid {
+    /// Buckets `entries` (indices `< rows`/`< cols`) into tiles sized for
+    /// factor dimension `k` and an `l2_bytes` cache budget.
+    ///
+    /// Block sizes are chosen square-ish: the tile's worst-case resident set
+    /// is `(u_block + i_block)` factor rows of `4k` bytes each, so each block
+    /// gets `l2_bytes / 2` of the budget. Degenerate inputs (tiny budget,
+    /// huge `k`) clamp to 1-row blocks, which degrades gracefully toward
+    /// per-entry scheduling rather than failing.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `cols == 0`, or if an entry indexes outside
+    /// `rows × cols`.
+    pub fn build(entries: &[Rating], rows: usize, cols: usize, k: usize, l2_bytes: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "tile grid over an empty matrix");
+        let row_bytes = 4 * k.max(1);
+        let block = (l2_bytes / 2 / row_bytes).max(1);
+        let u_block = block.min(rows);
+        let i_block = block.min(cols);
+        let grid_u = rows.div_ceil(u_block);
+        let grid_i = cols.div_ceil(i_block);
+        let n_tiles = grid_u * grid_i;
+
+        let tile_of = |e: &Rating| -> usize {
+            let (u, i) = (e.u as usize, e.i as usize);
+            assert!(
+                u < rows && i < cols,
+                "entry ({u}, {i}) outside {rows}x{cols}"
+            );
+            (u / u_block) * grid_i + (i / i_block)
+        };
+
+        // Counting sort by tile id, stable within a tile.
+        let mut counts = vec![0usize; n_tiles + 1];
+        for e in entries {
+            counts[tile_of(e) + 1] += 1;
+        }
+        for t in 0..n_tiles {
+            counts[t + 1] += counts[t];
+        }
+        let offsets = counts.clone();
+        let mut permuted = vec![Rating::new(0, 0, 0.0); entries.len()];
+        let mut cursor = counts;
+        for e in entries {
+            let t = tile_of(e);
+            permuted[cursor[t]] = *e;
+            cursor[t] += 1;
+        }
+
+        TileGrid {
+            u_block,
+            i_block,
+            grid_u,
+            grid_i,
+            entries: permuted,
+            offsets,
+        }
+    }
+
+    /// Builds with the [`DEFAULT_L2_BYTES`] budget.
+    pub fn with_default_budget(entries: &[Rating], rows: usize, cols: usize, k: usize) -> Self {
+        Self::build(entries, rows, cols, k, DEFAULT_L2_BYTES)
+    }
+
+    /// Number of tiles (including empty ones).
+    #[inline]
+    pub fn num_tiles(&self) -> usize {
+        self.grid_u * self.grid_i
+    }
+
+    /// Entries of tile `t`, in original relative order.
+    #[inline]
+    pub fn tile(&self, t: usize) -> &[Rating] {
+        &self.entries[self.offsets[t]..self.offsets[t + 1]]
+    }
+
+    /// Rows (users) per tile.
+    #[inline]
+    pub fn u_block(&self) -> usize {
+        self.u_block
+    }
+
+    /// Columns (items) per tile.
+    #[inline]
+    pub fn i_block(&self) -> usize {
+        self.i_block
+    }
+
+    /// Tile-grid dimensions `(grid_u, grid_i)`.
+    #[inline]
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.grid_u, self.grid_i)
+    }
+
+    /// Total entries across all tiles (equals the input length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in tile-major order; `tile(t)` slices into this.
+    #[inline]
+    pub fn entries(&self) -> &[Rating] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, SyntheticDataset};
+
+    fn key(e: &Rating) -> (u32, u32, u32) {
+        (e.u, e.i, e.r.to_bits())
+    }
+
+    #[test]
+    fn preserves_every_entry_exactly_once() {
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 300,
+            cols: 200,
+            nnz: 4_000,
+            ..GenConfig::default()
+        });
+        let entries = ds.matrix.entries();
+        let grid = TileGrid::build(entries, 300, 200, 32, 16 * 1024);
+        assert_eq!(grid.len(), entries.len());
+        let mut got: Vec<_> = (0..grid.num_tiles())
+            .flat_map(|t| grid.tile(t).iter().map(key))
+            .collect();
+        let mut want: Vec<_> = entries.iter().map(key).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn entries_land_in_their_tile_rectangle() {
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 100,
+            cols: 80,
+            nnz: 2_000,
+            ..GenConfig::default()
+        });
+        let grid = TileGrid::build(ds.matrix.entries(), 100, 80, 64, 8 * 1024);
+        let (gu, gi) = grid.grid_dims();
+        for tu in 0..gu {
+            for ti in 0..gi {
+                for e in grid.tile(tu * gi + ti) {
+                    assert_eq!(e.u as usize / grid.u_block(), tu);
+                    assert_eq!(e.i as usize / grid.i_block(), ti);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_scales_inversely_with_k() {
+        let entries = [Rating::new(0, 0, 1.0)];
+        let small_k = TileGrid::build(&entries, 100_000, 100_000, 16, DEFAULT_L2_BYTES);
+        let large_k = TileGrid::build(&entries, 100_000, 100_000, 128, DEFAULT_L2_BYTES);
+        assert_eq!(small_k.u_block(), 8 * large_k.u_block());
+        // k = 128: 512 B rows, 128 KiB half-budget => 256-row blocks.
+        assert_eq!(large_k.u_block(), 256);
+    }
+
+    #[test]
+    fn huge_budget_gives_single_tile() {
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 50,
+            cols: 40,
+            nnz: 500,
+            ..GenConfig::default()
+        });
+        let entries = ds.matrix.entries();
+        let grid = TileGrid::build(entries, 50, 40, 8, usize::MAX / 8);
+        assert_eq!(grid.num_tiles(), 1);
+        // Single tile keeps the original order outright (stable sort, 1 bucket).
+        assert_eq!(grid.tile(0), entries);
+    }
+
+    #[test]
+    fn tiny_budget_clamps_to_one_row_blocks() {
+        let entries = [Rating::new(3, 2, 1.0)];
+        let grid = TileGrid::build(&entries, 4, 4, 1024, 1);
+        assert_eq!((grid.u_block(), grid.i_block()), (1, 1));
+        assert_eq!(grid.num_tiles(), 16);
+        assert_eq!(grid.tile(3 * 4 + 2), &entries[..]);
+    }
+
+    #[test]
+    fn empty_shard_is_fine() {
+        let grid = TileGrid::build(&[], 10, 10, 8, DEFAULT_L2_BYTES);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        for t in 0..grid.num_tiles() {
+            assert!(grid.tile(t).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_entry_panics() {
+        TileGrid::build(&[Rating::new(10, 0, 1.0)], 10, 10, 8, DEFAULT_L2_BYTES);
+    }
+}

@@ -27,7 +27,10 @@ fn main() {
         mib((m + n) * k),
         mib(n * k)
     );
-    println!("{:<8} {:<8} {:>10} {:>12} {:>12}", "comm", "strategy", "time", "bandwidth", "wire");
+    println!(
+        "{:<8} {:<8} {:>10} {:>12} {:>12}",
+        "comm", "strategy", "time", "bandwidth", "wire"
+    );
 
     let mut comm_times = Vec::new();
     for strategy in TransferStrategy::ALL {
@@ -35,7 +38,11 @@ fn main() {
             TransferStrategy::FullPq => (m + n) * k,
             TransferStrategy::QOnly | TransferStrategy::HalfQ => n * k,
         };
-        let precision = if strategy.is_compressed() { Precision::Fp16 } else { Precision::Fp32 };
+        let precision = if strategy.is_compressed() {
+            Precision::Fp16
+        } else {
+            Precision::Fp32
+        };
         let payload: Vec<f32> = (0..elems).map(|j| (j % 997) as f32 * 0.01).collect();
 
         // COMM: shared single-copy buffers.
@@ -55,7 +62,10 @@ fn main() {
         comm_times[0] / comm_times[1],
         (m + n) as f64 / n as f64,
     );
-    println!("half-Q speedup over P&Q on COMM: {:.1}x", comm_times[0] / comm_times[2]);
+    println!(
+        "half-Q speedup over P&Q on COMM: {:.1}x",
+        comm_times[0] / comm_times[2]
+    );
 }
 
 /// `rounds` epochs of communication with persistent worker threads: the

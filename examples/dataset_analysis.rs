@@ -35,7 +35,9 @@ fn main() {
         );
     }
     println!("\nverdict = post-Q-only communication indicator nnz/min(m,n) >= 1e3 (§3.4/§4.6):");
-    println!("Netflix/R2-shaped data suits multi-worker HCC-MF; R1/MovieLens shapes are comm-bound.");
+    println!(
+        "Netflix/R2-shaped data suits multi-worker HCC-MF; R1/MovieLens shapes are comm-bound."
+    );
 
     // Row-count tail: what the grid partitioner has to cope with.
     let ds = SyntheticDataset::generate(DatasetProfile::netflix().scaled_gen_config(600.0, 11));
@@ -61,6 +63,7 @@ fn main() {
         learning_rate: 0.02,
         lambda_p: 0.01,
         lambda_q: 0.01,
+        schedule: Default::default(),
     };
     for _ in 0..20 {
         hcc_sgd::hogwild_epoch(entries, &p, &q, &hw);

@@ -18,22 +18,35 @@ use hcc_sparse::DatasetProfile;
 
 fn main() {
     let platform = Platform::paper_testbed_4workers();
-    println!("platform: {} (${:.0})", platform.name, platform.total_price());
+    println!(
+        "platform: {} (${:.0})",
+        platform.name,
+        platform.total_price()
+    );
     for (i, w) in platform.workers.iter().enumerate() {
         println!(
             "  worker {i}: {:<10} bus {:?}{}",
             w.profile.name,
             w.bus,
-            if w.timeshare_server { " (time-shares with server)" } else { "" }
+            if w.timeshare_server {
+                " (time-shares with server)"
+            } else {
+                ""
+            }
         );
     }
 
     let config = SimConfig::default();
-    for profile in
-        [DatasetProfile::netflix(), DatasetProfile::yahoo_r1(), DatasetProfile::yahoo_r2()]
-    {
+    for profile in [
+        DatasetProfile::netflix(),
+        DatasetProfile::yahoo_r1(),
+        DatasetProfile::yahoo_r2(),
+    ] {
         let workload = Workload::from_profile(&profile);
-        println!("\n=== {} (m={}, n={}, nnz={}) ===", profile.name, profile.m, profile.n, profile.nnz);
+        println!(
+            "\n=== {} (m={}, n={}, nnz={}) ===",
+            profile.name, profile.m, profile.n, profile.nnz
+        );
 
         // DP0 seed from standalone execution times.
         let standalone = standalone_times(&platform, &workload);

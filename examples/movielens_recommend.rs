@@ -24,7 +24,11 @@ fn main() {
     let dataset = SyntheticDataset::generate(gen);
     let (train, test) = train_test_split(&dataset.matrix, 0.1, 7).unwrap();
 
-    for strategy in [TransferStrategy::FullPq, TransferStrategy::QOnly, TransferStrategy::HalfQ] {
+    for strategy in [
+        TransferStrategy::FullPq,
+        TransferStrategy::QOnly,
+        TransferStrategy::HalfQ,
+    ] {
         let config = HccConfig::builder()
             .k(32)
             .epochs(15)
@@ -61,8 +65,7 @@ fn main() {
     let rec = Recommender::new(report.p, report.q, &train);
     for user in [0u32, 1, 2] {
         let top = rec.top_k(user, 3);
-        let picks: Vec<String> =
-            top.iter().map(|(i, s)| format!("#{i} ({s:.2})")).collect();
+        let picks: Vec<String> = top.iter().map(|(i, s)| format!("#{i} ({s:.2})")).collect();
         println!("user {user}: {}", picks.join(", "));
     }
 }

@@ -50,7 +50,10 @@ fn dp1_beats_uniform_and_dp0_beats_nothing_on_heterogeneous_platform() {
     let t_dp0 = simulate_epoch(&platform, &wl, &cfg, &x0).epoch_time;
     let t_planned = simulate_epoch(&platform, &wl, &cfg, &plan.fractions).epoch_time;
     assert!(t_dp0 < t_uniform, "dp0 {t_dp0} !< uniform {t_uniform}");
-    assert!(t_planned <= t_dp0 * 1.001, "planned {t_planned} > dp0 {t_dp0}");
+    assert!(
+        t_planned <= t_dp0 * 1.001,
+        "planned {t_planned} > dp0 {t_dp0}"
+    );
 }
 
 #[test]
@@ -83,25 +86,35 @@ fn q_only_strategy_shrinks_simulated_comm() {
     let full = simulate_epoch(
         &platform,
         &wl,
-        &SimConfig { strategy: TransferStrategy::FullPq, ..Default::default() },
+        &SimConfig {
+            strategy: TransferStrategy::FullPq,
+            ..Default::default()
+        },
         &x,
     );
     let qonly = simulate_epoch(
         &platform,
         &wl,
-        &SimConfig { strategy: TransferStrategy::QOnly, ..Default::default() },
+        &SimConfig {
+            strategy: TransferStrategy::QOnly,
+            ..Default::default()
+        },
         &x,
     );
     let half = simulate_epoch(
         &platform,
         &wl,
-        &SimConfig { strategy: TransferStrategy::HalfQ, ..Default::default() },
+        &SimConfig {
+            strategy: TransferStrategy::HalfQ,
+            ..Default::default()
+        },
         &x,
     );
-    let comm = |t: &hcc_hetsim::EpochTrace| {
-        t.totals.iter().map(|w| w.pull + w.push).sum::<f64>()
-    };
-    assert!(comm(&qonly) < comm(&full) / 10.0, "Netflix Q-only must slash comm");
+    let comm = |t: &hcc_hetsim::EpochTrace| t.totals.iter().map(|w| w.pull + w.push).sum::<f64>();
+    assert!(
+        comm(&qonly) < comm(&full) / 10.0,
+        "Netflix Q-only must slash comm"
+    );
     assert!((comm(&half) - comm(&qonly) / 2.0).abs() / comm(&qonly) < 0.01);
     // Compute is untouched by the strategy.
     assert!((full.totals[2].compute - qonly.totals[2].compute).abs() < 1e-12);
@@ -112,9 +125,11 @@ fn utilization_shape_matches_table4() {
     // Netflix and R2 land high (>75%), R1 lands low — the Table 4 ordering.
     let cfg = SimConfig::default();
     let mut utils = Vec::new();
-    for profile in
-        [DatasetProfile::netflix(), DatasetProfile::yahoo_r2(), DatasetProfile::yahoo_r1()]
-    {
+    for profile in [
+        DatasetProfile::netflix(),
+        DatasetProfile::yahoo_r2(),
+        DatasetProfile::yahoo_r1(),
+    ] {
         let platform = Platform::paper_testbed_4workers();
         let wl = Workload::from_profile(&profile);
         let plan = PartitionPlanner::default().plan(
@@ -128,7 +143,10 @@ fn utilization_shape_matches_table4() {
     }
     assert!(utils[0] > 0.75, "netflix {utils:?}");
     assert!(utils[1] > 0.75, "r2 {utils:?}");
-    assert!(utils[2] < utils[0] && utils[2] < utils[1], "r1 should be lowest {utils:?}");
+    assert!(
+        utils[2] < utils[0] && utils[2] < utils[1],
+        "r1 should be lowest {utils:?}"
+    );
 }
 
 #[test]
@@ -149,7 +167,11 @@ fn planner_strategy_choices_match_paper() {
             &worker_classes(&platform),
             virtual_measure(&platform, &wl),
         );
-        assert_eq!(plan.strategy, want, "{} (ratio {})", profile.name, plan.sync_ratio);
+        assert_eq!(
+            plan.strategy, want,
+            "{} (ratio {})",
+            profile.name, plan.sync_ratio
+        );
     }
 }
 
@@ -158,8 +180,14 @@ fn multi_stream_simulation_reduces_exposed_comm_on_r1() {
     let platform = Platform::paper_testbed_3workers();
     let wl = Workload::from_profile(&DatasetProfile::yahoo_r1());
     let x = dp0(&standalone_times(&platform, &wl));
-    let sync_cfg = SimConfig { streams: 1, ..Default::default() };
-    let async_cfg = SimConfig { streams: 4, ..Default::default() };
+    let sync_cfg = SimConfig {
+        streams: 1,
+        ..Default::default()
+    };
+    let async_cfg = SimConfig {
+        streams: 4,
+        ..Default::default()
+    };
     let t_sync = simulate_epoch(&platform, &wl, &sync_cfg, &x).epoch_time;
     let t_async = simulate_epoch(&platform, &wl, &async_cfg, &x).epoch_time;
     assert!(t_async < t_sync, "async {t_async} !< sync {t_sync}");

@@ -53,8 +53,14 @@ fn all_solvers_converge_on_the_same_data() {
         track_rmse: true,
     };
     assert_converged(&SerialSgd.train(&ds.matrix, &cfg).rmse_history, "serial");
-    assert_converged(&Fpsgd::default().train(&ds.matrix, &cfg).rmse_history, "fpsgd");
-    assert_converged(&CumfSgdSim::default().train(&ds.matrix, &cfg).rmse_history, "cumf-sim");
+    assert_converged(
+        &Fpsgd::default().train(&ds.matrix, &cfg).rmse_history,
+        "fpsgd",
+    );
+    assert_converged(
+        &CumfSgdSim::default().train(&ds.matrix, &cfg).rmse_history,
+        "cumf-sim",
+    );
     let report = HccMf::new(hcc_base().build()).train(&ds.matrix).unwrap();
     assert_converged(&report.rmse_history, "hcc-mf");
 }
@@ -81,15 +87,10 @@ fn every_strategy_and_transport_converges() {
     let ds = dataset();
     for strategy in TransferStrategy::ALL {
         for transport in [TransportKind::Shared, TransportKind::CommP] {
-            let report = HccMf::new(
-                hcc_base().strategy(strategy).transport(transport).build(),
-            )
-            .train(&ds.matrix)
-            .unwrap();
-            assert_converged(
-                &report.rmse_history,
-                &format!("{strategy:?}/{transport:?}"),
-            );
+            let report = HccMf::new(hcc_base().strategy(strategy).transport(transport).build())
+                .train(&ds.matrix)
+                .unwrap();
+            assert_converged(&report.rmse_history, &format!("{strategy:?}/{transport:?}"));
         }
     }
 }
@@ -97,7 +98,9 @@ fn every_strategy_and_transport_converges() {
 #[test]
 fn async_pipeline_converges_and_reports_overlap() {
     let ds = dataset();
-    let report = HccMf::new(hcc_base().streams(4).build()).train(&ds.matrix).unwrap();
+    let report = HccMf::new(hcc_base().streams(4).build())
+        .train(&ds.matrix)
+        .unwrap();
     assert_converged(&report.rmse_history, "async-4-streams");
     // Stats still recorded per worker/epoch.
     assert_eq!(report.worker_stats.len(), 15);
@@ -121,7 +124,9 @@ fn hcc_matches_serial_quality_on_held_out_data() {
     let serial = SerialSgd.train(&train, &serial_cfg);
     let serial_test = hcc_sgd::rmse(test.entries(), &serial.p, &serial.q);
 
-    let hcc = HccMf::new(hcc_base().epochs(20).build()).train(&train).unwrap();
+    let hcc = HccMf::new(hcc_base().epochs(20).build())
+        .train(&train)
+        .unwrap();
     let hcc_test = hcc_sgd::rmse(test.entries(), &hcc.p, &hcc.q);
 
     // Collaborative training must be within 30% of serial's held-out RMSE —
@@ -136,7 +141,10 @@ fn hcc_matches_serial_quality_on_held_out_data() {
 fn single_worker_hcc_behaves_like_centralized() {
     let ds = dataset();
     let report = HccMf::new(
-        hcc_base().workers(vec![WorkerSpec::cpu(2)]).epochs(10).build(),
+        hcc_base()
+            .workers(vec![WorkerSpec::cpu(2)])
+            .epochs(10)
+            .build(),
     )
     .train(&ds.matrix)
     .unwrap();
@@ -173,7 +181,11 @@ fn wire_volume_ordering_matches_strategies() {
     let mut bytes = Vec::new();
     for strategy in TransferStrategy::ALL {
         let report = HccMf::new(
-            hcc_base().strategy(strategy).epochs(5).adapt_epochs(0).build(),
+            hcc_base()
+                .strategy(strategy)
+                .epochs(5)
+                .adapt_epochs(0)
+                .build(),
         )
         .train(&ds.matrix)
         .unwrap();
@@ -192,7 +204,10 @@ fn early_stopping_halts_on_plateau() {
     let report = HccMf::new(
         hcc_base()
             .epochs(60)
-            .early_stop(hcc_mf::EarlyStop { min_rel_improvement: 0.01, patience: 2 })
+            .early_stop(hcc_mf::EarlyStop {
+                min_rel_improvement: 0.01,
+                patience: 2,
+            })
             .build(),
     )
     .train(&ds.matrix)
@@ -221,7 +236,9 @@ fn early_stop_requires_rmse_tracking() {
 #[test]
 fn checkpoint_roundtrips_trained_model() {
     let ds = dataset();
-    let report = HccMf::new(hcc_base().epochs(5).build()).train(&ds.matrix).unwrap();
+    let report = HccMf::new(hcc_base().epochs(5).build())
+        .train(&ds.matrix)
+        .unwrap();
     let dir = std::env::temp_dir().join("hcc_e2e_ckpt");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("model.hccmf");
@@ -249,8 +266,16 @@ fn related_work_solvers_converge_too() {
         seed: 1,
         track_rmse: true,
     };
-    assert_converged(&hcc_baselines::Dsgd::default().train(&ds.matrix, &cfg).rmse_history, "dsgd");
-    assert_converged(&hcc_baselines::Nomad.train(&ds.matrix, &cfg).rmse_history, "nomad");
+    assert_converged(
+        &hcc_baselines::Dsgd::default()
+            .train(&ds.matrix, &cfg)
+            .rmse_history,
+        "dsgd",
+    );
+    assert_converged(
+        &hcc_baselines::Nomad.train(&ds.matrix, &cfg).rmse_history,
+        "nomad",
+    );
 }
 
 #[test]
@@ -272,15 +297,20 @@ fn repartitioning_preserves_training_progress() {
     .train(&ds.matrix)
     .unwrap();
     // At least one repartition actually happened.
-    let changed = report
-        .partition_history
-        .windows(2)
-        .any(|w| w[0] != w[1]);
-    assert!(changed, "no repartition occurred: {:?}", report.partition_history);
+    let changed = report.partition_history.windows(2).any(|w| w[0] != w[1]);
+    assert!(
+        changed,
+        "no repartition occurred: {:?}",
+        report.partition_history
+    );
     // RMSE after each adaptation epoch is no worse than 1.2x the previous
     // (progress is preserved; small Hogwild noise allowed).
     for pair in report.rmse_history.windows(2) {
-        assert!(pair[1] < pair[0] * 1.2, "regression: {:?}", report.rmse_history);
+        assert!(
+            pair[1] < pair[0] * 1.2,
+            "regression: {:?}",
+            report.rmse_history
+        );
     }
     assert_converged(&report.rmse_history, "repartitioned");
 }
@@ -305,7 +335,9 @@ fn biased_pipeline_improves_ranking_on_test_set() {
 fn ranking_metrics_work_end_to_end() {
     let ds = dataset();
     let (train, test) = train_test_split(&ds.matrix, 0.2, 5).unwrap();
-    let report = HccMf::new(hcc_base().epochs(20).build()).train(&train).unwrap();
+    let report = HccMf::new(hcc_base().epochs(20).build())
+        .train(&train)
+        .unwrap();
     let rec = hcc_mf::Recommender::new(report.p, report.q, &train);
     let threshold = ds.matrix.mean_rating() as f32;
     let metrics = hcc_mf::evaluate_ranking(&rec, &test, 10, threshold);
@@ -318,7 +350,9 @@ fn ranking_metrics_work_end_to_end() {
 fn warm_start_resumes_from_checkpoint() {
     let ds = dataset();
     // Phase 1: train 10 epochs, checkpoint.
-    let first = HccMf::new(hcc_base().epochs(10).build()).train(&ds.matrix).unwrap();
+    let first = HccMf::new(hcc_base().epochs(10).build())
+        .train(&ds.matrix)
+        .unwrap();
     let resumed_rmse0 = {
         // Phase 2: resume from the phase-1 factors for 1 epoch; its first
         // tracked RMSE must start near phase 1's end, far below a cold
@@ -354,7 +388,10 @@ fn warm_start_dimension_mismatch_rejected() {
     // k mismatch is caught at build time.
     let err = HccConfig::builder()
         .k(16)
-        .warm_start(hcc_mf::FactorMatrix::zeros(4, 8), hcc_mf::FactorMatrix::zeros(4, 8))
+        .warm_start(
+            hcc_mf::FactorMatrix::zeros(4, 8),
+            hcc_mf::FactorMatrix::zeros(4, 8),
+        )
         .try_build();
     assert!(err.is_err());
 }
@@ -364,7 +401,10 @@ fn adagrad_optimizer_converges_in_framework() {
     let ds = dataset();
     let report = HccMf::new(
         hcc_base()
-            .optimizer(hcc_mf::Optimizer::AdaGrad { eta0: 0.08, epsilon: 1e-8 })
+            .optimizer(hcc_mf::Optimizer::AdaGrad {
+                eta0: 0.08,
+                epsilon: 1e-8,
+            })
             .build(),
     )
     .train(&ds.matrix)
@@ -373,7 +413,10 @@ fn adagrad_optimizer_converges_in_framework() {
     // AdaGrad should also survive the async pipeline.
     let report = HccMf::new(
         hcc_base()
-            .optimizer(hcc_mf::Optimizer::AdaGrad { eta0: 0.08, epsilon: 1e-8 })
+            .optimizer(hcc_mf::Optimizer::AdaGrad {
+                eta0: 0.08,
+                epsilon: 1e-8,
+            })
             .streams(3)
             .build(),
     )

@@ -59,8 +59,11 @@ fn single_row_matrix_trains_via_transpose() {
 fn rows_with_no_entries_are_harmless() {
     // Only rows 0 and 99 are rated; the 98 empty rows must not disturb
     // the grid or the factors (their P rows just stay at initialization).
-    let entries =
-        vec![Rating::new(0, 0, 5.0), Rating::new(99, 1, 1.0), Rating::new(0, 1, 4.0)];
+    let entries = vec![
+        Rating::new(0, 0, 5.0),
+        Rating::new(99, 1, 1.0),
+        Rating::new(0, 1, 4.0),
+    ];
     let m = CooMatrix::new(100, 2, entries).unwrap();
     let report = HccMf::new(base().epochs(3).build()).train(&m).unwrap();
     assert!(report.p.as_slice().iter().all(|v| v.is_finite()));
@@ -92,7 +95,10 @@ fn extreme_learning_rate_produces_finite_failure_not_panic() {
         ..GenConfig::default()
     });
     let report = HccMf::new(
-        base().learning_rate(LearningRate::Constant(5.0)).epochs(3).build(),
+        base()
+            .learning_rate(LearningRate::Constant(5.0))
+            .epochs(3)
+            .build(),
     )
     .train(&ds.matrix)
     .unwrap();
@@ -138,7 +144,9 @@ fn more_streams_than_columns_still_trains() {
         nnz: 150,
         ..GenConfig::default()
     });
-    let report = HccMf::new(base().streams(8).epochs(3).build()).train(&ds.matrix).unwrap();
+    let report = HccMf::new(base().streams(8).epochs(3).build())
+        .train(&ds.matrix)
+        .unwrap();
     assert_eq!(report.epoch_times.len(), 3);
     assert!(report.q.as_slice().iter().all(|v| v.is_finite()));
 }
@@ -152,7 +160,9 @@ fn k_equals_one_trains() {
         noise: 0.0,
         ..GenConfig::default()
     });
-    let report = HccMf::new(base().k(1).epochs(10).build()).train(&ds.matrix).unwrap();
+    let report = HccMf::new(base().k(1).epochs(10).build())
+        .train(&ds.matrix)
+        .unwrap();
     assert!(report.rmse_history.last().unwrap() < &report.rmse_history[0]);
     assert_eq!(report.p.k(), 1);
 }
@@ -214,7 +224,9 @@ fn gigantic_k_relative_to_data_stays_finite() {
         nnz: 100,
         ..GenConfig::default()
     });
-    let report = HccMf::new(base().k(64).epochs(3).build()).train(&ds.matrix).unwrap();
+    let report = HccMf::new(base().k(64).epochs(3).build())
+        .train(&ds.matrix)
+        .unwrap();
     assert!(report.p.as_slice().iter().all(|v| v.is_finite()));
     assert!(report.q.as_slice().iter().all(|v| v.is_finite()));
 }

@@ -6,18 +6,13 @@
 
 use hcc_comm::TransferStrategy;
 use hcc_hetsim::{
-    cost_model_for, ideal_computing_power, simulate_training, standalone_times,
-    virtual_measure, virtual_measure_total, worker_classes, Platform, ProcessorProfile,
-    SimConfig, Workload,
+    cost_model_for, ideal_computing_power, simulate_training, standalone_times, virtual_measure,
+    virtual_measure_total, worker_classes, Platform, ProcessorProfile, SimConfig, Workload,
 };
 use hcc_partition::{dp0, dp1, dp2, Dp1Options, PartitionPlanner, StrategyChoice};
 use hcc_sparse::DatasetProfile;
 
-fn plan_with(
-    platform: &Platform,
-    wl: &Workload,
-    cfg: &SimConfig,
-) -> hcc_partition::PartitionPlan {
+fn plan_with(platform: &Platform, wl: &Workload, cfg: &SimConfig) -> hcc_partition::PartitionPlan {
     PartitionPlanner::default().plan(
         &cost_model_for(platform, wl, cfg),
         &standalone_times(platform, wl),
@@ -40,11 +35,16 @@ fn fig3_platform_ordering() {
     assert!(gpu2080s < gpu2080 && gpu2080 < cpu);
 
     let cfg = SimConfig::default();
-    let pair =
-        Platform::pair(ProcessorProfile::xeon_6242_16t(), ProcessorProfile::rtx_2080_super());
+    let pair = Platform::pair(
+        ProcessorProfile::xeon_6242_16t(),
+        ProcessorProfile::rtx_2080_super(),
+    );
     let p = plan_with(&pair, &wl, &cfg);
     let collab = simulate_training(&pair, &wl, &cfg, &p.fractions, 20).total_time;
-    assert!(collab < gpu2080s, "collab {collab} !< best member {gpu2080s}");
+    assert!(
+        collab < gpu2080s,
+        "collab {collab} !< best member {gpu2080s}"
+    );
 }
 
 /// Fig 8: DP1 improves on DP0 by ~10% on the 4-worker testbed for Netflix
@@ -99,7 +99,11 @@ fn fig8_dp2_improvement_band() {
     let t1 = simulate_training(&platform, &wl, &cfg, &x1, 20).total_time;
     let t2 = simulate_training(&platform, &wl, &cfg, &x2, 20).total_time;
     let gain = (t1 - t2) / t1;
-    assert!((0.03..0.20).contains(&gain), "DP2 gain {:.1}%", gain * 100.0);
+    assert!(
+        (0.03..0.20).contains(&gain),
+        "DP2 gain {:.1}%",
+        gain * 100.0
+    );
 }
 
 /// Table 4: utilization bands — Netflix/R2 high, R1 middle, MovieLens low.
@@ -113,7 +117,13 @@ fn table4_utilization_bands() {
     ];
     for (profile, lo, hi) in expect {
         let (platform, cfg) = if profile.name.contains("R1") {
-            (Platform::paper_testbed_3workers(), SimConfig { streams: 4, ..Default::default() })
+            (
+                Platform::paper_testbed_3workers(),
+                SimConfig {
+                    streams: 4,
+                    ..Default::default()
+                },
+            )
         } else {
             (Platform::paper_testbed_overall(), SimConfig::default())
         };
@@ -137,15 +147,18 @@ fn table4_utilization_bands() {
 #[test]
 fn fig7_speedup_bands() {
     let cfg = SimConfig::default();
-    for (profile, paper, tol) in
-        [(DatasetProfile::netflix(), 2.3, 0.5), (DatasetProfile::yahoo_r2(), 2.9, 0.7)]
-    {
+    for (profile, paper, tol) in [
+        (DatasetProfile::netflix(), 2.3, 0.5),
+        (DatasetProfile::yahoo_r2(), 2.9, 0.7),
+    ] {
         let platform = Platform::paper_testbed_overall();
         let wl = Workload::from_profile(&profile);
         let p = plan_with(&platform, &wl, &cfg);
         let hcc = simulate_training(&platform, &wl, &cfg, &p.fractions, 20).total_time;
         let cumf = wl.nnz as f64 * 20.0
-            / ProcessorProfile::rtx_2080_super().rates.rate(&wl.name, wl.m, wl.n, wl.nnz);
+            / ProcessorProfile::rtx_2080_super()
+                .rates
+                .rate(&wl.name, wl.m, wl.n, wl.nnz);
         let speedup = cumf / hcc;
         assert!(
             (speedup - paper).abs() < tol,
@@ -159,14 +172,21 @@ fn fig7_speedup_bands() {
 /// Netflix (paper measures 18.3×).
 #[test]
 fn table5_q_only_speedup() {
-    let cfg_full = SimConfig { strategy: TransferStrategy::FullPq, ..Default::default() };
+    let cfg_full = SimConfig {
+        strategy: TransferStrategy::FullPq,
+        ..Default::default()
+    };
     let cfg_q = SimConfig::default();
     let platform = Platform::paper_testbed_4workers();
     let wl = Workload::from_profile(&DatasetProfile::netflix());
     let x = dp0(&standalone_times(&platform, &wl));
     let comm = |cfg: &SimConfig| -> f64 {
         let sim = simulate_training(&platform, &wl, cfg, &x, 20);
-        sim.epoch.totals.iter().map(|t| (t.pull + t.push) * 20.0).sum()
+        sim.epoch
+            .totals
+            .iter()
+            .map(|t| (t.pull + t.push) * 20.0)
+            .sum()
     };
     let speedup = comm(&cfg_full) / comm(&cfg_q);
     assert!((speedup - 18.6).abs() < 1.0, "Q-only speedup {speedup}");
@@ -178,8 +198,10 @@ fn table6_limitation_band() {
     let cfg = SimConfig::default();
     let wl = Workload::from_profile(&DatasetProfile::movielens_20m());
     let single = Platform::single(ProcessorProfile::rtx_2080_super());
-    let pair =
-        Platform::pair(ProcessorProfile::rtx_2080_super(), ProcessorProfile::rtx_2080());
+    let pair = Platform::pair(
+        ProcessorProfile::rtx_2080_super(),
+        ProcessorProfile::rtx_2080(),
+    );
     let p1 = plan_with(&single, &wl, &cfg);
     let p2 = plan_with(&pair, &wl, &cfg);
     let t1 = simulate_training(&single, &wl, &cfg, &p1.fractions, 20).total_time;
@@ -206,6 +228,10 @@ fn lambda_dispatch_choices() {
         let platform = Platform::paper_testbed_4workers();
         let wl = Workload::from_profile(&profile);
         let plan = plan_with(&platform, &wl, &cfg);
-        assert_eq!(plan.strategy, want, "{} (ratio {:.1})", profile.name, plan.sync_ratio);
+        assert_eq!(
+            plan.strategy, want,
+            "{} (ratio {:.1})",
+            profile.name, plan.sync_ratio
+        );
     }
 }

@@ -10,13 +10,13 @@ use proptest::prelude::*;
 
 fn arb_matrix() -> impl Strategy<Value = CooMatrix> {
     (2u32..40, 2u32..40, 1usize..300).prop_flat_map(|(rows, cols, nnz)| {
-        proptest::collection::vec((0..rows, 0..cols, 0.5f32..5.0), nnz).prop_map(
-            move |triples| {
-                let entries =
-                    triples.into_iter().map(|(u, i, r)| Rating::new(u, i, r)).collect();
-                CooMatrix::new(rows, cols, entries).unwrap()
-            },
-        )
+        proptest::collection::vec((0..rows, 0..cols, 0.5f32..5.0), nnz).prop_map(move |triples| {
+            let entries = triples
+                .into_iter()
+                .map(|(u, i, r)| Rating::new(u, i, r))
+                .collect();
+            CooMatrix::new(rows, cols, entries).unwrap()
+        })
     })
 }
 

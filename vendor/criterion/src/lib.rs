@@ -1,0 +1,267 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's `[[bench]]` targets use —
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher`,
+//! `criterion_group!`/`criterion_main!` — backed by a simple wall-clock
+//! harness: per benchmark it warms up briefly, then times `sample_size`
+//! batches and reports the median per-iteration time (plus throughput when
+//! declared). No statistical analysis, HTML reports, or baselines.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does) or
+//! `--list`, each benchmark runs exactly once so CI stays fast.
+
+#![allow(clippy::all)]
+use std::time::{Duration, Instant};
+
+/// Re-export position matches criterion 0.5 (which re-exports
+/// `std::hint::black_box` as its default `black_box`).
+pub use std::hint::black_box;
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--list")
+}
+
+/// Top-level harness handle; holds defaults inherited by groups.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder form).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Convenience single-benchmark entry point (criterion-compatible).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let group_sample = self.sample_size;
+        run_benchmark(&format!("{id}"), group_sample, None, f);
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: format!("{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: format!("{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "{}/{}", func, self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Units the per-iteration time is normalized against when reporting rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Handed to the benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    /// Median per-iteration time, filled in by `iter`.
+    elapsed: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            black_box(routine());
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= ~5ms so timer
+        // resolution stays negligible.
+        let mut batch: u64 = 1;
+        let batch_time = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let t = start.elapsed();
+            if t >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break t;
+            }
+            batch *= 2;
+        };
+        let _ = batch_time;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / batch as u32);
+        }
+        samples.sort_unstable();
+        self.elapsed = samples[samples.len() / 2];
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        sample_size,
+    };
+    f(&mut bencher);
+    if test_mode() {
+        println!("bench {label}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let per_iter = bencher.elapsed;
+    let rate = throughput.map(|t| {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / secs),
+            Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / secs),
+        }
+    });
+    println!(
+        "bench {label}: {per_iter:?}/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declare a benchmark group. Both criterion forms are accepted:
+/// `criterion_group!(benches, f1, f2)` and
+/// `criterion_group!{name = benches; config = ...; targets = f1, f2}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_all_benchmarks() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.throughput(Throughput::Elements(10));
+            group.bench_function("one", |b| {
+                b.iter(|| std::hint::black_box(1 + 1));
+            });
+            group.bench_with_input(BenchmarkId::new("two", 42), &42u32, |b, &x| {
+                b.iter(|| std::hint::black_box(x * 2));
+            });
+            group.finish();
+        }
+        calls += 1;
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dot", 128).to_string(), "dot/128");
+        assert_eq!(BenchmarkId::from_parameter(4).to_string(), "4");
+    }
+}

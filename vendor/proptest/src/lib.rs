@@ -1,0 +1,308 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace uses: range strategies over the
+//! numeric primitives, tuple strategies (arity 2–4), `collection::vec`,
+//! `prop_map` / `prop_flat_map`, `Just`, the `proptest!` test-block macro and
+//! the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//! - No shrinking: a failing case reports its case index and master seed so
+//!   it can be replayed (runs are deterministic per test name), but inputs
+//!   are not minimized.
+//! - Case count defaults to 48 (override with `PROPTEST_CASES`), versus
+//!   upstream's 256, to keep `cargo test -q` quick.
+//! - `prop_assert!` panics immediately instead of returning a `Result`.
+
+#![allow(clippy::all)]
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// RNG handed to strategies; fixed concrete type keeps the trait simple.
+pub type TestRng = SmallRng;
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from a strategy built
+    /// from it (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+/// Size specification for [`collection::vec`]: a fixed length or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Stable FNV-1a hash of the test name → master seed, so every run of a
+/// given property replays the same case sequence.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Driver behind the `proptest!` macro: runs `f` for each case with a
+/// per-case deterministic RNG, labelling any panic with the case number.
+pub fn run_cases<F: FnMut(&mut TestRng)>(name: &str, mut f: F) {
+    let master = seed_for(name);
+    for case in 0..case_count() {
+        let mut rng =
+            TestRng::seed_from_u64(master ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest shim: property `{name}` failed at case {case} (master seed {master:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Declare property tests. Each function becomes a `#[test]` that runs the
+/// body over [`run_cases`] with its arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+            });
+        }
+        $crate::proptest!{$($rest)*}
+    };
+}
+
+/// Like `assert!` (the shim has no shrinking, so failures panic directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        collection, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..10, 0u32..5).prop_map(|(a, b)| (a + b, b))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_dependent_generation(v in (1usize..8).prop_flat_map(|n| collection::vec(0u32..100, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+
+        #[test]
+        fn mapped_pairs_hold_invariant(p in pair()) {
+            prop_assert!(p.0 >= p.1);
+        }
+
+        #[test]
+        fn vec_sizes_within_range(v in collection::vec(0u8..255, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_name() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        crate::run_cases("determinism_probe", |rng| {
+            first.push(crate::Strategy::generate(&(0u64..1_000_000), rng));
+        });
+        crate::run_cases("determinism_probe", |rng| {
+            second.push(crate::Strategy::generate(&(0u64..1_000_000), rng));
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), super::case_count());
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no crates.io registry
+//! cache, so the workspace vendors the *subset* of the rand 0.9 API it
+//! actually uses: [`RngCore`]/[`Rng`]/[`SeedableRng`], uniform sampling for
+//! the primitive types, `random_range` over half-open ranges,
+//! [`rngs::SmallRng`] (xoshiro256++) and [`seq::SliceRandom::shuffle`]
+//! (Fisher–Yates).
+//!
+//! Streams are deterministic and stable within this repository but are NOT
+//! bit-compatible with upstream `rand`; nothing in the workspace depends on
+//! the upstream streams, only on determinism and statistical quality.
+
+#![allow(clippy::all)]
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution
+    /// (floats: uniform in `[0, 1)`; integers: uniform over the full range).
+    fn random<T: distr::StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a bool that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.random::<f64>()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-size byte array for the generators here).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds from a `u64` by expanding it with SplitMix64 — every generator
+    /// in the workspace is constructed this way.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for b in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            b.copy_from_slice(&bytes[..b.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: seed expander (public so `rand_chacha` can reuse it).
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next 64-bit output.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod distr {
+    //! Standard-distribution and range sampling (the `rand::distr` analog).
+
+    use super::RngCore;
+
+    /// Types samplable from their "standard" distribution.
+    pub trait StandardSample {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty => $via:ident),*) => {$(
+            impl StandardSample for $t {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                       u64 => next_u64, usize => next_u64,
+                       i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                       i64 => next_u64, isize => next_u64);
+
+    impl StandardSample for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 24 random mantissa bits scaled into [0, 1).
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl StandardSample for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Ranges usable with [`super::Rng::random_range`].
+    pub trait SampleRange<T> {
+        /// Draws a uniform sample from the range.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_range_uint {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    // Multiply-shift rejection-free mapping (Lemire); the
+                    // tiny modulo bias is irrelevant for test workloads.
+                    let x = rng.next_u64();
+                    self.start + ((x as u128 * span as u128) >> 64) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    if lo == <$t>::MIN && hi == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (hi - lo) as u64 + 1;
+                    let x = rng.next_u64();
+                    lo + ((x as u128 * span as u128) >> 64) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_sint {
+        ($($t:ty : $u:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let x = rng.next_u64();
+                    (self.start as i128 + ((x as u128 * span as u128) >> 64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_sint!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+    macro_rules! impl_range_float {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = <$t as StandardSample>::sample(rng);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_range_float!(f32, f64);
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the small fast generator standing in for rand's
+    /// `SmallRng`. Excellent statistical quality, 256-bit state.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            out
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (j, chunk) in seed.chunks_exact(8).enumerate() {
+                s[j] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // All-zero state is a fixed point for xoshiro; perturb it.
+            if s == [0; 4] {
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0x6a09e667f3bcc909,
+                    0xbb67ae8584caa73b,
+                    0x1f83d9abfb41bd6b,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice utilities (`rand::seq` analog).
+
+    use super::Rng;
+
+    /// In-place random reordering.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for j in (1..self.len()).rev() {
+                let other = rng.random_range(0..j + 1);
+                self.swap(j, other);
+            }
+        }
+    }
+}
+
+pub use distr::StandardSample;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v: u32 = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let s: usize = rng.random_range(0..1);
+            assert_eq!(s, 0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn range_sampling_covers_span() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 stream generator
+//! implementing the vendored [`rand`] traits.
+//!
+//! The core is the real ChaCha block function (Bernstein) at 8 double-rounds,
+//! so statistical quality matches upstream. Seeding via
+//! [`SeedableRng::seed_from_u64`] expands with SplitMix64 and therefore
+//! produces a *different stream* than upstream `rand_chacha` for the same
+//! integer seed; the workspace only relies on in-repo determinism.
+
+#![allow(clippy::all)]
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// ChaCha with 8 rounds, 256-bit key seed, 64-bit block counter.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words 4..12 of the initial state.
+    key: [u32; 8],
+    /// Block counter (words 12..13) — 64-bit, practically inexhaustible.
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants.
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (j, chunk) in seed.chunks_exact(4).enumerate() {
+            key[j] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha_block_function_matches_rfc_vector() {
+        // RFC 7539 §2.3.2 test vector runs 20 rounds; with ROUNDS == 8 we
+        // instead sanity-check the block structure: refilling twice with the
+        // same key but consecutive counters yields different blocks.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn unit_floats_are_well_spread() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace uses a narrow slice of rayon's API: `par_iter`,
+//! `par_chunks`, and `par_chunks_mut`, always followed by standard iterator
+//! adapters (`zip`, `map`, `for_each`, `sum`). This shim maps each entry
+//! point to the equivalent *sequential* `std` iterator, which is semantically
+//! identical and performance-neutral on single-core hosts (the container this
+//! repo builds in exposes one core). Swapping back to real rayon is a
+//! Cargo.toml change only — no call sites need touching.
+
+#![allow(clippy::all)]
+pub mod prelude {
+    /// `par_iter()` on slices/Vecs — sequential `iter()` here.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_chunks()` on shared slices — sequential `chunks()` here.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_chunks_mut()` on mutable slices — sequential `chunks_mut()` here.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Sequential analogue of `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn par_chunks_zip_roundtrip() {
+        let src = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let mut dst = [0.0f32; 5];
+        dst.par_chunks_mut(2)
+            .zip(src.par_chunks(2))
+            .for_each(|(d, s)| {
+                d.copy_from_slice(s);
+            });
+        assert_eq!(dst, src);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the vendored
+//! `serde_derive`. The workspace never calls serde's runtime (all persistence
+//! is hand-written text/JSON), so no traits or data model are needed — the
+//! derive names only have to resolve at `use serde::{Serialize, Deserialize}`
+//! sites. The `derive` feature is declared for Cargo.toml compatibility and
+//! is a no-op: the derives are always available.
+
+#![allow(clippy::all)]
+pub use serde_derive::{Deserialize, Serialize};
