@@ -40,4 +40,4 @@ pub mod transport;
 pub use buffer::SharedBuffer;
 pub use pipeline::{run_pipeline, PipelineStats};
 pub use strategy::TransferStrategy;
-pub use transport::{CommP, CommShared, Payload, Precision, Transport};
+pub use transport::{CommError, CommP, CommShared, Payload, Precision, Transport};

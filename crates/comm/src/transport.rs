@@ -14,11 +14,34 @@
 //! {P&Q, Q, half-Q} × {COMM, COMM-P} is expressible.
 
 use crate::buffer::SharedBuffer;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hcc_sgd::fp16;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Transport-level failures surfaced to the supervisor instead of blocking
+/// forever or panicking. `Timeout` is retryable (the peer may be a
+/// straggler); `Disconnected` is fatal for that peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// No push arrived within the deadline.
+    Timeout,
+    /// The peer's channel endpoint is gone (worker thread exited).
+    Disconnected,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout => write!(f, "transport wait timed out"),
+            CommError::Disconnected => write!(f, "transport peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Wire precision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +76,14 @@ pub trait Transport: Send + Sync {
     /// Server side: obtain worker `worker`'s most recent push into `dst`.
     /// Blocks until a push is available.
     fn collect(&self, worker: usize, dst: &mut [f32]);
+    /// Like [`collect`](Transport::collect) but gives up after `timeout`,
+    /// letting a supervisor distinguish a dead worker from a slow one.
+    fn collect_timeout(
+        &self,
+        worker: usize,
+        dst: &mut [f32],
+        timeout: Duration,
+    ) -> Result<(), CommError>;
     /// Total bytes that crossed the wire so far.
     fn wire_bytes(&self) -> u64;
     /// Number of workers this transport serves.
@@ -255,6 +286,29 @@ impl Transport for CommShared {
         self.push_buffers[worker].read_f32(dst);
     }
 
+    fn collect_timeout(
+        &self,
+        worker: usize,
+        dst: &mut [f32],
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        let (lock, cv) = &self.push_ready[worker];
+        let deadline = Instant::now() + timeout;
+        let mut ready = lock.lock();
+        while !*ready {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout);
+            }
+            // Spurious wakeups re-enter the loop with the original deadline.
+            cv.wait_for(&mut ready, deadline - now);
+        }
+        *ready = false;
+        drop(ready);
+        self.push_buffers[worker].read_f32(dst);
+        Ok(())
+    }
+
     fn wire_bytes(&self) -> u64 {
         self.pull_region.bytes() + self.push_buffers.iter().map(WireBuffer::bytes).sum::<u64>()
     }
@@ -375,6 +429,23 @@ impl Transport for CommP {
         self.deserialize(&msg, dst);
     }
 
+    fn collect_timeout(
+        &self,
+        worker: usize,
+        dst: &mut [f32],
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        let msg = match self.receivers[worker].lock().recv_timeout(timeout) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+        };
+        self.wire_bytes
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.deserialize(&msg, dst);
+        Ok(())
+    }
+
     fn wire_bytes(&self) -> u64 {
         self.wire_bytes.load(Ordering::Relaxed)
     }
@@ -456,6 +527,50 @@ mod tests {
         t.push(0, &[7.0, 8.0, 9.0, 10.0]);
         let got = handle.join().unwrap();
         assert_eq!(got, vec![7.0, 8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn collect_timeout_times_out_without_push() {
+        let shared = CommShared::new(1, 4, 4, Precision::Fp32);
+        let mut dst = vec![0f32; 4];
+        assert_eq!(
+            shared.collect_timeout(0, &mut dst, Duration::from_millis(20)),
+            Err(CommError::Timeout)
+        );
+        let p = CommP::new(1, Precision::Fp32);
+        assert_eq!(
+            p.collect_timeout(0, &mut dst, Duration::from_millis(20)),
+            Err(CommError::Timeout)
+        );
+    }
+
+    #[test]
+    fn collect_timeout_returns_pushed_data() {
+        for t in [
+            Box::new(CommShared::new(1, 4, 4, Precision::Fp32)) as Box<dyn Transport>,
+            Box::new(CommP::new(1, Precision::Fp32)),
+        ] {
+            t.push(0, &[1.0, 2.0, 3.0, 4.0]);
+            let mut dst = vec![0f32; 4];
+            t.collect_timeout(0, &mut dst, Duration::from_millis(100))
+                .unwrap();
+            assert_eq!(dst, vec![1.0, 2.0, 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn collect_timeout_sees_late_push() {
+        let t = Arc::new(CommShared::new(1, 4, 4, Precision::Fp32));
+        let t2 = t.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            t2.push(0, &[5.0; 4]);
+        });
+        let mut dst = vec![0f32; 4];
+        t.collect_timeout(0, &mut dst, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(dst, vec![5.0; 4]);
+        handle.join().unwrap();
     }
 
     #[test]

@@ -1,89 +1,301 @@
 //! Factor-matrix checkpointing.
 //!
-//! A compact binary format for trained models so long runs can be saved and
-//! recommenders served without retraining:
+//! Two on-disk formats, both little-endian:
+//!
+//! **v1** (legacy, read-only compat):
 //!
 //! ```text
 //! magic "HCCMF1\n"  |  u64 m  u64 n  u64 k  |  P (m·k f32 LE)  |  Q (n·k f32 LE)
 //! ```
+//!
+//! **v2** (crash-safe, written by [`save_model`] / [`save_checkpoint`]):
+//!
+//! ```text
+//! magic "HCCMF2\n"
+//! u64 m   u64 n   u64 k   u64 epoch   u64 seed
+//! f32 lr_scale
+//! u8  flags            (bit 0: matrix was transposed before training)
+//! P (m·k f32 LE)
+//! Q (n·k f32 LE)
+//! u32 crc32            (CRC-32/IEEE over every preceding byte)
+//! ```
+//!
+//! v2 files are written to `<path>.tmp`, fsynced, then atomically renamed
+//! over `path`, so a crash mid-write can never leave a loadable-but-torn
+//! file at `path`. Loading validates the exact file length implied by the
+//! header *before* allocating (an absurd-dimension header is rejected
+//! instead of attempting a huge allocation) and then the CRC footer, which
+//! catches truncation and every single-bit flip.
 
 use crate::error::HccError;
 use hcc_sgd::FactorMatrix;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::Write;
 use std::path::Path;
 
-const MAGIC: &[u8; 7] = b"HCCMF1\n";
+const MAGIC_V1: &[u8; 7] = b"HCCMF1\n";
+const MAGIC_V2: &[u8; 7] = b"HCCMF2\n";
 
-/// Writes a `(P, Q)` model to `path`.
+/// Header flag bit: the input matrix was transposed (m < n) before training.
+const FLAG_TRANSPOSED: u8 = 1;
+
+/// v2 bytes between magic and P: 5×u64 + f32 lr_scale + u8 flags.
+const V2_META_LEN: usize = 5 * 8 + 4 + 1;
+
+/// Training-loop state stored alongside the factors in a v2 checkpoint so a
+/// killed run can resume mid-training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingMeta {
+    /// Next epoch to run (epochs `0..epoch` are already reflected in P/Q).
+    pub epoch: usize,
+    /// RNG seed the run was started with (resume validates it matches).
+    pub seed: u64,
+    /// Cumulative learning-rate backoff applied by the divergence guard.
+    pub lr_scale: f32,
+    /// Whether the input matrix was transposed before training.
+    pub transposed: bool,
+}
+
+impl Default for TrainingMeta {
+    fn default() -> Self {
+        TrainingMeta {
+            epoch: 0,
+            seed: 0,
+            lr_scale: 1.0,
+            transposed: false,
+        }
+    }
+}
+
+/// A fully-loaded v2 checkpoint: factors plus resumable training state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeState {
+    pub p: FactorMatrix,
+    pub q: FactorMatrix,
+    pub meta: TrainingMeta,
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib polynomial), table built at compile time so
+// no external crate is needed.
+// ---------------------------------------------------------------------------
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/IEEE of `data` (init all-ones, reflected, final xor all-ones).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Save
+// ---------------------------------------------------------------------------
+
+/// Writes a `(P, Q)` model to `path` in the crash-safe v2 format with
+/// default (fresh-run) training metadata.
 pub fn save_model<P: AsRef<Path>>(
     path: P,
     p: &FactorMatrix,
     q: &FactorMatrix,
+) -> Result<(), HccError> {
+    save_checkpoint(path, p, q, &TrainingMeta::default())
+}
+
+/// Writes a `(P, Q)` model plus resumable training state to `path`.
+///
+/// The file is assembled in memory (CRC needs the full byte stream), written
+/// to `<path>.tmp`, fsynced, and atomically renamed into place.
+pub fn save_checkpoint<P: AsRef<Path>>(
+    path: P,
+    p: &FactorMatrix,
+    q: &FactorMatrix,
+    meta: &TrainingMeta,
 ) -> Result<(), HccError> {
     if p.k() != q.k() {
         return Err(HccError::BadInput(
             "P and Q must share latent dimension".into(),
         ));
     }
-    let file = std::fs::File::create(path).map_err(io_err)?;
-    let mut out = BufWriter::new(file);
-    out.write_all(MAGIC).map_err(io_err)?;
-    for dim in [p.rows() as u64, q.rows() as u64, p.k() as u64] {
-        out.write_all(&dim.to_le_bytes()).map_err(io_err)?;
+    let path = path.as_ref();
+    let mut bytes = Vec::with_capacity(
+        MAGIC_V2.len() + V2_META_LEN + 4 * (p.as_slice().len() + q.as_slice().len()) + 4,
+    );
+    bytes.extend_from_slice(MAGIC_V2);
+    for v in [
+        p.rows() as u64,
+        q.rows() as u64,
+        p.k() as u64,
+        meta.epoch as u64,
+        meta.seed,
+    ] {
+        bytes.extend_from_slice(&v.to_le_bytes());
     }
-    write_f32s(&mut out, p.as_slice())?;
-    write_f32s(&mut out, q.as_slice())?;
-    out.flush().map_err(io_err)
-}
+    bytes.extend_from_slice(&meta.lr_scale.to_le_bytes());
+    bytes.push(if meta.transposed { FLAG_TRANSPOSED } else { 0 });
+    for &v in p.as_slice() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in q.as_slice() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
 
-/// Reads a `(P, Q)` model from `path`.
-pub fn load_model<P: AsRef<Path>>(path: P) -> Result<(FactorMatrix, FactorMatrix), HccError> {
-    let file = std::fs::File::open(path).map_err(io_err)?;
-    let mut input = BufReader::new(file);
-    let mut magic = [0u8; 7];
-    input.read_exact(&mut magic).map_err(io_err)?;
-    if &magic != MAGIC {
-        return Err(HccError::BadInput("not an HCCMF1 checkpoint".into()));
-    }
-    let mut dims = [0u64; 3];
-    for d in dims.iter_mut() {
-        let mut buf = [0u8; 8];
-        input.read_exact(&mut buf).map_err(io_err)?;
-        *d = u64::from_le_bytes(buf);
-    }
-    let (m, n, k) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
-    if k == 0 || m.checked_mul(k).is_none() || n.checked_mul(k).is_none() {
-        return Err(HccError::BadInput("corrupt checkpoint header".into()));
-    }
-    let p = FactorMatrix::from_vec(m, k, read_f32s(&mut input, m * k)?);
-    let q = FactorMatrix::from_vec(n, k, read_f32s(&mut input, n * k)?);
-    Ok((p, q))
-}
-
-fn write_f32s<W: Write>(out: &mut W, data: &[f32]) -> Result<(), HccError> {
-    // Chunked conversion to LE bytes; avoids one giant temporary.
-    let mut buf = Vec::with_capacity(4096 * 4);
-    for chunk in data.chunks(4096) {
-        buf.clear();
-        for &v in chunk {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        out.write_all(&buf).map_err(io_err)?;
-    }
+    let tmp = path.with_extension(match path.extension() {
+        Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
+        None => "tmp".to_string(),
+    });
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
-fn read_f32s<R: Read>(input: &mut R, count: usize) -> Result<Vec<f32>, HccError> {
-    let mut bytes = vec![0u8; count * 4];
-    input.read_exact(&mut bytes).map_err(io_err)?;
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect())
+// ---------------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------------
+
+/// Reads a `(P, Q)` model from `path`; accepts both v1 and v2 files.
+pub fn load_model<P: AsRef<Path>>(path: P) -> Result<(FactorMatrix, FactorMatrix), HccError> {
+    let state = load_checkpoint(path)?;
+    Ok((state.p, state.q))
 }
 
-fn io_err(err: std::io::Error) -> HccError {
-    HccError::BadInput(format!("checkpoint io: {err}"))
+/// Reads a checkpoint with its training metadata. v1 files load with
+/// [`TrainingMeta::default`] (they carry no resume state).
+pub fn load_checkpoint<P: AsRef<Path>>(path: P) -> Result<ResumeState, HccError> {
+    let bytes = std::fs::read(path.as_ref())?;
+    if bytes.len() >= MAGIC_V2.len() && &bytes[..7] == MAGIC_V2 {
+        load_v2(&bytes)
+    } else if bytes.len() >= MAGIC_V1.len() && &bytes[..7] == MAGIC_V1 {
+        load_v1(&bytes)
+    } else {
+        Err(HccError::CorruptCheckpoint(
+            "unrecognized magic (not an HCCMF checkpoint)".into(),
+        ))
+    }
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(buf)
+}
+
+/// Rejects headers whose dimensions can't correspond to a real file: the
+/// payload length they imply must match the actual byte count exactly, so
+/// a bit-flipped dimension can never trigger a huge allocation.
+fn checked_dims(
+    m: u64,
+    n: u64,
+    k: u64,
+    payload_len: usize,
+) -> Result<(usize, usize, usize), HccError> {
+    let (m, n, k) = (m as usize, n as usize, k as usize);
+    let expected = (|| {
+        if k == 0 {
+            return None;
+        }
+        let pk = m.checked_mul(k)?;
+        let qk = n.checked_mul(k)?;
+        pk.checked_add(qk)?.checked_mul(4)
+    })();
+    match expected {
+        Some(len) if len == payload_len => Ok((m, n, k)),
+        _ => Err(HccError::CorruptCheckpoint(format!(
+            "header dims ({m}×{n}×{k}) inconsistent with payload of {payload_len} bytes"
+        ))),
+    }
+}
+
+fn decode_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn load_v2(bytes: &[u8]) -> Result<ResumeState, HccError> {
+    let header_len = MAGIC_V2.len() + V2_META_LEN;
+    if bytes.len() < header_len + 4 {
+        return Err(HccError::CorruptCheckpoint("truncated v2 header".into()));
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+    let actual_crc = crc32(body);
+    if stored_crc != actual_crc {
+        return Err(HccError::CorruptCheckpoint(format!(
+            "crc mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+        )));
+    }
+    let mut off = MAGIC_V2.len();
+    let m = read_u64(body, off);
+    let n = read_u64(body, off + 8);
+    let k = read_u64(body, off + 16);
+    let epoch = read_u64(body, off + 24);
+    let seed = read_u64(body, off + 32);
+    off += 40;
+    let lr_scale = f32::from_le_bytes([body[off], body[off + 1], body[off + 2], body[off + 3]]);
+    let flags = body[off + 4];
+    let payload = &body[header_len..];
+    let (m, n, k) = checked_dims(m, n, k, payload.len())?;
+    if !(lr_scale.is_finite() && lr_scale > 0.0) {
+        return Err(HccError::CorruptCheckpoint(format!(
+            "invalid lr_scale {lr_scale}"
+        )));
+    }
+    let (p_bytes, q_bytes) = payload.split_at(m * k * 4);
+    Ok(ResumeState {
+        p: FactorMatrix::from_vec(m, k, decode_f32s(p_bytes)),
+        q: FactorMatrix::from_vec(n, k, decode_f32s(q_bytes)),
+        meta: TrainingMeta {
+            epoch: epoch as usize,
+            seed,
+            lr_scale,
+            transposed: flags & FLAG_TRANSPOSED != 0,
+        },
+    })
+}
+
+fn load_v1(bytes: &[u8]) -> Result<ResumeState, HccError> {
+    let header_len = MAGIC_V1.len() + 3 * 8;
+    if bytes.len() < header_len {
+        return Err(HccError::CorruptCheckpoint("truncated v1 header".into()));
+    }
+    let m = read_u64(bytes, MAGIC_V1.len());
+    let n = read_u64(bytes, MAGIC_V1.len() + 8);
+    let k = read_u64(bytes, MAGIC_V1.len() + 16);
+    let payload = &bytes[header_len..];
+    let (m, n, k) = checked_dims(m, n, k, payload.len())?;
+    let (p_bytes, q_bytes) = payload.split_at(m * k * 4);
+    Ok(ResumeState {
+        p: FactorMatrix::from_vec(m, k, decode_f32s(p_bytes)),
+        q: FactorMatrix::from_vec(n, k, decode_f32s(q_bytes)),
+        meta: TrainingMeta::default(),
+    })
 }
 
 #[cfg(test)]
@@ -94,6 +306,19 @@ mod tests {
         let dir = std::env::temp_dir().join("hcc_checkpoint_tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// Builds a v1-format file by hand (the writer only emits v2 now).
+    fn write_v1(path: &std::path::Path, p: &FactorMatrix, q: &FactorMatrix) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        for v in [p.rows() as u64, q.rows() as u64, p.k() as u64] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in p.as_slice().iter().chain(q.as_slice()) {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(path, bytes).unwrap();
     }
 
     #[test]
@@ -109,6 +334,38 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_with_meta() {
+        let p = FactorMatrix::random(6, 3, 5);
+        let q = FactorMatrix::random(9, 3, 6);
+        let meta = TrainingMeta {
+            epoch: 7,
+            seed: 42,
+            lr_scale: 0.25,
+            transposed: true,
+        };
+        let path = tmp("meta.hccmf");
+        save_checkpoint(&path, &p, &q, &meta).unwrap();
+        let state = load_checkpoint(&path).unwrap();
+        assert_eq!(state.p, p);
+        assert_eq!(state.q, q);
+        assert_eq!(state.meta, meta);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reads_legacy_v1_files() {
+        let p = FactorMatrix::random(5, 2, 7);
+        let q = FactorMatrix::random(4, 2, 8);
+        let path = tmp("legacy_v1.hccmf");
+        write_v1(&path, &p, &q);
+        let state = load_checkpoint(&path).unwrap();
+        assert_eq!(state.p, p);
+        assert_eq!(state.q, q);
+        assert_eq!(state.meta, TrainingMeta::default());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn rejects_mismatched_k() {
         let p = FactorMatrix::zeros(2, 3);
         let q = FactorMatrix::zeros(2, 4);
@@ -119,7 +376,10 @@ mod tests {
     fn rejects_garbage_file() {
         let path = tmp("garbage.hccmf");
         std::fs::write(&path, b"definitely not a checkpoint").unwrap();
-        assert!(load_model(&path).is_err());
+        assert!(matches!(
+            load_model(&path),
+            Err(HccError::CorruptCheckpoint(_))
+        ));
         std::fs::remove_file(path).ok();
     }
 
@@ -131,12 +391,72 @@ mod tests {
         save_model(&path, &p, &q).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
-        assert!(load_model(&path).is_err());
+        assert!(matches!(
+            load_model(&path),
+            Err(HccError::CorruptCheckpoint(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_single_bit_flip_anywhere() {
+        let p = FactorMatrix::random(3, 2, 9);
+        let q = FactorMatrix::random(2, 2, 10);
+        let path = tmp("bitflip.hccmf");
+        save_model(&path, &p, &q).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for byte_idx in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[byte_idx] ^= 1 << (byte_idx % 8);
+            std::fs::write(&path, &corrupt).unwrap();
+            assert!(
+                load_model(&path).is_err(),
+                "bit flip at byte {byte_idx} went undetected"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_absurd_dims_without_allocating() {
+        let p = FactorMatrix::random(3, 2, 11);
+        let q = FactorMatrix::random(2, 2, 12);
+        let path = tmp("absurd.hccmf");
+        write_v1(&path, &p, &q);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Claim m = 2^60 rows in a v1 file (no CRC to catch it): the length
+        // check must reject it before any allocation happens.
+        bytes[MAGIC_V1.len()..MAGIC_V1.len() + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_model(&path),
+            Err(HccError::CorruptCheckpoint(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_file() {
+        let p = FactorMatrix::random(4, 2, 13);
+        let q = FactorMatrix::random(4, 2, 14);
+        let path = tmp("atomic.hccmf");
+        save_model(&path, &p, &q).unwrap();
+        assert!(path.exists());
+        assert!(!tmp("atomic.hccmf.tmp").exists());
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn missing_file_errors() {
-        assert!(load_model(tmp("does_not_exist.hccmf")).is_err());
+        assert!(matches!(
+            load_model(tmp("does_not_exist.hccmf")),
+            Err(HccError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

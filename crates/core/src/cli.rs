@@ -72,6 +72,16 @@ pub struct TrainArgs {
     pub out: Option<String>,
     /// Evaluate ranking metrics on the held-out split.
     pub rank_metrics: bool,
+    /// Write a crash-safe checkpoint every N epochs (to `--checkpoint-path`,
+    /// or `<out>.ckpt.hccmf`).
+    pub checkpoint_every: Option<usize>,
+    /// Explicit path for periodic checkpoints.
+    pub checkpoint_path: Option<String>,
+    /// Resume a killed run from a v2 checkpoint.
+    pub resume: Option<String>,
+    /// Enable the fault-tolerance supervisor (heartbeats, divergence
+    /// rollback, survivor re-planning).
+    pub fault_tolerant: bool,
 }
 
 impl Default for TrainArgs {
@@ -91,6 +101,10 @@ impl Default for TrainArgs {
             schedule: Schedule::Stripe,
             out: None,
             rank_metrics: false,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume: None,
+            fault_tolerant: false,
         }
     }
 }
@@ -101,6 +115,8 @@ pub const USAGE: &str = "usage:
             [--workers cpu2,gpu4[@0.5]] [--strategy pq|q|halfq] [--streams N]
             [--partition auto|uniform|dp0|dp1|dp2] [--schedule stripe|tiled]
             [--test-frac F] [--seed N] [--out PREFIX] [--rank-metrics]
+            [--checkpoint-every N [--checkpoint-path FILE]] [--resume FILE]
+            [--fault-tolerant]
   hcc analyze <ratings.txt>
   hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]";
 
@@ -193,6 +209,16 @@ fn parse_train<'a, I: Iterator<Item = &'a String>>(
             }
             "--out" => args.out = Some(next("--out")?),
             "--rank-metrics" => args.rank_metrics = true,
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(
+                    next("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?,
+                )
+            }
+            "--checkpoint-path" => args.checkpoint_path = Some(next("--checkpoint-path")?),
+            "--resume" => args.resume = Some(next("--resume")?),
+            "--fault-tolerant" => args.fault_tolerant = true,
             "--strategy" => {
                 args.strategy = match next("--strategy")?.as_str() {
                     "pq" => TransferStrategy::FullPq,
@@ -330,7 +356,7 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
             } else {
                 (matrix.clone(), None)
             };
-            let config = HccConfig::builder()
+            let mut builder = HccConfig::builder()
                 .k(args.k)
                 .epochs(args.epochs)
                 .learning_rate(LearningRate::Constant(args.lr))
@@ -341,12 +367,36 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                 .partition(args.partition)
                 .schedule(args.schedule)
                 .seed(args.seed)
-                .track_rmse(true)
-                .try_build()
-                .map_err(|e| e.to_string())?;
+                .track_rmse(true);
+            if args.fault_tolerant {
+                builder = builder.fault_tolerance(crate::supervisor::SupervisorConfig::default());
+            }
+            if let Some(every) = args.checkpoint_every {
+                let path = args
+                    .checkpoint_path
+                    .clone()
+                    .or_else(|| args.out.as_ref().map(|p| format!("{p}.ckpt.hccmf")))
+                    .ok_or("--checkpoint-every needs --checkpoint-path or --out")?;
+                builder = builder.checkpoint(path, every);
+            }
+            if let Some(resume) = &args.resume {
+                builder = builder.resume(resume.clone());
+            }
+            let config = builder.try_build().map_err(|e| e.to_string())?;
             let report = HccMf::new(config)
                 .train(&train)
                 .map_err(|e| e.to_string())?;
+            if report.start_epoch > 0 {
+                writeln!(
+                    out,
+                    "resumed from checkpoint at epoch {}",
+                    report.start_epoch
+                )
+                .ok();
+            }
+            if report.rollbacks > 0 {
+                writeln!(out, "divergence rollbacks: {}", report.rollbacks).ok();
+            }
             writeln!(
                 out,
                 "trained {} epochs in {:.2?} ({:.1}M updates/s, strategy {:?}, wire {:.1} MiB)",
@@ -414,6 +464,24 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_fault_tolerance_flags() {
+        let cmd = parse(&argv(
+            "train data.txt --checkpoint-every 3 --checkpoint-path c.hccmf --resume r.hccmf --fault-tolerant",
+        ))
+        .unwrap();
+        match cmd {
+            CliCommand::Train(args) => {
+                assert_eq!(args.checkpoint_every, Some(3));
+                assert_eq!(args.checkpoint_path.as_deref(), Some("c.hccmf"));
+                assert_eq!(args.resume.as_deref(), Some("r.hccmf"));
+                assert!(args.fault_tolerant);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("train d.txt --checkpoint-every zero")).is_err());
     }
 
     #[test]

@@ -170,6 +170,20 @@ pub struct HccConfig {
     /// random initialization (e.g. to resume from a checkpoint after new
     /// ratings arrive).
     pub warm_start: Option<(hcc_sgd::FactorMatrix, hcc_sgd::FactorMatrix)>,
+    /// Enables the fault-tolerance layer (heartbeats, divergence rollback,
+    /// survivor re-planning). `None` runs the original unsupervised loop.
+    pub fault_tolerance: Option<crate::supervisor::SupervisorConfig>,
+    /// Deterministic fault-injection script (requires `fault_tolerance`).
+    pub fault_plan: Option<crate::fault::FaultPlan>,
+    /// Write a crash-safe v2 checkpoint every N epochs (requires
+    /// `checkpoint_path`).
+    pub checkpoint_every: Option<usize>,
+    /// Where periodic checkpoints are written.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Resume a previous run from this v2 checkpoint: factors, next epoch,
+    /// and learning-rate backoff state are restored. Mutually exclusive
+    /// with `warm_start`; the checkpoint's seed must match `seed`.
+    pub resume: Option<std::path::PathBuf>,
 }
 
 impl HccConfig {
@@ -211,6 +225,29 @@ impl HccConfig {
                     self.k
                 )));
             }
+        }
+        if self.fault_plan.is_some() && self.fault_tolerance.is_none() {
+            return Err(HccError::BadConfig(
+                "fault_plan requires fault_tolerance".into(),
+            ));
+        }
+        if self.fault_tolerance.is_some() && self.streams != 1 {
+            return Err(HccError::BadConfig(
+                "fault tolerance supports only the synchronous path (streams = 1)".into(),
+            ));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(HccError::BadConfig("checkpoint_every must be >= 1".into()));
+        }
+        if self.checkpoint_every.is_some() && self.checkpoint_path.is_none() {
+            return Err(HccError::BadConfig(
+                "checkpoint_every requires checkpoint_path".into(),
+            ));
+        }
+        if self.resume.is_some() && self.warm_start.is_some() {
+            return Err(HccError::BadConfig(
+                "resume and warm_start are mutually exclusive".into(),
+            ));
         }
         for w in &self.workers {
             if w.threads == 0 {
@@ -258,6 +295,11 @@ impl Default for HccConfigBuilder {
                 optimizer: Optimizer::Sgd,
                 schedule: Schedule::Stripe,
                 warm_start: None,
+                fault_tolerance: None,
+                fault_plan: None,
+                checkpoint_every: None,
+                checkpoint_path: None,
+                resume: None,
             },
         }
     }
@@ -367,6 +409,32 @@ impl HccConfigBuilder {
         self
     }
 
+    /// Enables the fault-tolerance supervisor.
+    pub fn fault_tolerance(mut self, cfg: crate::supervisor::SupervisorConfig) -> Self {
+        self.config.fault_tolerance = Some(cfg);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (requires
+    /// [`fault_tolerance`](Self::fault_tolerance)).
+    pub fn fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
+    /// Writes a crash-safe checkpoint to `path` every `every` epochs.
+    pub fn checkpoint(mut self, path: impl Into<std::path::PathBuf>, every: usize) -> Self {
+        self.config.checkpoint_path = Some(path.into());
+        self.config.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Resumes training from a v2 checkpoint file.
+    pub fn resume(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.resume = Some(path.into());
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -434,6 +502,45 @@ mod tests {
             .workers(vec![WorkerSpec::cpu(2).throttled(1.5)])
             .try_build()
             .is_err());
+    }
+
+    #[test]
+    fn validation_catches_fault_tolerance_misuse() {
+        // Fault plan without supervision.
+        assert!(HccConfig::builder()
+            .fault_plan(crate::fault::FaultPlan::new(1))
+            .try_build()
+            .is_err());
+        // Supervision only supports the synchronous path.
+        assert!(HccConfig::builder()
+            .fault_tolerance(crate::supervisor::SupervisorConfig::default())
+            .streams(2)
+            .try_build()
+            .is_err());
+        // Checkpointing needs a path and a positive interval.
+        assert!(HccConfig::builder()
+            .checkpoint("x.hccmf", 0)
+            .try_build()
+            .is_err());
+        let mut cfg = HccConfig::builder().build();
+        cfg.checkpoint_every = Some(2);
+        assert!(cfg.validate().is_err());
+        // Resume and warm start conflict.
+        assert!(HccConfig::builder()
+            .warm_start(
+                hcc_sgd::FactorMatrix::zeros(2, 32),
+                hcc_sgd::FactorMatrix::zeros(2, 32)
+            )
+            .resume("x.hccmf")
+            .try_build()
+            .is_err());
+        // Valid combinations pass.
+        assert!(HccConfig::builder()
+            .fault_tolerance(crate::supervisor::SupervisorConfig::default())
+            .fault_plan(crate::fault::FaultPlan::new(1).crash(0, 2))
+            .checkpoint("x.hccmf", 2)
+            .try_build()
+            .is_ok());
     }
 
     #[test]

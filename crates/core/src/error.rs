@@ -3,6 +3,12 @@
 use std::fmt;
 
 /// Errors surfaced by the HCC-MF training pipeline.
+///
+/// Variants split into *fatal* configuration/input problems and *runtime*
+/// failures the fault-tolerance layer can classify: [`Io`](HccError::Io) and
+/// [`Comm`](HccError::Comm) are often retryable; [`Diverged`](HccError::Diverged)
+/// and [`WorkerLost`](HccError::WorkerLost) mean the supervisor exhausted its
+/// recovery budget.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HccError {
     /// The configuration is inconsistent (message explains).
@@ -11,6 +17,24 @@ pub enum HccError {
     BadInput(String),
     /// An underlying sparse-matrix operation failed.
     Sparse(hcc_sparse::SparseError),
+    /// Filesystem failure (checkpoint read/write; message carries the OS
+    /// error, source dropped so the type stays `Clone`).
+    Io(String),
+    /// A checkpoint file failed integrity validation (bad magic, truncated,
+    /// CRC mismatch, or absurd dimensions).
+    CorruptCheckpoint(String),
+    /// A transport operation failed after the configured retries.
+    Comm(String),
+    /// Training diverged and the supervisor ran out of rollback retries.
+    Diverged {
+        /// Epoch at which the final divergence was detected.
+        epoch: usize,
+        /// Rollbacks attempted before giving up.
+        rollbacks: usize,
+    },
+    /// A worker died (crash, panic, or lost heartbeat) and no survivors
+    /// remain to take over its shard.
+    WorkerLost(String),
 }
 
 impl fmt::Display for HccError {
@@ -19,6 +43,14 @@ impl fmt::Display for HccError {
             HccError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             HccError::BadInput(msg) => write!(f, "bad input: {msg}"),
             HccError::Sparse(err) => write!(f, "sparse error: {err}"),
+            HccError::Io(msg) => write!(f, "io error: {msg}"),
+            HccError::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            HccError::Comm(msg) => write!(f, "transport error: {msg}"),
+            HccError::Diverged { epoch, rollbacks } => write!(
+                f,
+                "training diverged at epoch {epoch} after {rollbacks} rollback(s)"
+            ),
+            HccError::WorkerLost(msg) => write!(f, "worker lost: {msg}"),
         }
     }
 }
@@ -38,6 +70,27 @@ impl From<hcc_sparse::SparseError> for HccError {
     }
 }
 
+impl From<std::io::Error> for HccError {
+    fn from(err: std::io::Error) -> Self {
+        HccError::Io(err.to_string())
+    }
+}
+
+impl From<hcc_comm::CommError> for HccError {
+    fn from(err: hcc_comm::CommError) -> Self {
+        HccError::Comm(err.to_string())
+    }
+}
+
+impl HccError {
+    /// True for failures a caller may reasonably retry (transient transport
+    /// or filesystem trouble), false for configuration errors and exhausted
+    /// recovery budgets.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, HccError::Io(_) | HccError::Comm(_))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +101,35 @@ mod tests {
         assert!(e.to_string().contains("k must be > 0"));
         let s: HccError = hcc_sparse::SparseError::EmptyDimension { what: "rows" }.into();
         assert!(std::error::Error::source(&s).is_some());
+    }
+
+    #[test]
+    fn runtime_variants_display() {
+        let d = HccError::Diverged {
+            epoch: 4,
+            rollbacks: 3,
+        };
+        assert!(d.to_string().contains("epoch 4"));
+        assert!(d.to_string().contains("3 rollback"));
+        let w = HccError::WorkerLost("all workers dead".into());
+        assert!(w.to_string().contains("all workers dead"));
+        let c = HccError::CorruptCheckpoint("crc mismatch".into());
+        assert!(c.to_string().contains("crc mismatch"));
+    }
+
+    #[test]
+    fn conversions_and_retryability() {
+        let io: HccError = std::io::Error::other("disk on fire").into();
+        assert!(matches!(io, HccError::Io(_)));
+        assert!(io.is_retryable());
+        let comm: HccError = hcc_comm::CommError::Timeout.into();
+        assert!(matches!(comm, HccError::Comm(_)));
+        assert!(comm.is_retryable());
+        assert!(!HccError::Diverged {
+            epoch: 0,
+            rollbacks: 0
+        }
+        .is_retryable());
+        assert!(!HccError::BadInput("empty".into()).is_retryable());
     }
 }

@@ -1,0 +1,173 @@
+//! Deterministic fault injection for the training engine.
+//!
+//! A [`FaultPlan`] is a seeded script of failures — "worker 2 crashes at
+//! epoch 3", "worker 0's push buffer is corrupted at epoch 1" — that the
+//! supervised epoch loop consults at fixed points. Nothing in the plan
+//! depends on wall-clock time, so a given (plan, config, seed) triple
+//! exercises exactly the same recovery path on every run, which is what
+//! makes the chaos tests reproducible in CI.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker dies at the start of the epoch: it computes nothing and
+    /// never pushes. Its heartbeat stops, so the supervisor marks it dead
+    /// and re-plans the partition over the survivors.
+    Crash,
+    /// The worker sleeps this many milliseconds before computing, modelling
+    /// a transient slowdown (thermal throttle, noisy neighbour). It still
+    /// finishes the epoch; the supervisor may classify it as a straggler.
+    Stall { millis: u64 },
+    /// The worker's push buffer is poisoned with NaNs before transmission.
+    /// The server's integrity check must discard the shard rather than
+    /// merge garbage into Q.
+    CorruptPush,
+    /// The push message is dropped in transit: the worker computes but the
+    /// server never receives its shard and times out waiting.
+    DropPush,
+}
+
+/// One scripted failure: `worker` suffers `kind` during `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub worker: usize,
+    pub epoch: usize,
+    pub kind: FaultKind,
+}
+
+/// A seeded script of [`FaultEvent`]s.
+///
+/// The seed drives any randomness *inside* a fault (e.g. which positions of
+/// a corrupted buffer are poisoned); the schedule itself is fully explicit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedules `worker` to crash at the start of `epoch`.
+    pub fn crash(mut self, worker: usize, epoch: usize) -> Self {
+        self.events.push(FaultEvent {
+            worker,
+            epoch,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Schedules `worker` to stall for `millis` ms during `epoch`.
+    pub fn stall(mut self, worker: usize, epoch: usize, millis: u64) -> Self {
+        self.events.push(FaultEvent {
+            worker,
+            epoch,
+            kind: FaultKind::Stall { millis },
+        });
+        self
+    }
+
+    /// Schedules `worker`'s push buffer to be NaN-poisoned during `epoch`.
+    pub fn corrupt_push(mut self, worker: usize, epoch: usize) -> Self {
+        self.events.push(FaultEvent {
+            worker,
+            epoch,
+            kind: FaultKind::CorruptPush,
+        });
+        self
+    }
+
+    /// Schedules `worker`'s push message to be dropped during `epoch`.
+    pub fn drop_push(mut self, worker: usize, epoch: usize) -> Self {
+        self.events.push(FaultEvent {
+            worker,
+            epoch,
+            kind: FaultKind::DropPush,
+        });
+        self
+    }
+
+    /// The fault scheduled for `worker` at `epoch`, if any. `worker` indexes
+    /// the *original* worker list (the id a worker was created with), so a
+    /// plan keeps addressing the same machine after survivors are re-packed.
+    pub fn at(&self, worker: usize, epoch: usize) -> Option<FaultKind> {
+        self.events
+            .iter()
+            .find(|e| e.worker == worker && e.epoch == epoch)
+            .map(|e| e.kind)
+    }
+
+    /// True if any event is scheduled at `epoch`.
+    pub fn has_events_at(&self, epoch: usize) -> bool {
+        self.events.iter().any(|e| e.epoch == epoch)
+    }
+
+    /// Deterministic positions to poison in a corrupted buffer of `len`
+    /// elements: seeded by (plan seed, worker, epoch) so the same plan
+    /// corrupts the same cells every run. Returns ~1% of positions, at
+    /// least one.
+    pub fn corrupt_positions(&self, worker: usize, epoch: usize, len: usize) -> Vec<usize> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let stream = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((worker as u64) << 32)
+            .wrapping_add(epoch as u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(stream);
+        let count = (len / 100).max(1);
+        (0..count).map(|_| rng.random_range(0..len)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let plan = FaultPlan::new(7)
+            .crash(1, 3)
+            .stall(0, 2, 50)
+            .corrupt_push(2, 4)
+            .drop_push(3, 1);
+        assert_eq!(plan.at(1, 3), Some(FaultKind::Crash));
+        assert_eq!(plan.at(0, 2), Some(FaultKind::Stall { millis: 50 }));
+        assert_eq!(plan.at(2, 4), Some(FaultKind::CorruptPush));
+        assert_eq!(plan.at(3, 1), Some(FaultKind::DropPush));
+        assert_eq!(plan.at(1, 2), None);
+        assert!(plan.has_events_at(3));
+        assert!(!plan.has_events_at(0));
+    }
+
+    #[test]
+    fn corrupt_positions_are_deterministic_and_in_bounds() {
+        let plan = FaultPlan::new(42).corrupt_push(0, 1);
+        let a = plan.corrupt_positions(0, 1, 1000);
+        let b = plan.corrupt_positions(0, 1, 1000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|&i| i < 1000));
+        // Different (worker, epoch) streams differ.
+        let c = plan.corrupt_positions(1, 1, 1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corrupt_positions_handle_tiny_buffers() {
+        let plan = FaultPlan::new(1);
+        assert_eq!(plan.corrupt_positions(0, 0, 0), Vec::<usize>::new());
+        let one = plan.corrupt_positions(0, 0, 1);
+        assert_eq!(one, vec![0]);
+    }
+}

@@ -47,22 +47,28 @@ pub mod checkpoint;
 pub mod cli;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod recommend;
 pub mod report;
 pub mod server;
+pub mod supervisor;
 pub mod train;
 pub mod worker;
 
 pub use baseline::{BaselinePredictor, BiasedRecommender};
-pub use checkpoint::{load_model, save_model};
+pub use checkpoint::{
+    load_checkpoint, load_model, save_checkpoint, save_model, ResumeState, TrainingMeta,
+};
 pub use config::{
     EarlyStop, HccConfig, HccConfigBuilder, Optimizer, PartitionMode, TransportKind, WorkerSpec,
 };
 pub use error::HccError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{evaluate_ranking, RankingMetrics};
 pub use recommend::Recommender;
 pub use report::{HccReport, WorkerEpochStats};
+pub use supervisor::{Supervisor, SupervisorConfig, WorkerHealth};
 pub use train::HccMf;
 
 // Re-export the pieces users compose with.

@@ -49,6 +49,15 @@ pub struct HccReport {
     pub wire_bytes: u64,
     /// True if the input was transposed internally (column grid: `n > m`).
     pub transposed: bool,
+    /// `health_history[epoch][worker]` classification (empty unless the
+    /// fault-tolerance supervisor was enabled). Worker indices follow the
+    /// fleet as of that epoch — the list shrinks when dead workers are
+    /// removed.
+    pub health_history: Vec<Vec<crate::supervisor::WorkerHealth>>,
+    /// Divergence rollbacks performed by the supervisor.
+    pub rollbacks: usize,
+    /// First epoch this run executed (> 0 when resumed from a checkpoint).
+    pub start_epoch: usize,
 }
 
 impl HccReport {
@@ -136,6 +145,9 @@ mod tests {
             total_updates: 900,
             wire_bytes: 4_096,
             transposed: false,
+            health_history: Vec::new(),
+            rollbacks: 0,
+            start_epoch: 0,
         }
     }
 

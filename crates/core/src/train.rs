@@ -1,18 +1,22 @@
 //! The training orchestrator: preprocessing, partition planning, and the
 //! `pull → compute → push → sync` epoch loop of Fig. 4.
 
-use crate::config::{HccConfig, Optimizer, PartitionMode, TransportKind};
+use crate::checkpoint::{load_checkpoint, save_checkpoint, ResumeState, TrainingMeta};
+use crate::config::{HccConfig, Optimizer, PartitionMode, TransportKind, WorkerSpec};
 use crate::error::HccError;
+use crate::fault::FaultKind;
 use crate::report::{HccReport, WorkerEpochStats};
 use crate::server::{merge_weighted, merge_weights, region_layout, RegionLayout};
+use crate::supervisor::{Supervisor, WorkerHealth};
 use crate::worker::{bucket_by_stream, rebase_entries, stream_col_range, WorkerState};
-use hcc_comm::{CommP, CommShared, Precision, TransferStrategy, Transport};
-use hcc_partition::{dp0, dp1_step, dp2, StrategyChoice, WorkerClass};
+use hcc_comm::{CommError, CommP, CommShared, Precision, TransferStrategy, Transport};
+use hcc_partition::{dp0, dp1_step, dp2, replan_survivors, StrategyChoice, WorkerClass};
 use hcc_sgd::{rmse_parallel, FactorMatrix, SharedFactors};
 use hcc_sparse::{Axis, CooMatrix, GridPartition};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,10 +70,91 @@ impl HccMf {
             work.shuffle(&mut rng);
         }
 
+        // Resume: restore factors and loop state from a v2 checkpoint.
+        let resume = match &self.config.resume {
+            Some(path) => Some(validate_resume(
+                load_checkpoint(path)?,
+                &self.config,
+                &work,
+                transposed,
+            )?),
+            None => None,
+        };
+
         let mut session = Session::create(&self.config, work)?;
-        session.run()?;
+        if let Some(state) = resume {
+            session.apply_resume(state);
+        }
+        session.run(transposed)?;
         Ok(session.into_report(transposed))
     }
+}
+
+/// Checks a loaded checkpoint against the run it is asked to continue.
+fn validate_resume(
+    state: ResumeState,
+    config: &HccConfig,
+    work: &CooMatrix,
+    transposed: bool,
+) -> Result<ResumeState, HccError> {
+    let (m, n) = (work.rows() as usize, work.cols() as usize);
+    if state.p.rows() != m || state.q.rows() != n || state.p.k() != config.k {
+        return Err(HccError::BadConfig(format!(
+            "resume checkpoint is {}x{} at k = {}, this run needs {m}x{n} at k = {}",
+            state.p.rows(),
+            state.q.rows(),
+            state.p.k(),
+            config.k
+        )));
+    }
+    if state.meta.transposed != transposed {
+        return Err(HccError::BadConfig(
+            "resume checkpoint orientation does not match this matrix".into(),
+        ));
+    }
+    if state.meta.seed != config.seed {
+        return Err(HccError::BadConfig(format!(
+            "resume checkpoint was trained with seed {}, config has seed {} \
+             (resumed epochs would not reproduce the original run)",
+            state.meta.seed, config.seed
+        )));
+    }
+    if state.meta.epoch >= config.epochs {
+        return Err(HccError::BadConfig(format!(
+            "resume checkpoint already completed epoch {} >= configured epochs {}",
+            state.meta.epoch, config.epochs
+        )));
+    }
+    Ok(state)
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".into()
+    }
+}
+
+/// Keeps the elements of `items` whose index is flagged alive.
+fn filter_alive<T: Clone>(items: &[T], alive: &[bool]) -> Vec<T> {
+    items
+        .iter()
+        .zip(alive)
+        .filter(|(_, &a)| a)
+        .map(|(v, _)| v.clone())
+        .collect()
+}
+
+/// Result of one executed (not yet accepted) epoch.
+struct EpochOutcome {
+    stats: Vec<WorkerEpochStats>,
+    sync_time: Duration,
+    /// `missed[w]`: the server got no valid push from worker `w` this epoch.
+    missed: Vec<bool>,
 }
 
 /// Everything a training run owns.
@@ -83,9 +168,22 @@ struct Session<'a> {
     global_q: Vec<f32>,
     fractions: Vec<f64>,
     classes: Vec<WorkerClass>,
+    /// Worker specs currently in the fleet (shrinks when workers die).
+    specs: Vec<WorkerSpec>,
+    /// Original config index of each current worker — fault plans and
+    /// display names keep addressing the machine a worker started as.
+    orig_ids: Vec<usize>,
     workers: Vec<WorkerState>,
     layout: RegionLayout,
     transport: TransportArc,
+    // Fault tolerance.
+    supervisor: Option<Supervisor>,
+    /// Last-good `(P, Q)` for divergence rollback.
+    snapshot: Option<(FactorMatrix, Vec<f32>)>,
+    start_epoch: usize,
+    /// Cumulative learning-rate backoff from divergence rollbacks.
+    lr_scale: f64,
+    health_history: Vec<Vec<WorkerHealth>>,
     // Accumulated report data.
     rmse_history: Vec<f64>,
     epoch_times: Vec<Duration>,
@@ -156,6 +254,7 @@ impl<'a> Session<'a> {
             .collect();
 
         let fractions = initial_fractions(config, &work)?;
+        let worker_count = config.workers.len();
 
         let mut session = Session {
             config,
@@ -167,7 +266,17 @@ impl<'a> Session<'a> {
             global_q,
             fractions: fractions.clone(),
             classes,
+            specs: config.workers.clone(),
+            orig_ids: (0..worker_count).collect(),
             workers: Vec::new(),
+            supervisor: config
+                .fault_tolerance
+                .clone()
+                .map(|cfg| Supervisor::new(cfg, worker_count)),
+            snapshot: None,
+            start_epoch: 0,
+            lr_scale: 1.0,
+            health_history: Vec::new(),
             layout: region_layout(config.strategy, m, n, k, m),
             transport: TransportArc::Shared(Arc::new(CommShared::new(1, 1, 1, Precision::Fp32))),
             rmse_history: Vec::new(),
@@ -194,9 +303,9 @@ impl<'a> Session<'a> {
         self.flush_local_p();
         let grid = GridPartition::build(&self.work, Axis::Row, &fractions);
         let k = self.k;
-        let mut workers = Vec::with_capacity(self.config.workers.len());
+        let mut workers = Vec::with_capacity(self.specs.len());
         let mut max_rows = 0usize;
-        for (w, spec) in self.config.workers.iter().enumerate() {
+        for (w, spec) in self.specs.iter().enumerate() {
             let range = grid.range(w);
             max_rows = max_rows.max((range.end - range.start) as usize);
             let entries = rebase_entries(grid.shard(w), range.start);
@@ -260,6 +369,21 @@ impl<'a> Session<'a> {
         self.fractions = fractions;
     }
 
+    /// Restores factors and loop state from a validated v2 checkpoint.
+    fn apply_resume(&mut self, state: ResumeState) {
+        self.global_p = state.p;
+        self.global_q = state.q.into_vec();
+        self.start_epoch = state.meta.epoch;
+        self.lr_scale = state.meta.lr_scale as f64;
+        if let Some(sup) = self.supervisor.as_mut() {
+            sup.set_lr_scale(self.lr_scale);
+        }
+        // Worker states were seeded from the random init; re-copy the
+        // restored rows. Clearing first stops rebuild flushing stale P.
+        self.workers.clear();
+        self.rebuild_workers(self.fractions.clone());
+    }
+
     /// Writes every worker's `P` rows back into the global matrix.
     fn flush_local_p(&mut self) {
         for state in &self.workers {
@@ -277,31 +401,172 @@ impl<'a> Session<'a> {
         }
     }
 
-    fn run(&mut self) -> Result<(), HccError> {
-        for epoch in 0..self.config.epochs {
-            let lr = self.config.learning_rate.at(epoch);
-            let epoch_start = Instant::now();
-            let (stats, sync_time) = if self.config.streams > 1 {
-                self.run_epoch_async(lr)
-            } else {
-                self.run_epoch_sync(lr)
-            };
-            self.epoch_times.push(epoch_start.elapsed());
-            self.total_updates += stats.iter().map(|s| s.updates).sum::<u64>();
-            self.worker_stats.push(stats);
-            self.sync_times.push(sync_time);
-            self.partition_history.push(self.fractions.clone());
+    fn run(&mut self, transposed: bool) -> Result<(), HccError> {
+        if self.supervisor.is_some() {
+            // Baseline for the divergence guard + rollback snapshot.
+            let baseline = self.evaluate();
+            if let Some(sup) = self.supervisor.as_mut() {
+                sup.observe_baseline(baseline);
+            }
+            self.snapshot = Some((self.global_p.clone(), self.global_q.clone()));
+        }
 
-            if self.config.track_rmse {
-                let rmse = self.evaluate();
-                self.rmse_history.push(rmse);
-                if self.should_stop_early() {
-                    break;
+        let mut epoch = self.start_epoch;
+        while epoch < self.config.epochs {
+            let lr = (f64::from(self.config.learning_rate.at(epoch)) * self.lr_scale) as f32;
+            let epoch_start = Instant::now();
+            let outcome = if self.supervisor.is_some() {
+                self.run_epoch_supervised(lr, epoch)
+            } else {
+                // Unsupervised path: a worker panic would otherwise abort
+                // the process at the scope join — surface it typed instead.
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    if self.config.streams > 1 {
+                        self.run_epoch_async(lr)
+                    } else {
+                        self.run_epoch_sync(lr)
+                    }
+                }));
+                match caught {
+                    Ok((stats, sync_time)) => {
+                        let missed = vec![false; stats.len()];
+                        EpochOutcome {
+                            stats,
+                            sync_time,
+                            missed,
+                        }
+                    }
+                    Err(payload) => {
+                        return Err(HccError::WorkerLost(format!(
+                            "worker thread panicked during epoch {epoch}: {}",
+                            panic_message(payload.as_ref())
+                        )))
+                    }
                 }
+            };
+            let elapsed = epoch_start.elapsed();
+
+            // Divergence guard: NaN or explosion → rollback + LR backoff,
+            // bounded by the supervisor's budget.
+            let mut loss = None;
+            if self.supervisor.is_some() {
+                let l = self.evaluate();
+                let sup = self.supervisor.as_mut().expect("supervised");
+                if sup.is_diverged(l) {
+                    match sup.rollback() {
+                        Some(scale) => {
+                            self.lr_scale = scale;
+                            let (p, q) = self
+                                .snapshot
+                                .clone()
+                                .expect("snapshot precedes first epoch");
+                            self.global_p = p;
+                            self.global_q = q;
+                            // Clear first: the diverged local factors must
+                            // not be flushed over the restored snapshot.
+                            self.workers.clear();
+                            self.rebuild_workers(self.fractions.clone());
+                            continue; // retry the same epoch at reduced LR
+                        }
+                        None => {
+                            return Err(HccError::Diverged {
+                                epoch,
+                                rollbacks: sup.rollbacks_used() as usize,
+                            })
+                        }
+                    }
+                }
+                sup.accept(l);
+                loss = Some(l);
+            }
+
+            // The epoch is accepted: record it.
+            self.epoch_times.push(elapsed);
+            self.total_updates += outcome.stats.iter().map(|s| s.updates).sum::<u64>();
+            self.sync_times.push(outcome.sync_time);
+            self.partition_history.push(self.fractions.clone());
+            if self.config.track_rmse {
+                let rmse = match loss {
+                    Some(l) => l,
+                    None => self.evaluate(),
+                };
+                self.rmse_history.push(rmse);
+            }
+
+            // Health classification and survivor re-planning, then a fresh
+            // rollback snapshot of the accepted state.
+            if self.supervisor.is_some() {
+                self.handle_health(&outcome, epoch)?;
+                self.snapshot = Some((self.global_p.clone(), self.global_q.clone()));
+            }
+            self.worker_stats.push(outcome.stats);
+
+            self.checkpoint_if_due(epoch, transposed)?;
+            if self.config.track_rmse && self.should_stop_early() {
+                break;
             }
             self.adapt(epoch);
+            epoch += 1;
         }
         self.flush_local_p();
+        Ok(())
+    }
+
+    /// Periodic crash-safe checkpoint (after epoch `epoch` is accepted).
+    fn checkpoint_if_due(&mut self, epoch: usize, transposed: bool) -> Result<(), HccError> {
+        let (Some(every), Some(path)) = (
+            self.config.checkpoint_every,
+            self.config.checkpoint_path.as_ref(),
+        ) else {
+            return Ok(());
+        };
+        if (epoch + 1) % every != 0 {
+            return Ok(());
+        }
+        self.flush_local_p();
+        let q = FactorMatrix::from_vec(self.n, self.k, self.global_q.clone());
+        let meta = TrainingMeta {
+            epoch: epoch + 1,
+            seed: self.config.seed,
+            lr_scale: self.lr_scale as f32,
+            transposed,
+        };
+        save_checkpoint(path, &self.global_p, &q, &meta)
+    }
+
+    /// Classifies worker health after an accepted epoch; removes dead
+    /// workers and re-plans the partition over the survivors.
+    fn handle_health(&mut self, outcome: &EpochOutcome, epoch: usize) -> Result<(), HccError> {
+        let compute: Vec<f64> = outcome
+            .stats
+            .iter()
+            .map(|s| s.compute.as_secs_f64())
+            .collect();
+        let sup = self.supervisor.as_ref().expect("supervised");
+        let beat: Vec<bool> = (0..self.workers.len())
+            .map(|w| sup.board.has_beat(w, epoch))
+            .collect();
+        let health = sup.classify(&compute, &outcome.missed, &beat);
+        self.health_history.push(health.clone());
+        let alive: Vec<bool> = health.iter().map(|h| *h != WorkerHealth::Dead).collect();
+        if alive.iter().all(|&a| a) {
+            return Ok(());
+        }
+        let survivors = alive.iter().filter(|&&a| a).count();
+        if survivors == 0 {
+            return Err(HccError::WorkerLost(format!(
+                "all {} workers died by epoch {epoch}",
+                alive.len()
+            )));
+        }
+        let fractions = replan_survivors(&self.fractions, &compute, &alive);
+        self.specs = filter_alive(&self.specs, &alive);
+        self.orig_ids = filter_alive(&self.orig_ids, &alive);
+        self.classes = filter_alive(&self.classes, &alive);
+        self.rebuild_workers(fractions);
+        if let Some(sup) = self.supervisor.as_mut() {
+            sup.board.resize(survivors);
+        }
         Ok(())
     }
 
@@ -424,6 +689,205 @@ impl<'a> Session<'a> {
             }
         }
         (stats.into_inner(), sync_time)
+    }
+
+    /// Supervised synchronous epoch: [`run_epoch_sync`](Self::run_epoch_sync)
+    /// plus heartbeats, per-worker panic capture, deterministic fault
+    /// injection, bounded-timeout collects with backoff, and push integrity
+    /// checks. Missing or poisoned pushes are excluded from the merge and
+    /// the remaining weights renormalized; when every push is lost the
+    /// previous global `Q` is kept. Bit-identical to the plain sync epoch
+    /// when no fault fires.
+    fn run_epoch_supervised(&mut self, lr: f32, epoch: usize) -> EpochOutcome {
+        let k = self.k;
+        let n = self.n;
+        let layout = self.layout;
+        let strategy = self.config.strategy;
+        let transport = self.transport.as_dyn();
+        let sup = self.supervisor.as_ref().expect("supervised");
+        let board = &sup.board;
+        let timeout0 = sup.cfg.heartbeat_timeout;
+        let retries = sup.cfg.collect_retries.max(1);
+        let backoff = sup.cfg.retry_backoff.max(1.0);
+        let plan = self.config.fault_plan.as_ref();
+        let orig_ids = &self.orig_ids;
+
+        let mut pull_staging = vec![0f32; layout.pull_len];
+        if strategy == TransferStrategy::FullPq {
+            pull_staging[..self.m * k].copy_from_slice(self.global_p.as_slice());
+        }
+        pull_staging[layout.pull_q_offset..layout.pull_q_offset + n * k]
+            .copy_from_slice(&self.global_q);
+        transport.publish(&pull_staging);
+
+        let weights = merge_weights(
+            &self
+                .workers
+                .iter()
+                .map(|w| w.entries.len())
+                .collect::<Vec<_>>(),
+        );
+        let lambda_p = self.config.lambda_p;
+        let lambda_q = self.config.lambda_q;
+
+        let stats: Mutex<Vec<WorkerEpochStats>> =
+            Mutex::new(vec![WorkerEpochStats::default(); self.workers.len()]);
+        let mut q_acc = vec![0f32; n * k];
+        let mut p_updates: Vec<(usize, Vec<f32>)> = Vec::new();
+        let mut sync_time = Duration::ZERO;
+        let mut missed = vec![false; self.workers.len()];
+        let mut accepted_weight = 0f32;
+
+        std::thread::scope(|scope| {
+            for (w, state) in self.workers.iter().enumerate() {
+                let stats = &stats;
+                scope.spawn(move || {
+                    let body =
+                        || {
+                            let fault = plan.and_then(|p| p.at(orig_ids[w], epoch));
+                            if fault == Some(FaultKind::Crash) {
+                                return None; // no heartbeat, no push: dead
+                            }
+                            let mut staging = vec![0f32; layout.pull_len.max(layout.push_len)];
+
+                            // Pull.
+                            let t0 = Instant::now();
+                            transport.pull(w, &mut staging[..layout.pull_len]);
+                            state.local_q.copy_rows_from_slice(
+                                0,
+                                n,
+                                &staging[layout.pull_q_offset..layout.pull_q_offset + n * k],
+                            );
+                            if strategy == TransferStrategy::FullPq && state.rows() > 0 {
+                                let lo = state.row_range.start as usize;
+                                state.local_p.copy_rows_from_slice(
+                                    0,
+                                    state.rows(),
+                                    &staging[lo * k..(lo + state.rows()) * k],
+                                );
+                            }
+                            let pull = t0.elapsed();
+
+                            // Compute (an injected stall counts as compute time,
+                            // so the supervisor's straggler rule sees it).
+                            let t0 = Instant::now();
+                            if let Some(FaultKind::Stall { millis }) = fault {
+                                std::thread::sleep(Duration::from_millis(millis));
+                            }
+                            state.compute(&state.entries, lr, lambda_p, lambda_q);
+                            let compute = t0.elapsed();
+                            board.beat(w, epoch);
+
+                            // Push.
+                            let t0 = Instant::now();
+                            let rows = state.rows();
+                            let push_len = if strategy == TransferStrategy::FullPq {
+                                let p_rows = state.local_p.snapshot_rows(0, rows);
+                                staging[..rows * k].copy_from_slice(&p_rows);
+                                let q = state.local_q.snapshot_rows(0, n);
+                                staging[layout.push_q_offset..layout.push_q_offset + n * k]
+                                    .copy_from_slice(&q);
+                                layout.push_q_offset + n * k
+                            } else {
+                                let q = state.local_q.snapshot_rows(0, n);
+                                staging[..n * k].copy_from_slice(&q);
+                                n * k
+                            };
+                            if fault == Some(FaultKind::CorruptPush) {
+                                let positions = plan
+                                    .expect("fault implies plan")
+                                    .corrupt_positions(orig_ids[w], epoch, push_len);
+                                state.poison_push(&mut staging[..push_len], &positions);
+                            }
+                            if fault != Some(FaultKind::DropPush) {
+                                transport.push(w, &staging[..push_len]);
+                            }
+                            let push = t0.elapsed();
+
+                            Some(WorkerEpochStats {
+                                pull,
+                                compute,
+                                push,
+                                updates: state.entries.len() as u64,
+                            })
+                        };
+                    match catch_unwind(AssertUnwindSafe(body)) {
+                        Ok(Some(s)) => stats.lock()[w] = s,
+                        Ok(None) | Err(_) => board.mark_dead(w),
+                    }
+                });
+            }
+
+            // Server: bounded-timeout collect per worker with backoff;
+            // missing or non-finite pushes are skipped and flagged.
+            let mut collect_staging = vec![0f32; layout.push_len];
+            #[allow(clippy::needless_range_loop)] // w indexes several arrays
+            for w in 0..self.workers.len() {
+                let mut timeout = timeout0;
+                let mut got = false;
+                for _attempt in 0..retries {
+                    if board.is_dead(w) {
+                        break;
+                    }
+                    match transport.collect_timeout(
+                        w,
+                        &mut collect_staging[..layout.push_len],
+                        timeout,
+                    ) {
+                        Ok(()) => {
+                            got = true;
+                            break;
+                        }
+                        Err(CommError::Timeout) => timeout = timeout.mul_f64(backoff),
+                        Err(CommError::Disconnected) => break,
+                    }
+                }
+                if !got {
+                    missed[w] = true;
+                    continue;
+                }
+                let t0 = Instant::now();
+                let q_part = &collect_staging[layout.push_q_offset..layout.push_q_offset + n * k];
+                if q_part.iter().any(|v| !v.is_finite()) {
+                    missed[w] = true; // poisoned push: discard the shard
+                    sync_time += t0.elapsed();
+                    continue;
+                }
+                merge_weighted(&mut q_acc, q_part, weights[w]);
+                accepted_weight += weights[w];
+                if strategy == TransferStrategy::FullPq {
+                    let rows = self.workers[w].rows();
+                    p_updates.push((w, collect_staging[..rows * k].to_vec()));
+                }
+                sync_time += t0.elapsed();
+            }
+        });
+
+        if accepted_weight > 0.0 {
+            if missed.iter().any(|&m| m) {
+                // Renormalize over the accepted pushes so missing shards
+                // don't shrink Q toward zero.
+                let inv = 1.0 / accepted_weight;
+                for v in q_acc.iter_mut() {
+                    *v *= inv;
+                }
+            }
+            self.global_q.copy_from_slice(&q_acc);
+        }
+        for (w, p_rows) in p_updates {
+            let lo = self.workers[w].row_range.start as usize;
+            let rows = self.workers[w].rows();
+            for r in 0..rows {
+                self.global_p
+                    .row_mut(lo + r)
+                    .copy_from_slice(&p_rows[r * k..(r + 1) * k]);
+            }
+        }
+        EpochOutcome {
+            stats: stats.into_inner(),
+            sync_time,
+            missed,
+        }
     }
 
     /// Asynchronous epoch (Strategy 3): each worker pipelines
@@ -550,6 +1014,11 @@ impl<'a> Session<'a> {
             return;
         }
         let stats = self.worker_stats.last().expect("epoch recorded");
+        if stats.len() != self.fractions.len() {
+            // The fleet shrank this epoch (supervisor removed dead workers);
+            // last epoch's timings no longer line up with the partition.
+            return;
+        }
         let t: Vec<f64> = stats
             .iter()
             .map(|s| s.compute.as_secs_f64().max(1e-9))
@@ -603,6 +1072,12 @@ impl<'a> Session<'a> {
             total_updates: self.total_updates,
             wire_bytes: self.transport.wire_bytes(),
             transposed,
+            health_history: self.health_history,
+            rollbacks: self
+                .supervisor
+                .as_ref()
+                .map_or(0, |s| s.rollbacks_used() as usize),
+            start_epoch: self.start_epoch,
         }
     }
 }

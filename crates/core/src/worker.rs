@@ -102,6 +102,18 @@ impl WorkerState {
     pub fn rows(&self) -> usize {
         (self.row_range.end - self.row_range.start) as usize
     }
+
+    /// Applies a [`FaultKind`](crate::fault::FaultKind) hook to this
+    /// worker's outgoing push buffer (the CorruptPush fault): NaN-poisons
+    /// the planned positions so the server's integrity check has something
+    /// real to catch. Out-of-range positions are ignored.
+    pub fn poison_push(&self, staging: &mut [f32], positions: &[usize]) {
+        for &i in positions {
+            if let Some(v) = staging.get_mut(i) {
+                *v = f32::NAN;
+            }
+        }
+    }
 }
 
 /// Rebases shard entries to a worker-local row origin.
@@ -228,5 +240,19 @@ mod tests {
     fn rows_counts_range() {
         let state = make_state(1.0, vec![]);
         assert_eq!(state.rows(), 10);
+    }
+
+    #[test]
+    fn poison_push_hits_planned_cells_only() {
+        let state = make_state(1.0, vec![]);
+        let mut buf = vec![1.0f32; 8];
+        state.poison_push(&mut buf, &[2, 5, 99]); // 99 out of range: ignored
+        for (i, v) in buf.iter().enumerate() {
+            if i == 2 || i == 5 {
+                assert!(v.is_nan());
+            } else {
+                assert_eq!(*v, 1.0);
+            }
+        }
     }
 }

@@ -11,6 +11,7 @@
 //! exactly; under contention the event calendar is the reference.
 
 use crate::engine::{EpochTrace, Phase, PhaseSpan, SimConfig, WorkerTotals, Workload};
+use crate::fault::{SimFault, SimFaultKind};
 use crate::platform::Platform;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -62,6 +63,23 @@ pub fn simulate_epoch_des(
     workload: &Workload,
     config: &SimConfig,
     x: &[f64],
+) -> EpochTrace {
+    simulate_epoch_des_impl(platform, workload, config, x, &[])
+}
+
+/// Fault-aware variant of [`simulate_epoch_des`]: same event calendar, but
+/// each [`SimFault`] perturbs its worker's pipeline — `Crash` kills the
+/// worker after its first pull completes (no compute, no push, no sync
+/// arrival), `Stall` delays the worker's first compute by a fixed virtual
+/// time, and `DropPush` lets pushes occupy the bus but never reach the
+/// server merge queue. With an empty fault list the trace is bit-identical
+/// to the fault-free scheduler.
+pub(crate) fn simulate_epoch_des_impl(
+    platform: &Platform,
+    workload: &Workload,
+    config: &SimConfig,
+    x: &[f64],
+    faults: &[SimFault],
 ) -> EpochTrace {
     assert!(!platform.workers.is_empty(), "platform has no workers");
     assert_eq!(x.len(), platform.workers.len(), "partition length mismatch");
@@ -172,9 +190,17 @@ pub fn simulate_epoch_des(
             end,
         });
 
+        let fault = faults.iter().find(|f| f.worker == w).map(|f| f.kind);
+
         // Schedule the successor.
         match task.phase {
             Phase::Pull => {
+                if matches!(fault, Some(SimFaultKind::Crash)) {
+                    // The worker dies right after its first pull: no compute
+                    // is scheduled, and the chained releases stop here so
+                    // later chunks never enter the calendar.
+                    continue;
+                }
                 let slot = &platform.workers[w];
                 let rate_raw = slot.profile.rate_at(
                     &workload.name,
@@ -193,14 +219,18 @@ pub fn simulate_epoch_des(
                 } else {
                     0.0
                 };
+                let stall = match fault {
+                    Some(SimFaultKind::Stall(d)) if task.chunk == 0 => d,
+                    _ => 0.0,
+                };
                 let id2 = tasks.len();
                 tasks.push(Task {
                     phase: Phase::Compute,
-                    ready: end,
+                    ready: end + stall,
                     duration: compute_total / streams_of(w) as f64,
                     ..task
                 });
-                calendar.push(Reverse((Key(end, id2), id2)));
+                calendar.push(Reverse((Key(end + stall, id2), id2)));
                 // Release the next chunk's pull, if any.
                 if task.chunk + 1 < streams_of(w) {
                     // The pull task was pre-created at construction; find it
@@ -226,7 +256,9 @@ pub fn simulate_epoch_des(
                 calendar.push(Reverse((Key(end, id2), id2)));
             }
             Phase::Push => {
-                arrivals.push((end, w, task.sync_bytes));
+                if !matches!(fault, Some(SimFaultKind::DropPush)) {
+                    arrivals.push((end, w, task.sync_bytes));
+                }
             }
             Phase::Sync => unreachable!(),
         }

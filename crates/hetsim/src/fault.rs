@@ -1,0 +1,172 @@
+//! Fault events for the discrete-event simulator.
+//!
+//! The threaded engine's fault-injection harness
+//! (`hcc_mf::FaultPlan`) exercises real threads, real transports, and real
+//! factor matrices. This module is its virtual-time twin: the same fault
+//! vocabulary expressed as perturbations of the DES calendar, so partition
+//! planning and supervisor policies can be studied against crashes and
+//! stragglers on platforms the host machine cannot physically run.
+//!
+//! Faults are deterministic by construction — they name a worker and a
+//! fixed perturbation; no randomness, no wall clock. The same
+//! `(platform, workload, config, x, faults)` tuple always yields a
+//! bit-identical [`EpochTrace`](crate::engine::EpochTrace).
+
+use crate::des::simulate_epoch_des_impl;
+use crate::engine::{EpochTrace, SimConfig, Workload};
+use crate::platform::Platform;
+
+/// What goes wrong with a worker during the simulated epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimFaultKind {
+    /// The worker dies right after its first pull completes: it consumes
+    /// pull bandwidth but contributes no compute, push, or sync work.
+    Crash,
+    /// The worker's first compute chunk is delayed by this many virtual
+    /// seconds (an OS hiccup, page faults, a thermal throttle).
+    Stall(f64),
+    /// Pushes occupy the bus as usual but never reach the server's merge
+    /// queue (a lossy transport).
+    DropPush,
+}
+
+/// One fault bound to one worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimFault {
+    /// Index into `platform.workers`.
+    pub worker: usize,
+    pub kind: SimFaultKind,
+}
+
+impl SimFault {
+    pub fn crash(worker: usize) -> Self {
+        SimFault {
+            worker,
+            kind: SimFaultKind::Crash,
+        }
+    }
+
+    pub fn stall(worker: usize, secs: f64) -> Self {
+        SimFault {
+            worker,
+            kind: SimFaultKind::Stall(secs),
+        }
+    }
+
+    pub fn drop_push(worker: usize) -> Self {
+        SimFault {
+            worker,
+            kind: SimFaultKind::DropPush,
+        }
+    }
+}
+
+/// Simulates one epoch under the given faults with the strict event
+/// calendar. An empty fault list reproduces
+/// [`simulate_epoch_des`](crate::des::simulate_epoch_des) bit-for-bit.
+///
+/// # Panics
+/// Same contract as the fault-free scheduler, plus any `fault.worker` must
+/// index into the platform.
+pub fn simulate_epoch_des_faulty(
+    platform: &Platform,
+    workload: &Workload,
+    config: &SimConfig,
+    x: &[f64],
+    faults: &[SimFault],
+) -> EpochTrace {
+    for f in faults {
+        assert!(
+            f.worker < platform.workers.len(),
+            "fault names worker {} but platform has {}",
+            f.worker,
+            platform.workers.len()
+        );
+    }
+    simulate_epoch_des_impl(platform, workload, config, x, faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::simulate_epoch_des;
+    use crate::engine::Phase;
+    use hcc_sparse::DatasetProfile;
+
+    fn netflix() -> Workload {
+        Workload::from_profile(&DatasetProfile::netflix())
+    }
+
+    fn testbed() -> (Platform, SimConfig, Vec<f64>) {
+        (
+            Platform::paper_testbed_4workers(),
+            SimConfig::default(),
+            vec![0.25; 4],
+        )
+    }
+
+    #[test]
+    fn empty_faults_match_fault_free_trace() {
+        let (platform, cfg, x) = testbed();
+        let plain = simulate_epoch_des(&platform, &netflix(), &cfg, &x);
+        let faulty = simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &[]);
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn crash_removes_compute_push_and_sync_for_that_worker() {
+        let (platform, cfg, x) = testbed();
+        let trace =
+            simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &[SimFault::crash(2)]);
+        let spans = trace.worker_spans(2);
+        assert!(spans.iter().any(|s| s.phase == Phase::Pull));
+        assert!(spans
+            .iter()
+            .all(|s| !matches!(s.phase, Phase::Compute | Phase::Push | Phase::Sync)));
+        // The survivors' sync work shrinks accordingly.
+        let plain = simulate_epoch_des(&platform, &netflix(), &cfg, &x);
+        assert!(trace.sync_total < plain.sync_total);
+    }
+
+    #[test]
+    fn stall_delays_the_epoch() {
+        let (platform, cfg, x) = testbed();
+        let plain = simulate_epoch_des(&platform, &netflix(), &cfg, &x);
+        let stalled = simulate_epoch_des_faulty(
+            &platform,
+            &netflix(),
+            &cfg,
+            &x,
+            &[SimFault::stall(0, plain.epoch_time)],
+        );
+        // A stall as long as the whole fault-free epoch must push the
+        // critical path out by roughly that much.
+        assert!(stalled.epoch_time > plain.epoch_time * 1.5);
+    }
+
+    #[test]
+    fn dropped_push_never_reaches_the_server() {
+        let (platform, cfg, x) = testbed();
+        let trace =
+            simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &[SimFault::drop_push(1)]);
+        let spans = trace.worker_spans(1);
+        assert!(spans.iter().any(|s| s.phase == Phase::Push)); // bus used
+        assert!(spans.iter().all(|s| s.phase != Phase::Sync)); // merge skipped
+    }
+
+    #[test]
+    fn faulty_trace_is_deterministic() {
+        let (platform, cfg, x) = testbed();
+        let faults = [SimFault::crash(3), SimFault::stall(1, 0.5)];
+        let a = simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &faults);
+        let b = simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &faults);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault names worker")]
+    fn out_of_range_worker_panics() {
+        let (platform, cfg, x) = testbed();
+        simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &[SimFault::crash(9)]);
+    }
+}

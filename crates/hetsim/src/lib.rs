@@ -39,6 +39,7 @@ pub mod cluster;
 pub mod des;
 pub mod engine;
 pub mod export;
+pub mod fault;
 pub mod measure;
 pub mod platform;
 pub mod profile;
@@ -49,6 +50,7 @@ pub use engine::{
     ideal_computing_power, simulate_epoch, simulate_training, EpochTrace, Phase, PhaseSpan,
     SimConfig, TrainingSim, Workload,
 };
+pub use fault::{simulate_epoch_des_faulty, SimFault, SimFaultKind};
 pub use measure::{
     bandwidth_table, cost_model_for, standalone_times, virtual_measure, virtual_measure_total,
     worker_classes,

@@ -39,6 +39,6 @@ pub mod theorem;
 
 pub use dp::{dp0, dp1, dp1_step, dp2, Dp1Options, WorkerClass};
 pub use model::CostModel;
-pub use planner::{PartitionPlan, PartitionPlanner, StrategyChoice};
+pub use planner::{replan_survivors, PartitionPlan, PartitionPlanner, StrategyChoice};
 pub use sweep::{perturbation_cost, sweep_lambda};
 pub use theorem::equalize;

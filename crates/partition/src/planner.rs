@@ -136,6 +136,42 @@ impl PartitionPlanner {
     }
 }
 
+/// Re-plans a partition over the survivors of a worker failure.
+///
+/// `x` is the current partition (sums to 1 over *all* workers), `t` the last
+/// measured per-worker compute times, and `alive[i]` whether worker `i`
+/// survives. Dead workers' shares are redistributed over the survivors in
+/// proportion to their observed throughput `x_i / t_i` — the same
+/// speed-proportional principle as DP0, but seeded from live measurements
+/// instead of standalone profiles. Returns the survivors' fractions indexed
+/// by the *compacted* survivor order (dead entries removed), summing to 1.
+/// Falls back to a uniform split when no throughput signal is usable.
+/// Returns an empty vector when no worker survives.
+pub fn replan_survivors(x: &[f64], t: &[f64], alive: &[bool]) -> Vec<f64> {
+    assert_eq!(x.len(), t.len(), "fraction/time length mismatch");
+    assert_eq!(x.len(), alive.len(), "fraction/alive length mismatch");
+    let survivors: Vec<usize> = (0..x.len()).filter(|&i| alive[i]).collect();
+    if survivors.is_empty() {
+        return Vec::new();
+    }
+    let rates: Vec<f64> = survivors
+        .iter()
+        .map(|&i| {
+            if t[i] > 0.0 && x[i] > 0.0 && t[i].is_finite() {
+                x[i] / t[i]
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let total: f64 = rates.iter().sum();
+    if total > 0.0 && total.is_finite() {
+        rates.iter().map(|r| r / total).collect()
+    } else {
+        vec![1.0 / survivors.len() as f64; survivors.len()]
+    }
+}
+
 fn compute_epoch_worker_max(model: &CostModel, x: &[f64]) -> f64 {
     (0..model.workers())
         .map(|i| model.worker_time(i, x[i]))
@@ -208,6 +244,36 @@ mod tests {
             .windows(2)
             .all(|w| (w[0] - w[1]).abs() < 1e-12);
         assert!(!all_equal, "{:?}", plan.fractions);
+    }
+
+    #[test]
+    fn replan_redistributes_by_throughput() {
+        // Worker 1 dies; workers 0 and 2 had equal throughput (x/t), so the
+        // survivor split is 50/50.
+        let x = [0.25, 0.5, 0.25];
+        let t = [1.0, 2.0, 1.0];
+        let alive = [true, false, true];
+        let replanned = replan_survivors(&x, &t, &alive);
+        assert_eq!(replanned.len(), 2);
+        assert!((replanned[0] - 0.5).abs() < 1e-12);
+        assert!((replanned[1] - 0.5).abs() < 1e-12);
+
+        // Faster survivor gets proportionally more.
+        let x = [0.4, 0.4, 0.2];
+        let t = [1.0, 2.0, 1.0];
+        let alive = [true, true, false];
+        let replanned = replan_survivors(&x, &t, &alive);
+        assert!((replanned.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(replanned[0] > replanned[1]);
+    }
+
+    #[test]
+    fn replan_falls_back_to_uniform_and_handles_extinction() {
+        // No usable timing signal → uniform over survivors.
+        let replanned = replan_survivors(&[0.5, 0.5], &[0.0, 0.0], &[true, true]);
+        assert_eq!(replanned, vec![0.5, 0.5]);
+        // Everyone dead → empty.
+        assert!(replan_survivors(&[1.0], &[1.0], &[false]).is_empty());
     }
 
     #[test]

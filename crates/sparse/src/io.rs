@@ -49,6 +49,13 @@ pub fn read_triples<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
             .ok_or_else(|| parse_err("missing rating"))?
             .parse()
             .map_err(|_| parse_err("bad rating"))?;
+        if !r.is_finite() {
+            return Err(parse_err("non-finite rating"));
+        }
+        if u == u32::MAX || i == u32::MAX {
+            // Dimensions are max index + 1; u32::MAX would overflow them.
+            return Err(parse_err("index too large for u32 dimensions"));
+        }
         max_u = max_u.max(u);
         max_i = max_i.max(i);
         entries.push(Rating::new(u, i, r));
@@ -137,6 +144,15 @@ mod tests {
     }
 
     #[test]
+    fn rejects_nonfinite_ratings_and_overflowing_indices() {
+        assert!(read_triples("0 0 nan\n".as_bytes()).is_err());
+        assert!(read_triples("0 0 inf\n".as_bytes()).is_err());
+        // u32::MAX as an index would overflow the max+1 dimension.
+        let huge = format!("{} 0 1.0\n", u32::MAX);
+        assert!(read_triples(huge.as_bytes()).is_err());
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("hcc_sparse_io_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -210,14 +226,27 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
                 message: format!("bad {what}"),
             })
         };
+        let to_u32 = |v: u64, what: &str| -> Result<u32, SparseError> {
+            u32::try_from(v).map_err(|_| SparseError::Parse {
+                line: lineno,
+                message: format!("{what} exceeds u32"),
+            })
+        };
         break (
-            parse(parts.next(), "rows")? as u32,
-            parse(parts.next(), "cols")? as u32,
+            to_u32(parse(parts.next(), "rows")?, "rows")?,
+            to_u32(parse(parts.next(), "cols")?, "cols")?,
             parse(parts.next(), "nnz")? as usize,
         );
     };
 
-    let mut entries = Vec::with_capacity(if symmetric { nnz * 2 } else { nnz });
+    // Cap the pre-allocation: a corrupt size line declaring an absurd nnz
+    // must not reserve gigabytes before a single entry is read.
+    let declared = if symmetric {
+        nnz.saturating_mul(2)
+    } else {
+        nnz
+    };
+    let mut entries = Vec::with_capacity(declared.min(1 << 22));
     while entries.len() < if symmetric { usize::MAX } else { nnz } {
         line.clear();
         lineno += 1;
@@ -254,6 +283,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
         };
         if u == 0 || i == 0 {
             return Err(parse_err("MatrixMarket indices are 1-based"));
+        }
+        if !r.is_finite() {
+            return Err(parse_err("non-finite value"));
         }
         entries.push(Rating::new(u - 1, i - 1, r));
         if symmetric && u != i {
@@ -317,6 +349,27 @@ mod mm_tests {
         .is_err());
         let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5\n";
         assert!(read_matrix_market(zero_based.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_dims_and_nonfinite_values() {
+        // rows > u32::MAX used to truncate silently; now a typed error.
+        let big = format!(
+            "%%MatrixMarket matrix coordinate real general\n{} 2 1\n1 1 5\n",
+            u64::from(u32::MAX) + 1
+        );
+        assert!(read_matrix_market(big.as_bytes()).is_err());
+        let nan = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n";
+        assert!(read_matrix_market(nan.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn absurd_declared_nnz_does_not_preallocate() {
+        // Size line claims 10^15 entries but supplies one; the reader must
+        // not reserve that much and the dimension check still applies.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1000000000000000\n1 1 5\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
     }
 
     #[test]

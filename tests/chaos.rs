@@ -1,0 +1,299 @@
+//! Chaos tests: seeded fault injection against the supervised training loop.
+//!
+//! Every test is driven by the `CHAOS_SEED` environment variable (default 1)
+//! so CI can sweep a seed matrix; for a fixed seed each run exercises exactly
+//! the same failure schedule — the [`hcc_mf::FaultPlan`] has no wall-clock
+//! dependence.
+
+use hcc_mf::{
+    FaultPlan, HccConfig, HccError, HccMf, LearningRate, PartitionMode, SupervisorConfig,
+    WorkerHealth, WorkerSpec,
+};
+use hcc_sparse::{GenConfig, SyntheticDataset};
+use std::time::Duration;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn dataset(seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(GenConfig {
+        rows: 200,
+        cols: 100,
+        nnz: 6_000,
+        noise: 0.1,
+        seed,
+        ..GenConfig::default()
+    })
+}
+
+/// Supervisor tuned for tests: short timeouts so a dead worker costs
+/// milliseconds, not seconds.
+fn test_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        heartbeat_timeout: Duration::from_millis(200),
+        collect_retries: 2,
+        retry_backoff: 1.5,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn base(seed: u64) -> hcc_mf::HccConfigBuilder {
+    HccConfig::builder()
+        .k(8)
+        .epochs(10)
+        .learning_rate(LearningRate::Constant(0.02))
+        .lambda(0.01)
+        .workers(vec![WorkerSpec::cpu(1); 4])
+        .partition(PartitionMode::Uniform)
+        .seed(seed)
+        .track_rmse(true)
+}
+
+fn serial_rmse(ds: &SyntheticDataset, report: &hcc_mf::HccReport) -> f64 {
+    hcc_sgd::rmse(ds.matrix.entries(), &report.p, &report.q)
+}
+
+#[test]
+fn fault_free_supervision_matches_plain_training_exactly() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let plain = HccMf::new(base(seed).build()).train(&ds.matrix).unwrap();
+    let supervised = HccMf::new(base(seed).fault_tolerance(test_supervisor()).build())
+        .train(&ds.matrix)
+        .unwrap();
+    // The supervisor must be a pure observer on the happy path: identical
+    // factors bit-for-bit, no rollbacks, everyone healthy every epoch.
+    assert_eq!(plain.p, supervised.p);
+    assert_eq!(plain.q, supervised.q);
+    assert_eq!(supervised.rollbacks, 0);
+    assert!(supervised
+        .health_history
+        .iter()
+        .flatten()
+        .all(|h| *h == WorkerHealth::Healthy));
+}
+
+#[test]
+fn crash_one_of_four_workers_converges_on_survivors() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let fault_free = HccMf::new(base(seed).build()).train(&ds.matrix).unwrap();
+    let plan = FaultPlan::new(seed).crash(1, 3);
+    let report = HccMf::new(
+        base(seed)
+            .fault_tolerance(test_supervisor())
+            .fault_plan(plan)
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+
+    // The dead worker is spotted at epoch 3 and removed for the rest of
+    // the run.
+    assert_eq!(report.health_history[3].len(), 4);
+    assert_eq!(report.health_history[3][1], WorkerHealth::Dead);
+    assert!(report.health_history[4..].iter().all(|h| h.len() == 3));
+
+    // Training completes and lands within 2% of the fault-free RMSE.
+    let rmse_faulty = serial_rmse(&ds, &report);
+    let rmse_clean = serial_rmse(&ds, &fault_free);
+    assert!(
+        rmse_faulty <= rmse_clean * 1.02,
+        "crash cost too much accuracy: {rmse_faulty} vs {rmse_clean}"
+    );
+}
+
+#[test]
+fn stalled_worker_is_classified_straggler_and_training_converges() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    // 400 ms stall against ~ms compute times: far beyond 3x the median.
+    let plan = FaultPlan::new(seed).stall(2, 2, 400);
+    let report = HccMf::new(
+        base(seed)
+            .fault_tolerance(SupervisorConfig {
+                heartbeat_timeout: Duration::from_secs(2), // don't drop it
+                ..test_supervisor()
+            })
+            .fault_plan(plan)
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+    assert_eq!(report.health_history[2][2], WorkerHealth::Straggler);
+    // The straggler is kept: the fleet never shrinks.
+    assert!(report.health_history.iter().all(|h| h.len() == 4));
+    assert!(serial_rmse(&ds, &report) < report.rmse_history[0]);
+}
+
+#[test]
+fn corrupted_push_is_quarantined_not_merged() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let plan = FaultPlan::new(seed).corrupt_push(0, 1);
+    let report = HccMf::new(
+        base(seed)
+            .fault_tolerance(test_supervisor())
+            .fault_plan(plan)
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+    // NaNs must never reach the global factors, and the poisoned worker is
+    // alive (heartbeat current) so it is kept as a straggler.
+    assert!(report.q.as_slice().iter().all(|v| v.is_finite()));
+    assert!(report.p.as_slice().iter().all(|v| v.is_finite()));
+    assert_eq!(report.health_history[1][0], WorkerHealth::Straggler);
+    assert!(report.health_history.iter().all(|h| h.len() == 4));
+    assert!(serial_rmse(&ds, &report) < report.rmse_history[0]);
+}
+
+#[test]
+fn dropped_push_times_out_and_training_converges() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let plan = FaultPlan::new(seed).drop_push(3, 2);
+    let report = HccMf::new(
+        base(seed)
+            .fault_tolerance(test_supervisor())
+            .fault_plan(plan)
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+    assert_eq!(report.health_history[2][3], WorkerHealth::Straggler);
+    assert!(serial_rmse(&ds, &report) < report.rmse_history[0]);
+}
+
+#[test]
+fn divergence_guard_rolls_back_or_fails_typed_never_panics() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    // γ = 5 explodes immediately; the guard must roll back with LR backoff
+    // and either recover or exhaust its budget with the typed error.
+    let result = HccMf::new(
+        base(seed)
+            .learning_rate(LearningRate::Constant(5.0))
+            .epochs(4)
+            .fault_tolerance(SupervisorConfig {
+                max_rollbacks: 3,
+                ..test_supervisor()
+            })
+            .build(),
+    )
+    .train(&ds.matrix);
+    match result {
+        Ok(report) => {
+            assert!(report.rollbacks > 0, "5.0 LR cannot have been clean");
+            assert!(report.p.as_slice().iter().all(|v| v.is_finite()));
+            assert!(report.q.as_slice().iter().all(|v| v.is_finite()));
+        }
+        Err(HccError::Diverged { rollbacks, .. }) => assert_eq!(rollbacks, 3),
+        Err(other) => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+#[test]
+fn resume_reproduces_uninterrupted_run_exactly() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let dir = std::env::temp_dir().join("hcc_chaos_resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join(format!("resume_{seed}.hccmf"));
+
+    // Determinism needs a single single-threaded worker and a fixed grid.
+    let solo = || {
+        HccConfig::builder()
+            .k(8)
+            .learning_rate(LearningRate::Constant(0.02))
+            .lambda(0.01)
+            .workers(vec![WorkerSpec::cpu(1)])
+            .partition(PartitionMode::Uniform)
+            .seed(seed)
+            .track_rmse(true)
+    };
+
+    let full = HccMf::new(solo().epochs(5).build())
+        .train(&ds.matrix)
+        .unwrap();
+
+    // "Killed" run: train 3 epochs, checkpointing at epoch 3...
+    let partial = HccMf::new(solo().epochs(3).checkpoint(&ckpt, 3).build())
+        .train(&ds.matrix)
+        .unwrap();
+    assert_eq!(partial.rmse_history.len(), 3);
+    assert!(ckpt.exists());
+
+    // ...then resume to epoch 5: factors must match the uninterrupted run
+    // bit-for-bit, and the resumed run must report where it started.
+    let resumed = HccMf::new(solo().epochs(5).resume(&ckpt).build())
+        .train(&ds.matrix)
+        .unwrap();
+    std::fs::remove_file(&ckpt).ok();
+    assert_eq!(resumed.start_epoch, 3);
+    assert_eq!(resumed.rmse_history.len(), 2);
+    assert_eq!(full.p, resumed.p);
+    assert_eq!(full.q, resumed.q);
+}
+
+#[test]
+fn resume_rejects_mismatched_shapes_with_typed_error() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let dir = std::env::temp_dir().join("hcc_chaos_resume_mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join(format!("mismatch_{seed}.hccmf"));
+
+    let cfg = HccConfig::builder()
+        .k(8)
+        .epochs(2)
+        .workers(vec![WorkerSpec::cpu(1)])
+        .seed(seed)
+        .checkpoint(&ckpt, 2)
+        .build();
+    HccMf::new(cfg).train(&ds.matrix).unwrap();
+
+    // Wrong k: the resume must fail loudly, not train garbage.
+    let err = HccMf::new(
+        HccConfig::builder()
+            .k(16)
+            .epochs(4)
+            .workers(vec![WorkerSpec::cpu(1)])
+            .seed(seed)
+            .resume(&ckpt)
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap_err();
+    std::fs::remove_file(&ckpt).ok();
+    assert!(matches!(err, HccError::BadConfig(_)), "{err:?}");
+}
+
+#[test]
+fn multiple_simultaneous_faults_still_converge() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let plan = FaultPlan::new(seed)
+        .crash(0, 4)
+        .stall(2, 1, 120)
+        .drop_push(3, 6)
+        .corrupt_push(1, 2);
+    let report = HccMf::new(
+        base(seed)
+            .epochs(12)
+            .fault_tolerance(test_supervisor())
+            .fault_plan(plan)
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+    assert!(report.p.as_slice().iter().all(|v| v.is_finite()));
+    assert!(report.q.as_slice().iter().all(|v| v.is_finite()));
+    // Worker 0 died at epoch 4: the last epochs run on three survivors.
+    assert_eq!(report.health_history.last().unwrap().len(), 3);
+    assert!(serial_rmse(&ds, &report) < report.rmse_history[0]);
+}

@@ -180,6 +180,41 @@ proptest! {
     }
 
     #[test]
+    fn corrupted_checkpoint_never_panics_and_never_loads(
+        m in 1usize..16,
+        n in 1usize..16,
+        k in 1usize..6,
+        seed in 0u64..500,
+        // Corruption: either truncate to `cut` fraction of the file or flip
+        // one bit at a fractional offset.
+        truncate in 0u8..2,
+        frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let truncate = truncate == 1;
+        let p = hcc_mf::FactorMatrix::random(m, k, seed);
+        let q = hcc_mf::FactorMatrix::random(n, k, seed + 1);
+        let dir = std::env::temp_dir().join("hcc_prop_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("c{m}_{n}_{k}_{seed}.hccmf"));
+        hcc_mf::save_model(&path, &p, &q).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        if truncate {
+            let cut = ((bytes.len() as f64) * frac) as usize;
+            bytes.truncate(cut);
+        } else {
+            let pos = (((bytes.len() - 1) as f64) * frac) as usize;
+            bytes[pos] ^= 1 << bit;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        // Must surface a typed error — a panic fails the test harness, and
+        // Ok would mean corruption slipped past the CRC/shape checks.
+        let loaded = hcc_mf::load_model(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(loaded.is_err(), "corrupted checkpoint loaded: trunc={truncate} frac={frac}");
+    }
+
+    #[test]
     fn csc_csr_agree_on_entry_multiset(matrix in arb_matrix()) {
         let csr = hcc_sparse::CsrMatrix::from(&matrix);
         let csc = hcc_sparse::CscMatrix::from(&matrix);
