@@ -7,10 +7,15 @@
 //! real datasets, and the tile schedule's row reuse is visible.
 //!
 //! ```sh
-//! cargo run --release -p hcc-bench --bin hotpath [-- --threads N --epochs N]
+//! cargo run --release -p hcc-bench --bin hotpath \
+//!     [-- --threads N --epochs N --quick --out FILE.json]
 //! ```
 //!
-//! Prints a table and writes `results/BENCH_hotpath.json`.
+//! `--quick` shrinks the workload to CI scale (k = 32, 600k ratings) and
+//! retargets the output to `results/BENCH_hotpath_quick.json` — the file
+//! the perf-regression gate (`perf_gate`) diffs against its committed
+//! baseline. Prints a table and writes the JSON (schema: see
+//! `results/README.md`).
 
 use hcc_sgd::simd::{self, Backend};
 use hcc_sgd::{
@@ -19,10 +24,38 @@ use hcc_sgd::{
 use hcc_sparse::{GenConfig, SyntheticDataset, TileGrid};
 use std::time::Instant;
 
-const K: usize = 128;
-const ROWS: usize = 60_000;
-const COLS: usize = 30_000;
-const NNZ: usize = 2_000_000;
+/// Workload dimensions, full-size or `--quick`.
+struct Params {
+    k: usize,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+}
+
+const FULL: Params = Params {
+    k: 128,
+    rows: 60_000,
+    cols: 30_000,
+    nnz: 2_000_000,
+};
+
+/// CI-scale: one measurement cell runs in well under a second, and the
+/// factors still overflow L2 so the tile schedule keeps its edge.
+const QUICK: Params = Params {
+    k: 32,
+    rows: 12_000,
+    cols: 6_000,
+    nnz: 600_000,
+};
+
+struct Cell {
+    backend: Backend,
+    schedule: Schedule,
+    fp: SharedFactors,
+    fq: SharedFactors,
+    /// Best (minimum) epoch time seen so far.
+    epoch_secs: f64,
+}
 
 struct Measurement {
     backend: Backend,
@@ -31,70 +64,120 @@ struct Measurement {
     updates_per_sec: f64,
 }
 
-fn measure(
-    backend: Backend,
-    schedule: Schedule,
+/// Measures every (backend, schedule) cell, interleaved: each round times
+/// one epoch of every cell, and a cell keeps its *minimum* across rounds.
+/// Wall-clock noise (scheduler, frequency scaling, neighbours) only ever
+/// adds time, so the minimum is the stable estimator the perf gate needs —
+/// and interleaving means a sustained slow window degrades some rounds of
+/// every cell instead of swallowing one cell whole.
+fn measure_all(
+    backends: &[Backend],
     entries: &[hcc_sparse::Rating],
     grid: &TileGrid,
+    p: &Params,
     threads: usize,
     epochs: usize,
-) -> Measurement {
-    simd::set_backend(backend).expect("backend unsupported on this CPU");
-    let config = HogwildConfig {
+) -> Vec<Measurement> {
+    let mut cells: Vec<Cell> = backends
+        .iter()
+        .flat_map(|&backend| {
+            [Schedule::Stripe, Schedule::Tiled].map(|schedule| Cell {
+                backend,
+                schedule,
+                // Fresh factors per cell so every measurement does
+                // identical work.
+                fp: SharedFactors::from_matrix(&FactorMatrix::random(p.rows, p.k, 1)),
+                fq: SharedFactors::from_matrix(&FactorMatrix::random(p.cols, p.k, 2)),
+                epoch_secs: f64::INFINITY,
+            })
+        })
+        .collect();
+    let config = |schedule| HogwildConfig {
         threads,
         learning_rate: 0.005,
         lambda_p: 0.01,
         lambda_q: 0.01,
         schedule,
     };
-    // Fresh factors per cell so every measurement does identical work.
-    let p = SharedFactors::from_matrix(&FactorMatrix::random(ROWS, K, 1));
-    let q = SharedFactors::from_matrix(&FactorMatrix::random(COLS, K, 2));
-    let run = |p: &SharedFactors, q: &SharedFactors| match schedule {
-        Schedule::Stripe => hogwild_epoch(entries, p, q, &config),
-        Schedule::Tiled => hogwild_epoch_tiled(grid, p, q, &config),
+    let run = |cell: &Cell| {
+        simd::set_backend(cell.backend).expect("backend unsupported on this CPU");
+        match cell.schedule {
+            Schedule::Stripe => hogwild_epoch(entries, &cell.fp, &cell.fq, &config(cell.schedule)),
+            Schedule::Tiled => {
+                hogwild_epoch_tiled(grid, &cell.fp, &cell.fq, &config(cell.schedule))
+            }
+        }
     };
-    run(&p, &q); // warm-up: faults pages, spawns threads, trains caches
-    let start = Instant::now();
+    for cell in &cells {
+        run(cell); // warm-up: faults pages, spawns threads, trains caches
+    }
     for _ in 0..epochs {
-        std::hint::black_box(run(&p, &q));
+        for cell in &mut cells {
+            let start = Instant::now();
+            std::hint::black_box(run(cell));
+            cell.epoch_secs = cell.epoch_secs.min(start.elapsed().as_secs_f64());
+        }
     }
-    let secs = start.elapsed().as_secs_f64();
-    let epoch_secs = secs / epochs as f64;
-    Measurement {
-        backend,
-        schedule,
-        epoch_secs,
-        updates_per_sec: entries.len() as f64 / epoch_secs,
-    }
+    simd::reset_backend();
+    cells
+        .into_iter()
+        .map(|c| Measurement {
+            backend: c.backend,
+            schedule: c.schedule,
+            epoch_secs: c.epoch_secs,
+            updates_per_sec: entries.len() as f64 / c.epoch_secs,
+        })
+        .collect()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = 1usize;
-    let mut epochs = 3usize;
+    let mut epochs: Option<usize> = None;
+    let mut quick = false;
+    let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threads" => threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N"),
-            "--epochs" => epochs = it.next().and_then(|v| v.parse().ok()).expect("--epochs N"),
-            other => panic!("unknown flag {other} (supported: --threads N, --epochs N)"),
+            "--epochs" => {
+                epochs = Some(it.next().and_then(|v| v.parse().ok()).expect("--epochs N"))
+            }
+            "--quick" => quick = true,
+            "--out" => out = Some(it.next().expect("--out FILE.json").clone()),
+            other => panic!(
+                "unknown flag {other} (supported: --threads N, --epochs N, --quick, --out FILE)"
+            ),
         }
     }
+    let p = if quick { QUICK } else { FULL };
+    // Quick cells are ~10 ms, so extra min-of-N epochs are cheap and buy
+    // the stability the 15% regression threshold needs.
+    let epochs = epochs.unwrap_or(if quick { 9 } else { 3 });
+    let out = out.unwrap_or_else(|| {
+        if quick {
+            "results/BENCH_hotpath_quick.json".into()
+        } else {
+            "results/BENCH_hotpath.json".into()
+        }
+    });
 
     let detected = simd::active_backend();
     println!("detected kernel backend: {}", detected.name());
-    println!("generating {ROWS}x{COLS} dataset with {NNZ} ratings (k = {K})...");
+    println!(
+        "generating {}x{} dataset with {} ratings (k = {})...",
+        p.rows, p.cols, p.nnz, p.k
+    );
     let ds = SyntheticDataset::generate(GenConfig {
-        rows: ROWS as u32,
-        cols: COLS as u32,
-        nnz: NNZ,
+        rows: p.rows as u32,
+        cols: p.cols as u32,
+        nnz: p.nnz,
         ..GenConfig::default()
     });
     let entries = ds.matrix.entries();
 
     let t0 = Instant::now();
-    let grid = TileGrid::with_default_budget(entries, ROWS, COLS, K);
+    let grid = TileGrid::with_default_budget(entries, p.rows, p.cols, p.k);
     let tile_build_secs = t0.elapsed().as_secs_f64();
     let (gu, gi) = grid.grid_dims();
     println!(
@@ -111,21 +194,16 @@ fn main() {
         eprintln!("warning: AVX2 tier unavailable; measuring scalar only");
     }
 
-    let mut results = Vec::new();
-    for &backend in &backends {
-        for schedule in [Schedule::Stripe, Schedule::Tiled] {
-            let m = measure(backend, schedule, entries, &grid, threads, epochs);
-            println!(
-                "{:>6} + {:<6}  {:>8.2} ms/epoch  {:>6.1} M updates/s",
-                m.backend.name(),
-                m.schedule.name(),
-                m.epoch_secs * 1e3,
-                m.updates_per_sec / 1e6
-            );
-            results.push(m);
-        }
+    let results = measure_all(&backends, entries, &grid, &p, threads, epochs);
+    for m in &results {
+        println!(
+            "{:>6} + {:<6}  {:>8.2} ms/epoch  {:>6.1} M updates/s",
+            m.backend.name(),
+            m.schedule.name(),
+            m.epoch_secs * 1e3,
+            m.updates_per_sec / 1e6
+        );
     }
-    simd::reset_backend();
 
     let find = |b: Backend, s: Schedule| {
         results
@@ -152,11 +230,15 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"k\": {K},\n  \"rows\": {ROWS},\n  \"cols\": {COLS},\n  \
-         \"nnz\": {NNZ},\n  \"threads\": {threads},\n  \"epochs_timed\": {epochs},\n  \
+        "{{\n  \"bench\": \"hotpath\",\n  \"quick\": {quick},\n  \"k\": {},\n  \"rows\": {},\n  \
+         \"cols\": {},\n  \"nnz\": {},\n  \"threads\": {threads},\n  \"epochs_timed\": {epochs},\n  \
          \"detected_backend\": \"{}\",\n  \"tile_grid\": {{\"grid_u\": {gu}, \"grid_i\": {gi}, \
          \"u_block\": {}, \"i_block\": {}, \"build_secs\": {:.6}}},\n  \"results\": [\n{}\n  ],\n  \
          \"speedup_simd_tiled_vs_scalar_stripe\": {}\n}}\n",
+        p.k,
+        p.rows,
+        p.cols,
+        p.nnz,
         detected.name(),
         grid.u_block(),
         grid.i_block(),
@@ -164,7 +246,11 @@ fn main() {
         rows.join(",\n"),
         speedup.map_or("null".to_string(), |s| format!("{s:.3}")),
     );
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_hotpath.json", &json).expect("write results/BENCH_hotpath.json");
-    println!("wrote results/BENCH_hotpath.json");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
 }

@@ -9,15 +9,75 @@
 //! top of the model is sound.
 //!
 //! ```sh
-//! cargo run --release -p hcc-bench --bin model_validation
+//! cargo run --release -p hcc-bench --bin model_validation [-- --measured]
 //! ```
+//!
+//! With `--measured`, a real heterogeneous 4-worker training run executes
+//! with telemetry enabled and the *measured* per-worker `t_comp` is scored
+//! against the model's prediction from the partition fractions — the
+//! workflow described in DESIGN.md §9.3. `results/model_validation.txt`
+//! archives the combined output.
 
 use hcc_bench::{fmt_secs, plan, print_table};
 use hcc_hetsim::{cost_model_for, simulate_epoch, standalone_times, Platform, SimConfig, Workload};
 use hcc_partition::dp0;
 use hcc_sparse::DatasetProfile;
 
+/// Trains for real (no simulation) with telemetry on, and prints the
+/// measured-vs-model report for each partition strategy.
+fn measured_section() {
+    use hcc_mf::{HccConfig, HccMf, PartitionMode, WorkerSpec};
+    use hcc_sparse::{GenConfig, SyntheticDataset};
+
+    println!("\n== measured-vs-model validation (real training, telemetry on) ==");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "host parallelism: {cores} core(s) for 5 threads (4 workers + server){}",
+        if cores < 5 {
+            " — workers timeshare cores, so wall-clock t_comp includes descheduled \
+             time and the per-worker-constant-bandwidth assumption degrades"
+        } else {
+            ""
+        }
+    );
+    let ds = SyntheticDataset::generate(GenConfig {
+        rows: 2_000,
+        cols: 1_000,
+        nnz: 80_000,
+        seed: 17,
+        ..GenConfig::default()
+    });
+    let scratch = std::env::temp_dir().join("hcc_model_validation.jsonl");
+    for (name, mode) in [
+        ("DP0", PartitionMode::Dp0),
+        ("DP1", PartitionMode::Dp1),
+        ("DP2", PartitionMode::Dp2),
+    ] {
+        let config = HccConfig::builder()
+            .k(16)
+            .epochs(6)
+            .workers(vec![
+                WorkerSpec::cpu(1),
+                WorkerSpec::cpu(1).throttled(0.5),
+                WorkerSpec::cpu(2),
+                WorkerSpec::cpu(1),
+            ])
+            .partition(mode)
+            .seed(17)
+            .telemetry(&scratch)
+            .build();
+        let report = HccMf::new(config).train(&ds.matrix).unwrap();
+        println!("\n[{name}]");
+        match hcc_mf::observe::model_validation(&report) {
+            Some(v) => print!("{}", hcc_mf::observe::model_validation_text(&v)),
+            None => println!("too few comparable epochs to score"),
+        }
+    }
+    std::fs::remove_file(&scratch).ok();
+}
+
 fn main() {
+    let measured = std::env::args().skip(1).any(|a| a == "--measured");
     let cfg = SimConfig::default();
     let mut rows = Vec::new();
     let mut worst: f64 = 0.0;
@@ -84,4 +144,8 @@ fn main() {
          effect DP1 corrects), validating planning on the model (§4.3).",
         worst * 100.0
     );
+
+    if measured {
+        measured_section();
+    }
 }

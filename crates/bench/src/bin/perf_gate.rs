@@ -1,0 +1,86 @@
+//! CI perf-regression gate: diffs a fresh quick-mode hotpath run against
+//! the committed baseline and exits non-zero if any measured cell's
+//! throughput dropped by more than the threshold.
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin hotpath -- --quick --out current.json
+//! cargo run --release -p hcc-bench --bin perf_gate -- \
+//!     --baseline results/BENCH_hotpath_quick.json --current current.json \
+//!     [--threshold 0.15]
+//! ```
+//!
+//! A cell that exists in the baseline but not in the current run (e.g. the
+//! SIMD tier stopped being detected) also fails the gate. CI runs this in
+//! the `perf-gate` job; a genuine machine-variance false positive is
+//! overridden by applying the `perf-override` label to the PR (documented
+//! in `.github/workflows/ci.yml` and `results/README.md`).
+
+use hcc_bench::gate::{compare, parse_hotpath};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = "results/BENCH_hotpath_quick.json".to_string();
+    let mut current_path: Option<String> = None;
+    let mut threshold = 0.15f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = it.next().expect("--baseline FILE").clone(),
+            "--current" => current_path = Some(it.next().expect("--current FILE").clone()),
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold F (fraction, e.g. 0.15)")
+            }
+            other => panic!(
+                "unknown flag {other} (supported: --baseline FILE, --current FILE, --threshold F)"
+            ),
+        }
+    }
+    let current_path = current_path.expect("perf_gate requires --current FILE");
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+    };
+    let baseline = parse_hotpath(&read(&baseline_path))
+        .unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+    let current = parse_hotpath(&read(&current_path))
+        .unwrap_or_else(|e| panic!("parsing current {current_path}: {e}"));
+
+    let (verdicts, pass) = compare(&baseline, &current, threshold);
+    println!(
+        "perf gate: {} vs {} (fail below {:.0}% of baseline)",
+        current_path,
+        baseline_path,
+        (1.0 - threshold) * 100.0
+    );
+    for v in &verdicts {
+        match (v.current, v.ratio) {
+            (Some(cur), Some(r)) => println!(
+                "  {:<18} {:>10.0} -> {:>10.0} updates/s  ({:>5.1}%){}",
+                v.cell,
+                v.baseline,
+                cur,
+                r * 100.0,
+                if v.regressed { "  REGRESSED" } else { "" }
+            ),
+            _ => println!(
+                "  {:<18} {:>10.0} -> (missing)  REGRESSED",
+                v.cell, v.baseline
+            ),
+        }
+    }
+    if pass {
+        println!("perf gate: PASS");
+    } else {
+        println!(
+            "perf gate: FAIL — throughput regressed more than {:.0}%. If this is machine \
+             variance rather than a real regression, apply the `perf-override` label to the PR \
+             or regenerate the baseline with `cargo run --release -p hcc-bench --bin hotpath -- \
+             --quick`.",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+}

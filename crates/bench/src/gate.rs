@@ -1,0 +1,285 @@
+//! The perf-regression gate's comparison logic, plus schema validators for
+//! every committed `results/BENCH_*.json` artifact.
+//!
+//! Parsing goes through `hcc_telemetry::json` (the same vendored parser the
+//! telemetry JSONL reader uses), so the gate binary stays dependency-free.
+//! The schemas themselves are documented in `results/README.md`; the
+//! validators here are the executable version of that document and run as
+//! unit tests against the committed artifacts.
+
+use hcc_telemetry::json::{self, Value};
+
+/// One measured cell of the hotpath bench: a (backend, schedule) pair and
+/// its throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathRow {
+    pub backend: String,
+    pub schedule: String,
+    pub updates_per_sec: f64,
+}
+
+/// The gate's verdict for one cell present in the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// `"backend + schedule"` label.
+    pub cell: String,
+    /// Baseline updates/s.
+    pub baseline: f64,
+    /// Current updates/s, `None` if the current run lacks this cell
+    /// (counts as a failure: the gate must not silently skip cells).
+    pub current: Option<f64>,
+    /// `current / baseline` when both exist.
+    pub ratio: Option<f64>,
+    /// True when this cell trips the gate.
+    pub regressed: bool,
+}
+
+/// Extracts the `results` rows of a hotpath JSON document.
+pub fn parse_hotpath(src: &str) -> Result<Vec<HotpathRow>, String> {
+    let doc = json::parse(src)?;
+    validate_hotpath_schema(&doc)?;
+    let rows = doc.get("results").and_then(Value::as_arr).unwrap();
+    Ok(rows
+        .iter()
+        .map(|r| HotpathRow {
+            backend: r
+                .get("backend")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string(),
+            schedule: r
+                .get("schedule")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string(),
+            updates_per_sec: r.get("updates_per_sec").and_then(Value::as_f64).unwrap(),
+        })
+        .collect())
+}
+
+/// Compares a current hotpath run against the committed baseline. A cell
+/// regresses when its throughput drops by more than `threshold` (e.g. 0.15
+/// = 15%), or when the baseline measured it and the current run did not
+/// (a vanished SIMD tier is itself a regression). Returns the per-cell
+/// verdicts and whether the gate passes.
+pub fn compare(
+    baseline: &[HotpathRow],
+    current: &[HotpathRow],
+    threshold: f64,
+) -> (Vec<Verdict>, bool) {
+    let verdicts: Vec<Verdict> = baseline
+        .iter()
+        .map(|b| {
+            let cur = current
+                .iter()
+                .find(|c| c.backend == b.backend && c.schedule == b.schedule)
+                .map(|c| c.updates_per_sec);
+            let ratio = cur.map(|c| c / b.updates_per_sec);
+            let regressed = match ratio {
+                Some(r) => r < 1.0 - threshold,
+                None => true,
+            };
+            Verdict {
+                cell: format!("{} + {}", b.backend, b.schedule),
+                baseline: b.updates_per_sec,
+                current: cur,
+                ratio,
+                regressed,
+            }
+        })
+        .collect();
+    let pass = !verdicts.is_empty() && verdicts.iter().all(|v| !v.regressed);
+    (verdicts, pass)
+}
+
+fn require<'a>(doc: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{what}: missing key \"{key}\""))
+}
+
+fn require_num(doc: &Value, key: &str, what: &str) -> Result<f64, String> {
+    require(doc, key, what)?
+        .as_f64()
+        .ok_or_else(|| format!("{what}: \"{key}\" must be a number"))
+}
+
+fn require_str<'a>(doc: &'a Value, key: &str, what: &str) -> Result<&'a str, String> {
+    require(doc, key, what)?
+        .as_str()
+        .ok_or_else(|| format!("{what}: \"{key}\" must be a string"))
+}
+
+fn require_arr<'a>(doc: &'a Value, key: &str, what: &str) -> Result<&'a [Value], String> {
+    require(doc, key, what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: \"{key}\" must be an array"))
+}
+
+/// Validates the `BENCH_hotpath*.json` schema (see `results/README.md`).
+pub fn validate_hotpath_schema(doc: &Value) -> Result<(), String> {
+    let what = "hotpath";
+    let bench = require_str(doc, "bench", what)?;
+    if bench != "hotpath" {
+        return Err(format!(
+            "{what}: \"bench\" is \"{bench}\", expected \"hotpath\""
+        ));
+    }
+    for key in ["k", "rows", "cols", "nnz", "threads", "epochs_timed"] {
+        require_num(doc, key, what)?;
+    }
+    require_str(doc, "detected_backend", what)?;
+    let grid = require(doc, "tile_grid", what)?;
+    for key in ["grid_u", "grid_i", "u_block", "i_block", "build_secs"] {
+        require_num(grid, key, "hotpath.tile_grid")?;
+    }
+    let rows = require_arr(doc, "results", what)?;
+    if rows.is_empty() {
+        return Err(format!("{what}: \"results\" is empty"));
+    }
+    for (i, r) in rows.iter().enumerate() {
+        let what = format!("hotpath.results[{i}]");
+        require_str(r, "backend", &what)?;
+        require_str(r, "schedule", &what)?;
+        let ups = require_num(r, "updates_per_sec", &what)?;
+        let secs = require_num(r, "epoch_secs", &what)?;
+        if ups <= 0.0 || secs <= 0.0 {
+            return Err(format!("{what}: non-positive measurement"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates the `BENCH_epoch_breakdown.json` schema (see
+/// `results/README.md`).
+pub fn validate_epoch_breakdown_schema(doc: &Value) -> Result<(), String> {
+    let what = "epoch_breakdown";
+    let bench = require_str(doc, "bench", what)?;
+    if bench != "epoch_breakdown" {
+        return Err(format!(
+            "{what}: \"bench\" is \"{bench}\", expected \"epoch_breakdown\""
+        ));
+    }
+    for key in ["k", "nnz", "workers", "epochs"] {
+        require_num(doc, key, what)?;
+    }
+    let workers = require_num(doc, "workers", what)? as usize;
+    let modes = require_arr(doc, "modes", what)?;
+    if modes.is_empty() {
+        return Err(format!("{what}: \"modes\" is empty"));
+    }
+    for m in modes {
+        let mode = require_str(m, "mode", "epoch_breakdown.modes[]")?.to_string();
+        let what = format!("epoch_breakdown.{mode}");
+        let epochs = require_arr(m, "epochs", &what)?;
+        for (i, e) in epochs.iter().enumerate() {
+            let what = format!("{what}.epochs[{i}]");
+            require_num(e, "epoch", &what)?;
+            require_num(e, "wall_secs", &what)?;
+            require_num(e, "pull_bytes", &what)?;
+            require_num(e, "push_bytes", &what)?;
+            let per_worker = require_arr(e, "workers", &what)?;
+            if per_worker.len() != workers {
+                return Err(format!(
+                    "{what}: {} worker entries, header says {workers}",
+                    per_worker.len()
+                ));
+            }
+            for w in per_worker {
+                for key in ["pull_secs", "comp_secs", "push_secs", "sync_secs"] {
+                    require_num(w, key, &what)?;
+                }
+            }
+        }
+        let v = require(m, "model_validation", &what)?;
+        if !matches!(v, Value::Null) {
+            for key in ["mean_error", "worst_error", "epochs_scored"] {
+                require_num(v, key, &format!("{what}.model_validation"))?;
+            }
+        }
+    }
+    let ovh = require(doc, "telemetry_overhead", what)?;
+    for key in ["disabled_secs", "enabled_secs", "overhead_frac"] {
+        require_num(ovh, key, "epoch_breakdown.telemetry_overhead")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(backend: &str, schedule: &str, ups: f64) -> HotpathRow {
+        HotpathRow {
+            backend: backend.into(),
+            schedule: schedule.into(),
+            updates_per_sec: ups,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_threshold() {
+        let base = vec![row("scalar", "stripe", 100.0), row("avx2", "tiled", 400.0)];
+        let cur = vec![row("scalar", "stripe", 90.0), row("avx2", "tiled", 420.0)];
+        let (verdicts, pass) = compare(&base, &cur, 0.15);
+        assert!(pass, "{verdicts:?}");
+        assert_eq!(verdicts.len(), 2);
+        assert!((verdicts[0].ratio.unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_fails_on_regression_or_missing_cell() {
+        let base = vec![row("scalar", "stripe", 100.0), row("avx2", "tiled", 400.0)];
+        let slow = vec![row("scalar", "stripe", 80.0), row("avx2", "tiled", 400.0)];
+        assert!(!compare(&base, &slow, 0.15).1);
+        let missing = vec![row("scalar", "stripe", 100.0)];
+        let (verdicts, pass) = compare(&base, &missing, 0.15);
+        assert!(!pass);
+        assert!(verdicts[1].regressed && verdicts[1].current.is_none());
+        // Extra cells in the current run are fine (e.g. a newer SIMD tier).
+        let extra = vec![
+            row("scalar", "stripe", 100.0),
+            row("avx2", "tiled", 400.0),
+            row("avx512", "tiled", 800.0),
+        ];
+        assert!(compare(&base, &extra, 0.15).1);
+        // An empty baseline cannot pass: the gate would be vacuous.
+        assert!(!compare(&[], &extra, 0.15).1);
+    }
+
+    fn committed(name: &str) -> Option<String> {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results")
+            .join(name);
+        std::fs::read_to_string(path).ok()
+    }
+
+    #[test]
+    fn committed_hotpath_artifacts_match_schema() {
+        for name in ["BENCH_hotpath.json", "BENCH_hotpath_quick.json"] {
+            let src = committed(name).unwrap_or_else(|| panic!("{name} missing from results/"));
+            let rows = parse_hotpath(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                rows.iter()
+                    .any(|r| r.backend == "scalar" && r.schedule == "stripe"),
+                "{name}: no scalar+stripe baseline cell"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_epoch_breakdown_matches_schema() {
+        let src = committed("BENCH_epoch_breakdown.json")
+            .expect("BENCH_epoch_breakdown.json missing from results/");
+        let doc = json::parse(&src).unwrap();
+        validate_epoch_breakdown_schema(&doc).unwrap();
+    }
+
+    #[test]
+    fn schema_rejects_malformed_documents() {
+        let doc = json::parse(r#"{"bench": "hotpath", "k": 8}"#).unwrap();
+        assert!(validate_hotpath_schema(&doc).is_err());
+        let doc = json::parse(r#"{"bench": "wrong"}"#).unwrap();
+        assert!(validate_hotpath_schema(&doc).is_err());
+        assert!(validate_epoch_breakdown_schema(&doc).is_err());
+    }
+}

@@ -18,6 +18,8 @@ use hcc_hetsim::{
 };
 use hcc_partition::{PartitionPlan, PartitionPlanner};
 
+pub mod gate;
+
 /// Plans a partition for a platform/workload/config triple on the virtual
 /// platform (DP0 seed → DP1 → λ dispatch to DP2), exactly as the framework
 /// does on real hardware. The measurement callback reports compute plus

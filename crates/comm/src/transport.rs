@@ -86,6 +86,12 @@ pub trait Transport: Send + Sync {
     ) -> Result<(), CommError>;
     /// Total bytes that crossed the wire so far.
     fn wire_bytes(&self) -> u64;
+    /// Wire bytes split by direction as `(pull, push)`: publish/pull
+    /// traffic (server → workers) vs push/collect traffic (workers →
+    /// server). Sums to [`wire_bytes`](Transport::wire_bytes); telemetry
+    /// records the two directions separately because the communication
+    /// strategies (Q-only, half-Q, FP16) trade them off asymmetrically.
+    fn wire_bytes_by_dir(&self) -> (u64, u64);
     /// Number of workers this transport serves.
     fn workers(&self) -> usize;
 }
@@ -313,6 +319,13 @@ impl Transport for CommShared {
         self.pull_region.bytes() + self.push_buffers.iter().map(WireBuffer::bytes).sum::<u64>()
     }
 
+    fn wire_bytes_by_dir(&self) -> (u64, u64) {
+        (
+            self.pull_region.bytes(),
+            self.push_buffers.iter().map(WireBuffer::bytes).sum(),
+        )
+    }
+
     fn workers(&self) -> usize {
         self.push_buffers.len()
     }
@@ -330,7 +343,10 @@ pub struct CommP {
     /// Per-worker push channels.
     senders: Vec<Sender<Vec<u8>>>,
     receivers: Vec<Mutex<Receiver<Vec<u8>>>>,
-    wire_bytes: AtomicU64,
+    /// Publish/pull traffic (server → workers).
+    pull_bytes: AtomicU64,
+    /// Push/collect traffic (workers → server).
+    push_bytes: AtomicU64,
 }
 
 impl CommP {
@@ -348,7 +364,8 @@ impl CommP {
             published: RwLock::new(Arc::new(Vec::new())),
             senders,
             receivers,
-            wire_bytes: AtomicU64::new(0),
+            pull_bytes: AtomicU64::new(0),
+            push_bytes: AtomicU64::new(0),
         }
     }
 
@@ -398,21 +415,21 @@ impl CommP {
 impl Transport for CommP {
     fn publish(&self, src: &[f32]) {
         let msg = self.serialize(src);
-        self.wire_bytes
+        self.pull_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         *self.published.write() = Arc::new(msg);
     }
 
     fn pull(&self, _worker: usize, dst: &mut [f32]) {
         let msg = self.published.read().clone();
-        self.wire_bytes
+        self.pull_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.deserialize(&msg, dst);
     }
 
     fn push(&self, worker: usize, src: &[f32]) {
         let msg = self.serialize(src);
-        self.wire_bytes
+        self.push_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.senders[worker]
             .send(msg)
@@ -424,7 +441,7 @@ impl Transport for CommP {
             .lock()
             .recv()
             .expect("worker sender dropped");
-        self.wire_bytes
+        self.push_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.deserialize(&msg, dst);
     }
@@ -440,14 +457,22 @@ impl Transport for CommP {
             Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
             Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
         };
-        self.wire_bytes
+        self.push_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.deserialize(&msg, dst);
         Ok(())
     }
 
     fn wire_bytes(&self) -> u64 {
-        self.wire_bytes.load(Ordering::Relaxed)
+        let (pull, push) = self.wire_bytes_by_dir();
+        pull + push
+    }
+
+    fn wire_bytes_by_dir(&self) -> (u64, u64) {
+        (
+            self.pull_bytes.load(Ordering::Relaxed),
+            self.push_bytes.load(Ordering::Relaxed),
+        )
     }
 
     fn workers(&self) -> usize {
@@ -512,6 +537,26 @@ mod tests {
         t16.publish(&data);
         assert_eq!(t32.wire_bytes(), 400);
         assert_eq!(t16.wire_bytes(), 200);
+    }
+
+    #[test]
+    fn wire_bytes_split_by_direction_sums_to_total() {
+        for t in [
+            Box::new(CommShared::new(2, 100, 50, Precision::Fp32)) as Box<dyn Transport>,
+            Box::new(CommP::new(2, Precision::Fp32)),
+        ] {
+            let pub_data = vec![1.0f32; 100];
+            t.publish(&pub_data);
+            let mut pulled = vec![0f32; 100];
+            t.pull(0, &mut pulled);
+            t.push(1, &[2.0f32; 50]);
+            let mut collected = vec![0f32; 50];
+            t.collect(1, &mut collected);
+            let (pull, push) = t.wire_bytes_by_dir();
+            assert_eq!(pull + push, t.wire_bytes());
+            assert_eq!(pull, 800, "publish + one pull, 4 bytes/elem");
+            assert_eq!(push, 400, "push + collect, 4 bytes/elem");
+        }
     }
 
     #[test]

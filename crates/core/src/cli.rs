@@ -82,6 +82,9 @@ pub struct TrainArgs {
     /// Enable the fault-tolerance supervisor (heartbeats, divergence
     /// rollback, survivor re-planning).
     pub fault_tolerant: bool,
+    /// Write a JSONL telemetry timeline here and print the epoch
+    /// breakdown + cost-model validation after training.
+    pub telemetry: Option<String>,
 }
 
 impl Default for TrainArgs {
@@ -105,6 +108,7 @@ impl Default for TrainArgs {
             checkpoint_path: None,
             resume: None,
             fault_tolerant: false,
+            telemetry: None,
         }
     }
 }
@@ -116,7 +120,7 @@ pub const USAGE: &str = "usage:
             [--partition auto|uniform|dp0|dp1|dp2] [--schedule stripe|tiled]
             [--test-frac F] [--seed N] [--out PREFIX] [--rank-metrics]
             [--checkpoint-every N [--checkpoint-path FILE]] [--resume FILE]
-            [--fault-tolerant]
+            [--fault-tolerant] [--telemetry FILE.jsonl]
   hcc analyze <ratings.txt>
   hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]";
 
@@ -219,6 +223,7 @@ fn parse_train<'a, I: Iterator<Item = &'a String>>(
             "--checkpoint-path" => args.checkpoint_path = Some(next("--checkpoint-path")?),
             "--resume" => args.resume = Some(next("--resume")?),
             "--fault-tolerant" => args.fault_tolerant = true,
+            "--telemetry" => args.telemetry = Some(next("--telemetry")?),
             "--strategy" => {
                 args.strategy = match next("--strategy")?.as_str() {
                     "pq" => TransferStrategy::FullPq,
@@ -371,6 +376,9 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
             if args.fault_tolerant {
                 builder = builder.fault_tolerance(crate::supervisor::SupervisorConfig::default());
             }
+            if let Some(path) = &args.telemetry {
+                builder = builder.telemetry(path.clone());
+            }
             if let Some(every) = args.checkpoint_every {
                 let path = args
                     .checkpoint_path
@@ -429,6 +437,20 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                     .ok();
                 }
             }
+            if let Some(timeline) = &report.timeline {
+                writeln!(out).ok();
+                write!(out, "{}", crate::observe::epoch_summary(timeline)).ok();
+                if let Some(v) = crate::observe::model_validation(&report) {
+                    writeln!(out).ok();
+                    write!(out, "{}", crate::observe::model_validation_text(&v)).ok();
+                }
+                writeln!(
+                    out,
+                    "telemetry timeline written to {}",
+                    args.telemetry.as_deref().unwrap_or("?")
+                )
+                .ok();
+            }
             if let Some(prefix) = &args.out {
                 let path = format!("{prefix}.hccmf");
                 crate::checkpoint::save_model(&path, &report.p, &report.q)
@@ -482,6 +504,53 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("train d.txt --checkpoint-every zero")).is_err());
+    }
+
+    #[test]
+    fn parse_telemetry_flag() {
+        let cmd = parse(&argv("train data.txt --telemetry run.jsonl")).unwrap();
+        match cmd {
+            CliCommand::Train(args) => assert_eq!(args.telemetry.as_deref(), Some("run.jsonl")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("train d.txt --telemetry")).is_err());
+    }
+
+    #[test]
+    fn train_with_telemetry_prints_breakdown_and_writes_jsonl() {
+        use hcc_sparse::{GenConfig, SyntheticDataset};
+        let dir = std::env::temp_dir().join("hcc_cli_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ratings = dir.join("r.txt");
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 120,
+            cols: 60,
+            nnz: 2_500,
+            ..GenConfig::default()
+        });
+        hcc_sparse::io::write_triples_file(&ds.matrix, &ratings).unwrap();
+        let ratings = ratings.to_string_lossy().into_owned();
+        let jsonl = dir.join("run.jsonl").to_string_lossy().into_owned();
+
+        let mut buf = Vec::new();
+        let cmd = parse(
+            &format!("train {ratings} --k 8 --epochs 4 --telemetry {jsonl}")
+                .split_whitespace()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("epoch breakdown"), "{text}");
+        assert!(text.contains("cost-model validation"), "{text}");
+        assert!(text.contains("telemetry timeline written"), "{text}");
+
+        let raw = std::fs::read_to_string(&jsonl).unwrap();
+        let timeline = hcc_telemetry::jsonl::parse(&raw).unwrap();
+        assert_eq!(timeline.header.workers, 2);
+        assert!(!timeline.events.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

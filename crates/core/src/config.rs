@@ -184,6 +184,10 @@ pub struct HccConfig {
     /// and learning-rate backoff state are restored. Mutually exclusive
     /// with `warm_start`; the checkpoint's seed must match `seed`.
     pub resume: Option<std::path::PathBuf>,
+    /// Record a telemetry timeline and write it as JSONL to this path when
+    /// training finishes. `None` (the default) disables recording entirely;
+    /// the instrumentation then costs one branch per call site.
+    pub telemetry_path: Option<std::path::PathBuf>,
 }
 
 impl HccConfig {
@@ -300,6 +304,7 @@ impl Default for HccConfigBuilder {
                 checkpoint_every: None,
                 checkpoint_path: None,
                 resume: None,
+                telemetry_path: None,
             },
         }
     }
@@ -432,6 +437,14 @@ impl HccConfigBuilder {
     /// Resumes training from a v2 checkpoint file.
     pub fn resume(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.config.resume = Some(path.into());
+        self
+    }
+
+    /// Records a telemetry timeline, written as JSONL to `path` at the end
+    /// of training (also attached to the report as
+    /// [`HccReport::timeline`](crate::report::HccReport::timeline)).
+    pub fn telemetry(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.telemetry_path = Some(path.into());
         self
     }
 

@@ -49,6 +49,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod observe;
 pub mod recommend;
 pub mod report;
 pub mod server;
@@ -75,3 +76,4 @@ pub use train::HccMf;
 pub use hcc_comm::TransferStrategy;
 pub use hcc_partition::StrategyChoice;
 pub use hcc_sgd::{FactorMatrix, LearningRate};
+pub use hcc_telemetry::{Telemetry, Timeline};

@@ -58,6 +58,9 @@ pub struct HccReport {
     pub rollbacks: usize,
     /// First epoch this run executed (> 0 when resumed from a checkpoint).
     pub start_epoch: usize,
+    /// The recorded telemetry timeline (`Some` only when
+    /// `HccConfig::telemetry_path` was set).
+    pub timeline: Option<hcc_telemetry::Timeline>,
 }
 
 impl HccReport {
@@ -148,6 +151,7 @@ mod tests {
             health_history: Vec::new(),
             rollbacks: 0,
             start_epoch: 0,
+            timeline: None,
         }
     }
 

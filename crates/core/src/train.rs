@@ -13,6 +13,7 @@ use hcc_comm::{CommError, CommP, CommShared, Precision, TransferStrategy, Transp
 use hcc_partition::{dp0, dp1_step, dp2, replan_survivors, StrategyChoice, WorkerClass};
 use hcc_sgd::{rmse_parallel, FactorMatrix, SharedFactors};
 use hcc_sparse::{Axis, CooMatrix, GridPartition};
+use hcc_telemetry::{Dir, Event, Phase, Telemetry};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -86,7 +87,22 @@ impl HccMf {
             session.apply_resume(state);
         }
         session.run(transposed)?;
-        Ok(session.into_report(transposed))
+        let report = session.into_report(transposed);
+        if let (Some(path), Some(timeline)) = (&self.config.telemetry_path, &report.timeline) {
+            std::fs::write(path, hcc_telemetry::jsonl::to_jsonl(timeline))
+                .map_err(|e| HccError::Io(format!("writing telemetry {}: {e}", path.display())))?;
+        }
+        Ok(report)
+    }
+}
+
+/// Stable strategy identifier for telemetry headers (distinct from the
+/// paper-table labels of [`TransferStrategy::label`]).
+fn strategy_wire_name(s: TransferStrategy) -> &'static str {
+    match s {
+        TransferStrategy::FullPq => "full-pq",
+        TransferStrategy::QOnly => "q-only",
+        TransferStrategy::HalfQ => "half-q",
     }
 }
 
@@ -192,6 +208,11 @@ struct Session<'a> {
     partition_history: Vec<Vec<f64>>,
     strategy_used: StrategyChoice,
     total_updates: u64,
+    /// Observability handle; disabled (a no-op behind one branch) unless
+    /// `config.telemetry_path` is set. Lanes are indexed by *starting-fleet*
+    /// worker id plus the server lane, so a shrinking fleet keeps stable
+    /// attribution via `orig_ids`.
+    telemetry: Telemetry,
 }
 
 /// Transport handle: the async path needs the concrete `CommShared` for
@@ -255,6 +276,22 @@ impl<'a> Session<'a> {
 
         let fractions = initial_fractions(config, &work)?;
         let worker_count = config.workers.len();
+        let telemetry = if config.telemetry_path.is_some() {
+            Telemetry::enabled(
+                hcc_telemetry::Header {
+                    workers: worker_count as u32,
+                    k: k as u32,
+                    nnz: work.nnz() as u64,
+                    strategy: strategy_wire_name(config.strategy).to_string(),
+                    streams: config.streams as u32,
+                    backend: hcc_sgd::simd::dispatch_tag().to_string(),
+                    schedule: config.schedule.name().to_string(),
+                },
+                hcc_telemetry::DEFAULT_LANE_CAPACITY,
+            )
+        } else {
+            Telemetry::disabled()
+        };
 
         let mut session = Session {
             config,
@@ -291,6 +328,7 @@ impl<'a> Session<'a> {
                 PartitionMode::Auto => StrategyChoice::Dp1, // revised during adaptation
             },
             total_updates: 0,
+            telemetry,
         };
         session.rebuild_workers(fractions);
         Ok(session)
@@ -414,6 +452,9 @@ impl<'a> Session<'a> {
         let mut epoch = self.start_epoch;
         while epoch < self.config.epochs {
             let lr = (f64::from(self.config.learning_rate.at(epoch)) * self.lr_scale) as f32;
+            // Wire-byte baseline for this attempt (counters reset whenever
+            // the transport is rebuilt, e.g. on rollback or repartition).
+            let wire_base = self.transport.as_dyn().wire_bytes_by_dir();
             let epoch_start = Instant::now();
             let outcome = if self.supervisor.is_some() {
                 self.run_epoch_supervised(lr, epoch)
@@ -422,9 +463,9 @@ impl<'a> Session<'a> {
                 // the process at the scope join — surface it typed instead.
                 let caught = catch_unwind(AssertUnwindSafe(|| {
                     if self.config.streams > 1 {
-                        self.run_epoch_async(lr)
+                        self.run_epoch_async(lr, epoch)
                     } else {
-                        self.run_epoch_sync(lr)
+                        self.run_epoch_sync(lr, epoch)
                     }
                 }));
                 match caught {
@@ -456,6 +497,13 @@ impl<'a> Session<'a> {
                     match sup.rollback() {
                         Some(scale) => {
                             self.lr_scale = scale;
+                            self.telemetry.record(
+                                self.telemetry.server_lane(),
+                                Event::Rollback {
+                                    epoch: epoch as u32,
+                                    lr_scale: scale,
+                                },
+                            );
                             let (p, q) = self
                                 .snapshot
                                 .clone()
@@ -481,6 +529,27 @@ impl<'a> Session<'a> {
             }
 
             // The epoch is accepted: record it.
+            if self.telemetry.is_enabled() {
+                let lane = self.telemetry.server_lane();
+                let (pull_now, push_now) = self.transport.as_dyn().wire_bytes_by_dir();
+                self.telemetry.bytes(
+                    epoch as u32,
+                    Dir::Pull,
+                    pull_now.saturating_sub(wire_base.0),
+                );
+                self.telemetry.bytes(
+                    epoch as u32,
+                    Dir::Push,
+                    push_now.saturating_sub(wire_base.1),
+                );
+                self.telemetry.record(
+                    lane,
+                    Event::EpochEnd {
+                        epoch: epoch as u32,
+                        wall_us: elapsed.as_micros() as u64,
+                    },
+                );
+            }
             self.epoch_times.push(elapsed);
             self.total_updates += outcome.stats.iter().map(|s| s.updates).sum::<u64>();
             self.sync_times.push(outcome.sync_time);
@@ -523,6 +592,7 @@ impl<'a> Session<'a> {
         if (epoch + 1) % every != 0 {
             return Ok(());
         }
+        let t0 = Instant::now();
         self.flush_local_p();
         let q = FactorMatrix::from_vec(self.n, self.k, self.global_q.clone());
         let meta = TrainingMeta {
@@ -531,7 +601,15 @@ impl<'a> Session<'a> {
             lr_scale: self.lr_scale as f32,
             transposed,
         };
-        save_checkpoint(path, &self.global_p, &q, &meta)
+        let result = save_checkpoint(path, &self.global_p, &q, &meta);
+        self.telemetry.record(
+            self.telemetry.server_lane(),
+            Event::Checkpoint {
+                epoch: epoch as u32,
+                dur_us: t0.elapsed().as_micros() as u64,
+            },
+        );
+        result
     }
 
     /// Classifies worker health after an accepted epoch; removes dead
@@ -547,6 +625,29 @@ impl<'a> Session<'a> {
             .map(|w| sup.board.has_beat(w, epoch))
             .collect();
         let health = sup.classify(&compute, &outcome.missed, &beat);
+        if self.telemetry.is_enabled() {
+            let lane = self.telemetry.server_lane();
+            for (w, h) in health.iter().enumerate() {
+                let worker = self.orig_ids[w] as u32;
+                match h {
+                    WorkerHealth::Straggler => self.telemetry.record(
+                        lane,
+                        Event::Straggler {
+                            epoch: epoch as u32,
+                            worker,
+                        },
+                    ),
+                    WorkerHealth::Dead => self.telemetry.record(
+                        lane,
+                        Event::WorkerLost {
+                            epoch: epoch as u32,
+                            worker,
+                        },
+                    ),
+                    _ => {}
+                }
+            }
+        }
         self.health_history.push(health.clone());
         let alive: Vec<bool> = health.iter().map(|h| *h != WorkerHealth::Dead).collect();
         if alive.iter().all(|&a| a) {
@@ -572,12 +673,15 @@ impl<'a> Session<'a> {
 
     /// Synchronous epoch: publish, parallel worker pull/compute/push, server
     /// collect+merge (overlapped with still-running workers).
-    fn run_epoch_sync(&mut self, lr: f32) -> (Vec<WorkerEpochStats>, Duration) {
+    fn run_epoch_sync(&mut self, lr: f32, epoch: usize) -> (Vec<WorkerEpochStats>, Duration) {
         let k = self.k;
         let n = self.n;
         let layout = self.layout;
         let strategy = self.config.strategy;
         let transport = self.transport.as_dyn();
+        let telemetry = &self.telemetry;
+        let epoch_u32 = epoch as u32;
+        let orig_ids = &self.orig_ids;
 
         // Publish: [P | Q] under FullPq, [Q] otherwise.
         let mut pull_staging = vec![0f32; layout.pull_len];
@@ -608,9 +712,11 @@ impl<'a> Session<'a> {
             for (w, state) in self.workers.iter().enumerate() {
                 let stats = &stats;
                 scope.spawn(move || {
+                    let lane = orig_ids[w] as u32;
                     let mut staging = vec![0f32; layout.pull_len.max(layout.push_len)];
 
                     // Pull.
+                    let start = telemetry.now_us();
                     let t0 = Instant::now();
                     transport.pull(w, &mut staging[..layout.pull_len]);
                     state.local_q.copy_rows_from_slice(
@@ -627,11 +733,15 @@ impl<'a> Session<'a> {
                         );
                     }
                     let pull = t0.elapsed();
+                    telemetry.phase(lane, epoch_u32, lane, Phase::Pull, start, pull);
 
                     // Compute.
+                    let start = telemetry.now_us();
                     let compute = state.compute(&state.entries, lr, lambda_p, lambda_q);
+                    telemetry.phase(lane, epoch_u32, lane, Phase::Comp, start, compute);
 
                     // Push.
+                    let start = telemetry.now_us();
                     let t0 = Instant::now();
                     let rows = state.rows();
                     let push_len = if strategy == TransferStrategy::FullPq {
@@ -648,6 +758,7 @@ impl<'a> Session<'a> {
                     };
                     transport.push(w, &staging[..push_len]);
                     let push = t0.elapsed();
+                    telemetry.phase(lane, epoch_u32, lane, Phase::Push, start, push);
 
                     stats.lock()[w] = WorkerEpochStats {
                         pull,
@@ -660,10 +771,12 @@ impl<'a> Session<'a> {
 
             // Server: collect and merge on this thread, overlapping the
             // remaining workers' computation (the DP2 hiding effect).
+            let server_lane = telemetry.server_lane();
             let mut collect_staging = vec![0f32; layout.push_len];
             #[allow(clippy::needless_range_loop)] // w indexes three arrays
             for w in 0..self.workers.len() {
                 transport.collect(w, &mut collect_staging[..layout.push_len]);
+                let start = telemetry.now_us();
                 let t0 = Instant::now();
                 merge_weighted(
                     &mut q_acc,
@@ -674,7 +787,18 @@ impl<'a> Session<'a> {
                     let rows = self.workers[w].rows();
                     p_updates.push((w, collect_staging[..rows * k].to_vec()));
                 }
-                sync_time += t0.elapsed();
+                let merged = t0.elapsed();
+                sync_time += merged;
+                // Sync spans live on the server lane but carry the merged
+                // worker's id, so per-worker epoch sums include their share.
+                telemetry.phase(
+                    server_lane,
+                    epoch_u32,
+                    orig_ids[w] as u32,
+                    Phase::Sync,
+                    start,
+                    merged,
+                );
             }
         });
 
@@ -704,6 +828,8 @@ impl<'a> Session<'a> {
         let layout = self.layout;
         let strategy = self.config.strategy;
         let transport = self.transport.as_dyn();
+        let telemetry = &self.telemetry;
+        let epoch_u32 = epoch as u32;
         let sup = self.supervisor.as_ref().expect("supervised");
         let board = &sup.board;
         let timeout0 = sup.cfg.heartbeat_timeout;
@@ -748,9 +874,11 @@ impl<'a> Session<'a> {
                             if fault == Some(FaultKind::Crash) {
                                 return None; // no heartbeat, no push: dead
                             }
+                            let lane = orig_ids[w] as u32;
                             let mut staging = vec![0f32; layout.pull_len.max(layout.push_len)];
 
                             // Pull.
+                            let start = telemetry.now_us();
                             let t0 = Instant::now();
                             transport.pull(w, &mut staging[..layout.pull_len]);
                             state.local_q.copy_rows_from_slice(
@@ -767,18 +895,22 @@ impl<'a> Session<'a> {
                                 );
                             }
                             let pull = t0.elapsed();
+                            telemetry.phase(lane, epoch_u32, lane, Phase::Pull, start, pull);
 
                             // Compute (an injected stall counts as compute time,
                             // so the supervisor's straggler rule sees it).
+                            let start = telemetry.now_us();
                             let t0 = Instant::now();
                             if let Some(FaultKind::Stall { millis }) = fault {
                                 std::thread::sleep(Duration::from_millis(millis));
                             }
                             state.compute(&state.entries, lr, lambda_p, lambda_q);
                             let compute = t0.elapsed();
+                            telemetry.phase(lane, epoch_u32, lane, Phase::Comp, start, compute);
                             board.beat(w, epoch);
 
                             // Push.
+                            let start = telemetry.now_us();
                             let t0 = Instant::now();
                             let rows = state.rows();
                             let push_len = if strategy == TransferStrategy::FullPq {
@@ -803,6 +935,7 @@ impl<'a> Session<'a> {
                                 transport.push(w, &staging[..push_len]);
                             }
                             let push = t0.elapsed();
+                            telemetry.phase(lane, epoch_u32, lane, Phase::Push, start, push);
 
                             Some(WorkerEpochStats {
                                 pull,
@@ -846,11 +979,22 @@ impl<'a> Session<'a> {
                     missed[w] = true;
                     continue;
                 }
+                let server_lane = telemetry.server_lane();
+                let start = telemetry.now_us();
                 let t0 = Instant::now();
                 let q_part = &collect_staging[layout.push_q_offset..layout.push_q_offset + n * k];
                 if q_part.iter().any(|v| !v.is_finite()) {
                     missed[w] = true; // poisoned push: discard the shard
-                    sync_time += t0.elapsed();
+                    let merged = t0.elapsed();
+                    sync_time += merged;
+                    telemetry.phase(
+                        server_lane,
+                        epoch_u32,
+                        orig_ids[w] as u32,
+                        Phase::Sync,
+                        start,
+                        merged,
+                    );
                     continue;
                 }
                 merge_weighted(&mut q_acc, q_part, weights[w]);
@@ -859,7 +1003,16 @@ impl<'a> Session<'a> {
                     let rows = self.workers[w].rows();
                     p_updates.push((w, collect_staging[..rows * k].to_vec()));
                 }
-                sync_time += t0.elapsed();
+                let merged = t0.elapsed();
+                sync_time += merged;
+                telemetry.phase(
+                    server_lane,
+                    epoch_u32,
+                    orig_ids[w] as u32,
+                    Phase::Sync,
+                    start,
+                    merged,
+                );
             }
         });
 
@@ -893,11 +1046,14 @@ impl<'a> Session<'a> {
     /// Asynchronous epoch (Strategy 3): each worker pipelines
     /// `pull(s) → compute(s) → push(s)` over column chunks of `Q`; the
     /// server merges chunks as they arrive.
-    fn run_epoch_async(&mut self, lr: f32) -> (Vec<WorkerEpochStats>, Duration) {
+    fn run_epoch_async(&mut self, lr: f32, epoch: usize) -> (Vec<WorkerEpochStats>, Duration) {
         let comm = match &self.transport {
             TransportArc::Shared(c) => Arc::clone(c),
             TransportArc::CommP(_) => unreachable!("validated in train()"),
         };
+        let telemetry = &self.telemetry;
+        let epoch_u32 = epoch as u32;
+        let orig_ids = &self.orig_ids;
         let k = self.k;
         let n = self.n;
         let streams = self.config.streams;
@@ -925,6 +1081,8 @@ impl<'a> Session<'a> {
                 let comm = Arc::clone(&comm);
                 let stats = &stats;
                 scope.spawn(move || {
+                    let lane = orig_ids[w] as u32;
+                    let start = telemetry.now_us();
                     let pipe_stats = hcc_comm::run_pipeline(
                         streams,
                         streams,
@@ -950,6 +1108,33 @@ impl<'a> Session<'a> {
                             comm.push_chunk(w, lo * k, &buf);
                         },
                     );
+                    // The pipeline interleaves the three stages, so only
+                    // per-stage busy totals exist; record them as three
+                    // spans sharing the pipeline's start time.
+                    telemetry.phase(
+                        lane,
+                        epoch_u32,
+                        lane,
+                        Phase::Pull,
+                        start,
+                        pipe_stats.pull_busy,
+                    );
+                    telemetry.phase(
+                        lane,
+                        epoch_u32,
+                        lane,
+                        Phase::Comp,
+                        start,
+                        pipe_stats.compute_busy,
+                    );
+                    telemetry.phase(
+                        lane,
+                        epoch_u32,
+                        lane,
+                        Phase::Push,
+                        start,
+                        pipe_stats.push_busy,
+                    );
                     stats.lock()[w] = WorkerEpochStats {
                         pull: pipe_stats.pull_busy,
                         compute: pipe_stats.compute_busy,
@@ -961,16 +1146,27 @@ impl<'a> Session<'a> {
 
             // Server: merge chunks as they arrive (incremental multiply-add;
             // §4.2 notes the async path trades exactness for speed).
+            let server_lane = telemetry.server_lane();
             let mut staging = vec![0f32; n * k];
             for _ in 0..total_chunks {
                 let tag = comm.collect_chunk(&mut staging);
+                let start = telemetry.now_us();
                 let t0 = Instant::now();
                 crate::server::merge_incremental(
                     &mut global_q[tag.offset..tag.offset + tag.len],
                     &staging[..tag.len],
                     weights[tag.worker],
                 );
-                sync_time += t0.elapsed();
+                let merged = t0.elapsed();
+                sync_time += merged;
+                telemetry.phase(
+                    server_lane,
+                    epoch_u32,
+                    orig_ids[tag.worker] as u32,
+                    Phase::Sync,
+                    start,
+                    merged,
+                );
             }
         });
 
@@ -1060,6 +1256,7 @@ impl<'a> Session<'a> {
         let q = FactorMatrix::from_vec(self.n, self.k, std::mem::take(&mut self.global_q));
         let p = std::mem::replace(&mut self.global_p, FactorMatrix::zeros(1, 1));
         let (p, q) = if transposed { (q, p) } else { (p, q) };
+        let timeline = std::mem::replace(&mut self.telemetry, Telemetry::disabled()).finish();
         HccReport {
             p,
             q,
@@ -1078,6 +1275,7 @@ impl<'a> Session<'a> {
                 .as_ref()
                 .map_or(0, |s| s.rollbacks_used() as usize),
             start_epoch: self.start_epoch,
+            timeline,
         }
     }
 }

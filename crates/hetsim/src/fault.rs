@@ -10,7 +10,7 @@
 //! Faults are deterministic by construction — they name a worker and a
 //! fixed perturbation; no randomness, no wall clock. The same
 //! `(platform, workload, config, x, faults)` tuple always yields a
-//! bit-identical [`EpochTrace`](crate::engine::EpochTrace).
+//! bit-identical [`crate::engine::EpochTrace`].
 
 use crate::des::simulate_epoch_des_impl;
 use crate::engine::{EpochTrace, SimConfig, Workload};

@@ -108,6 +108,17 @@ pub fn reset_backend() {
     ACTIVE.store(BK_UNSET, Ordering::Relaxed);
 }
 
+/// Capability tag naming the exact instruction sets the dispatched kernels
+/// are using, for telemetry headers and bench output. Unlike
+/// [`Backend::name`], this spells out the grouped features so a recorded
+/// timeline is attributable to a precise code path.
+pub fn dispatch_tag() -> &'static str {
+    match active_backend() {
+        Backend::Scalar => "scalar",
+        Backend::Avx2 => "avx2+fma+f16c",
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Dot product
 // ---------------------------------------------------------------------------
@@ -282,7 +293,7 @@ pub mod scalar {
 
 /// x86-64 vector kernels. Every function here requires the CPU features its
 /// `#[target_feature]` attribute names; the dispatcher guarantees that by
-/// construction, and tests gate direct calls on [`super::detect`]-equivalent
+/// construction, and tests gate direct calls on `detect()`-equivalent
 /// checks.
 #[cfg(target_arch = "x86_64")]
 pub mod avx2 {
@@ -463,6 +474,17 @@ mod tests {
     /// below are gated on this, so the suite passes on any CPU.
     fn avx2_available() -> bool {
         detect() == Backend::Avx2
+    }
+
+    #[test]
+    fn dispatch_tag_names_the_active_tier() {
+        let _guard = test_lock();
+        reset_backend();
+        let tag = dispatch_tag();
+        match active_backend() {
+            Backend::Scalar => assert_eq!(tag, "scalar"),
+            Backend::Avx2 => assert_eq!(tag, "avx2+fma+f16c"),
+        }
     }
 
     #[test]

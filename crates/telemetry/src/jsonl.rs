@@ -1,0 +1,268 @@
+//! JSONL timeline format: one header line, then one line per event.
+//!
+//! The format is append-friendly, greppable, and loads into any dataframe
+//! tool; `parse` is the exact inverse of `to_jsonl`, which the round-trip
+//! tests pin down. Unknown `type` values are rejected (the schema is
+//! versioned by the header's `format` field).
+
+use crate::event::{Dir, Event, Header, Phase, Timeline};
+use crate::json::{escape, parse as parse_json, Value};
+
+/// Schema version emitted in the header line.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Serializes a timeline to JSONL text.
+pub fn to_jsonl(t: &Timeline) -> String {
+    let mut out = String::with_capacity(128 + t.events.len() * 96);
+    let h = &t.header;
+    out.push_str(&format!(
+        "{{\"type\":\"header\",\"format\":{FORMAT_VERSION},\"workers\":{},\"k\":{},\"nnz\":{},\
+         \"strategy\":{},\"streams\":{},\"backend\":{},\"schedule\":{},\"dropped\":{}}}\n",
+        h.workers,
+        h.k,
+        h.nnz,
+        escape(&h.strategy),
+        h.streams,
+        escape(&h.backend),
+        escape(&h.schedule),
+        t.dropped,
+    ));
+    for ev in &t.events {
+        out.push_str(&event_line(ev));
+        out.push('\n');
+    }
+    out
+}
+
+fn event_line(ev: &Event) -> String {
+    match *ev {
+        Event::Phase {
+            epoch,
+            worker,
+            phase,
+            start_us,
+            dur_us,
+        } => format!(
+            "{{\"type\":\"phase\",\"epoch\":{epoch},\"worker\":{worker},\"phase\":\"{}\",\
+             \"start_us\":{start_us},\"dur_us\":{dur_us}}}",
+            phase.name()
+        ),
+        Event::Bytes { epoch, dir, bytes } => format!(
+            "{{\"type\":\"bytes\",\"epoch\":{epoch},\"dir\":\"{}\",\"bytes\":{bytes}}}",
+            dir.name()
+        ),
+        Event::Straggler { epoch, worker } => {
+            format!("{{\"type\":\"straggler\",\"epoch\":{epoch},\"worker\":{worker}}}")
+        }
+        Event::WorkerLost { epoch, worker } => {
+            format!("{{\"type\":\"worker_lost\",\"epoch\":{epoch},\"worker\":{worker}}}")
+        }
+        Event::Rollback { epoch, lr_scale } => {
+            format!("{{\"type\":\"rollback\",\"epoch\":{epoch},\"lr_scale\":{lr_scale}}}")
+        }
+        Event::Checkpoint { epoch, dur_us } => {
+            format!("{{\"type\":\"checkpoint\",\"epoch\":{epoch},\"dur_us\":{dur_us}}}")
+        }
+        Event::EpochEnd { epoch, wall_us } => {
+            format!("{{\"type\":\"epoch_end\",\"epoch\":{epoch},\"wall_us\":{wall_us}}}")
+        }
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn field_u32(v: &Value, key: &str) -> Result<u32, String> {
+    u32::try_from(field_u64(v, key)?).map_err(|_| format!("field {key:?} out of u32 range"))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+/// Parses JSONL text produced by [`to_jsonl`] back into a typed timeline.
+pub fn parse(text: &str) -> Result<Timeline, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty timeline")?;
+    let hv = parse_json(first).map_err(|e| format!("header: {e}"))?;
+    if field_str(&hv, "type")? != "header" {
+        return Err("first line is not a header".into());
+    }
+    let format = field_u64(&hv, "format")?;
+    if format != FORMAT_VERSION {
+        return Err(format!(
+            "unsupported timeline format {format} (this build reads {FORMAT_VERSION})"
+        ));
+    }
+    let header = Header {
+        workers: field_u32(&hv, "workers")?,
+        k: field_u32(&hv, "k")?,
+        nnz: field_u64(&hv, "nnz")?,
+        strategy: field_str(&hv, "strategy")?.to_string(),
+        streams: field_u32(&hv, "streams")?,
+        backend: field_str(&hv, "backend")?.to_string(),
+        schedule: field_str(&hv, "schedule")?.to_string(),
+    };
+    let dropped = field_u64(&hv, "dropped")?;
+
+    let mut events = Vec::new();
+    for (lineno, line) in lines {
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ev = match field_str(&v, "type")? {
+            "phase" => Event::Phase {
+                epoch: field_u32(&v, "epoch")?,
+                worker: field_u32(&v, "worker")?,
+                phase: Phase::from_name(field_str(&v, "phase")?)
+                    .ok_or_else(|| format!("line {}: unknown phase", lineno + 1))?,
+                start_us: field_u64(&v, "start_us")?,
+                dur_us: field_u64(&v, "dur_us")?,
+            },
+            "bytes" => Event::Bytes {
+                epoch: field_u32(&v, "epoch")?,
+                dir: Dir::from_name(field_str(&v, "dir")?)
+                    .ok_or_else(|| format!("line {}: unknown dir", lineno + 1))?,
+                bytes: field_u64(&v, "bytes")?,
+            },
+            "straggler" => Event::Straggler {
+                epoch: field_u32(&v, "epoch")?,
+                worker: field_u32(&v, "worker")?,
+            },
+            "worker_lost" => Event::WorkerLost {
+                epoch: field_u32(&v, "epoch")?,
+                worker: field_u32(&v, "worker")?,
+            },
+            "rollback" => Event::Rollback {
+                epoch: field_u32(&v, "epoch")?,
+                lr_scale: v
+                    .get("lr_scale")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("line {}: missing lr_scale", lineno + 1))?,
+            },
+            "checkpoint" => Event::Checkpoint {
+                epoch: field_u32(&v, "epoch")?,
+                dur_us: field_u64(&v, "dur_us")?,
+            },
+            "epoch_end" => Event::EpochEnd {
+                epoch: field_u32(&v, "epoch")?,
+                wall_us: field_u64(&v, "wall_us")?,
+            },
+            other => return Err(format!("line {}: unknown event type {other:?}", lineno + 1)),
+        };
+        events.push(ev);
+    }
+    Ok(Timeline {
+        header,
+        events,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        Timeline {
+            header: Header {
+                workers: 2,
+                k: 32,
+                nnz: 10_000,
+                strategy: "q-only".into(),
+                streams: 1,
+                backend: "avx2+fma+f16c".into(),
+                schedule: "stripe".into(),
+            },
+            events: vec![
+                Event::Phase {
+                    epoch: 0,
+                    worker: 0,
+                    phase: Phase::Pull,
+                    start_us: 10,
+                    dur_us: 5,
+                },
+                Event::Phase {
+                    epoch: 0,
+                    worker: 1,
+                    phase: Phase::Comp,
+                    start_us: 15,
+                    dur_us: 900,
+                },
+                Event::Phase {
+                    epoch: 0,
+                    worker: 2,
+                    phase: Phase::Sync,
+                    start_us: 920,
+                    dur_us: 4,
+                },
+                Event::Bytes {
+                    epoch: 0,
+                    dir: Dir::Pull,
+                    bytes: 2_560_000,
+                },
+                Event::Straggler {
+                    epoch: 1,
+                    worker: 1,
+                },
+                Event::WorkerLost {
+                    epoch: 2,
+                    worker: 0,
+                },
+                Event::Rollback {
+                    epoch: 3,
+                    lr_scale: 0.25,
+                },
+                Event::Checkpoint {
+                    epoch: 4,
+                    dur_us: 1_200,
+                },
+                Event::EpochEnd {
+                    epoch: 0,
+                    wall_us: 930,
+                },
+            ],
+            dropped: 1,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_event() {
+        let t = sample();
+        let text = to_jsonl(&t);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn header_line_is_first_and_versioned() {
+        let text = to_jsonl(&sample());
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"type\":\"header\""));
+        assert!(first.contains(&format!("\"format\":{FORMAT_VERSION}")));
+    }
+
+    #[test]
+    fn rejects_unknown_format_and_bad_lines() {
+        let t = sample();
+        let text = to_jsonl(&t).replace("\"format\":1", "\"format\":999");
+        assert!(parse(&text).is_err());
+        let mut text = to_jsonl(&t);
+        text.push_str("{\"type\":\"martian\"}\n");
+        assert!(parse(&text).is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let t = sample();
+        let text = to_jsonl(&t).replace('\n', "\n\n");
+        assert_eq!(parse(&text).unwrap(), t);
+    }
+}

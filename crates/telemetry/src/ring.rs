@@ -1,0 +1,121 @@
+//! Single-writer event rings.
+//!
+//! Each lane (one per worker, plus one for the server/orchestrator) owns a
+//! pre-allocated ring that exactly one thread writes at any moment, so the
+//! hot path is a bounds check and a `Vec::push` into reserved capacity — no
+//! lock, no allocation, no atomic RMW except the overflow counter on the
+//! (cold) full-ring path.
+//!
+//! # Safety protocol
+//!
+//! The `UnsafeCell` is sound under the same discipline the Hogwild kernels
+//! use (see `hcc-sgd`'s shared-factor safety argument):
+//!
+//! 1. During an epoch, lane `w` is written only by the thread running worker
+//!    `w`'s closure; the server lane only by the orchestrator thread.
+//! 2. Worker threads are joined (`std::thread::scope`) before the
+//!    orchestrator touches worker lanes again, so successive writers — and
+//!    the final drain — are ordered by the scope join's happens-before edge.
+//! 3. Draining takes `&mut self`, which the borrow checker proves exclusive.
+//!
+//! Violating (1) is a logic bug in the caller; the type is `pub(crate)` so
+//! the discipline is enforced by this crate's only call sites.
+
+use crate::event::Event;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity, single-writer event buffer.
+pub(crate) struct Ring {
+    buf: UnsafeCell<Vec<Event>>,
+    dropped: AtomicU64,
+}
+
+// SAFETY: see the module-level protocol — at most one thread writes at a
+// time, and cross-thread handoffs are ordered by thread::scope joins.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// A ring holding at most `capacity` events (allocated up front).
+    pub fn with_capacity(capacity: usize) -> Ring {
+        Ring {
+            buf: UnsafeCell::new(Vec::with_capacity(capacity.max(1))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records an event; counts it as dropped when the ring is full.
+    /// Never allocates (pushing below capacity cannot reallocate).
+    pub fn push(&self, event: Event) {
+        // SAFETY: single-writer protocol (module docs).
+        let buf = unsafe { &mut *self.buf.get() };
+        if buf.len() < buf.capacity() {
+            buf.push(event);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events currently recorded (exclusive access).
+    pub fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(self.buf.get_mut())
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("dropped", &self.dropped())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(epoch: u32) -> Event {
+        Event::EpochEnd { epoch, wall_us: 1 }
+    }
+
+    #[test]
+    fn push_and_drain() {
+        let mut r = Ring::with_capacity(8);
+        r.push(ev(0));
+        r.push(ev(1));
+        let got = r.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].epoch(), 1);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_counts_drops_without_reallocating() {
+        let mut r = Ring::with_capacity(2);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.drain().len(), 2);
+    }
+
+    #[test]
+    fn writes_across_scoped_threads_are_visible_after_join() {
+        let mut r = Ring::with_capacity(64);
+        std::thread::scope(|s| {
+            let r = &r;
+            s.spawn(move || {
+                for i in 0..10 {
+                    r.push(ev(i));
+                }
+            });
+        });
+        assert_eq!(r.drain().len(), 10);
+    }
+}

@@ -1,0 +1,386 @@
+//! Epoch breakdown and cost-model validation over a captured timeline.
+//!
+//! [`epoch_breakdown`] folds the raw span stream into per-epoch, per-worker
+//! phase totals — the measured counterparts of Eq. 2's `t_pull`, `t_comp`,
+//! `t_push` and Eq. 3's `t_sync`. [`validate_cost_model`] then checks the
+//! paper's central modeling assumption: that a worker's compute time is
+//! linear in its data fraction (`T_i_c = x_i · nnz · (16k+4) / B_i`) with a
+//! per-worker constant `B_i`. It calibrates `B_i` from the first warm
+//! epoch and scores how well that single constant predicts every later
+//! epoch under
+//! whatever partitions DP0/DP1/DP2 chose — small errors mean planning on
+//! the model is sound on this machine, exactly the §4.3 argument.
+
+use crate::event::{Dir, Event, Phase, Timeline};
+
+/// Measured per-worker phase totals for one epoch, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseTotals {
+    /// Time pulling the feature matrix (`t_pull`).
+    pub pull: f64,
+    /// Time computing SGD updates (`t_comp`).
+    pub comp: f64,
+    /// Time pushing results (`t_push`).
+    pub push: f64,
+    /// Server time merging this worker's push (`t_sync` share).
+    pub sync: f64,
+}
+
+impl PhaseTotals {
+    /// `t_pull + t_comp + t_push + t_sync` — the worker's full epoch cost.
+    pub fn total(&self) -> f64 {
+        self.pull + self.comp + self.push + self.sync
+    }
+}
+
+/// One epoch's measured breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochBreakdown {
+    /// Epoch number.
+    pub epoch: u32,
+    /// Wall-clock time of the epoch, seconds (0 if no `EpochEnd` arrived).
+    pub wall: f64,
+    /// Per-worker phase totals, indexed by starting-fleet worker id.
+    pub workers: Vec<PhaseTotals>,
+    /// Bytes pulled over the wire this epoch.
+    pub pull_bytes: u64,
+    /// Bytes pushed over the wire this epoch.
+    pub push_bytes: u64,
+}
+
+/// Folds a timeline into per-epoch breakdowns, ordered by epoch number.
+///
+/// Sync spans are recorded by the server but tagged with the worker whose
+/// push was being merged; they land in that worker's `sync` slot. Spans
+/// from a rolled-back epoch attempt accumulate into the same epoch number
+/// as the accepted retry — the timeline reports time actually spent.
+pub fn epoch_breakdown(t: &Timeline) -> Vec<EpochBreakdown> {
+    let workers = t.header.workers as usize;
+    let mut epochs: Vec<EpochBreakdown> = Vec::new();
+    let index_of = |epochs: &mut Vec<EpochBreakdown>, epoch: u32| -> usize {
+        match epochs.binary_search_by_key(&epoch, |b| b.epoch) {
+            Ok(i) => i,
+            Err(i) => {
+                epochs.insert(
+                    i,
+                    EpochBreakdown {
+                        epoch,
+                        wall: 0.0,
+                        workers: vec![PhaseTotals::default(); workers],
+                        pull_bytes: 0,
+                        push_bytes: 0,
+                    },
+                );
+                i
+            }
+        }
+    };
+    for ev in &t.events {
+        match *ev {
+            Event::Phase {
+                epoch,
+                worker,
+                phase,
+                dur_us,
+                ..
+            } => {
+                let i = index_of(&mut epochs, epoch);
+                let Some(slot) = epochs[i].workers.get_mut(worker as usize) else {
+                    continue; // server-lane span without worker attribution
+                };
+                let secs = dur_us as f64 / 1e6;
+                match phase {
+                    Phase::Pull => slot.pull += secs,
+                    Phase::Comp => slot.comp += secs,
+                    Phase::Push => slot.push += secs,
+                    Phase::Sync => slot.sync += secs,
+                }
+            }
+            Event::Bytes { epoch, dir, bytes } => {
+                let i = index_of(&mut epochs, epoch);
+                match dir {
+                    Dir::Pull => epochs[i].pull_bytes += bytes,
+                    Dir::Push => epochs[i].push_bytes += bytes,
+                }
+            }
+            Event::EpochEnd { epoch, wall_us } => {
+                let i = index_of(&mut epochs, epoch);
+                epochs[i].wall = wall_us as f64 / 1e6;
+            }
+            _ => {}
+        }
+    }
+    epochs
+}
+
+/// Per-worker verdict of the cost-model validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRow {
+    /// Worker index.
+    pub worker: u32,
+    /// Effective bandwidth `B_i` calibrated from the calibration epoch
+    /// (the first warm one), bytes/s.
+    pub bandwidth: f64,
+    /// Mean measured `t_comp` over the predicted epochs, seconds.
+    pub measured_comp: f64,
+    /// Mean model-predicted `t_comp` over the same epochs, seconds.
+    pub predicted_comp: f64,
+    /// Mean relative error `|measured − predicted| / measured`.
+    pub rel_error: f64,
+}
+
+/// The full measured-vs-model report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelValidation {
+    /// One row per worker.
+    pub rows: Vec<ModelRow>,
+    /// Mean of the per-worker relative errors.
+    pub mean_error: f64,
+    /// Worst per-worker relative error.
+    pub worst_error: f64,
+    /// Epochs used for prediction (everything after the calibration epoch).
+    pub epochs_scored: usize,
+}
+
+/// Validates the Eq. 2 compute term against a measured timeline.
+///
+/// `partitions[e][i]` is worker `i`'s data fraction during the `e`-th
+/// *recorded* epoch (acceptance order, matching `HccReport::
+/// partition_history`). Calibrates `B_i = x_i·nnz·(16k+4) / t_comp` on the
+/// first warm epoch (the second recorded one when three or more exist —
+/// the cold first epoch would bias the bandwidth low), predicts `t_comp`
+/// for every later epoch from its fraction, and reports per-worker
+/// relative error. Returns `None` when fewer than two epochs are
+/// available or shapes don't line up.
+pub fn validate_cost_model(t: &Timeline, partitions: &[Vec<f64>]) -> Option<ModelValidation> {
+    let breakdown = epoch_breakdown(t);
+    let workers = t.header.workers as usize;
+    let usable: Vec<(&EpochBreakdown, &Vec<f64>)> = breakdown
+        .iter()
+        .zip(partitions)
+        .filter(|(b, x)| x.len() == workers && b.workers.len() == workers)
+        .collect();
+    if usable.len() < 2 {
+        return None;
+    }
+    let bytes_per_update = 16.0 * t.header.k as f64 + 4.0;
+    let traffic = t.header.nnz as f64 * bytes_per_update;
+
+    // The very first epoch runs cold (page faults, cache warm-up, lazy
+    // thread-pool spin-up) and would bias `B_i` low; when there are enough
+    // epochs, calibrate on the first *warm* one and skip the cold epoch
+    // entirely.
+    let cal_idx = if usable.len() >= 3 { 1 } else { 0 };
+    let (cal_break, cal_x) = usable[cal_idx];
+    let mut rows = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let t0 = cal_break.workers[w].comp;
+        if t0 <= 0.0 || cal_x[w] <= 0.0 {
+            return None; // a worker with no calibrated work can't be scored
+        }
+        let bandwidth = cal_x[w] * traffic / t0;
+        let mut measured_sum = 0.0;
+        let mut predicted_sum = 0.0;
+        let mut err_sum = 0.0;
+        let mut n = 0usize;
+        for (b, x) in &usable[cal_idx + 1..] {
+            let measured = b.workers[w].comp;
+            if measured <= 0.0 {
+                continue;
+            }
+            let predicted = x[w] * traffic / bandwidth;
+            measured_sum += measured;
+            predicted_sum += predicted;
+            err_sum += (measured - predicted).abs() / measured;
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        rows.push(ModelRow {
+            worker: w as u32,
+            bandwidth,
+            measured_comp: measured_sum / n as f64,
+            predicted_comp: predicted_sum / n as f64,
+            rel_error: err_sum / n as f64,
+        });
+    }
+    let mean_error = rows.iter().map(|r| r.rel_error).sum::<f64>() / rows.len() as f64;
+    let worst_error = rows.iter().map(|r| r.rel_error).fold(0.0, f64::max);
+    Some(ModelValidation {
+        rows,
+        mean_error,
+        worst_error,
+        epochs_scored: usable.len() - 1 - cal_idx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Header;
+
+    fn header(workers: u32) -> Header {
+        Header {
+            workers,
+            k: 32,
+            nnz: 1_000_000,
+            strategy: "q-only".into(),
+            streams: 1,
+            backend: "scalar".into(),
+            schedule: "stripe".into(),
+        }
+    }
+
+    fn phase(epoch: u32, worker: u32, phase: Phase, dur_us: u64) -> Event {
+        Event::Phase {
+            epoch,
+            worker,
+            phase,
+            start_us: 0,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn breakdown_accumulates_phases_and_bytes() {
+        let t = Timeline {
+            header: header(2),
+            events: vec![
+                phase(0, 0, Phase::Pull, 100),
+                phase(0, 0, Phase::Comp, 1_000),
+                phase(0, 0, Phase::Comp, 500), // second span same phase
+                phase(0, 1, Phase::Push, 200),
+                phase(0, 0, Phase::Sync, 50),
+                Event::Bytes {
+                    epoch: 0,
+                    dir: Dir::Pull,
+                    bytes: 10,
+                },
+                Event::Bytes {
+                    epoch: 0,
+                    dir: Dir::Push,
+                    bytes: 20,
+                },
+                Event::EpochEnd {
+                    epoch: 0,
+                    wall_us: 2_000,
+                },
+                phase(1, 1, Phase::Comp, 700),
+            ],
+            dropped: 0,
+        };
+        let b = epoch_breakdown(&t);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].epoch, 0);
+        assert!((b[0].workers[0].comp - 0.0015).abs() < 1e-12);
+        assert!((b[0].workers[0].pull - 0.0001).abs() < 1e-12);
+        assert!((b[0].workers[0].sync - 0.00005).abs() < 1e-12);
+        assert!((b[0].workers[1].push - 0.0002).abs() < 1e-12);
+        assert_eq!(b[0].pull_bytes, 10);
+        assert_eq!(b[0].push_bytes, 20);
+        assert!((b[0].wall - 0.002).abs() < 1e-12);
+        assert!((b[1].workers[1].comp - 0.0007).abs() < 1e-12);
+        assert!((b[0].workers[0].total() - 0.00165).abs() < 1e-12);
+    }
+
+    #[test]
+    fn server_lane_spans_without_worker_are_ignored() {
+        let t = Timeline {
+            header: header(1),
+            events: vec![phase(0, 5, Phase::Sync, 100)], // worker 5 of 1: dropped
+            dropped: 0,
+        };
+        let b = epoch_breakdown(&t);
+        assert_eq!(b[0].workers[0], PhaseTotals::default());
+    }
+
+    #[test]
+    fn perfect_linear_scaling_validates_exactly() {
+        // t_comp proportional to x: epoch 0 x=(0.5,0.5) comp=(1s,2s);
+        // epoch 1 x=(0.25,0.75) comp=(0.5s,3s). Model error must be ~0.
+        let t = Timeline {
+            header: header(2),
+            events: vec![
+                phase(0, 0, Phase::Comp, 1_000_000),
+                phase(0, 1, Phase::Comp, 2_000_000),
+                phase(1, 0, Phase::Comp, 500_000),
+                phase(1, 1, Phase::Comp, 3_000_000),
+            ],
+            dropped: 0,
+        };
+        let partitions = vec![vec![0.5, 0.5], vec![0.25, 0.75]];
+        let v = validate_cost_model(&t, &partitions).unwrap();
+        assert_eq!(v.rows.len(), 2);
+        assert_eq!(v.epochs_scored, 1);
+        assert!(v.worst_error < 1e-9, "err {}", v.worst_error);
+        // Worker 0 calibrated bandwidth: 0.5 · 1e6 · 516 / 1s.
+        assert!((v.rows[0].bandwidth - 0.5 * 1e6 * 516.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mispredicted_worker_is_scored_not_hidden() {
+        // Worker 1's epoch-1 time is 2× what linearity predicts.
+        let t = Timeline {
+            header: header(2),
+            events: vec![
+                phase(0, 0, Phase::Comp, 1_000_000),
+                phase(0, 1, Phase::Comp, 1_000_000),
+                phase(1, 0, Phase::Comp, 1_000_000),
+                phase(1, 1, Phase::Comp, 2_000_000),
+            ],
+            dropped: 0,
+        };
+        let partitions = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        let v = validate_cost_model(&t, &partitions).unwrap();
+        assert!(v.rows[0].rel_error < 1e-9);
+        assert!((v.rows[1].rel_error - 0.5).abs() < 1e-9);
+        assert!((v.worst_error - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_first_epoch_is_skipped_when_enough_epochs_exist() {
+        // Epoch 0 is 3× slower than linearity (cold caches); epochs 1 and 2
+        // scale perfectly. With 3 epochs the calibration moves to epoch 1,
+        // so the model validates exactly — epoch 0 is not even scored.
+        let t = Timeline {
+            header: header(1),
+            events: vec![
+                phase(0, 0, Phase::Comp, 3_000_000),
+                phase(1, 0, Phase::Comp, 1_000_000),
+                phase(2, 0, Phase::Comp, 1_000_000),
+            ],
+            dropped: 0,
+        };
+        let partitions = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let v = validate_cost_model(&t, &partitions).unwrap();
+        assert_eq!(v.epochs_scored, 1);
+        assert!(v.worst_error < 1e-9, "err {}", v.worst_error);
+        // With only epochs 0 and 1, the cold epoch must calibrate (there is
+        // nothing else) and the 3× discrepancy surfaces as error.
+        let t2 = Timeline {
+            header: header(1),
+            events: vec![
+                phase(0, 0, Phase::Comp, 3_000_000),
+                phase(1, 0, Phase::Comp, 1_000_000),
+            ],
+            dropped: 0,
+        };
+        let v2 = validate_cost_model(&t2, &partitions[..2]).unwrap();
+        assert!(v2.worst_error > 0.5);
+    }
+
+    #[test]
+    fn too_few_epochs_or_mismatched_shapes_yield_none() {
+        let t = Timeline {
+            header: header(2),
+            events: vec![
+                phase(0, 0, Phase::Comp, 1_000),
+                phase(0, 1, Phase::Comp, 1_000),
+            ],
+            dropped: 0,
+        };
+        assert!(validate_cost_model(&t, &[vec![0.5, 0.5]]).is_none());
+        assert!(validate_cost_model(&t, &[vec![0.5, 0.5], vec![1.0]]).is_none());
+    }
+}
