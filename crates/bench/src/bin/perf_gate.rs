@@ -1,5 +1,5 @@
-//! CI perf-regression gate: diffs a fresh quick-mode hotpath run against
-//! the committed baseline and exits non-zero if any measured cell's
+//! CI perf-regression gate: diffs fresh quick-mode bench runs against the
+//! committed baselines and exits non-zero if any measured cell's
 //! throughput dropped by more than the threshold.
 //!
 //! ```sh
@@ -7,58 +7,29 @@
 //! cargo run --release -p hcc-bench --bin perf_gate -- \
 //!     --baseline results/BENCH_hotpath_quick.json --current current.json \
 //!     [--threshold 0.15]
+//!
+//! # optionally also gate the serving bench in the same invocation:
+//! cargo run --release -p hcc-bench --bin serving -- --quick --out serving.json
+//! cargo run --release -p hcc-bench --bin perf_gate -- \
+//!     --baseline results/BENCH_hotpath_quick.json --current current.json \
+//!     --serving-baseline results/BENCH_serving_quick.json --serving-current serving.json
 //! ```
 //!
-//! A cell that exists in the baseline but not in the current run (e.g. the
-//! SIMD tier stopped being detected) also fails the gate. CI runs this in
-//! the `perf-gate` job; a genuine machine-variance false positive is
-//! overridden by applying the `perf-override` label to the PR (documented
-//! in `.github/workflows/ci.yml` and `results/README.md`).
+//! A cell that exists in a baseline but not in the current run (e.g. the
+//! SIMD tier stopped being detected, or a batch size was dropped) also
+//! fails the gate. CI runs this in the `perf-gate` job; a genuine
+//! machine-variance false positive is overridden by applying the
+//! `perf-override` label to the PR (documented in
+//! `.github/workflows/ci.yml` and `results/README.md`).
 
-use hcc_bench::gate::{compare, parse_hotpath};
+use hcc_bench::gate::{compare, compare_serving, parse_hotpath, parse_serving, Verdict};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut baseline_path = "results/BENCH_hotpath_quick.json".to_string();
-    let mut current_path: Option<String> = None;
-    let mut threshold = 0.15f64;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--baseline" => baseline_path = it.next().expect("--baseline FILE").clone(),
-            "--current" => current_path = Some(it.next().expect("--current FILE").clone()),
-            "--threshold" => {
-                threshold = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threshold F (fraction, e.g. 0.15)")
-            }
-            other => panic!(
-                "unknown flag {other} (supported: --baseline FILE, --current FILE, --threshold F)"
-            ),
-        }
-    }
-    let current_path = current_path.expect("perf_gate requires --current FILE");
-
-    let read = |path: &str| {
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
-    };
-    let baseline = parse_hotpath(&read(&baseline_path))
-        .unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
-    let current = parse_hotpath(&read(&current_path))
-        .unwrap_or_else(|e| panic!("parsing current {current_path}: {e}"));
-
-    let (verdicts, pass) = compare(&baseline, &current, threshold);
-    println!(
-        "perf gate: {} vs {} (fail below {:.0}% of baseline)",
-        current_path,
-        baseline_path,
-        (1.0 - threshold) * 100.0
-    );
-    for v in &verdicts {
+fn print_verdicts(title: &str, baseline_path: &str, current_path: &str, verdicts: &[Verdict]) {
+    println!("perf gate [{title}]: {current_path} vs {baseline_path}");
+    for v in verdicts {
         match (v.current, v.ratio) {
             (Some(cur), Some(r)) => println!(
-                "  {:<18} {:>10.0} -> {:>10.0} updates/s  ({:>5.1}%){}",
+                "  {:<22} {:>10.0} -> {:>10.0} /s  ({:>5.1}%){}",
                 v.cell,
                 v.baseline,
                 cur,
@@ -66,11 +37,83 @@ fn main() {
                 if v.regressed { "  REGRESSED" } else { "" }
             ),
             _ => println!(
-                "  {:<18} {:>10.0} -> (missing)  REGRESSED",
+                "  {:<22} {:>10.0} -> (missing)  REGRESSED",
                 v.cell, v.baseline
             ),
         }
     }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = "results/BENCH_hotpath_quick.json".to_string();
+    let mut current_path: Option<String> = None;
+    let mut serving_baseline_path = "results/BENCH_serving_quick.json".to_string();
+    let mut serving_current_path: Option<String> = None;
+    let mut threshold = 0.15f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = it.next().expect("--baseline FILE").clone(),
+            "--current" => current_path = Some(it.next().expect("--current FILE").clone()),
+            "--serving-baseline" => {
+                serving_baseline_path = it.next().expect("--serving-baseline FILE").clone()
+            }
+            "--serving-current" => {
+                serving_current_path = Some(it.next().expect("--serving-current FILE").clone())
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold F (fraction, e.g. 0.15)")
+            }
+            other => panic!(
+                "unknown flag {other} (supported: --baseline FILE, --current FILE, \
+                 --serving-baseline FILE, --serving-current FILE, --threshold F)"
+            ),
+        }
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+    };
+    println!(
+        "perf gate: fail below {:.0}% of baseline",
+        (1.0 - threshold) * 100.0
+    );
+
+    let mut pass = true;
+    let mut gated = false;
+    if let Some(current_path) = &current_path {
+        let baseline = parse_hotpath(&read(&baseline_path))
+            .unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+        let current = parse_hotpath(&read(current_path))
+            .unwrap_or_else(|e| panic!("parsing current {current_path}: {e}"));
+        let (verdicts, ok) = compare(&baseline, &current, threshold);
+        print_verdicts("hotpath", &baseline_path, current_path, &verdicts);
+        pass &= ok;
+        gated = true;
+    }
+    if let Some(serving_current_path) = &serving_current_path {
+        let (baseline, _) = parse_serving(&read(&serving_baseline_path))
+            .unwrap_or_else(|e| panic!("parsing serving baseline {serving_baseline_path}: {e}"));
+        let (current, speedup) = parse_serving(&read(serving_current_path))
+            .unwrap_or_else(|e| panic!("parsing serving current {serving_current_path}: {e}"));
+        let (verdicts, ok) = compare_serving(&baseline, &current, threshold);
+        print_verdicts(
+            "serving",
+            &serving_baseline_path,
+            serving_current_path,
+            &verdicts,
+        );
+        println!("  batch-256 vs naive speedup: {speedup:.2}x");
+        pass &= ok;
+        gated = true;
+    }
+    if !gated {
+        panic!("perf_gate requires --current FILE and/or --serving-current FILE");
+    }
+
     if pass {
         println!("perf gate: PASS");
     } else {
@@ -78,7 +121,7 @@ fn main() {
             "perf gate: FAIL — throughput regressed more than {:.0}%. If this is machine \
              variance rather than a real regression, apply the `perf-override` label to the PR \
              or regenerate the baseline with `cargo run --release -p hcc-bench --bin hotpath -- \
-             --quick`.",
+             --quick` / `--bin serving -- --quick`.",
             threshold * 100.0
         );
         std::process::exit(1);

@@ -92,6 +92,56 @@ pub fn compare(
     (verdicts, pass)
 }
 
+/// One measured cell of the serving bench: a (mode, batch) pair and its
+/// query throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRow {
+    pub mode: String,
+    pub batch: u64,
+    pub queries_per_sec: f64,
+}
+
+/// Extracts the `results` rows and the headline speedup of a serving JSON
+/// document.
+pub fn parse_serving(src: &str) -> Result<(Vec<ServingRow>, f64), String> {
+    let doc = json::parse(src)?;
+    validate_serving_schema(&doc)?;
+    let rows = doc.get("results").and_then(Value::as_arr).unwrap();
+    let parsed = rows
+        .iter()
+        .map(|r| ServingRow {
+            mode: r.get("mode").and_then(Value::as_str).unwrap().to_string(),
+            batch: r.get("batch").and_then(Value::as_f64).unwrap() as u64,
+            queries_per_sec: r.get("queries_per_sec").and_then(Value::as_f64).unwrap(),
+        })
+        .collect();
+    let speedup = doc
+        .get("speedup_batch256_vs_naive")
+        .and_then(Value::as_f64)
+        .unwrap();
+    Ok((parsed, speedup))
+}
+
+/// Compares a current serving run against the committed baseline with the
+/// same rules as the hotpath gate: a (mode, batch) cell regresses when its
+/// throughput drops by more than `threshold` or vanishes entirely.
+pub fn compare_serving(
+    baseline: &[ServingRow],
+    current: &[ServingRow],
+    threshold: f64,
+) -> (Vec<Verdict>, bool) {
+    let as_hotpath = |rows: &[ServingRow]| -> Vec<HotpathRow> {
+        rows.iter()
+            .map(|r| HotpathRow {
+                backend: r.mode.clone(),
+                schedule: format!("batch-{}", r.batch),
+                updates_per_sec: r.queries_per_sec,
+            })
+            .collect()
+    };
+    compare(&as_hotpath(baseline), &as_hotpath(current), threshold)
+}
+
 fn require<'a>(doc: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
     doc.get(key)
         .ok_or_else(|| format!("{what}: missing key \"{key}\""))
@@ -145,6 +195,44 @@ pub fn validate_hotpath_schema(doc: &Value) -> Result<(), String> {
         if ups <= 0.0 || secs <= 0.0 {
             return Err(format!("{what}: non-positive measurement"));
         }
+    }
+    Ok(())
+}
+
+/// Validates the `BENCH_serving*.json` schema (see `results/README.md`).
+pub fn validate_serving_schema(doc: &Value) -> Result<(), String> {
+    let what = "serving";
+    let bench = require_str(doc, "bench", what)?;
+    if bench != "serving" {
+        return Err(format!(
+            "{what}: \"bench\" is \"{bench}\", expected \"serving\""
+        ));
+    }
+    for key in ["users", "items", "k", "topk", "queries", "shards", "rounds"] {
+        require_num(doc, key, what)?;
+    }
+    require_str(doc, "backend", what)?;
+    let rows = require_arr(doc, "results", what)?;
+    if rows.is_empty() {
+        return Err(format!("{what}: \"results\" is empty"));
+    }
+    for (i, r) in rows.iter().enumerate() {
+        let what = format!("serving.results[{i}]");
+        let mode = require_str(r, "mode", &what)?;
+        if mode != "naive" && mode != "sharded" {
+            return Err(format!("{what}: unknown mode \"{mode}\""));
+        }
+        require_num(r, "batch", &what)?;
+        let qps = require_num(r, "queries_per_sec", &what)?;
+        let p50 = require_num(r, "p50_us", &what)?;
+        let p99 = require_num(r, "p99_us", &what)?;
+        if qps <= 0.0 || p50 < 0.0 || p99 < p50 {
+            return Err(format!("{what}: inconsistent measurement"));
+        }
+    }
+    let speedup = require_num(doc, "speedup_batch256_vs_naive", what)?;
+    if speedup <= 0.0 {
+        return Err(format!("{what}: non-positive speedup"));
     }
     Ok(())
 }
@@ -264,6 +352,58 @@ mod tests {
                 "{name}: no scalar+stripe baseline cell"
             );
         }
+    }
+
+    #[test]
+    fn committed_serving_artifacts_match_schema_and_speedup_floor() {
+        for name in ["BENCH_serving.json", "BENCH_serving_quick.json"] {
+            let src = committed(name).unwrap_or_else(|| panic!("{name} missing from results/"));
+            let (rows, speedup) = parse_serving(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                rows.iter().any(|r| r.mode == "naive" && r.batch == 1),
+                "{name}: no naive single-query baseline cell"
+            );
+            assert!(
+                rows.iter().any(|r| r.mode == "sharded" && r.batch == 256),
+                "{name}: no sharded batch-256 cell"
+            );
+            // The committed full-size artifact must meet the design floor:
+            // sharded batch-256 at least 3x the naive single-query path.
+            if name == "BENCH_serving.json" {
+                assert!(speedup >= 3.0, "{name}: speedup {speedup} below 3.0 floor");
+            }
+        }
+    }
+
+    #[test]
+    fn serving_gate_compares_mode_batch_cells() {
+        let srow = |mode: &str, batch: u64, qps: f64| ServingRow {
+            mode: mode.into(),
+            batch,
+            queries_per_sec: qps,
+        };
+        let base = vec![srow("naive", 1, 50.0), srow("sharded", 256, 400.0)];
+        let ok = vec![srow("naive", 1, 48.0), srow("sharded", 256, 390.0)];
+        assert!(compare_serving(&base, &ok, 0.15).1);
+        let slow = vec![srow("naive", 1, 50.0), srow("sharded", 256, 200.0)];
+        let (verdicts, pass) = compare_serving(&base, &slow, 0.15);
+        assert!(!pass);
+        assert_eq!(verdicts[1].cell, "sharded + batch-256");
+        // A vanished cell fails, same rule as hotpath.
+        assert!(!compare_serving(&base, &base[..1], 0.15).1);
+    }
+
+    #[test]
+    fn serving_schema_rejects_malformed_documents() {
+        let doc = json::parse(r#"{"bench": "serving", "users": 10}"#).unwrap();
+        assert!(validate_serving_schema(&doc).is_err());
+        // p99 below p50 is inconsistent.
+        let bad = r#"{"bench": "serving", "users": 1, "items": 1, "k": 1, "topk": 1,
+            "queries": 1, "shards": 1, "rounds": 1, "backend": "scalar",
+            "results": [{"mode": "naive", "batch": 1, "queries_per_sec": 10.0,
+                         "p50_us": 9.0, "p99_us": 2.0}],
+            "speedup_batch256_vs_naive": 1.0}"#;
+        assert!(validate_serving_schema(&json::parse(bad).unwrap()).is_err());
     }
 
     #[test]

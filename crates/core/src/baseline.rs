@@ -8,9 +8,9 @@
 //! (the factors no longer have to encode "this user rates high").
 
 use crate::error::HccError;
-use crate::recommend::Recommender;
 use crate::report::HccReport;
 use crate::train::HccMf;
+use hcc_serve::{Recommender, ServeError};
 use hcc_sparse::{CooMatrix, Rating};
 
 /// The fitted `μ + b_u + c_i` baseline.
@@ -148,22 +148,23 @@ impl BiasedRecommender {
         (sum / entries.len() as f64).sqrt()
     }
 
-    /// Top-k unseen items by full prediction.
-    pub fn top_k(&self, user: u32, count: usize) -> Vec<(u32, f32)> {
+    /// Top-k unseen items by full prediction; an out-of-range user is a
+    /// typed error.
+    pub fn top_k(&self, user: u32, count: usize) -> Result<Vec<(u32, f32)>, ServeError> {
         // Rank by residual score + item bias (the user terms are constant
         // per user and don't affect ordering).
         let mut scored: Vec<(u32, f32)> = self
             .inner
-            .top_k(user, self.inner.items()) // all unseen, residual-ranked
+            .top_k(user, self.inner.items())? // all unseen, residual-ranked
             .into_iter()
             .map(|(i, s)| (i, s + self.baseline.item_bias[i as usize]))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         scored.truncate(count);
-        scored
+        Ok(scored
             .into_iter()
             .map(|(i, _)| (i, self.predict(user, i)))
-            .collect()
+            .collect())
     }
 
     /// The fitted baseline.
@@ -313,7 +314,7 @@ mod tests {
         let (_, _, rec) = HccMf::new(config).train_biased(&ds.matrix, 5.0).unwrap();
         // User 0 is the Zipf-heaviest and may have rated every item; use a
         // mid-tail user that certainly has unseen items.
-        let top = rec.top_k(40, 5);
+        let top = rec.top_k(40, 5).unwrap();
         assert_eq!(top.len(), 5);
         // Descending by full prediction.
         for pair in top.windows(2) {

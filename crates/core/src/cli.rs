@@ -6,13 +6,14 @@
 //! hcc train <ratings.txt> [training flags]     train a model
 //! hcc analyze <ratings.txt>                    dataset statistics + verdict
 //! hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]
+//! hcc serve <model.hccmf> <ratings.txt> --queries FILE [serving flags]
 //! ```
 
 use crate::config::{HccConfig, PartitionMode, WorkerSpec};
 use crate::metrics::evaluate_ranking;
-use crate::recommend::Recommender;
 use crate::train::HccMf;
 use hcc_comm::TransferStrategy;
+use hcc_serve::{Recommender, ServeEngine};
 use hcc_sgd::{LearningRate, Schedule};
 use hcc_sparse::stats::row_count_quantiles;
 use hcc_sparse::MatrixStats;
@@ -39,6 +40,28 @@ pub enum CliCommand {
         /// Recommendations to print.
         count: usize,
     },
+    /// Run a scripted top-k query workload against a checkpoint.
+    Serve(ServeArgs),
+}
+
+/// Arguments of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Checkpoint path (written by `train --out`).
+    pub model: String,
+    /// Training ratings file (seen-item exclusion + shard weighting).
+    pub ratings: String,
+    /// Query workload file: one user id per line (`#` comments and blank
+    /// lines skipped).
+    pub queries: String,
+    /// Recommendations per query.
+    pub topk: usize,
+    /// Item shards (threads a batch fans out across).
+    pub shards: usize,
+    /// Queries per batch.
+    pub batch: usize,
+    /// Write a JSONL telemetry timeline (one `query` span per query).
+    pub telemetry: Option<String>,
 }
 
 /// Arguments of the `train` subcommand.
@@ -122,7 +145,9 @@ pub const USAGE: &str = "usage:
             [--checkpoint-every N [--checkpoint-path FILE]] [--resume FILE]
             [--fault-tolerant] [--telemetry FILE.jsonl]
   hcc analyze <ratings.txt>
-  hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]";
+  hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]
+  hcc serve <model.hccmf> <ratings.txt> --queries FILE [--topk N]
+            [--shards N] [--batch N] [--telemetry FILE.jsonl]";
 
 /// Parses raw arguments (excluding the program name).
 pub fn parse(args: &[String]) -> Result<CliCommand, String> {
@@ -169,8 +194,64 @@ pub fn parse(args: &[String]) -> Result<CliCommand, String> {
                 count,
             })
         }
+        "serve" => {
+            let model = it.next().ok_or("serve needs a model file")?.clone();
+            let ratings = it.next().ok_or("serve needs a ratings file")?.clone();
+            let mut queries = None;
+            let mut topk = 10usize;
+            let mut shards = 4usize;
+            let mut batch = 32usize;
+            let mut telemetry = None;
+            while let Some(arg) = it.next() {
+                let mut next = |name: &str| -> Result<String, String> {
+                    it.next().cloned().ok_or(format!("{name} needs a value"))
+                };
+                match arg.as_str() {
+                    "--queries" => queries = Some(next("--queries")?),
+                    "--topk" => {
+                        topk = next("--topk")?
+                            .parse()
+                            .map_err(|e| format!("--topk: {e}"))?
+                    }
+                    "--shards" => {
+                        shards = next("--shards")?
+                            .parse()
+                            .map_err(|e| format!("--shards: {e}"))?
+                    }
+                    "--batch" => {
+                        batch = next("--batch")?
+                            .parse()
+                            .map_err(|e| format!("--batch: {e}"))?
+                    }
+                    "--telemetry" => telemetry = Some(next("--telemetry")?),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if shards == 0 || batch == 0 {
+                return Err("--shards and --batch must be >= 1".into());
+            }
+            Ok(CliCommand::Serve(ServeArgs {
+                model,
+                ratings,
+                queries: queries.ok_or("serve requires --queries")?,
+                topk,
+                shards,
+                batch,
+                telemetry,
+            }))
+        }
         other => Err(format!("unknown subcommand {other}")),
     }
+}
+
+/// Parses a query workload file: one user id per line, blank lines and
+/// `#`-prefixed comments skipped.
+fn parse_query_file(text: &str) -> Result<Vec<u32>, String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse().map_err(|e| format!("query '{l}': {e}")))
+        .collect()
 }
 
 fn parse_train<'a, I: Iterator<Item = &'a String>>(
@@ -336,8 +417,88 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                 return Err(format!("user {user} out of range (model has {})", p.rows()));
             }
             let rec = Recommender::new(p, q, &matrix);
-            for (item, score) in rec.top_k(user, count) {
+            for (item, score) in rec.top_k(user, count).map_err(|e| e.to_string())? {
                 writeln!(out, "{item}\t{score:.3}").ok();
+            }
+            Ok(())
+        }
+        CliCommand::Serve(args) => {
+            let matrix =
+                hcc_sparse::io::read_triples_file(&args.ratings).map_err(|e| e.to_string())?;
+            let model = crate::serving::load_served_model(&args.model, Some(&matrix), args.shards)
+                .map_err(|e| e.to_string())?;
+            let queries = parse_query_file(
+                &std::fs::read_to_string(&args.queries)
+                    .map_err(|e| format!("reading {}: {e}", args.queries))?,
+            )?;
+            if queries.is_empty() {
+                return Err(format!("{} contains no queries", args.queries));
+            }
+            writeln!(
+                out,
+                "serving {} users × {} items (k={}, shards {:?})",
+                model.users(),
+                model.items(),
+                model.k(),
+                model.shard_sizes()
+            )
+            .ok();
+            let telemetry = if args.telemetry.is_some() {
+                hcc_telemetry::Telemetry::enabled(
+                    hcc_telemetry::Header {
+                        workers: model.shard_count() as u32,
+                        k: model.k() as u32,
+                        nnz: matrix.nnz() as u64,
+                        strategy: "serve".into(),
+                        streams: 1,
+                        backend: hcc_sgd::simd::active_backend().name().into(),
+                        schedule: "serve".into(),
+                    },
+                    (queries.len() + 16).max(hcc_telemetry::DEFAULT_LANE_CAPACITY),
+                )
+            } else {
+                hcc_telemetry::Telemetry::disabled()
+            };
+            let engine = ServeEngine::with_telemetry(model, telemetry);
+
+            // Warm pass: fault any lazy state (page cache, branch
+            // predictors) on a prefix so the measured run is steady-state.
+            let warm = queries.len().min(args.batch);
+            engine
+                .top_k_batch(&queries[..warm], args.topk)
+                .map_err(|e| e.to_string())?;
+
+            let t0 = std::time::Instant::now();
+            let mut answered = 0usize;
+            for chunk in queries.chunks(args.batch) {
+                let results = engine
+                    .top_k_batch(chunk, args.topk)
+                    .map_err(|e| e.to_string())?;
+                answered += results.len();
+            }
+            let wall = t0.elapsed();
+            let stats = engine.stats();
+            writeln!(
+                out,
+                "served {answered} queries (top-{}, batch {}) in {:.2?}",
+                args.topk, args.batch, wall
+            )
+            .ok();
+            writeln!(
+                out,
+                "latency p50 {} µs, p99 {} µs, {:.0} queries/s",
+                stats.p50_us,
+                stats.p99_us,
+                answered as f64 / wall.as_secs_f64().max(1e-9)
+            )
+            .ok();
+            if let Some(path) = &args.telemetry {
+                let timeline = engine
+                    .finish_telemetry()
+                    .expect("telemetry was enabled above");
+                std::fs::write(path, hcc_telemetry::jsonl::to_jsonl(&timeline))
+                    .map_err(|e| format!("writing telemetry {path}: {e}"))?;
+                writeln!(out, "telemetry timeline written to {path}").ok();
             }
             Ok(())
         }
@@ -582,6 +743,114 @@ mod tests {
         assert!(parse(&argv("train d.txt --schedule diagonal")).is_err());
         assert!(parse(&argv("recommend m.hccmf r.txt")).is_err()); // no --user
         assert!(parse(&argv("analyze a.txt extra")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        let cmd = parse(&argv(
+            "serve m.hccmf r.txt --queries q.txt --topk 5 --shards 8 --batch 64 --telemetry t.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::Serve(ServeArgs {
+                model: "m.hccmf".into(),
+                ratings: "r.txt".into(),
+                queries: "q.txt".into(),
+                topk: 5,
+                shards: 8,
+                batch: 64,
+                telemetry: Some("t.jsonl".into()),
+            })
+        );
+        match parse(&argv("serve m.hccmf r.txt --queries q.txt")).unwrap() {
+            CliCommand::Serve(args) => {
+                assert_eq!((args.topk, args.shards, args.batch), (10, 4, 32));
+                assert_eq!(args.telemetry, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve m.hccmf r.txt")).is_err()); // no --queries
+        assert!(parse(&argv("serve m.hccmf r.txt --queries q.txt --shards 0")).is_err());
+        assert!(parse(&argv("serve m.hccmf r.txt --queries q.txt --batch 0")).is_err());
+        assert!(parse(&argv("serve m.hccmf r.txt --queries q.txt --bogus")).is_err());
+    }
+
+    #[test]
+    fn query_file_parsing_skips_comments() {
+        assert_eq!(
+            parse_query_file("# workload\n3\n\n 7 \n0\n").unwrap(),
+            vec![3, 7, 0]
+        );
+        assert!(parse_query_file("3\nnope\n").is_err());
+    }
+
+    #[test]
+    fn serve_runs_a_scripted_workload_from_a_checkpoint() {
+        use hcc_sgd::FactorMatrix;
+        use hcc_sparse::{GenConfig, SyntheticDataset};
+        let dir = std::env::temp_dir().join("hcc_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = SyntheticDataset::generate(GenConfig {
+            rows: 80,
+            cols: 50,
+            nnz: 1_200,
+            ..GenConfig::default()
+        });
+        let ratings = dir.join("r.txt");
+        hcc_sparse::io::write_triples_file(&ds.matrix, &ratings).unwrap();
+        let model = dir.join("m.hccmf");
+        crate::checkpoint::save_model(
+            &model,
+            &FactorMatrix::random(80, 8, 1),
+            &FactorMatrix::random(50, 8, 2),
+        )
+        .unwrap();
+        let queries = dir.join("q.txt");
+        std::fs::write(&queries, "# workload\n0\n17\n42\n5\n").unwrap();
+        let jsonl = dir.join("serve.jsonl");
+
+        let mut buf = Vec::new();
+        let cmd = parse(&argv(&format!(
+            "serve {} {} --queries {} --topk 3 --shards 2 --batch 2 --telemetry {}",
+            model.display(),
+            ratings.display(),
+            queries.display(),
+            jsonl.display()
+        )))
+        .unwrap();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("served 4 queries"), "{text}");
+        assert!(text.contains("latency p50"), "{text}");
+
+        // The timeline holds one `query` span per answered query (warm pass
+        // included) under the serving header.
+        let timeline =
+            hcc_telemetry::jsonl::parse(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
+        assert_eq!(timeline.header.strategy, "serve");
+        assert_eq!(timeline.header.workers, 2);
+        let spans = timeline
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, hcc_telemetry::Event::Phase { phase, .. }
+                    if *phase == hcc_telemetry::Phase::Query)
+            })
+            .count();
+        assert_eq!(spans, 6, "4 measured + 2 warm");
+
+        // An out-of-range user in the workload is a clean error.
+        std::fs::write(&queries, "9999\n").unwrap();
+        let cmd = parse(&argv(&format!(
+            "serve {} {} --queries {}",
+            model.display(),
+            ratings.display(),
+            queries.display()
+        )))
+        .unwrap();
+        assert!(run(cmd, &mut Vec::new()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -50,9 +50,9 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod observe;
-pub mod recommend;
 pub mod report;
 pub mod server;
+pub mod serving;
 pub mod supervisor;
 pub mod train;
 pub mod worker;
@@ -67,13 +67,14 @@ pub use config::{
 pub use error::HccError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{evaluate_ranking, RankingMetrics};
-pub use recommend::Recommender;
 pub use report::{HccReport, WorkerEpochStats};
+pub use serving::{load_served_model, reload_from_checkpoint};
 pub use supervisor::{Supervisor, SupervisorConfig, WorkerHealth};
 pub use train::HccMf;
 
 // Re-export the pieces users compose with.
 pub use hcc_comm::TransferStrategy;
 pub use hcc_partition::StrategyChoice;
+pub use hcc_serve::{FoldInConfig, Recommender, ServeEngine, ServeError, ServeStats, ServedModel};
 pub use hcc_sgd::{FactorMatrix, LearningRate};
 pub use hcc_telemetry::{Telemetry, Timeline};

@@ -5,7 +5,7 @@
 //! `Recommender` against a held-out test set with the
 //! standard top-k metrics: precision@k, recall@k and NDCG@k.
 
-use crate::recommend::Recommender;
+use hcc_serve::Recommender;
 use hcc_sparse::{CooMatrix, CsrMatrix};
 
 /// Aggregated ranking metrics over all evaluable test users.
@@ -60,7 +60,9 @@ pub fn evaluate_ranking(
         relevant.sort_unstable();
         users += 1;
 
-        let top = rec.top_k(u, k);
+        let top = rec
+            .top_k(u, k)
+            .expect("u ranges over test rows, asserted == rec.users()");
         let hits: Vec<bool> = top
             .iter()
             .map(|(i, _)| relevant.binary_search(i).is_ok())

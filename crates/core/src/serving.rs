@@ -1,0 +1,109 @@
+//! Checkpoint → serving glue: load `.hccmf` files into [`ServedModel`]s
+//! and hot-reload running [`ServeEngine`]s from disk.
+//!
+//! The serving crate (`hcc-serve`) deliberately knows nothing about the
+//! on-disk checkpoint formats; this module joins it to
+//! [`crate::checkpoint`]. The joint is also the crash-safety boundary for
+//! hot reload: a corrupt or truncated checkpoint fails *here*, before
+//! [`ServeEngine::reload`] is ever called, so a bad deploy artifact leaves
+//! the old model serving untouched.
+
+use crate::checkpoint::load_model;
+use crate::error::HccError;
+use hcc_serve::{ServeEngine, ServeError, ServedModel};
+use hcc_sparse::CooMatrix;
+use std::path::Path;
+
+impl From<ServeError> for HccError {
+    fn from(err: ServeError) -> Self {
+        HccError::BadInput(err.to_string())
+    }
+}
+
+/// Loads a v1/v2 model checkpoint and builds an item-sharded serving
+/// snapshot from it. `train`, when given, supplies the seen-item filter and
+/// entry-weights the shard split; its dimensions must match the checkpoint.
+pub fn load_served_model<P: AsRef<Path>>(
+    path: P,
+    train: Option<&CooMatrix>,
+    shards: usize,
+) -> Result<ServedModel, HccError> {
+    let (p, q) = load_model(path)?;
+    Ok(ServedModel::build(p, q, train, shards)?)
+}
+
+/// Hot-reloads `engine` from a checkpoint on disk; returns the engine's
+/// reload count. Any failure — unreadable file, bad magic, CRC mismatch
+/// ([`HccError::CorruptCheckpoint`]), factor/`train` shape disagreement —
+/// happens before the swap, so the engine keeps serving its current model.
+pub fn reload_from_checkpoint<P: AsRef<Path>>(
+    engine: &ServeEngine,
+    path: P,
+    train: Option<&CooMatrix>,
+    shards: usize,
+) -> Result<u64, HccError> {
+    let model = load_served_model(path, train, shards)?;
+    Ok(engine.reload(model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::save_model;
+    use hcc_sgd::FactorMatrix;
+    use std::fs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hcc_serving_glue");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn checkpoint_round_trips_into_a_serving_engine() {
+        let path = tmp("roundtrip.hccmf");
+        let p = FactorMatrix::random(6, 4, 1);
+        let q = FactorMatrix::random(9, 4, 2);
+        save_model(&path, &p, &q).unwrap();
+        let model = load_served_model(&path, None, 3).unwrap();
+        assert_eq!((model.users(), model.items(), model.k()), (6, 9, 4));
+        let engine = ServeEngine::new(model);
+        assert_eq!(engine.top_k(0, 4).unwrap().len(), 4);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_fails_before_the_swap() {
+        let path = tmp("corrupt.hccmf");
+        let p = FactorMatrix::random(4, 2, 3);
+        let q = FactorMatrix::random(5, 2, 4);
+        save_model(&path, &p, &q).unwrap();
+        let engine = ServeEngine::new(load_served_model(&path, None, 2).unwrap());
+        let before = engine.top_k(1, 3).unwrap();
+
+        // Flip one payload byte: the CRC footer must reject the file.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = reload_from_checkpoint(&engine, &path, None, 2).unwrap_err();
+        assert!(matches!(err, HccError::CorruptCheckpoint(_)), "{err:?}");
+
+        // The engine never swapped: same answers, zero reloads.
+        assert_eq!(engine.top_k(1, 3).unwrap(), before);
+        assert_eq!(engine.stats().reloads, 0);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_train_matrix_is_rejected() {
+        let path = tmp("mismatch.hccmf");
+        let p = FactorMatrix::random(4, 2, 5);
+        let q = FactorMatrix::random(5, 2, 6);
+        save_model(&path, &p, &q).unwrap();
+        let train = CooMatrix::new(7, 5, vec![]).unwrap(); // 7 != 4 users
+        let err = load_served_model(&path, Some(&train), 2).unwrap_err();
+        assert!(matches!(err, HccError::BadInput(_)), "{err:?}");
+        fs::remove_file(&path).ok();
+    }
+}

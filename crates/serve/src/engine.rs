@@ -1,0 +1,530 @@
+//! The serving engine: snapshot queries, batched shard fan-out, hot reload.
+//!
+//! ## Snapshot discipline
+//!
+//! The live model is an `Arc<ServedModel>` behind a `parking_lot::RwLock`
+//! that is only ever held long enough to clone or replace the `Arc` — never
+//! across a scan. Every query (and every batch) clones the `Arc` once up
+//! front and answers entirely from that snapshot, so:
+//!
+//! * a reload never blocks behind a long scan and a scan never observes a
+//!   half-installed model (the swap is a single pointer store);
+//! * a whole batch is answered against *one* model even if a reload lands
+//!   mid-batch — no torn batches;
+//! * the old model is freed when the last in-flight query drops its `Arc`.
+//!
+//! ## Query plan
+//!
+//! Single queries scan the item shards serially (spawning threads would
+//! cost more than the scan). Batches fan out one thread per shard under
+//! `std::thread::scope`; each thread scores *all* users of the batch
+//! against *its* shard with the SIMD dot kernel into size-`k` heaps, and
+//! the caller merges the per-shard heaps per user. The merge is exact:
+//! every shard returns its local top `k`, and any global top-`k` item is
+//! necessarily in its own shard's top `k`.
+
+use crate::error::ServeError;
+use crate::foldin::{fold_in, FoldInConfig};
+use crate::model::{ItemShard, ServedModel};
+use crate::topk::TopK;
+use hcc_sgd::simd;
+use hcc_telemetry::{Phase, Telemetry, Timeline};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Aggregate serving statistics since the engine was built.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeStats {
+    /// Queries answered (each user of a batch counts once).
+    pub queries: u64,
+    /// Completed hot reloads.
+    pub reloads: u64,
+    /// Median per-query latency, µs (0 with no traffic). Batch queries
+    /// report amortized per-user latency.
+    pub p50_us: u64,
+    /// 99th-percentile per-query latency, µs.
+    pub p99_us: u64,
+    /// Queries per second over the engine's lifetime.
+    pub qps: f64,
+}
+
+/// An in-process serving engine over an item-sharded factor snapshot.
+pub struct ServeEngine {
+    current: RwLock<Arc<ServedModel>>,
+    telemetry: Telemetry,
+    /// Per-query latencies in µs (amortized for batches). Serving-path
+    /// bookkeeping, not hot relative to an `O(items · k)` scan.
+    latencies: Mutex<Vec<u64>>,
+    queries: AtomicU64,
+    reloads: AtomicU64,
+    started: Instant,
+}
+
+impl ServeEngine {
+    /// An engine serving `model`, with telemetry off.
+    pub fn new(model: ServedModel) -> ServeEngine {
+        ServeEngine::with_telemetry(model, Telemetry::disabled())
+    }
+
+    /// An engine recording a [`Phase::Query`] span per answered query on
+    /// the given telemetry handle (use [`finish_telemetry`] to drain it).
+    ///
+    /// [`finish_telemetry`]: ServeEngine::finish_telemetry
+    pub fn with_telemetry(model: ServedModel, telemetry: Telemetry) -> ServeEngine {
+        ServeEngine {
+            current: RwLock::new(Arc::new(model)),
+            telemetry,
+            latencies: Mutex::new(Vec::new()),
+            queries: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The current model snapshot (queries in flight may still hold older
+    /// snapshots).
+    pub fn model(&self) -> Arc<ServedModel> {
+        self.current.read().clone()
+    }
+
+    /// Atomically installs a new model; returns the reload count. Queries
+    /// already running finish on the model they started with; the swap
+    /// itself is a pointer store under a briefly held write lock, so there
+    /// is zero query downtime. Validation happens in
+    /// [`ServedModel::build`] — by the time a model exists it is servable,
+    /// and a failed build/load leaves the old model in place untouched.
+    pub fn reload(&self, model: ServedModel) -> u64 {
+        *self.current.write() = Arc::new(model);
+        self.reloads.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Predicted score for `(user, item)` on the current snapshot.
+    pub fn predict(&self, user: u32, item: u32) -> Result<f32, ServeError> {
+        let model = self.model();
+        Ok(simd::dot(model.user_row(user)?, model.item_row(item)?))
+    }
+
+    /// The `count` highest-scored unseen items for `user`, best first.
+    pub fn top_k(&self, user: u32, count: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        let model = self.model();
+        let t0 = Instant::now();
+        let result = top_k_on(&model, user, count)?;
+        self.note_queries(1, t0);
+        Ok(result)
+    }
+
+    /// Answers a batch of top-k queries against one snapshot, fanning out
+    /// one thread per item shard. Any unknown user fails the whole batch
+    /// before any scoring work happens.
+    pub fn top_k_batch(
+        &self,
+        users: &[u32],
+        count: usize,
+    ) -> Result<Vec<Vec<(u32, f32)>>, ServeError> {
+        let model = self.model();
+        let t0 = Instant::now();
+        for &u in users {
+            model.user_row(u)?;
+        }
+        // Seen lists are per-user state shared by every shard thread:
+        // compute them once, outside the fan-out.
+        let seen: Vec<Vec<u32>> = users.iter().map(|&u| model.seen_items(u)).collect();
+        let shards = model.shards();
+        let result = if shards.len() <= 1 || users.len() <= 1 {
+            users
+                .iter()
+                .zip(&seen)
+                .map(|(&u, s)| {
+                    let row = model.user_row(u).expect("validated above");
+                    let mut best = TopK::new(count);
+                    for shard in shards {
+                        scan_shard(shard, row, s, &mut best);
+                    }
+                    Ok(best.into_sorted())
+                })
+                .collect::<Result<Vec<_>, ServeError>>()?
+        } else {
+            // One thread per shard; each produces per-user partial heaps.
+            let partials: Vec<Vec<Vec<(u32, f32)>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        let model = &model;
+                        let seen = &seen;
+                        scope.spawn(move || {
+                            users
+                                .iter()
+                                .zip(seen)
+                                .map(|(&u, s)| {
+                                    let row = model.user_row(u).expect("validated above");
+                                    let mut best = TopK::new(count);
+                                    scan_shard(shard, row, s, &mut best);
+                                    best.into_sorted()
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            (0..users.len())
+                .map(|qi| {
+                    let mut best = TopK::new(count);
+                    for per_shard in &partials {
+                        for &(item, score) in &per_shard[qi] {
+                            best.offer(item, score);
+                        }
+                    }
+                    best.into_sorted()
+                })
+                .collect()
+        };
+        self.note_queries(users.len() as u64, t0);
+        Ok(result)
+    }
+
+    /// Folds an unseen user into the current snapshot: trains a fresh `P`
+    /// row on `ratings` against the frozen `Q` and returns it (the model
+    /// itself stays immutable). Feed the row to
+    /// [`top_k_folded`](ServeEngine::top_k_folded).
+    pub fn fold_in(
+        &self,
+        ratings: &[(u32, f32)],
+        config: &FoldInConfig,
+    ) -> Result<Vec<f32>, ServeError> {
+        fold_in(&self.model(), ratings, config)
+    }
+
+    /// Top-k for a caller-supplied user row (typically from
+    /// [`fold_in`](ServeEngine::fold_in)); `exclude` lists item ids to skip
+    /// (the fold-in user's own ratings, in any order).
+    pub fn top_k_folded(
+        &self,
+        user_row: &[f32],
+        count: usize,
+        exclude: &[u32],
+    ) -> Result<Vec<(u32, f32)>, ServeError> {
+        let model = self.model();
+        if user_row.len() != model.k() {
+            return Err(ServeError::DimMismatch(format!(
+                "fold-in row has k={}, model has k={}",
+                user_row.len(),
+                model.k()
+            )));
+        }
+        let t0 = Instant::now();
+        let mut seen = exclude.to_vec();
+        seen.sort_unstable();
+        let mut best = TopK::new(count);
+        for shard in model.shards() {
+            scan_shard(shard, user_row, &seen, &mut best);
+        }
+        self.note_queries(1, t0);
+        Ok(best.into_sorted())
+    }
+
+    /// Serving statistics so far.
+    pub fn stats(&self) -> ServeStats {
+        let mut lat = self.latencies.lock().clone();
+        lat.sort_unstable();
+        let pick = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                lat[((lat.len() - 1) as f64 * p) as usize]
+            }
+        };
+        let queries = self.queries.load(Ordering::Relaxed);
+        ServeStats {
+            queries,
+            reloads: self.reloads.load(Ordering::Relaxed),
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            qps: queries as f64 / self.started.elapsed().as_secs_f64().max(1e-9),
+        }
+    }
+
+    /// Consumes the engine and drains its telemetry timeline (`None` if the
+    /// engine was built with telemetry disabled).
+    pub fn finish_telemetry(self) -> Option<Timeline> {
+        self.telemetry.finish()
+    }
+
+    /// Records `n` answered queries that together took `t0.elapsed()`.
+    fn note_queries(&self, n: u64, t0: Instant) {
+        let total_us = t0.elapsed().as_micros() as u64;
+        let per_query = total_us / n.max(1);
+        self.queries.fetch_add(n, Ordering::Relaxed);
+        {
+            let mut lat = self.latencies.lock();
+            lat.extend(std::iter::repeat_n(per_query, n as usize));
+        }
+        if self.telemetry.is_enabled() {
+            let lane = self.telemetry.server_lane();
+            let start = self.telemetry.now_us().saturating_sub(total_us);
+            for i in 0..n {
+                self.telemetry.phase(
+                    lane,
+                    0,
+                    i as u32,
+                    Phase::Query,
+                    start + i * per_query,
+                    std::time::Duration::from_micros(per_query),
+                );
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let model = self.model();
+        f.debug_struct("ServeEngine")
+            .field("users", &model.users())
+            .field("items", &model.items())
+            .field("shards", &model.shard_count())
+            .field("queries", &self.queries.load(Ordering::Relaxed))
+            .field("reloads", &self.reloads.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Single-query top-k on a snapshot (shared by the engine and the
+/// compatibility [`Recommender`](crate::Recommender)).
+pub(crate) fn top_k_on(
+    model: &ServedModel,
+    user: u32,
+    count: usize,
+) -> Result<Vec<(u32, f32)>, ServeError> {
+    let row = model.user_row(user)?;
+    let seen = model.seen_items(user);
+    let mut best = TopK::new(count);
+    for shard in model.shards() {
+        scan_shard(shard, row, &seen, &mut best);
+    }
+    Ok(best.into_sorted())
+}
+
+/// Scores one shard for one user row into `best`. `seen_sorted` must be
+/// ascending; items on it are skipped.
+fn scan_shard(shard: &ItemShard, user_row: &[f32], seen_sorted: &[u32], best: &mut TopK) {
+    // Narrow the seen list to this shard's contiguous range first: the
+    // inner loop's membership test walks a cursor instead of binary
+    // searching per item.
+    let end = shard.start + shard.q.rows() as u32;
+    let lo = seen_sorted.partition_point(|&s| s < shard.start);
+    let hi = seen_sorted.partition_point(|&s| s < end);
+    let mut seen_cursor = &seen_sorted[lo..hi];
+    for local in 0..shard.q.rows() {
+        let item = shard.start + local as u32;
+        // Drop stale entries (duplicates of earlier items — training data
+        // may rate the same pair twice) before the membership test.
+        while let [first, rest @ ..] = seen_cursor {
+            if *first >= item {
+                break;
+            }
+            seen_cursor = rest;
+        }
+        if let [first, ..] = seen_cursor {
+            if *first == item {
+                continue;
+            }
+        }
+        best.offer(item, simd::dot(user_row, shard.q.row(local)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::naive_top_k;
+    use hcc_sgd::FactorMatrix;
+    use hcc_sparse::{CooMatrix, CsrMatrix, Rating};
+
+    fn model(users: usize, items: usize, k: usize, shards: usize) -> ServedModel {
+        ServedModel::build(
+            FactorMatrix::random(users, k, 5),
+            FactorMatrix::random(items, k, 6),
+            None,
+            shards,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_matches_oracle_on_a_fixed_model() {
+        let p = FactorMatrix::random(20, 8, 5);
+        let q = FactorMatrix::random(90, 8, 6);
+        let train = CooMatrix::new(
+            20,
+            90,
+            (0..40)
+                .map(|i| Rating::new(i % 20, (i * 7) % 90, 1.0))
+                .collect(),
+        )
+        .unwrap();
+        let engine =
+            ServeEngine::new(ServedModel::build(p.clone(), q.clone(), Some(&train), 4).unwrap());
+        let seen = CsrMatrix::from(&train);
+        for user in [0u32, 7, 19] {
+            let got = engine.top_k(user, 10).unwrap();
+            let want = naive_top_k(&p, &q, Some(&seen), user, 10);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.0, w.0, "user {user}: {got:?} vs {want:?}");
+                assert!((g.1 - w.1).abs() <= 1e-4 * (1.0 + w.1.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_ratings_never_leak_seen_items() {
+        // The same (user, item) pair twice in training data must not wedge
+        // the seen cursor: items rated *after* a duplicate stay filtered.
+        let p = FactorMatrix::random(2, 4, 1);
+        let q = FactorMatrix::random(8, 4, 2);
+        let train = CooMatrix::new(
+            2,
+            8,
+            vec![
+                Rating::new(0, 3, 5.0),
+                Rating::new(0, 3, 4.0), // duplicate of the pair above
+                Rating::new(0, 6, 3.0), // later item that must stay hidden
+            ],
+        )
+        .unwrap();
+        let seen = CsrMatrix::from(&train);
+        let model = ServedModel::build(p.clone(), q.clone(), Some(&train), 3).unwrap();
+        let engine = ServeEngine::new(model);
+        let got = engine.top_k(0, 8).unwrap();
+        assert!(got.iter().all(|(i, _)| *i != 3 && *i != 6), "{got:?}");
+        let want = naive_top_k(&p, &q, Some(&seen), 0, 8);
+        let got_items: Vec<u32> = got.iter().map(|e| e.0).collect();
+        let want_items: Vec<u32> = want.iter().map(|e| e.0).collect();
+        assert_eq!(got_items, want_items);
+    }
+
+    #[test]
+    fn batch_agrees_with_singles() {
+        let engine = ServeEngine::new(model(16, 64, 8, 3));
+        let users: Vec<u32> = (0..16).collect();
+        let batch = engine.top_k_batch(&users, 5).unwrap();
+        for &u in &users {
+            assert_eq!(batch[u as usize], engine.top_k(u, 5).unwrap());
+        }
+    }
+
+    #[test]
+    fn unknown_user_is_typed_not_a_panic() {
+        let engine = ServeEngine::new(model(4, 8, 2, 2));
+        assert!(matches!(
+            engine.top_k(4, 3),
+            Err(ServeError::UnknownUser { user: 4, users: 4 })
+        ));
+        // A bad user anywhere in a batch fails the batch up front.
+        assert!(engine.top_k_batch(&[0, 1, 99], 3).is_err());
+        assert!(engine.predict(0, 999).is_err());
+    }
+
+    #[test]
+    fn reload_swaps_model_for_new_queries() {
+        let engine = ServeEngine::new(model(4, 8, 2, 2));
+        let before = engine.top_k(0, 3).unwrap();
+        // Same factor seeds, different shard count: answers must not move.
+        let gen = engine.reload(model(4, 8, 2, 1));
+        assert_eq!(gen, 1);
+        assert_eq!(engine.top_k(0, 3).unwrap(), before);
+        assert_eq!(engine.model().shard_count(), 1);
+        assert_eq!(engine.stats().reloads, 1);
+    }
+
+    #[test]
+    fn stats_count_queries_and_percentiles() {
+        let engine = ServeEngine::new(model(8, 32, 4, 2));
+        for u in 0..8u32 {
+            engine.top_k(u, 3).unwrap();
+        }
+        engine.top_k_batch(&[0, 1, 2, 3], 3).unwrap();
+        let s = engine.stats();
+        assert_eq!(s.queries, 12);
+        assert!(s.qps > 0.0);
+        assert!(s.p99_us >= s.p50_us);
+    }
+
+    #[test]
+    fn telemetry_records_one_query_span_per_answer() {
+        use hcc_telemetry::{Event, Header};
+        let t = Telemetry::enabled(
+            Header {
+                workers: 2,
+                k: 4,
+                nnz: 0,
+                strategy: "serve".into(),
+                streams: 1,
+                backend: "test".into(),
+                schedule: "serve".into(),
+            },
+            256,
+        );
+        let engine = ServeEngine::with_telemetry(model(8, 32, 4, 2), t);
+        engine.top_k(0, 3).unwrap();
+        engine.top_k_batch(&[1, 2, 3], 3).unwrap();
+        let timeline = engine.finish_telemetry().unwrap();
+        let queries = timeline
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Phase { phase, .. } if *phase == Phase::Query))
+            .count();
+        assert_eq!(queries, 4);
+    }
+
+    /// Concurrent queries + hot reloads must never observe a torn model.
+    /// Every installed model has constant factors `c`, so with k=1 every
+    /// score is exactly `c²` — a reader seeing anything else caught a
+    /// half-swapped state. This test is part of the nightly TSan matrix
+    /// (`cargo +nightly test -p hcc-serve --lib` with
+    /// `-Zsanitizer=thread`).
+    #[test]
+    fn concurrent_queries_and_reloads_never_tear() {
+        fn constant_model(c: f32) -> ServedModel {
+            ServedModel::build(
+                FactorMatrix::from_vec(4, 1, vec![c; 4]),
+                FactorMatrix::from_vec(16, 1, vec![c; 16]),
+                None,
+                4,
+            )
+            .unwrap()
+        }
+        let generations: Vec<f32> = (1..=5).map(|g| g as f32).collect();
+        let valid: Vec<f32> = generations.iter().map(|c| c * c).collect();
+        let engine = ServeEngine::new(constant_model(generations[0]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        let top = engine.top_k(0, 3).unwrap();
+                        assert_eq!(top.len(), 3);
+                        let score = top[0].1;
+                        assert!(
+                            top.iter().all(|&(_, s)| s == score),
+                            "one snapshot, one constant: {top:?}"
+                        );
+                        assert!(
+                            valid.contains(&score),
+                            "torn model: score {score} is no installed generation"
+                        );
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for &c in &generations[1..] {
+                    engine.reload(constant_model(c));
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(engine.stats().reloads, 4);
+    }
+}

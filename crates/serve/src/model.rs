@@ -1,0 +1,297 @@
+//! The immutable, item-sharded factor store behind a serving engine.
+//!
+//! A [`ServedModel`] is a *snapshot*: once built it never mutates, so any
+//! number of query threads may scan it without synchronization, and hot
+//! reload is a pointer swap to a freshly built snapshot (see
+//! [`crate::ServeEngine`]).
+//!
+//! `Q` is cut into contiguous item ranges — one shard per worker thread of
+//! a batched query — using the same planning machinery the trainer uses to
+//! cut the rating matrix: per-shard fractions come from
+//! [`hcc_partition::dp0`] (equal virtual speeds → balanced shards) and,
+//! when the training matrix is available, the split points come from
+//! [`GridPartition`] over the *item* axis so shards balance seen-item
+//! filtering work, not just item counts.
+
+use crate::error::ServeError;
+use hcc_partition::dp0;
+use hcc_sgd::FactorMatrix;
+use hcc_sparse::{Axis, CooMatrix, CsrMatrix, GridPartition};
+
+/// One contiguous item shard: rows `start..start + q.rows()` of global `Q`.
+#[derive(Debug, Clone)]
+pub(crate) struct ItemShard {
+    /// First global item id in this shard.
+    pub start: u32,
+    /// The shard's slice of `Q` (row `i` is global item `start + i`).
+    pub q: FactorMatrix,
+}
+
+/// An immutable snapshot of a servable model: `P`, sharded `Q`, and the
+/// seen-item matrix used to exclude already-rated items from top-k answers.
+#[derive(Debug, Clone)]
+pub struct ServedModel {
+    p: FactorMatrix,
+    shards: Vec<ItemShard>,
+    items: usize,
+    /// Per-user seen items from the training matrix (`None` = serve
+    /// everything, nothing is filtered).
+    seen: Option<CsrMatrix>,
+}
+
+impl ServedModel {
+    /// Builds a snapshot from trained factors.
+    ///
+    /// `train`, when given, must match the factor shapes; its entries
+    /// become the seen-item filter and weight the shard split. `shards` is
+    /// clamped to `[1, items]` (an empty `Q` yields a single empty shard).
+    pub fn build(
+        p: FactorMatrix,
+        q: FactorMatrix,
+        train: Option<&CooMatrix>,
+        shards: usize,
+    ) -> Result<ServedModel, ServeError> {
+        if p.k() != q.k() {
+            return Err(ServeError::DimMismatch(format!(
+                "P has k={}, Q has k={}",
+                p.k(),
+                q.k()
+            )));
+        }
+        if let Some(t) = train {
+            if t.rows() as usize != p.rows() || t.cols() as usize != q.rows() {
+                return Err(ServeError::DimMismatch(format!(
+                    "training matrix is {}×{} but P/Q are {}×{}",
+                    t.rows(),
+                    t.cols(),
+                    p.rows(),
+                    q.rows()
+                )));
+            }
+        }
+        let items = q.rows();
+        let shards = shards.clamp(1, items.max(1));
+        let boundaries = plan_item_boundaries(items, shards, train);
+        let k = q.k();
+        let shard_stores: Vec<ItemShard> = boundaries
+            .windows(2)
+            .map(|w| {
+                let (lo, hi) = (w[0] as usize, w[1] as usize);
+                let data: Vec<f32> = (lo..hi).flat_map(|r| q.row(r).iter().copied()).collect();
+                ItemShard {
+                    start: w[0],
+                    q: FactorMatrix::from_vec(hi - lo, k, data),
+                }
+            })
+            .collect();
+        Ok(ServedModel {
+            p,
+            shards: shard_stores,
+            items,
+            seen: train.map(CsrMatrix::from),
+        })
+    }
+
+    /// Number of users (`P` rows).
+    #[inline]
+    pub fn users(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Number of items (`Q` rows across all shards).
+    #[inline]
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Latent dimension.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.p.k()
+    }
+
+    /// Number of item shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard item counts (diagnostics; sums to [`items`](Self::items)).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.q.rows()).collect()
+    }
+
+    /// User `u`'s factor row, or a typed error past the last row.
+    #[inline]
+    pub fn user_row(&self, user: u32) -> Result<&[f32], ServeError> {
+        if (user as usize) < self.p.rows() {
+            Ok(self.p.row(user as usize))
+        } else {
+            Err(ServeError::UnknownUser {
+                user,
+                users: self.p.rows(),
+            })
+        }
+    }
+
+    /// Item `i`'s factor row (resolved through its shard), or a typed error.
+    pub fn item_row(&self, item: u32) -> Result<&[f32], ServeError> {
+        if (item as usize) >= self.items {
+            return Err(ServeError::UnknownItem {
+                item,
+                items: self.items,
+            });
+        }
+        // Shards are contiguous and sorted by `start`: the owner is the
+        // last shard starting at or before `item`.
+        let idx = self
+            .shards
+            .partition_point(|s| s.start <= item)
+            .saturating_sub(1);
+        let shard = &self.shards[idx];
+        Ok(shard.q.row((item - shard.start) as usize))
+    }
+
+    /// The items `user` rated during training, sorted ascending (empty when
+    /// no training matrix was attached). Allocates; callers cache per query.
+    pub fn seen_items(&self, user: u32) -> Vec<u32> {
+        match &self.seen {
+            Some(csr) if (user as usize) < csr.rows() as usize => {
+                let (items, _) = csr.row(user);
+                let mut v = items.to_vec();
+                v.sort_unstable();
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn shards(&self) -> &[ItemShard] {
+        &self.shards
+    }
+}
+
+/// Plans `shards + 1` item boundaries. With a training matrix the split
+/// follows the entry distribution over the item axis (so the per-shard
+/// seen-filtering work balances); otherwise items are split evenly. Target
+/// fractions come from DP0 with equal virtual speeds.
+fn plan_item_boundaries(items: usize, shards: usize, train: Option<&CooMatrix>) -> Vec<u32> {
+    let fractions = dp0(&vec![1.0; shards]);
+    match train {
+        Some(t) if t.nnz() > 0 && t.cols() as usize == items => {
+            let grid = GridPartition::build(t, Axis::Col, &fractions);
+            let mut b: Vec<u32> = (0..shards).map(|w| grid.range(w).start).collect();
+            b.push(items as u32);
+            b
+        }
+        _ => {
+            let mut b = Vec::with_capacity(shards + 1);
+            let mut acc = 0.0f64;
+            b.push(0u32);
+            for f in &fractions[..shards - 1] {
+                acc += f;
+                b.push((acc * items as f64).round() as u32);
+            }
+            b.push(items as u32);
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_sparse::Rating;
+
+    fn factors(users: usize, items: usize, k: usize) -> (FactorMatrix, FactorMatrix) {
+        (
+            FactorMatrix::random(users, k, 11),
+            FactorMatrix::random(items, k, 22),
+        )
+    }
+
+    #[test]
+    fn shards_cover_items_contiguously() {
+        let (p, q) = factors(10, 103, 8);
+        let m = ServedModel::build(p, q.clone(), None, 4).unwrap();
+        assert_eq!(m.shard_count(), 4);
+        assert_eq!(m.shard_sizes().iter().sum::<usize>(), 103);
+        // Every item row resolves to exactly the global Q row.
+        for i in 0..103u32 {
+            assert_eq!(m.item_row(i).unwrap(), q.row(i as usize));
+        }
+    }
+
+    #[test]
+    fn more_shards_than_items_clamps() {
+        let (p, q) = factors(3, 2, 4);
+        let m = ServedModel::build(p, q, None, 9).unwrap();
+        assert_eq!(m.shard_count(), 2);
+        assert_eq!(m.items(), 2);
+    }
+
+    #[test]
+    fn dim_mismatch_is_typed() {
+        let p = FactorMatrix::random(3, 4, 1);
+        let q = FactorMatrix::random(5, 8, 2);
+        assert!(matches!(
+            ServedModel::build(p, q, None, 2),
+            Err(ServeError::DimMismatch(_))
+        ));
+        let (p, q) = factors(3, 5, 4);
+        let train = CooMatrix::new(4, 5, vec![]).unwrap(); // 4 != 3 users
+        assert!(ServedModel::build(p, q, Some(&train), 2).is_err());
+    }
+
+    #[test]
+    fn out_of_range_lookups_are_typed() {
+        let (p, q) = factors(3, 5, 4);
+        let m = ServedModel::build(p, q, None, 2).unwrap();
+        assert!(matches!(
+            m.user_row(3),
+            Err(ServeError::UnknownUser { user: 3, users: 3 })
+        ));
+        assert!(matches!(m.item_row(5), Err(ServeError::UnknownItem { .. })));
+    }
+
+    #[test]
+    fn seen_items_come_back_sorted() {
+        let (p, q) = factors(2, 6, 4);
+        let train = CooMatrix::new(
+            2,
+            6,
+            vec![
+                Rating::new(0, 5, 1.0),
+                Rating::new(0, 1, 1.0),
+                Rating::new(0, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let m = ServedModel::build(p, q, Some(&train), 3).unwrap();
+        assert_eq!(m.seen_items(0), vec![1, 3, 5]);
+        assert!(m.seen_items(1).is_empty());
+        assert!(m.seen_items(99).is_empty());
+    }
+
+    #[test]
+    fn skewed_training_matrix_shifts_shard_boundaries() {
+        // All entries on the first 10 items: an entry-weighted split gives
+        // the first shard fewer items than an even split would.
+        let (p, q) = factors(4, 100, 4);
+        let mut entries = Vec::new();
+        for u in 0..4u32 {
+            for i in 0..10u32 {
+                entries.push(Rating::new(u, i, 1.0));
+            }
+        }
+        let train = CooMatrix::new(4, 100, entries).unwrap();
+        let m = ServedModel::build(p, q, Some(&train), 2).unwrap();
+        let sizes = m.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(
+            sizes[0] < 50,
+            "entry-weighted split should pull the boundary left: {sizes:?}"
+        );
+    }
+}

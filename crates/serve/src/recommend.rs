@@ -1,0 +1,131 @@
+//! The downstream recommendation API (the paper's motivating use case,
+//! §2.1), now a thin compatibility facade over the serving engine.
+//!
+//! This is the type the old `hcc_mf::recommend` module exported; it lives
+//! here so every consumer (CLI, ranking metrics, baselines, examples)
+//! shares one scoring path — bounded-heap top-k over the item-sharded
+//! store — instead of the historical full `O(items log items)` sort.
+//!
+//! One deliberate contract change: [`Recommender::top_k`] returns a typed
+//! [`ServeError`] for an out-of-range user instead of panicking mid-slice
+//! like the old implementation did. Everything else (ranking, tie-breaking
+//! toward smaller item ids, seen-item exclusion, truncation) is
+//! rank-identical.
+
+use crate::engine::top_k_on;
+use crate::error::ServeError;
+use crate::model::ServedModel;
+use hcc_sgd::{dot, FactorMatrix};
+use hcc_sparse::CooMatrix;
+
+/// Serves predictions and top-k recommendations from trained factors.
+#[derive(Debug, Clone)]
+pub struct Recommender {
+    model: ServedModel,
+}
+
+impl Recommender {
+    /// Builds a recommender from trained factors and the training matrix
+    /// (used to exclude already-rated items).
+    ///
+    /// # Panics
+    /// Panics if factor dimensions don't match the matrix.
+    pub fn new(p: FactorMatrix, q: FactorMatrix, train: &CooMatrix) -> Recommender {
+        assert_eq!(p.rows(), train.rows() as usize, "P rows must match users");
+        assert_eq!(q.rows(), train.cols() as usize, "Q rows must match items");
+        assert_eq!(p.k(), q.k(), "P and Q must share k");
+        let model = ServedModel::build(p, q, Some(train), 1).expect("shapes asserted above");
+        Recommender { model }
+    }
+
+    /// Predicted rating for `(user, item)`.
+    ///
+    /// # Panics
+    /// Panics if `user` or `item` is out of range (unchanged historical
+    /// contract; use [`crate::ServeEngine::predict`] for a typed error).
+    pub fn predict(&self, user: u32, item: u32) -> f32 {
+        dot(
+            self.model.user_row(user).expect("user out of range"),
+            self.model.item_row(item).expect("item out of range"),
+        )
+    }
+
+    /// The `count` highest-predicted items for `user`, excluding items the
+    /// user already rated. Returns `(item, score)` sorted descending, ties
+    /// broken toward the smaller item id; an out-of-range user is a typed
+    /// error, not a panic.
+    pub fn top_k(&self, user: u32, count: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        top_k_on(&self.model, user, count)
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.model.users()
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.model.items()
+    }
+
+    /// The underlying immutable snapshot (e.g. to hand to a
+    /// [`crate::ServeEngine`] without rebuilding shards).
+    pub fn into_model(self) -> ServedModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_sparse::Rating;
+
+    fn setup() -> Recommender {
+        // 2 users, 3 items, k=1: scores are products of scalars.
+        let p = FactorMatrix::from_vec(2, 1, vec![1.0, 2.0]);
+        let q = FactorMatrix::from_vec(3, 1, vec![3.0, 1.0, 2.0]);
+        let train =
+            CooMatrix::new(2, 3, vec![Rating::new(0, 0, 5.0), Rating::new(1, 2, 4.0)]).unwrap();
+        Recommender::new(p, q, &train)
+    }
+
+    #[test]
+    fn predict_is_dot_product() {
+        let r = setup();
+        assert_eq!(r.predict(0, 0), 3.0);
+        assert_eq!(r.predict(1, 2), 4.0);
+    }
+
+    #[test]
+    fn top_k_excludes_seen_and_sorts() {
+        let r = setup();
+        // User 0 has seen item 0; remaining scores: item1=1, item2=2.
+        assert_eq!(r.top_k(0, 2).unwrap(), vec![(2, 2.0), (1, 1.0)]);
+        // User 1 has seen item 2; remaining: item0=6, item1=2.
+        assert_eq!(r.top_k(1, 1).unwrap(), vec![(0, 6.0)]);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let r = setup();
+        assert_eq!(r.top_k(0, 10).unwrap().len(), 2);
+        assert!(r.top_k(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_user_is_an_error_not_a_panic() {
+        // The old Recommender sliced past P here and panicked.
+        let r = setup();
+        assert!(matches!(
+            r.top_k(7, 1),
+            Err(ServeError::UnknownUser { user: 7, users: 2 })
+        ));
+    }
+
+    #[test]
+    fn dims() {
+        let r = setup();
+        assert_eq!(r.users(), 2);
+        assert_eq!(r.items(), 3);
+    }
+}

@@ -20,6 +20,9 @@ pub enum Phase {
     Push,
     /// `t_sync`: the server merging one worker's push (Eq. 3 term).
     Sync,
+    /// A serving-side top-k query (outside the Eq. 1–4 training model;
+    /// recorded by `hcc-serve` for per-query latency percentiles).
+    Query,
 }
 
 impl Phase {
@@ -30,6 +33,7 @@ impl Phase {
             Phase::Comp => "comp",
             Phase::Push => "push",
             Phase::Sync => "sync",
+            Phase::Query => "query",
         }
     }
 
@@ -40,6 +44,7 @@ impl Phase {
             "comp" => Phase::Comp,
             "push" => Phase::Push,
             "sync" => Phase::Sync,
+            "query" => Phase::Query,
             _ => return None,
         })
     }
@@ -201,7 +206,13 @@ mod tests {
 
     #[test]
     fn phase_and_dir_names_roundtrip() {
-        for p in [Phase::Pull, Phase::Comp, Phase::Push, Phase::Sync] {
+        for p in [
+            Phase::Pull,
+            Phase::Comp,
+            Phase::Push,
+            Phase::Sync,
+            Phase::Query,
+        ] {
             assert_eq!(Phase::from_name(p.name()), Some(p));
         }
         for d in [Dir::Pull, Dir::Push] {

@@ -94,6 +94,9 @@ pub fn epoch_breakdown(t: &Timeline) -> Vec<EpochBreakdown> {
                     Phase::Comp => slot.comp += secs,
                     Phase::Push => slot.push += secs,
                     Phase::Sync => slot.sync += secs,
+                    // Serving queries are outside the training cost model;
+                    // they have their own percentile summary in hcc-serve.
+                    Phase::Query => {}
                 }
             }
             Event::Bytes { epoch, dir, bytes } => {

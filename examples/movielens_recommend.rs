@@ -64,7 +64,7 @@ fn main() {
     let report = HccMf::new(config).train(&train).expect("training failed");
     let rec = Recommender::new(report.p, report.q, &train);
     for user in [0u32, 1, 2] {
-        let top = rec.top_k(user, 3);
+        let top = rec.top_k(user, 3).expect("user within model");
         let picks: Vec<String> = top.iter().map(|(i, s)| format!("#{i} ({s:.2})")).collect();
         println!("user {user}: {}", picks.join(", "));
     }

@@ -62,7 +62,7 @@ fn main() {
     // 4. Recommend: top-5 unseen items for user 0.
     let rec = Recommender::new(report.p, report.q, &train);
     println!("top-5 recommendations for user 0:");
-    for (item, score) in rec.top_k(0, 5) {
+    for (item, score) in rec.top_k(0, 5).expect("user 0 exists") {
         println!("  item {item:>4}  predicted rating {score:.2}");
     }
 }

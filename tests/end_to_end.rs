@@ -249,7 +249,7 @@ fn checkpoint_roundtrips_trained_model() {
     // A recommender built from the loaded model serves identical scores.
     let rec_a = hcc_mf::Recommender::new(report.p, report.q, &ds.matrix);
     let rec_b = hcc_mf::Recommender::new(p, q, &ds.matrix);
-    assert_eq!(rec_a.top_k(0, 5), rec_b.top_k(0, 5));
+    assert_eq!(rec_a.top_k(0, 5).unwrap(), rec_b.top_k(0, 5).unwrap());
     std::fs::remove_file(path).ok();
 }
 
