@@ -179,9 +179,19 @@ pub fn save_checkpoint<P: AsRef<Path>>(
 // ---------------------------------------------------------------------------
 
 /// Reads a `(P, Q)` model from `path`; accepts both v1 and v2 files.
+///
+/// Always returns factors in the *original* input orientation (P over
+/// users, Q over items): a mid-training checkpoint of a wide matrix
+/// stores them in the trainer's internal transposed orientation with the
+/// `transposed` flag set, and this un-swaps them. Resume-path callers
+/// that need the internal orientation use [`load_checkpoint`] directly.
 pub fn load_model<P: AsRef<Path>>(path: P) -> Result<(FactorMatrix, FactorMatrix), HccError> {
     let state = load_checkpoint(path)?;
-    Ok((state.p, state.q))
+    if state.meta.transposed {
+        Ok((state.q, state.p))
+    } else {
+        Ok((state.p, state.q))
+    }
 }
 
 /// Reads a checkpoint with its training metadata. v1 files load with
@@ -349,6 +359,31 @@ mod tests {
         assert_eq!(state.p, p);
         assert_eq!(state.q, q);
         assert_eq!(state.meta, meta);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_model_unswaps_transposed_checkpoints() {
+        // A wide input (items > users) trains transposed, so its periodic
+        // checkpoints store (P_int=items, Q_int=users) with the flag set.
+        // `load_model` must hand back the original (users, items)
+        // orientation; `load_checkpoint` keeps the internal one for resume.
+        let p_int = FactorMatrix::random(9, 3, 15); // items, internally "P"
+        let q_int = FactorMatrix::random(6, 3, 16); // users, internally "Q"
+        let meta = TrainingMeta {
+            epoch: 3,
+            seed: 1,
+            lr_scale: 1.0,
+            transposed: true,
+        };
+        let path = tmp("transposed.hccmf");
+        save_checkpoint(&path, &p_int, &q_int, &meta).unwrap();
+        let (p, q) = load_model(&path).unwrap();
+        assert_eq!(p, q_int, "P must be the user factors");
+        assert_eq!(q, p_int, "Q must be the item factors");
+        let state = load_checkpoint(&path).unwrap();
+        assert_eq!(state.p, p_int);
+        assert_eq!(state.q, q_int);
         std::fs::remove_file(path).ok();
     }
 

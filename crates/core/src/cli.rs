@@ -454,7 +454,9 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                         backend: hcc_sgd::simd::active_backend().name().into(),
                         schedule: "serve".into(),
                     },
-                    (queries.len() + 16).max(hcc_telemetry::DEFAULT_LANE_CAPACITY),
+                    // One Query span per answered query, including the
+                    // warm pass (up to `batch` extra answers).
+                    (queries.len() + args.batch + 16).max(hcc_telemetry::DEFAULT_LANE_CAPACITY),
                 )
             } else {
                 hcc_telemetry::Telemetry::disabled()

@@ -54,12 +54,56 @@ pub struct ServeStats {
 pub struct ServeEngine {
     current: RwLock<Arc<ServedModel>>,
     telemetry: Telemetry,
-    /// Per-query latencies in µs (amortized for batches). Serving-path
-    /// bookkeeping, not hot relative to an `O(items · k)` scan.
-    latencies: Mutex<Vec<u64>>,
+    /// Bounded reservoir of per-query latencies in µs (amortized for
+    /// batches). Serving-path bookkeeping, not hot relative to an
+    /// `O(items · k)` scan. This mutex also serializes writes to the
+    /// telemetry server lane — see [`ServeEngine::note_queries`].
+    latencies: Mutex<LatencyReservoir>,
     queries: AtomicU64,
     reloads: AtomicU64,
     started: Instant,
+}
+
+/// Fixed-memory uniform sample of per-query latencies (Vitter's
+/// algorithm R). A serving process answers queries indefinitely, so the
+/// stats store must not grow with traffic; a reservoir keeps percentile
+/// estimates representative of the whole run in `CAP` slots. Runs
+/// shorter than `CAP` queries (every test, most benches) see exact
+/// percentiles because nothing has been evicted yet.
+struct LatencyReservoir {
+    sample: Vec<u64>,
+    /// Total latencies offered, including evicted ones.
+    seen: u64,
+    /// xorshift64* state — cheap in-crate PRNG; determinism across runs
+    /// is fine (this only picks eviction slots), seed must be nonzero.
+    rng: u64,
+}
+
+impl LatencyReservoir {
+    const CAP: usize = 4096;
+
+    fn new() -> LatencyReservoir {
+        LatencyReservoir {
+            sample: Vec::new(),
+            seen: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn record(&mut self, us: u64) {
+        self.seen += 1;
+        if self.sample.len() < Self::CAP {
+            self.sample.push(us);
+            return;
+        }
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let j = self.rng % self.seen;
+        if (j as usize) < Self::CAP {
+            self.sample[j as usize] = us;
+        }
+    }
 }
 
 impl ServeEngine {
@@ -76,7 +120,7 @@ impl ServeEngine {
         ServeEngine {
             current: RwLock::new(Arc::new(model)),
             telemetry,
-            latencies: Mutex::new(Vec::new()),
+            latencies: Mutex::new(LatencyReservoir::new()),
             queries: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             started: Instant::now(),
@@ -225,9 +269,11 @@ impl ServeEngine {
         Ok(best.into_sorted())
     }
 
-    /// Serving statistics so far.
+    /// Serving statistics so far. Percentiles come from a bounded
+    /// uniform reservoir of per-query latencies ([`LatencyReservoir`]),
+    /// exact until the reservoir first fills.
     pub fn stats(&self) -> ServeStats {
-        let mut lat = self.latencies.lock().clone();
+        let mut lat = self.latencies.lock().sample.clone();
         lat.sort_unstable();
         let pick = |p: f64| -> u64 {
             if lat.is_empty() {
@@ -253,13 +299,22 @@ impl ServeEngine {
     }
 
     /// Records `n` answered queries that together took `t0.elapsed()`.
+    ///
+    /// Telemetry spans are recorded while holding the `latencies` mutex:
+    /// the server lane is a single-writer ring (`hcc-telemetry`'s safety
+    /// protocol requires at most one writing thread at a time, with a
+    /// happens-before edge between successive writers), and `ServeEngine`
+    /// is `Sync` — queries run concurrently from many threads. The mutex
+    /// provides exactly that exclusion and ordering; the final drain in
+    /// [`finish_telemetry`](ServeEngine::finish_telemetry) is ordered
+    /// because it consumes the engine by value.
     fn note_queries(&self, n: u64, t0: Instant) {
         let total_us = t0.elapsed().as_micros() as u64;
         let per_query = total_us / n.max(1);
         self.queries.fetch_add(n, Ordering::Relaxed);
-        {
-            let mut lat = self.latencies.lock();
-            lat.extend(std::iter::repeat_n(per_query, n as usize));
+        let mut lat = self.latencies.lock();
+        for _ in 0..n {
+            lat.record(per_query);
         }
         if self.telemetry.is_enabled() {
             let lane = self.telemetry.server_lane();
@@ -526,5 +581,75 @@ mod tests {
             });
         });
         assert_eq!(engine.stats().reloads, 4);
+    }
+
+    /// Concurrent queries on a telemetry-enabled engine all record onto
+    /// the single-writer server lane; the engine must serialize those
+    /// writes (they go through the latencies mutex). Runs under the
+    /// nightly TSan matrix like the torn-model test above — a race here
+    /// is UB, not just lost events.
+    #[test]
+    fn concurrent_telemetry_recording_is_serialized_and_lossless() {
+        use hcc_telemetry::{Event, Header};
+        let t = Telemetry::enabled(
+            Header {
+                workers: 2,
+                k: 4,
+                nnz: 0,
+                strategy: "serve".into(),
+                streams: 1,
+                backend: "test".into(),
+                schedule: "serve".into(),
+            },
+            8192,
+        );
+        let engine = ServeEngine::with_telemetry(model(8, 32, 4, 2), t);
+        const THREADS: u32 = 4;
+        const SINGLES: u64 = 25;
+        const BATCHES: u64 = 5;
+        std::thread::scope(|scope| {
+            for w in 0..THREADS {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for i in 0..SINGLES {
+                        engine.top_k(((w as u64 + i) % 8) as u32, 3).unwrap();
+                    }
+                    for _ in 0..BATCHES {
+                        engine.top_k_batch(&[0, 1, 2, 3], 3).unwrap();
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..4 {
+                    engine.reload(model(8, 32, 4, 1));
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let expect = THREADS as u64 * (SINGLES + BATCHES * 4);
+        assert_eq!(engine.stats().queries, expect);
+        let timeline = engine.finish_telemetry().unwrap();
+        assert_eq!(timeline.dropped, 0, "lane sized above the workload");
+        let spans = timeline
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Phase { phase, .. } if *phase == Phase::Query))
+            .count();
+        assert_eq!(spans as u64, expect, "one Query span per answer, none lost");
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded_and_exact_when_small() {
+        let mut r = LatencyReservoir::new();
+        for us in 0..100u64 {
+            r.record(us);
+        }
+        assert_eq!(r.sample.len(), 100, "below capacity nothing is evicted");
+        assert_eq!(r.seen, 100);
+        for us in 0..20_000u64 {
+            r.record(us);
+        }
+        assert_eq!(r.sample.len(), LatencyReservoir::CAP);
+        assert_eq!(r.seen, 20_100);
     }
 }

@@ -104,6 +104,12 @@ impl Telemetry {
     /// own measurement (the training loop already times each phase for its
     /// per-epoch stats, so telemetry reuses those clocks rather than
     /// adding its own).
+    ///
+    /// Each lane is a single-writer ring: the caller must ensure at most
+    /// one thread records on a given lane at any moment, with a
+    /// happens-before edge (scope join, mutex, channel) between
+    /// successive writers. Concurrent unsynchronized writes to one lane
+    /// are a data race, not merely lost events.
     pub fn phase(
         &self,
         lane: u32,
@@ -141,7 +147,8 @@ impl Telemetry {
     }
 
     /// Records an arbitrary event on `lane` (supervisor and checkpoint
-    /// events go on the server lane).
+    /// events go on the server lane). Same single-writer-per-lane
+    /// contract as [`phase`](Telemetry::phase).
     pub fn record(&self, lane: u32, event: Event) {
         if let Some(inner) = &self.0 {
             inner.lane(lane).push(event);
