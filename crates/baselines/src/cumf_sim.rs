@@ -109,6 +109,9 @@ impl CumfSgdSim {
                     let cursor = &cursor;
                     let entries = &entries;
                     scope.spawn(move || loop {
+                        // ordering: Relaxed — batch-claim cursor; the RMW's
+                        // atomicity alone assigns each batch uniquely, and
+                        // batch data is immutable during the epoch.
                         let b = cursor.fetch_add(1, Ordering::Relaxed);
                         if b >= batches {
                             break;

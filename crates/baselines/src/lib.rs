@@ -24,6 +24,8 @@
 //! All solvers share [`TrainConfig`]/[`TrainReport`] so benches can sweep
 //! them uniformly.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cumf_sim;
 pub mod dsgd;
 pub mod fpsgd;

@@ -95,6 +95,11 @@ impl Nomad {
                     let remaining = &remaining;
                     let rx: Receiver<ColumnToken> = rx.clone();
                     scope.spawn(move || {
+                        // ordering: Acquire — pairs with the AcqRel
+                        // fetch_sub below so a worker that observes the
+                        // epoch finished also observes every column's
+                        // final hop (termination, not data, is the point:
+                        // factor cells are independently Relaxed-atomic).
                         while remaining.load(Ordering::Acquire) > 0 {
                             let Ok(mut token) =
                                 rx.recv_timeout(std::time::Duration::from_millis(5))
@@ -115,6 +120,10 @@ impl Nomad {
                             }
                             token.hops += 1;
                             if token.hops >= workers {
+                                // ordering: AcqRel — release pairs with the
+                                // Acquire loop check above; acquire orders
+                                // this decrement after the column's last
+                                // SGD pass on this thread.
                                 remaining.fetch_sub(1, Ordering::AcqRel);
                             } else {
                                 // Pass to the next worker in the ring.

@@ -12,6 +12,8 @@
 //! *shape* comparison (who wins, by what factor) is immediate; the full
 //! paper-vs-measured record lives in `EXPERIMENTS.md`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use hcc_hetsim::{
     cost_model_for, standalone_times, virtual_measure_total, worker_classes, Platform, SimConfig,
     Workload,

@@ -68,6 +68,8 @@ impl SharedBuffer {
         } else {
             dst.copy_from_slice(src);
         }
+        // ordering: Relaxed — wire-byte statistic; read only for reports
+        // after the epoch's scope join, never to synchronize data.
         self.inner
             .bytes_written
             .fetch_add(src.len() as u64 * 4, Ordering::Relaxed);
@@ -87,6 +89,7 @@ impl SharedBuffer {
         } else {
             dst.copy_from_slice(src);
         }
+        // ordering: Relaxed — wire-byte statistic (see `write`).
         self.inner
             .bytes_read
             .fetch_add(dst.len() as u64 * 4, Ordering::Relaxed);
@@ -105,11 +108,14 @@ impl SharedBuffer {
 
     /// Total bytes copied in by [`write`](Self::write).
     pub fn bytes_written(&self) -> u64 {
+        // ordering: Relaxed — statistic read; exactness across threads is
+        // not required mid-epoch.
         self.inner.bytes_written.load(Ordering::Relaxed)
     }
 
     /// Total bytes copied out by [`read`](Self::read).
     pub fn bytes_read(&self) -> u64 {
+        // ordering: Relaxed — statistic read (see `bytes_written`).
         self.inner.bytes_read.load(Ordering::Relaxed)
     }
 }

@@ -32,6 +32,8 @@
 //! assert_eq!(collected, [1.0, 2.0, 3.0, 4.0]);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod buffer;
 pub mod pipeline;
 pub mod strategy;

@@ -105,9 +105,15 @@ where
             busy
         });
         (
-            puller.join().expect("pull stage panicked"),
-            computer.join().expect("compute stage panicked"),
-            pusher.join().expect("push stage panicked"),
+            puller
+                .join()
+                .unwrap_or_else(|e| std::panic::resume_unwind(e)),
+            computer
+                .join()
+                .unwrap_or_else(|e| std::panic::resume_unwind(e)),
+            pusher
+                .join()
+                .unwrap_or_else(|e| std::panic::resume_unwind(e)),
         )
     });
 

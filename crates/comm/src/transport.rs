@@ -181,6 +181,7 @@ impl WireBuffer {
     }
 
     fn bytes(&self) -> u64 {
+        // ordering: Relaxed — wire-byte statistic, reported after joins.
         self.bytes.load(Ordering::Relaxed)
     }
 }
@@ -415,6 +416,8 @@ impl CommP {
 impl Transport for CommP {
     fn publish(&self, src: &[f32]) {
         let msg = self.serialize(src);
+        // ordering: Relaxed — wire-byte statistics on every path below;
+        // the channels/RwLock carry the actual data synchronization.
         self.pull_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         *self.published.write() = Arc::new(msg);
@@ -422,6 +425,7 @@ impl Transport for CommP {
 
     fn pull(&self, _worker: usize, dst: &mut [f32]) {
         let msg = self.published.read().clone();
+        // ordering: Relaxed — statistic (see `publish`).
         self.pull_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.deserialize(&msg, dst);
@@ -429,6 +433,7 @@ impl Transport for CommP {
 
     fn push(&self, worker: usize, src: &[f32]) {
         let msg = self.serialize(src);
+        // ordering: Relaxed — statistic (see `publish`).
         self.push_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.senders[worker]
@@ -441,6 +446,7 @@ impl Transport for CommP {
             .lock()
             .recv()
             .expect("worker sender dropped");
+        // ordering: Relaxed — statistic (see `publish`).
         self.push_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.deserialize(&msg, dst);
@@ -457,6 +463,7 @@ impl Transport for CommP {
             Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
             Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
         };
+        // ordering: Relaxed — statistic (see `publish`).
         self.push_bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
         self.deserialize(&msg, dst);
@@ -469,6 +476,7 @@ impl Transport for CommP {
     }
 
     fn wire_bytes_by_dir(&self) -> (u64, u64) {
+        // ordering: Relaxed — statistics read for end-of-run reports.
         (
             self.pull_bytes.load(Ordering::Relaxed),
             self.push_bytes.load(Ordering::Relaxed),

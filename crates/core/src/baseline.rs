@@ -159,7 +159,7 @@ impl BiasedRecommender {
             .into_iter()
             .map(|(i, s)| (i, s + self.baseline.item_bias[i as usize]))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(count);
         Ok(scored
             .into_iter()

@@ -497,7 +497,7 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
             if let Some(path) = &args.telemetry {
                 let timeline = engine
                     .finish_telemetry()
-                    .expect("telemetry was enabled above");
+                    .ok_or("telemetry timeline missing despite --telemetry")?;
                 std::fs::write(path, hcc_telemetry::jsonl::to_jsonl(&timeline))
                     .map_err(|e| format!("writing telemetry {path}: {e}"))?;
                 writeln!(out, "telemetry timeline written to {path}").ok();
@@ -578,13 +578,9 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                 report.wire_bytes as f64 / (1024.0 * 1024.0)
             )
             .ok();
-            writeln!(
-                out,
-                "train RMSE {:.4} -> {:.4}",
-                report.rmse_history.first().unwrap(),
-                report.final_rmse().unwrap()
-            )
-            .ok();
+            let first_rmse = report.rmse_history.first().copied().unwrap_or(f64::NAN);
+            let last_rmse = report.final_rmse().unwrap_or(f64::NAN);
+            writeln!(out, "train RMSE {first_rmse:.4} -> {last_rmse:.4}").ok();
             if let Some(test) = &test {
                 let rmse = hcc_sgd::rmse(test.entries(), &report.p, &report.q);
                 writeln!(out, "held-out RMSE: {rmse:.4}").ok();

@@ -42,6 +42,8 @@
 //! assert_eq!(report.rmse_history.len(), 5);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod baseline;
 pub mod checkpoint;
 pub mod cli;

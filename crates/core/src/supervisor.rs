@@ -95,19 +95,30 @@ impl HeartbeatBoard {
     /// Worker `w` reports it finished epoch `epoch` (stored as `epoch + 1`
     /// so 0 means "never beat").
     pub fn beat(&self, w: usize, epoch: usize) {
+        // ordering: Release — pairs with the Acquire in `has_beat`: a
+        // supervisor that sees the beat for epoch `e` also sees every
+        // write the worker made computing epoch `e`. The epoch's factor
+        // data additionally flows through the transport's own
+        // synchronization, so this edge guards the *classifier's* view
+        // (compute-time stats), not the numeric payload.
         self.beats[w].store(epoch as u64 + 1, Ordering::Release);
     }
 
     /// True if worker `w` has beaten for `epoch`.
     pub fn has_beat(&self, w: usize, epoch: usize) -> bool {
+        // ordering: Acquire — pairs with the Release in `beat` (see there).
         self.beats[w].load(Ordering::Acquire) > epoch as u64
     }
 
     pub fn mark_dead(&self, w: usize) {
+        // ordering: Release — set from the catch_unwind handler after the
+        // dying worker's last writes; pairs with `is_dead`'s Acquire so
+        // the server's cleanup reads a settled worker state.
         self.dead[w].store(true, Ordering::Release);
     }
 
     pub fn is_dead(&self, w: usize) -> bool {
+        // ordering: Acquire — pairs with the Release in `mark_dead`.
         self.dead[w].load(Ordering::Acquire)
     }
 

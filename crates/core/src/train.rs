@@ -713,6 +713,9 @@ impl<'a> Session<'a> {
                 let stats = &stats;
                 scope.spawn(move || {
                     let lane = orig_ids[w] as u32;
+                    // Fresh scoped thread each epoch: the previous epoch's
+                    // scope join orders this writer after the last one.
+                    telemetry.adopt_lane(lane);
                     let mut staging = vec![0f32; layout.pull_len.max(layout.push_len)];
 
                     // Pull.
@@ -875,6 +878,8 @@ impl<'a> Session<'a> {
                                 return None; // no heartbeat, no push: dead
                             }
                             let lane = orig_ids[w] as u32;
+                            // Writer handoff (see the stripe path above).
+                            telemetry.adopt_lane(lane);
                             let mut staging = vec![0f32; layout.pull_len.max(layout.push_len)];
 
                             // Pull.
@@ -1082,6 +1087,8 @@ impl<'a> Session<'a> {
                 let stats = &stats;
                 scope.spawn(move || {
                     let lane = orig_ids[w] as u32;
+                    // Writer handoff (see the stripe path above).
+                    telemetry.adopt_lane(lane);
                     let start = telemetry.now_us();
                     let pipe_stats = hcc_comm::run_pipeline(
                         streams,
@@ -1209,7 +1216,9 @@ impl<'a> Session<'a> {
         if epoch + 1 >= self.config.epochs || epoch >= self.config.adapt_epochs {
             return;
         }
-        let stats = self.worker_stats.last().expect("epoch recorded");
+        let Some(stats) = self.worker_stats.last() else {
+            return;
+        };
         if stats.len() != self.fractions.len() {
             // The fleet shrank this epoch (supervisor removed dead workers);
             // last epoch's timings no longer line up with the partition.

@@ -35,6 +35,8 @@
 //! assert_eq!(trace.totals.len(), 4);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cluster;
 pub mod des;
 pub mod engine;

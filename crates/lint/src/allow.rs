@@ -1,0 +1,197 @@
+//! `lint-allow.toml`: the checked-in escape hatch.
+//!
+//! Every suppression is an explicit `[[allow]]` entry carrying a written
+//! reason; entries that stop matching anything are themselves reported so
+//! the file can only shrink as the tree gets cleaner. The parser covers
+//! exactly the TOML subset the file uses (array-of-tables with string
+//! values) — a third-party TOML crate would defeat the linter's
+//! zero-dependency constraint.
+
+use std::cell::Cell;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (`R1`…`R5`).
+    pub rule: String,
+    /// Workspace-relative path (forward slashes); empty = any file.
+    pub path: String,
+    /// Substring the violating source line must contain; empty = any line
+    /// in `path`.
+    pub contains: String,
+    /// Why the violation is acceptable. Required, never empty.
+    pub reason: String,
+    /// Declaration line in lint-allow.toml (for diagnostics).
+    pub decl_line: usize,
+    used: Cell<bool>,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses a violation of `rule` at `path` whose
+    /// source line is `line_text`. Marks the entry used on match.
+    pub fn matches(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        let hit = self.rule == rule
+            && (self.path.is_empty() || self.path == path)
+            && (self.contains.is_empty() || line_text.contains(&self.contains));
+        if hit {
+            self.used.set(true);
+        }
+        hit
+    }
+
+    pub fn used(&self) -> bool {
+        self.used.get()
+    }
+}
+
+/// Parsed allowlist plus any config errors found while parsing (reported
+/// as violations so a malformed allowlist can't silently allow things).
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    /// `(line, message)` pairs for malformed content.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl Allowlist {
+    /// Parses the `[[allow]]` subset of TOML. Unknown keys, missing
+    /// reasons, and unknown rule ids become [`Allowlist::errors`].
+    pub fn parse(text: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                list.finish(current.take());
+                current = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    contains: String::new(),
+                    reason: String::new(),
+                    decl_line: line_no,
+                    used: Cell::new(false),
+                });
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                list.errors
+                    .push((line_no, format!("unparseable line: `{line}`")));
+                continue;
+            };
+            let Some(entry) = current.as_mut() else {
+                list.errors
+                    .push((line_no, "key outside any [[allow]] entry".into()));
+                continue;
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = value,
+                "reason" => entry.reason = value,
+                other => list
+                    .errors
+                    .push((line_no, format!("unknown key `{other}`"))),
+            }
+        }
+        list.finish(current.take());
+        list
+    }
+
+    fn finish(&mut self, entry: Option<AllowEntry>) {
+        let Some(entry) = entry else { return };
+        if !matches!(entry.rule.as_str(), "R1" | "R2" | "R3" | "R4" | "R5") {
+            self.errors.push((
+                entry.decl_line,
+                format!("entry has unknown rule `{}`", entry.rule),
+            ));
+        }
+        if entry.reason.trim().is_empty() {
+            self.errors.push((
+                entry.decl_line,
+                "entry has no reason — every suppression must say why".into(),
+            ));
+        }
+        self.entries.push(entry);
+    }
+
+    /// True when some entry suppresses the violation (marks it used).
+    pub fn suppresses(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        // `.any()` would short-circuit and leave later matching entries
+        // unmarked, falsely reporting them stale; evaluate all.
+        let mut hit = false;
+        for e in &self.entries {
+            hit |= e.matches(rule, path, line_text);
+        }
+        hit
+    }
+}
+
+/// `key = "value"` (string values only, `#` comments after the value).
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let rest = rest.strip_prefix('"')?;
+    let mut value = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => value.push(chars.next()?),
+            '"' => {
+                let tail = chars.as_str().trim();
+                if !tail.is_empty() && !tail.starts_with('#') {
+                    return None;
+                }
+                return Some((key.trim(), value));
+            }
+            _ => value.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r##"
+# comment
+[[allow]]
+rule = "R3"
+path = "crates/core/src/cli.rs"
+contains = "expect("
+reason = "CLI bootstrap aborts with a usage message"
+
+[[allow]]
+rule = "R9"
+reason = "bad rule id"
+
+[[allow]]
+rule = "R2"
+path = "crates/x.rs"
+reason = ""
+"##;
+
+    #[test]
+    fn parses_entries_and_flags_errors() {
+        let list = Allowlist::parse(SAMPLE);
+        assert_eq!(list.entries.len(), 3);
+        assert_eq!(list.entries[0].rule, "R3");
+        assert_eq!(list.entries[0].contains, "expect(");
+        // One unknown rule id, one empty reason.
+        assert_eq!(list.errors.len(), 2, "{:?}", list.errors);
+    }
+
+    #[test]
+    fn suppression_requires_rule_path_and_substring() {
+        let list = Allowlist::parse(SAMPLE);
+        assert!(list.suppresses("R3", "crates/core/src/cli.rs", "x.expect(\"usage\")"));
+        assert!(!list.suppresses("R3", "crates/core/src/cli.rs", "x.unwrap()"));
+        assert!(!list.suppresses("R3", "crates/core/src/train.rs", "x.expect(\"u\")"));
+        assert!(list.entries[0].used());
+        assert!(!list.entries[2].used());
+    }
+}

@@ -1,0 +1,23 @@
+//! `hcc-lint`: the workspace invariant checker.
+//!
+//! The correctness of HCC-MF's hot paths rests on contracts the compiler
+//! cannot see: Hogwild kernels and telemetry rings document *why* their
+//! `unsafe` is sound, lock-free structures choose specific memory
+//! orderings, and library crates promise typed errors instead of panics.
+//! This crate turns those comment-level contracts into CI-enforced rules
+//! (R1–R5, see [`rules`]) with a reasoned escape hatch
+//! ([`allow`], `lint-allow.toml` at the workspace root).
+//!
+//! Run locally with `cargo run -p hcc-lint -- --deny`; see DESIGN.md §11
+//! for the full policy.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod allow;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use allow::Allowlist;
+pub use rules::Violation;
+pub use workspace::{run, Report};

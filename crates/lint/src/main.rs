@@ -1,0 +1,116 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p hcc-lint -- [--deny] [--root DIR] [--allow FILE] [--verbose]
+//! ```
+//!
+//! Prints one line per violation plus a summary. `--deny` exits nonzero
+//! when any unsuppressed violation remains (the CI mode); without it the
+//! run is report-only so a dirty tree can still be explored.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use hcc_lint::{Allowlist, Report};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut verbose = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--verbose" => verbose = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow" => allow_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "hcc-lint: workspace invariant checker (R1 SAFETY comments, R2 atomic \
+                     orderings, R3 panic-free library code, R4 unsafe_op_in_unsafe_fn, R5 \
+                     vendored deps)\n\n\
+                     USAGE: hcc-lint [--deny] [--root DIR] [--allow FILE] [--verbose]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hcc-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("hcc-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let allow_file = allow_path.unwrap_or_else(|| root.join("lint-allow.toml"));
+    let allow = match std::fs::read_to_string(&allow_file) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(), // no allowlist = nothing suppressed
+    };
+
+    let report = match hcc_lint::run(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hcc-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print_report(&report, verbose);
+
+    if deny && !report.violations.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_report(report: &Report, verbose: bool) {
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if verbose {
+        for v in &report.suppressed {
+            println!("(suppressed) {v}");
+        }
+    }
+    println!(
+        "hcc-lint: {} file(s) scanned, {} violation(s), {} suppressed by lint-allow.toml",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    );
+}
+
+/// Walks up from the current directory to the first dir holding both a
+/// `Cargo.toml` and a `crates/` dir.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir: PathBuf = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !pop(&mut dir) {
+            return None;
+        }
+    }
+}
+
+fn pop(dir: &mut PathBuf) -> bool {
+    let parent: Option<&Path> = dir.parent();
+    match parent {
+        Some(p) => {
+            let p = p.to_path_buf();
+            *dir = p;
+            true
+        }
+        None => false,
+    }
+}

@@ -1,0 +1,392 @@
+//! The five workspace invariants.
+//!
+//! | Rule | Contract |
+//! |------|----------|
+//! | R1 | every non-test `unsafe` site carries a `SAFETY:` argument |
+//! | R2 | every non-test atomic op carries an `// ordering:` justification; `SeqCst` additionally needs an allowlist entry or a downgrade |
+//! | R3 | no `unwrap()` / `expect()` / `panic!` in library code of the error-disciplined crates (typed `HccError` instead, or an allowlisted infallibility argument) |
+//! | R4 | every crate root sets `#![deny(unsafe_op_in_unsafe_fn)]` |
+//! | R5 | every `Cargo.lock` package resolves to the workspace or `vendor/` |
+//!
+//! R1–R3 run on the lexed lines from [`crate::source`]; test regions are
+//! exempt (asserting in tests is the point of tests). R3 additionally
+//! skips `src/bin/`: a binary's `main` may abort with a message, the
+//! *library* surface must return typed errors.
+
+use crate::source::Line;
+
+/// Crates whose library code must stay panic-free (R3). These carry the
+/// typed `HccError`/`CommError`/`ServeError` taxonomies; the remaining
+/// crates (baselines, bench, hetsim, sparse internals) are experiment
+/// drivers where abort-on-bug is acceptable.
+pub const R3_CRATES: &[&str] = &["sgd", "comm", "core", "serve", "telemetry", "partition"];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// `R1`…`R5`, or `CFG` for lint-configuration problems.
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-indexed line number (0 for whole-file findings).
+    pub line: usize,
+    pub message: String,
+    /// Raw source line text (what allowlist `contains` matches against).
+    pub line_text: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Runs R1–R3 over one lexed file. `raw_lines` are the original source
+/// lines (for allowlist matching and diagnostics).
+pub fn check_file(path: &str, lines: &[Line], raw_lines: &[&str]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_unsafe_comments(path, lines, raw_lines, &mut out);
+    check_atomic_orderings(path, lines, raw_lines, &mut out);
+    if r3_applies(path) {
+        check_panic_freedom(path, lines, raw_lines, &mut out);
+    }
+    out
+}
+
+/// R4 over a crate root's source text.
+pub fn check_crate_root(path: &str, source: &str) -> Vec<Violation> {
+    let lines = crate::source::lex(source);
+    let has_deny = lines.iter().any(|l| {
+        let code: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+        code.contains("#![deny(unsafe_op_in_unsafe_fn)]")
+            || code.contains("#![forbid(unsafe_op_in_unsafe_fn)]")
+    });
+    if has_deny {
+        Vec::new()
+    } else {
+        vec![Violation {
+            rule: "R4",
+            path: path.to_string(),
+            line: 1,
+            message: "crate root must set #![deny(unsafe_op_in_unsafe_fn)]".into(),
+            line_text: String::new(),
+        }]
+    }
+}
+
+/// R5: every `[[package]]` in `Cargo.lock` must be a workspace or vendor
+/// crate (`known_names`) and must not name a registry `source`.
+pub fn check_lockfile(lock_text: &str, known_names: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut name: Option<(String, usize)> = None;
+    let flush = |name: &mut Option<(String, usize)>, out: &mut Vec<Violation>| {
+        if let Some((n, line)) = name.take() {
+            if !known_names.contains(&n) {
+                out.push(Violation {
+                    rule: "R5",
+                    path: "Cargo.lock".into(),
+                    line,
+                    message: format!("package `{n}` resolves to neither the workspace nor vendor/"),
+                    line_text: format!("name = \"{n}\""),
+                });
+            }
+        }
+    };
+    for (idx, raw) in lock_text.lines().enumerate() {
+        let line = raw.trim();
+        if line == "[[package]]" {
+            flush(&mut name, &mut out);
+        } else if let Some(v) = line.strip_prefix("name = ") {
+            name = Some((v.trim_matches('"').to_string(), idx + 1));
+        } else if let Some(v) = line.strip_prefix("source = ") {
+            let n = name
+                .as_ref()
+                .map(|(n, _)| n.clone())
+                .unwrap_or_else(|| "<unnamed>".into());
+            out.push(Violation {
+                rule: "R5",
+                path: "Cargo.lock".into(),
+                line: idx + 1,
+                message: format!(
+                    "package `{n}` pulls from external source {} — vendor it",
+                    v.trim_matches('"')
+                ),
+                line_text: line.to_string(),
+            });
+        }
+    }
+    flush(&mut name, &mut out);
+    out
+}
+
+fn r3_applies(path: &str) -> bool {
+    R3_CRATES.iter().any(|c| {
+        path.strip_prefix(&format!("crates/{c}/src/"))
+            .is_some_and(|rest| !rest.starts_with("bin/"))
+    })
+}
+
+// ---- R1 ----------------------------------------------------------------
+
+fn check_unsafe_comments(path: &str, lines: &[Line], raw_lines: &[&str], out: &mut Vec<Violation>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        if !justified(lines, idx, &["SAFETY:", "# Safety"], |l| {
+            has_word(&l.code, "unsafe")
+        }) {
+            out.push(Violation {
+                rule: "R1",
+                path: path.to_string(),
+                line: idx + 1,
+                message: "`unsafe` without an immediately preceding `// SAFETY:` argument".into(),
+                line_text: raw_text(raw_lines, idx),
+            });
+        }
+    }
+}
+
+// ---- R2 ----------------------------------------------------------------
+
+const ATOMIC_METHODS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_",
+    ".compare_exchange",
+    "fence(",
+];
+
+fn is_atomic_line(line: &Line) -> bool {
+    line.code.contains("Ordering::") && ATOMIC_METHODS.iter().any(|m| line.code.contains(m))
+}
+
+fn check_atomic_orderings(
+    path: &str,
+    lines: &[Line],
+    raw_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || !is_atomic_line(line) {
+            continue;
+        }
+        if line.code.contains("Ordering::SeqCst") {
+            out.push(Violation {
+                rule: "R2",
+                path: path.to_string(),
+                line: idx + 1,
+                message: "SeqCst ordering: downgrade to the weakest sufficient ordering, or \
+                          justify it with a lint-allow.toml entry"
+                    .into(),
+                line_text: raw_text(raw_lines, idx),
+            });
+            continue;
+        }
+        if !justified(lines, idx, &["ordering:"], is_atomic_line) {
+            out.push(Violation {
+                rule: "R2",
+                path: path.to_string(),
+                line: idx + 1,
+                message: "atomic operation without an `// ordering:` justification on the same \
+                          or a preceding line"
+                    .into(),
+                line_text: raw_text(raw_lines, idx),
+            });
+        }
+    }
+}
+
+// ---- R3 ----------------------------------------------------------------
+
+fn check_panic_freedom(path: &str, lines: &[Line], raw_lines: &[&str], out: &mut Vec<Violation>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (needle, what) in [
+            (".unwrap()", "unwrap()"),
+            (".expect(", "expect()"),
+            ("panic!", "panic!"),
+        ] {
+            let hit = if needle == "panic!" {
+                has_word(&line.code, "panic")
+                    && line.code.contains("panic!")
+                    && !line.code.contains("debug_assert")
+            } else {
+                line.code.contains(needle)
+            };
+            if hit {
+                out.push(Violation {
+                    rule: "R3",
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "{what} in library code — return a typed error, or allowlist with a \
+                         written infallibility argument"
+                    ),
+                    line_text: raw_text(raw_lines, idx),
+                });
+            }
+        }
+    }
+}
+
+// ---- shared helpers ----------------------------------------------------
+
+fn raw_text(raw_lines: &[&str], idx: usize) -> String {
+    raw_lines
+        .get(idx)
+        .map(|s| s.to_string())
+        .unwrap_or_default()
+}
+
+/// Token search that won't match inside identifiers
+/// (`unsafe_op_in_unsafe_fn` does not contain the word `unsafe`).
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let post_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when line `idx` carries one of `needles` in a comment on the same
+/// line, or on a preceding line reachable by walking up through comments,
+/// attributes, unterminated statement continuations, and lines for which
+/// `grouped` holds (so one justification can head a run of related
+/// statements, e.g. a block of atomic loads).
+fn justified(
+    lines: &[Line],
+    idx: usize,
+    needles: &[&str],
+    grouped: impl Fn(&Line) -> bool,
+) -> bool {
+    let hit = |l: &Line| needles.iter().any(|n| l.comment.contains(n));
+    if hit(&lines[idx]) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        let code = l.code.trim();
+        if hit(l) {
+            return true;
+        }
+        let loop_header = code.ends_with('{')
+            && ["for ", "while ", "loop", "for(", "while("]
+                .iter()
+                .any(|kw| code.starts_with(kw));
+        let is_passthrough = code.is_empty() // comment-only or blank line
+            || code.starts_with("#[")        // attribute
+            || grouped(l)                    // same-kind statement run
+            // A justification may sit just above the loop that repeats
+            // the annotated operation.
+            || loop_header
+            // A line that doesn't end a statement/block is a continuation
+            // of the statement we started on.
+            || !(code.ends_with(';') || code.ends_with('{') || code.ends_with('}'));
+        if !is_passthrough {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::lex;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        let lines = lex(src);
+        let raw: Vec<&str> = src.lines().collect();
+        check_file(path, &lines, &raw)
+    }
+
+    #[test]
+    fn r1_requires_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        let good = "// SAFETY: g has no preconditions here\nfn f() { unsafe { g() } }\n";
+        let trailing = "fn f() { unsafe { g() } } // SAFETY: fine\n";
+        assert_eq!(check("crates/sgd/src/x.rs", bad).len(), 1);
+        assert!(check("crates/sgd/src/x.rs", good).is_empty());
+        assert!(check("crates/sgd/src/x.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn r1_accepts_doc_safety_section_for_unsafe_fns() {
+        let src =
+            "/// Does things.\n///\n/// # Safety\n/// Caller upholds X.\npub unsafe fn f() {}\n";
+        assert!(check("crates/sgd/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_requires_ordering_comment_and_flags_seqcst() {
+        let bad = "fn f(a: &A) { a.n.store(1, Ordering::Relaxed); }\n";
+        let good = "fn f(a: &A) {\n    // ordering: Relaxed — stat counter\n    a.n.store(1, Ordering::Relaxed);\n}\n";
+        let seqcst = "fn f(a: &A) {\n    // ordering: belt and braces\n    a.n.store(1, Ordering::SeqCst);\n}\n";
+        assert_eq!(check("crates/comm/src/x.rs", bad).len(), 1);
+        assert!(check("crates/comm/src/x.rs", good).is_empty());
+        let v = check("crates/comm/src/x.rs", seqcst);
+        assert_eq!(v.len(), 1, "SeqCst needs allowlist even with a comment");
+        assert!(v[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn r2_one_comment_heads_a_run_of_atomics() {
+        let src = "fn f(a: &A) {\n    // ordering: Relaxed — cells are independent\n    let x = a.p.load(Ordering::Relaxed);\n    a.q.store(x, Ordering::Relaxed);\n}\n";
+        assert!(check("crates/sgd/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_panics_only_in_listed_crates_outside_tests_and_bins() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert_eq!(check("crates/core/src/x.rs", src).len(), 1);
+        assert!(check("crates/baselines/src/x.rs", src).is_empty());
+        assert!(check("crates/core/src/bin/hcc.rs", src).is_empty());
+        let not_really = "fn f() { x.unwrap_or(3); no_panic(); }\n";
+        assert!(check("crates/core/src/x.rs", not_really).is_empty());
+    }
+
+    #[test]
+    fn r4_detects_missing_deny_attr() {
+        assert_eq!(
+            check_crate_root("crates/x/src/lib.rs", "//! doc\n").len(),
+            1
+        );
+        assert!(check_crate_root(
+            "crates/x/src/lib.rs",
+            "//! doc\n#![deny(unsafe_op_in_unsafe_fn)]\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r5_flags_external_sources_and_unknown_packages() {
+        let lock = "[[package]]\nname = \"hcc-sgd\"\nversion = \"0.1.0\"\n\n[[package]]\nname = \"libc\"\nversion = \"0.2.0\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n";
+        let known = vec!["hcc-sgd".to_string()];
+        let v = check_lockfile(lock, &known);
+        // libc: unknown package AND external source.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "R5"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Lexical pre-pass: split each source line into code and comment text,
+//! blank out string/char literal contents, and mark `#[cfg(test)]` /
+//! `#[test]` regions.
+//!
+//! This is deliberately a line/token scanner, not a parser: the rules it
+//! feeds (see [`crate::rules`]) only need to know *where* a token occurs
+//! and whether a justification comment sits next to it. rustfmt keeps the
+//! workspace in a shape where that is reliable; the fixtures in
+//! `tests/fixtures/` pin the corner cases (nested block comments, raw
+//! strings, lifetimes vs char literals, trailing comments).
+
+/// One physical source line after lexing.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments removed and string/char literal *contents*
+    /// blanked (quotes kept), so token searches can't match inside
+    /// literals or comments.
+    pub code: String,
+    /// Concatenated text of every comment on the line (line, block, doc).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` item or a
+    /// `#[test]` function body (the attribute line itself is not test
+    /// code).
+    pub in_test: bool,
+}
+
+/// Lexes `source` into per-line code/comment pairs with test regions
+/// marked. Lines are 0-indexed in the returned vector; rules report
+/// 1-indexed line numbers.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines = split_comments(source);
+    mark_test_regions(&mut lines);
+    lines
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Nested depth of `/* */` (Rust block comments nest).
+    Block(u32),
+    Str,
+    /// Raw string, closed by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+fn split_comments(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        i += 2;
+                        mode = if depth > 1 {
+                            Mode::Block(depth - 1)
+                        } else {
+                            Mode::Code
+                        };
+                    } else if c == '/' && next == Some('*') {
+                        i += 2;
+                        mode = Mode::Block(depth + 1);
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped char (blanked anyway)
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        code.push('"');
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    if c == '/' && next == Some('/') {
+                        comment.push_str(&raw[byte_offset(raw, i)..]);
+                        break;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if c == 'r' && is_raw_start(&chars, i) {
+                        let (hashes, skip) = raw_start(&chars, i);
+                        code.push_str("r\"");
+                        mode = Mode::RawStr(hashes);
+                        i += skip;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a literal closes within
+                        // a few chars; a lifetime never closes.
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            code.push_str("' '");
+                            i = end + 1;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A string still open at EOL spans lines; stay in Str/RawStr mode.
+        out.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    out
+}
+
+fn byte_offset(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+/// `r"` / `r#"` / `br"` … — at `chars[i] == 'r'`, is this a raw string
+/// opener (possibly after a `b` prefix handled by the caller's scan)?
+fn is_raw_start(chars: &[char], i: usize) -> bool {
+    // Reject identifiers ending in r (e.g. `var"` can't occur) by
+    // requiring the previous char to be a non-identifier char.
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn raw_start(chars: &[char], i: usize) -> (u32, usize) {
+    let mut hashes = 0u32;
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i + 1) // consume r, hashes, and the opening quote
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|h| chars.get(i + h) == Some(&'#'))
+}
+
+/// At `chars[i] == '\''`: `Some(index of closing quote)` for a char
+/// literal, `None` for a lifetime.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped literal: scan to the next unescaped quote (covers
+            // \n, \x7f, \u{...}).
+            let mut j = i + 2;
+            while j < chars.len() && j < i + 12 {
+                if chars[j] == '\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            if chars.get(i + 2) == Some(&'\'') {
+                Some(i + 2)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` items and `#[test]` fn bodies.
+///
+/// Brace-depth tracking over the comment-stripped code: a test attribute
+/// arms a pending flag; the next `{` opens a region that closes when the
+/// depth returns to its opening level. `#[cfg(not(test))]` does not arm.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i32 = 0;
+    let mut pending = false;
+    // Depth just before the `{` that opened the current test region.
+    let mut region_close: Option<i32> = None;
+    for line in lines.iter_mut() {
+        let normalized: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if region_close.is_none()
+            && (normalized.contains("#[cfg(test)]")
+                || normalized.contains("#[cfg(all(test")
+                || normalized.contains("#[cfg(any(test")
+                || normalized.contains("#[test]"))
+        {
+            pending = true;
+        }
+        let mut in_test_here = region_close.is_some();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending && region_close.is_none() {
+                        region_close = Some(depth);
+                        pending = false;
+                        in_test_here = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close == Some(depth) {
+                        region_close = None;
+                        // The closing line still belongs to the region.
+                    }
+                }
+                // The armed attribute turned out to gate a braceless
+                // item (`#[cfg(test)] use …;`, `mod tests;`): no body
+                // in this file to mark.
+                ';' if pending && region_close.is_none() => pending = false,
+                _ => {}
+            }
+        }
+        line.in_test = in_test_here;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let lines = lex("let x = \"unsafe\"; // SAFETY: not code\nlet y = 1; /* unsafe */");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("SAFETY:"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[1].comment.contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = lex("/* a /* b */ still comment\nstill */ let z = 1;");
+        assert_eq!(lines[0].code.trim(), "");
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let lines = lex("let s = r#\"unsafe \"# ; let c = '\\'' ; let l: &'static str = s;");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("'static"), "{}", lines[0].code);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked_not_the_attribute() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn more() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(!lines[1].in_test, "attribute line is not test code");
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test, "closing brace still in region");
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_arm() {
+        let lines = lex("#[cfg(not(test))]\nmod real {\n    fn f() {}\n}\n");
+        assert!(lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn test_fn_attribute_marks_only_its_body() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn lib() {}\n";
+        let lines = lex(src);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test);
+        assert!(!lines[4].in_test);
+    }
+}

@@ -1,0 +1,163 @@
+//! Workspace discovery and the all-rules driver.
+
+use crate::allow::Allowlist;
+use crate::rules::{self, Violation};
+use crate::source;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Violations an allowlist entry suppressed (shown with `--verbose`).
+    pub suppressed: Vec<Violation>,
+    /// Source files scanned.
+    pub files_scanned: usize,
+}
+
+/// Runs every rule over the workspace at `root`, applying `allow`.
+///
+/// Scans `crates/*/src/**/*.rs` (R1–R3 plus R4 on each `lib.rs`) and
+/// `Cargo.lock` against the package names found under `crates/` and
+/// `vendor/` (R5). Allowlist config errors and stale entries are appended
+/// as `CFG` violations — a broken escape hatch must fail the build, not
+/// widen it.
+pub fn run(root: &Path, allow: &Allowlist) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut raw = Vec::new();
+
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for file in rust_files(&src)? {
+            let text = fs::read_to_string(&file)?;
+            let rel = rel_path(root, &file);
+            let lines = source::lex(&text);
+            let raw_lines: Vec<&str> = text.lines().collect();
+            raw.extend(rules::check_file(&rel, &lines, &raw_lines));
+            report.files_scanned += 1;
+            if file.file_name().is_some_and(|n| n == "lib.rs")
+                && file.parent() == Some(src.as_path())
+            {
+                raw.extend(rules::check_crate_root(&rel, &text));
+            }
+        }
+    }
+
+    let lock = root.join("Cargo.lock");
+    if lock.is_file() {
+        let known = package_names(root)?;
+        raw.extend(rules::check_lockfile(&fs::read_to_string(lock)?, &known));
+    }
+
+    for v in raw {
+        if allow.suppresses(v.rule, &v.path, &v.line_text) {
+            report.suppressed.push(v);
+        } else {
+            report.violations.push(v);
+        }
+    }
+
+    for (line, msg) in &allow.errors {
+        report.violations.push(Violation {
+            rule: "CFG",
+            path: "lint-allow.toml".into(),
+            line: *line,
+            message: msg.clone(),
+            line_text: String::new(),
+        });
+    }
+    for entry in &allow.entries {
+        if !entry.used() {
+            report.violations.push(Violation {
+                rule: "CFG",
+                path: "lint-allow.toml".into(),
+                line: entry.decl_line,
+                message: format!(
+                    "stale allowlist entry (rule {}, path `{}`) matches nothing — remove it",
+                    entry.rule, entry.path
+                ),
+                line_text: String::new(),
+            });
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Package names declared by `crates/*/Cargo.toml` and `vendor/*/Cargo.toml`.
+pub fn package_names(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for base in ["crates", "vendor"] {
+        for dir in sorted_dirs(&root.join(base))? {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = fs::read_to_string(manifest) {
+                if let Some(name) = manifest_package_name(&text) {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn manifest_package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+        } else if in_package {
+            if let Some(v) = line.strip_prefix("name = ") {
+                return Some(v.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+fn sorted_dirs(parent: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut dirs = Vec::new();
+    if !parent.is_dir() {
+        return Ok(dirs);
+    }
+    for entry in fs::read_dir(parent)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

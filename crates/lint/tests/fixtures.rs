@@ -1,0 +1,132 @@
+//! End-to-end fixture tests: each rule R1–R5 must detect its seeded
+//! violation (and nothing else), the clean tree must scan clean, and the
+//! allowlist must suppress — and report staleness — as documented.
+
+use hcc_lint::{run, Allowlist, Report};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn scan(name: &str) -> Report {
+    run(&fixture(name), &Allowlist::default()).expect("fixture scan")
+}
+
+fn scan_with_allow(name: &str) -> Report {
+    let allow_path = fixture(name).join("lint-allow.toml");
+    let text = std::fs::read_to_string(allow_path).expect("fixture allowlist");
+    run(&fixture(name), &Allowlist::parse(&text)).expect("fixture scan")
+}
+
+#[test]
+fn r1_detects_unsafe_without_safety_comment() {
+    let report = scan("r1");
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "R1");
+    assert_eq!(v.path, "crates/fx/src/lib.rs");
+    assert_eq!(v.line, 6, "the uncommented unsafe block");
+}
+
+#[test]
+fn r2_detects_unannotated_atomic_and_seqcst() {
+    let report = scan("r2");
+    assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
+    assert!(report.violations.iter().all(|v| v.rule == "R2"));
+    let lines: Vec<usize> = report.violations.iter().map(|v| v.line).collect();
+    assert!(
+        lines.contains(&8),
+        "unannotated fetch_add must be flagged: {lines:?}"
+    );
+    assert!(
+        lines.contains(&14),
+        "SeqCst must be flagged even with a comment: {lines:?}"
+    );
+}
+
+#[test]
+fn r3_detects_unwrap_in_scoped_library_code() {
+    let report = scan("r3");
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "R3");
+    assert_eq!(v.path, "crates/core/src/lib.rs");
+    assert_eq!(v.line, 5, "library unwrap, not the test-mod one");
+}
+
+#[test]
+fn r4_detects_missing_crate_root_attribute() {
+    let report = scan("r4");
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "R4");
+    assert_eq!(v.path, "crates/fx/src/lib.rs");
+}
+
+#[test]
+fn r5_detects_registry_dependency_in_lockfile() {
+    let report = scan("r5");
+    // Two findings for the one bad package: it resolves to neither the
+    // workspace nor vendor/, and it names an external source.
+    assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
+    for v in &report.violations {
+        assert_eq!(v.rule, "R5");
+        assert!(
+            v.message.contains("sneaky-dep"),
+            "message should name the package: {}",
+            v.message
+        );
+    }
+}
+
+#[test]
+fn clean_tree_scans_clean() {
+    let report = scan("clean");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn allowlist_suppresses_with_reason() {
+    // Without the allowlist the violation is live…
+    let bare = scan("allow");
+    assert_eq!(bare.violations.len(), 1, "{:#?}", bare.violations);
+    assert_eq!(bare.violations[0].rule, "R3");
+    // …and the fixture's lint-allow.toml moves it to `suppressed`.
+    let report = scan_with_allow("allow");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+#[test]
+fn stale_allowlist_entry_is_a_violation() {
+    let report = scan_with_allow("stale");
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "CFG");
+    assert!(v.message.contains("stale"), "{}", v.message);
+}
+
+/// The repo itself must be lint-clean under its checked-in allowlist —
+/// the same invariant CI's `lint-invariants` job enforces.
+#[test]
+fn repository_tree_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let allow = match std::fs::read_to_string(root.join("lint-allow.toml")) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+    let report = run(&root, &allow).expect("workspace scan");
+    assert!(
+        report.violations.is_empty(),
+        "workspace has lint violations:\n{:#?}",
+        report.violations
+    );
+}

@@ -1,0 +1,7 @@
+//! Allowlist fixture: one R3 violation suppressed by lint-allow.toml.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn build() -> u32 {
+    let v: Result<u32, ()> = Ok(1);
+    v.expect("documented panicking convenience")
+}

@@ -1,0 +1,53 @@
+//! Clean fixture: every tricky construct the lexer must NOT trip over.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The words unsafe, unwrap() and SeqCst inside strings and comments are
+/// data, not code: "unsafe { }", ".unwrap()", Ordering::SeqCst.
+pub fn strings() -> &'static str {
+    let raw = r#"unsafe { x.load(Ordering::SeqCst).unwrap() }"#;
+    let _ = raw;
+    /* block comment mentioning unsafe and .unwrap() too,
+    across lines */
+    "panic! is only a word here"
+}
+
+// SAFETY: dereferences a pointer derived from a live slice; the length
+// check above the call guarantees in-bounds.
+pub fn justified_unsafe(v: &[u8]) -> u8 {
+    // SAFETY: non-empty asserted by the caller contract (see docs).
+    unsafe { *v.as_ptr() }
+}
+
+pub fn annotated_atomics(c: &AtomicU64) -> u64 {
+    // ordering: Relaxed — statistic, no cross-thread ordering required.
+    c.fetch_add(1, Ordering::Relaxed);
+    // ordering: Acquire — pairs with the Release store in `publish`.
+    c.load(Ordering::Acquire)
+}
+
+pub fn publish(c: &AtomicU64) {
+    // ordering: Release — pairs with the Acquire load above.
+    c.store(1, Ordering::Release);
+}
+
+pub fn lifetime_not_char<'a>(s: &'a str) -> &'a str {
+    let c = 'x'; // char literal, not a lifetime
+    let _ = c;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn tests_may_unwrap_and_use_seqcst() {
+        let c = AtomicU64::new(0);
+        c.store(7, Ordering::SeqCst);
+        let v: Option<u64> = Some(c.load(Ordering::SeqCst));
+        assert_eq!(v.unwrap(), 7);
+    }
+}

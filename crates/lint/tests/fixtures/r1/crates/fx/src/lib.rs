@@ -1,0 +1,13 @@
+//! R1 fixture: one unsafe block without a SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn read_first(v: &[u8]) -> u8 {
+    // A comment that is not a safety argument.
+    unsafe { *v.as_ptr() }
+}
+
+// SAFETY: the pointer comes from a live slice; this one is justified and
+// must NOT be flagged.
+pub unsafe fn read_first_ok(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,20 @@
+//! R2 fixture: one unannotated atomic access and one SeqCst access whose
+//! comment cannot excuse it (SeqCst always needs an allowlist entry).
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(c: &AtomicU64) -> u64 {
+    // ordering: SeqCst — a comment does not excuse SeqCst; downgrade or
+    // allowlist it.
+    c.load(Ordering::SeqCst)
+}
+
+pub fn read_ok(c: &AtomicU64) -> u64 {
+    // ordering: Relaxed — fixture statistic, no ordering required.
+    c.load(Ordering::Relaxed)
+}

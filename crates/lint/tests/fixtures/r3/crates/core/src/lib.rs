@@ -1,0 +1,15 @@
+//! R3 fixture: a panic in library code of an R3-scoped crate (`core`).
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u32, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

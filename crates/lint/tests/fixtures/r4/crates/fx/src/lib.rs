@@ -1,0 +1,5 @@
+//! R4 fixture: crate root missing `#![deny(unsafe_op_in_unsafe_fn)]`.
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,2 @@
+//! R5 fixture crate (the violation lives in Cargo.lock).
+#![deny(unsafe_op_in_unsafe_fn)]

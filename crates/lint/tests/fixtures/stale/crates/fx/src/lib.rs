@@ -1,0 +1,6 @@
+//! Stale-allowlist fixture: the tree is clean, the allowlist is not.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -203,7 +203,7 @@ fn group_means(t: &[f64], classes: &[WorkerClass]) -> (f64, f64) {
 
 fn median_of(t: &[f64]) -> f64 {
     let mut sorted = t.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mid = sorted.len() / 2;
     if sorted.len() % 2 == 1 {
         sorted[mid]

@@ -31,6 +31,8 @@
 //! assert!(x[0] > x[1]);               // worker 1 pays fixed cost, gets less data
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dp;
 pub mod model;
 pub mod planner;

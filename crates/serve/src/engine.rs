@@ -141,6 +141,8 @@ impl ServeEngine {
     /// and a failed build/load leaves the old model in place untouched.
     pub fn reload(&self, model: ServedModel) -> u64 {
         *self.current.write() = Arc::new(model);
+        // ordering: Relaxed — reload counter is a statistic; the RwLock
+        // write above is what publishes the new model.
         self.reloads.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -169,40 +171,39 @@ impl ServeEngine {
     ) -> Result<Vec<Vec<(u32, f32)>>, ServeError> {
         let model = self.model();
         let t0 = Instant::now();
-        for &u in users {
-            model.user_row(u)?;
-        }
+        // Resolve every user row up front: validates the whole batch before
+        // any scoring work, and hands the fan-out threads plain slices.
+        let rows: Vec<&[f32]> = users
+            .iter()
+            .map(|&u| model.user_row(u))
+            .collect::<Result<_, ServeError>>()?;
         // Seen lists are per-user state shared by every shard thread:
         // compute them once, outside the fan-out.
         let seen: Vec<Vec<u32>> = users.iter().map(|&u| model.seen_items(u)).collect();
         let shards = model.shards();
         let result = if shards.len() <= 1 || users.len() <= 1 {
-            users
-                .iter()
+            rows.iter()
                 .zip(&seen)
-                .map(|(&u, s)| {
-                    let row = model.user_row(u).expect("validated above");
+                .map(|(&row, s)| {
                     let mut best = TopK::new(count);
                     for shard in shards {
                         scan_shard(shard, row, s, &mut best);
                     }
-                    Ok(best.into_sorted())
+                    best.into_sorted()
                 })
-                .collect::<Result<Vec<_>, ServeError>>()?
+                .collect()
         } else {
             // One thread per shard; each produces per-user partial heaps.
             let partials: Vec<Vec<Vec<(u32, f32)>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .iter()
                     .map(|shard| {
-                        let model = &model;
+                        let rows = &rows;
                         let seen = &seen;
                         scope.spawn(move || {
-                            users
-                                .iter()
+                            rows.iter()
                                 .zip(seen)
-                                .map(|(&u, s)| {
-                                    let row = model.user_row(u).expect("validated above");
+                                .map(|(&row, s)| {
                                     let mut best = TopK::new(count);
                                     scan_shard(shard, row, s, &mut best);
                                     best.into_sorted()
@@ -211,7 +212,10 @@ impl ServeEngine {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
             });
             (0..users.len())
                 .map(|qi| {
@@ -270,7 +274,7 @@ impl ServeEngine {
     }
 
     /// Serving statistics so far. Percentiles come from a bounded
-    /// uniform reservoir of per-query latencies ([`LatencyReservoir`]),
+    /// uniform reservoir of per-query latencies (`LatencyReservoir`),
     /// exact until the reservoir first fills.
     pub fn stats(&self) -> ServeStats {
         let mut lat = self.latencies.lock().sample.clone();
@@ -282,10 +286,13 @@ impl ServeEngine {
                 lat[((lat.len() - 1) as f64 * p) as usize]
             }
         };
+        // ordering: Relaxed — statistics snapshot; counts may trail
+        // in-flight queries by design.
         let queries = self.queries.load(Ordering::Relaxed);
+        let reloads = self.reloads.load(Ordering::Relaxed);
         ServeStats {
             queries,
-            reloads: self.reloads.load(Ordering::Relaxed),
+            reloads,
             p50_us: pick(0.50),
             p99_us: pick(0.99),
             qps: queries as f64 / self.started.elapsed().as_secs_f64().max(1e-9),
@@ -311,6 +318,8 @@ impl ServeEngine {
     fn note_queries(&self, n: u64, t0: Instant) {
         let total_us = t0.elapsed().as_micros() as u64;
         let per_query = total_us / n.max(1);
+        // ordering: Relaxed — query counter is a statistic; latency and
+        // telemetry recording below are serialized by the mutex.
         self.queries.fetch_add(n, Ordering::Relaxed);
         let mut lat = self.latencies.lock();
         for _ in 0..n {
@@ -318,6 +327,10 @@ impl ServeEngine {
         }
         if self.telemetry.is_enabled() {
             let lane = self.telemetry.server_lane();
+            // Writer handoff: the mutex held above orders this thread
+            // after the previous recording thread (debug builds assert
+            // the discipline via the lane's owner check).
+            self.telemetry.adopt_lane(lane);
             let start = self.telemetry.now_us().saturating_sub(total_us);
             for i in 0..n {
                 self.telemetry.phase(
@@ -340,6 +353,7 @@ impl std::fmt::Debug for ServeEngine {
             .field("users", &model.users())
             .field("items", &model.items())
             .field("shards", &model.shard_count())
+            // ordering: Relaxed — debug statistics.
             .field("queries", &self.queries.load(Ordering::Relaxed))
             .field("reloads", &self.reloads.load(Ordering::Relaxed))
             .finish()

@@ -50,19 +50,20 @@ pub fn fold_in(
     if ratings.is_empty() {
         return Err(ServeError::EmptyFoldIn);
     }
-    // Validate every item before the first update so a bad rating list
+    // Resolve every item row before the first update so a bad rating list
     // cannot leave a half-trained row.
-    for &(item, _) in ratings {
-        model.item_row(item)?;
-    }
+    let rows: Vec<&[f32]> = ratings
+        .iter()
+        .map(|&(item, _)| model.item_row(item))
+        .collect::<Result<_, ServeError>>()?;
     let k = model.k();
     let mut p_row = FactorMatrix::random(1, k, config.seed).row(0).to_vec();
     let mut scratch = vec![0f32; k];
     for _ in 0..config.epochs {
-        for &(item, r) in ratings {
+        for (&(_, r), &row) in ratings.iter().zip(&rows) {
             // Copy-out keeps Q frozen: the kernel updates the scratch copy
             // and we throw it away.
-            scratch.copy_from_slice(model.item_row(item).expect("validated above"));
+            scratch.copy_from_slice(row);
             sgd_step(&mut p_row, &mut scratch, r, config.lr, config.lambda, 0.0);
         }
     }

@@ -41,6 +41,8 @@
 //! assert_eq!(top.len(), 5);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod engine;
 pub mod error;
 pub mod foldin;

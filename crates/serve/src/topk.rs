@@ -60,7 +60,7 @@ impl TopK {
         let cand = Candidate { item, score };
         if self.heap.len() < self.k {
             self.heap.push(std::cmp::Reverse(cand));
-        } else if cand > self.heap.peek().expect("non-empty at capacity").0 {
+        } else if self.heap.peek().is_some_and(|worst| cand > worst.0) {
             self.heap.pop();
             self.heap.push(std::cmp::Reverse(cand));
         }

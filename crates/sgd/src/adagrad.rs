@@ -88,6 +88,10 @@ fn adagrad_step(
     let q_cells = q.row_cells(i);
     let ap_cells = state.accum_p.row_cells(u);
     let aq_cells = state.accum_q.row_cells(i);
+    // ordering: Relaxed throughout this kernel — Hogwild cells (factor and
+    // AdaGrad accumulator alike) carry no cross-cell ordering; racing
+    // read-modify-write interleavings lose increments at worst, which the
+    // asynchronous-SGD convergence argument tolerates.
     for j in 0..k {
         pl[j] = f32::from_bits(p_cells[j].load(Ordering::Relaxed));
         ql[j] = f32::from_bits(q_cells[j].load(Ordering::Relaxed));
@@ -96,12 +100,14 @@ fn adagrad_step(
     for j in 0..k {
         let gp = e * ql[j] - cfg.lambda_p * pl[j];
         let gq = e * pl[j] - cfg.lambda_q * ql[j];
+        // ordering: Relaxed — see the kernel-level note above.
         let ap = f32::from_bits(ap_cells[j].load(Ordering::Relaxed)) + gp * gp;
         let aq = f32::from_bits(aq_cells[j].load(Ordering::Relaxed)) + gq * gq;
         ap_cells[j].store(ap.to_bits(), Ordering::Relaxed);
         aq_cells[j].store(aq.to_bits(), Ordering::Relaxed);
         let p_new = pl[j] + cfg.eta0 * gp / (ap + cfg.epsilon).sqrt();
         let q_new = ql[j] + cfg.eta0 * gq / (aq + cfg.epsilon).sqrt();
+        // ordering: Relaxed — see the kernel-level note above.
         p_cells[j].store(p_new.to_bits(), Ordering::Relaxed);
         q_cells[j].store(q_new.to_bits(), Ordering::Relaxed);
     }
@@ -152,7 +158,7 @@ pub fn adagrad_hogwild_epoch(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("adagrad thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .sum()
     })
 }

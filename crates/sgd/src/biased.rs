@@ -42,17 +42,23 @@ impl SharedBias {
     /// Loads bias `j`.
     #[inline]
     pub fn load(&self, j: usize) -> f32 {
+        // ordering: Relaxed — Hogwild bias cells, same contract as
+        // `SharedFactors::load`: per-cell atomicity, no cross-cell order.
         f32::from_bits(self.cells[j].load(Ordering::Relaxed))
     }
 
     /// Stores bias `j`.
     #[inline]
     pub fn store(&self, j: usize, v: f32) {
+        // ordering: Relaxed — see `load`; staleness is tolerated by the
+        // Hogwild convergence argument.
         self.cells[j].store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Snapshots to a plain vector.
     pub fn snapshot(&self) -> Vec<f32> {
+        // ordering: Relaxed — snapshots run after the training scope joins,
+        // which is the publication edge.
         self.cells
             .iter()
             .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
@@ -154,12 +160,15 @@ pub fn sgd_step_biased(
         .store(i, ci + lr * (e - config.lambda_bias * ci));
     let p_cells = model.p.row_cells(u);
     let q_cells = model.q.row_cells(i);
+    // ordering: Relaxed — the Hogwild update itself: racing writers may
+    // interleave per cell, which the convergence analysis tolerates; no
+    // other data is published through these stores.
     for j in 0..k {
         let p_old = pu[j];
         let p_new = p_old + lr * (e * qi[j] - config.lambda_factor * p_old);
         let q_new = qi[j] + lr * (e * p_old - config.lambda_factor * qi[j]);
-        p_cells[j].store(p_new.to_bits(), Ordering::Relaxed);
-        q_cells[j].store(q_new.to_bits(), Ordering::Relaxed);
+        p_cells[j].store(p_new.to_bits(), Ordering::Relaxed); // ordering: above
+        q_cells[j].store(q_new.to_bits(), Ordering::Relaxed); // ordering: above
     }
     e
 }
@@ -194,7 +203,7 @@ pub fn biased_hogwild_epoch(entries: &[Rating], model: &BiasedModel, config: &Bi
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("biased hogwild thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .sum()
     })
 }

@@ -174,12 +174,19 @@ impl SharedFactors {
     /// Loads element `(row, j)`.
     #[inline]
     pub fn load(&self, row: usize, j: usize) -> f32 {
+        // ordering: Relaxed — Hogwild cells carry no cross-cell ordering;
+        // each load only needs the cell's own atomicity (no torn reads).
+        // Cross-thread publication happens at epoch boundaries via the
+        // training scope's join, not through these accesses.
         f32::from_bits(self.data[row * self.k + j].load(Ordering::Relaxed))
     }
 
     /// Stores element `(row, j)`.
     #[inline]
     pub fn store(&self, row: usize, j: usize, v: f32) {
+        // ordering: Relaxed — see `load`; stores publish nothing beyond the
+        // cell itself, staleness is tolerated by the Hogwild convergence
+        // argument (Niu et al.).
         self.data[row * self.k + j].store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -189,6 +196,7 @@ impl SharedFactors {
         debug_assert_eq!(buf.len(), self.k);
         let base = row * self.k;
         for (j, slot) in buf.iter_mut().enumerate() {
+            // ordering: Relaxed — per-cell atomicity only (see `load`).
             *slot = f32::from_bits(self.data[base + j].load(Ordering::Relaxed));
         }
     }
@@ -199,6 +207,7 @@ impl SharedFactors {
         debug_assert_eq!(buf.len(), self.k);
         let base = row * self.k;
         for (j, &v) in buf.iter().enumerate() {
+            // ordering: Relaxed — per-cell atomicity only (see `store`).
             self.data[base + j].store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -211,6 +220,9 @@ impl SharedFactors {
 
     /// Snapshots the whole matrix into a plain `FactorMatrix`.
     pub fn snapshot(&self) -> FactorMatrix {
+        // ordering: Relaxed — callers snapshot after the writing scope has
+        // joined (a happens-before edge), so Relaxed already observes the
+        // final values; mid-epoch snapshots are by-design fuzzy.
         let data: Vec<f32> = self
             .data
             .iter()
@@ -227,6 +239,8 @@ impl SharedFactors {
         assert_eq!(m.rows(), self.rows, "row mismatch");
         assert_eq!(m.k(), self.k, "k mismatch");
         for (cell, &v) in self.data.iter().zip(m.as_slice()) {
+            // ordering: Relaxed — bulk overwrite runs outside the worker
+            // scope; the next scope's spawn edge publishes it.
             cell.store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -237,6 +251,8 @@ impl SharedFactors {
         assert_eq!(src.len(), (hi - lo) * self.k, "source length mismatch");
         let base = lo * self.k;
         for (off, &v) in src.iter().enumerate() {
+            // ordering: Relaxed — single-writer row range during pull; the
+            // scope join publishes the rows to the merging thread.
             self.data[base + off].store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -245,6 +261,8 @@ impl SharedFactors {
     pub fn snapshot_rows(&self, lo: usize, hi: usize) -> Vec<f32> {
         assert!(lo <= hi && hi <= self.rows, "row range out of bounds");
         let base = lo * self.k;
+        // ordering: Relaxed — see `snapshot`; row reads need no ordering
+        // beyond per-cell atomicity.
         (0..(hi - lo) * self.k)
             .map(|off| f32::from_bits(self.data[base + off].load(Ordering::Relaxed)))
             .collect()

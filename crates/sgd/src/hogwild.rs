@@ -142,7 +142,7 @@ pub fn hogwild_epoch(
                 }
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("hogwild thread panicked"))
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                     .sum()
             })
         }
@@ -193,7 +193,7 @@ pub fn hogwild_epoch_tiled(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("hogwild thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .sum()
     })
 }
@@ -235,6 +235,10 @@ fn sweep_tiles(
 ) -> f64 {
     let mut sq_err = 0.0f64;
     loop {
+        // ordering: Relaxed — work-stealing tile cursor: the RMW's own
+        // atomicity already hands each tile index to exactly one worker;
+        // tile entries are immutable shared data published by the spawn
+        // edge, so no extra ordering is needed.
         let t = cursor.fetch_add(1, Ordering::Relaxed);
         if t >= grid.num_tiles() {
             return sq_err;

@@ -41,6 +41,8 @@
 //! assert!(rmse(ds.matrix.entries(), &p.snapshot(), &q.snapshot()) < before);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod adagrad;
 pub mod biased;
 pub mod factors;

@@ -85,6 +85,9 @@ pub fn momentum_hogwild_epoch(
             let q_cells = q.row_cells(i);
             let vp_cells = state.velocity_p.row_cells(u);
             let vq_cells = state.velocity_q.row_cells(i);
+            // ordering: Relaxed throughout — Hogwild factor and velocity
+            // cells: per-cell atomicity only, racing interleavings are
+            // tolerated by the asynchronous-SGD convergence argument.
             for j in 0..k {
                 pl[j] = f32::from_bits(p_cells[j].load(Ordering::Relaxed));
                 ql[j] = f32::from_bits(q_cells[j].load(Ordering::Relaxed));
@@ -93,6 +96,7 @@ pub fn momentum_hogwild_epoch(
             for j in 0..k {
                 let gp = err * ql[j] - cfg.lambda_p * pl[j];
                 let gq = err * pl[j] - cfg.lambda_q * ql[j];
+                // ordering: Relaxed — see the loop-level note above.
                 let vp = cfg.beta * f32::from_bits(vp_cells[j].load(Ordering::Relaxed)) + gp;
                 let vq = cfg.beta * f32::from_bits(vq_cells[j].load(Ordering::Relaxed)) + gq;
                 vp_cells[j].store(vp.to_bits(), Ordering::Relaxed);
@@ -120,7 +124,7 @@ pub fn momentum_hogwild_epoch(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("momentum thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .sum()
     })
 }

@@ -72,6 +72,9 @@ fn detect() -> Backend {
 /// caches; later calls are a single relaxed load.
 #[inline]
 pub fn active_backend() -> Backend {
+    // ordering: Relaxed — racy one-time init: every thread that misses
+    // computes the same detection result, so publishing the cached code
+    // needs no ordering; the value is a self-contained u8 code.
     match ACTIVE.load(Ordering::Relaxed) {
         BK_AVX2 => Backend::Avx2,
         BK_SCALAR => Backend::Scalar,
@@ -81,6 +84,8 @@ pub fn active_backend() -> Backend {
                 Backend::Scalar => BK_SCALAR,
                 Backend::Avx2 => BK_AVX2,
             };
+            // ordering: Relaxed — see the load above; duplicate racing
+            // stores write the same value.
             ACTIVE.store(code, Ordering::Relaxed);
             b
         }
@@ -99,12 +104,15 @@ pub fn set_backend(b: Backend) -> Result<(), &'static str> {
         Backend::Scalar => BK_SCALAR,
         Backend::Avx2 => BK_AVX2,
     };
+    // ordering: Relaxed — test/bench-only override; callers sequence their
+    // own kernel calls after it on the same thread.
     ACTIVE.store(code, Ordering::Relaxed);
     Ok(())
 }
 
 /// Drops any forced backend; the next kernel call re-detects.
 pub fn reset_backend() {
+    // ordering: Relaxed — see `set_backend`.
     ACTIVE.store(BK_UNSET, Ordering::Relaxed);
 }
 

@@ -33,6 +33,8 @@
 //! assert!(stats.row_gini > 0.0); // Zipf-skewed popularity
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod coo;
 pub mod csc;
 pub mod csr;

@@ -106,7 +106,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn eat(&mut self, b: u8) -> Result<(), String> {
         let got = self.bump()?;
         if got != b {
             return Err(format!(
@@ -145,7 +145,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -156,7 +156,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             self.skip_ws();
             let val = self.value()?;
             members.push((key, val));
@@ -170,7 +170,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -190,7 +190,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump()? {
@@ -209,8 +209,8 @@ impl<'a> Parser<'a> {
                         // Surrogate pairs: a high surrogate must be followed
                         // by an escaped low surrogate.
                         let ch = if (0xD800..0xDC00).contains(&code) {
-                            self.expect(b'\\')?;
-                            self.expect(b'u')?;
+                            self.eat(b'\\')?;
+                            self.eat(b'u')?;
                             let low = self.hex4()?;
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err("invalid low surrogate".into());
@@ -279,7 +279,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-ascii bytes in number".to_string())?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|e| format!("bad number {text:?}: {e}"))

@@ -23,6 +23,8 @@
 //! JSON object per line and [`summary`] folds it into per-epoch phase
 //! totals and the measured-vs-model validation report.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod event;
 pub mod json;
 pub mod jsonl;
@@ -143,6 +145,25 @@ impl Telemetry {
                 .0
                 .as_ref()
                 .map(|i| (i.origin.elapsed(), Instant::now())),
+        }
+    }
+
+    /// Declares the calling thread the new writer of `lane`.
+    ///
+    /// The single-writer protocol permits a lane's writer to *change* —
+    /// training spawns fresh scoped worker threads each epoch, and the
+    /// serving path rotates server-lane writers under a mutex — as long as
+    /// a happens-before edge (scope join, mutex acquire, channel recv)
+    /// orders the new writer after the old one. Call this at the start of
+    /// such a handoff, strictly after taking that edge.
+    ///
+    /// Release builds compile this to a no-op. Debug builds re-arm the
+    /// lane's owner-thread assertion, so an *unsynchronized* second writer
+    /// (a protocol violation that would be a data race) fails fast instead
+    /// of corrupting the ring.
+    pub fn adopt_lane(&self, lane: u32) {
+        if let Some(inner) = &self.0 {
+            inner.lane(lane).adopt();
         }
     }
 

@@ -29,11 +29,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) struct Ring {
     buf: UnsafeCell<Vec<Event>>,
     dropped: AtomicU64,
+    /// Debug-only writer identity: 0 = unclaimed, otherwise a hashed
+    /// `ThreadId` token of the thread that currently owns the lane. The
+    /// first `push` claims the lane; [`Ring::adopt`] hands it over.
+    #[cfg(debug_assertions)]
+    owner: AtomicU64,
 }
 
 // SAFETY: see the module-level protocol — at most one thread writes at a
 // time, and cross-thread handoffs are ordered by thread::scope joins.
 unsafe impl Sync for Ring {}
+// SAFETY: all fields are owned values (`UnsafeCell<Vec<_>>`, `AtomicU64`);
+// moving the ring to another thread moves the whole buffer with it.
 unsafe impl Send for Ring {}
 
 impl Ring {
@@ -42,30 +49,84 @@ impl Ring {
         Ring {
             buf: UnsafeCell::new(Vec::with_capacity(capacity.max(1))),
             dropped: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            owner: AtomicU64::new(0),
+        }
+    }
+
+    /// Declares the calling thread the lane's writer. Call only while
+    /// holding the synchronization (scope join, mutex, channel) that
+    /// orders this thread after the previous writer — the check below
+    /// verifies the discipline, it cannot create it.
+    pub fn adopt(&self) {
+        // ordering: Relaxed — debug-only bookkeeping; the handoff edge the
+        // caller must already hold is what orders the buffer accesses.
+        #[cfg(debug_assertions)]
+        self.owner.store(thread_token(), Ordering::Relaxed);
+    }
+
+    /// Asserts the single-writer protocol: the first writer claims the
+    /// lane, and every later unadopted write must come from that thread.
+    #[cfg(debug_assertions)]
+    fn check_owner(&self) {
+        let me = thread_token();
+        // ordering: Relaxed — debug-only sanity check; a stale read can
+        // only miss a violation, never invent one, and the protocol being
+        // verified supplies the real happens-before edges.
+        if let Err(current) =
+            self.owner
+                .compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            assert_eq!(
+                current, me,
+                "telemetry lane written by a second thread without Ring::adopt — \
+                 single-writer protocol violated (see module docs)"
+            );
         }
     }
 
     /// Records an event; counts it as dropped when the ring is full.
     /// Never allocates (pushing below capacity cannot reallocate).
     pub fn push(&self, event: Event) {
+        #[cfg(debug_assertions)]
+        self.check_owner();
         // SAFETY: single-writer protocol (module docs).
         let buf = unsafe { &mut *self.buf.get() };
         if buf.len() < buf.capacity() {
             buf.push(event);
         } else {
+            // ordering: Relaxed — sound because only the lane's single
+            // writer ever increments (the RMW never races), and readers
+            // either hold `&mut self` (`drain`) or run after the writer's
+            // scope join — both full happens-before edges.
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Events currently recorded (exclusive access).
     pub fn drain(&mut self) -> Vec<Event> {
+        // `&mut self` proves exclusivity, so the lane is unclaimed again.
+        #[cfg(debug_assertions)]
+        self.owner.store(0, Ordering::Relaxed); // ordering: Relaxed — debug-only
         std::mem::take(self.buf.get_mut())
     }
 
     /// Events discarded because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — read post-join (see the counter above); a
+        // mid-epoch read is a fuzzy statistic at worst.
         self.dropped.load(Ordering::Relaxed)
     }
+}
+
+/// A stable per-thread token for the debug owner check (hashed `ThreadId`,
+/// forced odd so 0 stays free as the "unclaimed" sentinel).
+#[cfg(debug_assertions)]
+fn thread_token() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish() | 1
 }
 
 impl std::fmt::Debug for Ring {
@@ -103,6 +164,56 @@ mod tests {
         }
         assert_eq!(r.dropped(), 3);
         assert_eq!(r.drain().len(), 2);
+    }
+
+    /// A second thread writing a claimed lane without `adopt` is a
+    /// protocol violation; the debug owner check must fail fast.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn second_writer_without_adopt_panics() {
+        let r = Ring::with_capacity(8);
+        r.push(ev(0)); // main thread claims the lane
+        let violated = std::thread::scope(|s| {
+            let r = &r;
+            s.spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.push(ev(1)))).is_err()
+            })
+            .join()
+            .unwrap_or(false)
+        });
+        assert!(violated, "owner assertion should fire for a second writer");
+    }
+
+    /// `adopt` sanctions a writer handoff (here ordered by the spawn edge).
+    #[test]
+    fn adopt_hands_the_lane_to_a_new_writer() {
+        let mut r = Ring::with_capacity(8);
+        r.push(ev(0));
+        std::thread::scope(|s| {
+            let r = &r;
+            s.spawn(move || {
+                r.adopt();
+                r.push(ev(1));
+            });
+        });
+        assert_eq!(r.drain().len(), 2);
+    }
+
+    /// Draining (exclusive access) releases ownership for the next writer.
+    #[test]
+    fn drain_releases_ownership() {
+        let mut r = Ring::with_capacity(8);
+        std::thread::scope(|s| {
+            let r = &r;
+            s.spawn(move || r.push(ev(0)));
+        });
+        assert_eq!(r.drain().len(), 1);
+        // The main thread claims the now-unowned lane without tripping the
+        // owner assertion. (Drain took the buffer's capacity with it, so
+        // the event itself lands on the drop counter — ownership is what
+        // this test is about.)
+        r.push(ev(1));
+        assert_eq!(r.dropped(), 1);
     }
 
     #[test]
