@@ -13,6 +13,11 @@
 //! cargo run --release -p hcc-bench --bin perf_gate -- \
 //!     --baseline results/BENCH_hotpath_quick.json --current current.json \
 //!     --serving-baseline results/BENCH_serving_quick.json --serving-current serving.json
+//!
+//! # and/or the quantized serving bench (also enforces the recall floor):
+//! cargo run --release -p hcc-bench --bin serving_quant -- --quick --out quant.json
+//! cargo run --release -p hcc-bench --bin perf_gate -- \
+//!     --quant-baseline results/BENCH_serving_quant_quick.json --quant-current quant.json
 //! ```
 //!
 //! A cell that exists in a baseline but not in the current run (e.g. the
@@ -22,7 +27,15 @@
 //! `perf-override` label to the PR (documented in
 //! `.github/workflows/ci.yml` and `results/README.md`).
 
-use hcc_bench::gate::{compare, compare_serving, parse_hotpath, parse_serving, Verdict};
+use hcc_bench::gate::{
+    compare, compare_serving, compare_serving_quant, parse_hotpath, parse_serving,
+    parse_serving_quant, Verdict,
+};
+
+/// Recall floor for the quantized serving gate: quantization or pruning
+/// changes that trade more than a point of recall@topk for speed fail even
+/// when throughput holds.
+const QUANT_RECALL_FLOOR: f64 = 0.99;
 
 fn print_verdicts(title: &str, baseline_path: &str, current_path: &str, verdicts: &[Verdict]) {
     println!("perf gate [{title}]: {current_path} vs {baseline_path}");
@@ -50,6 +63,8 @@ fn main() {
     let mut current_path: Option<String> = None;
     let mut serving_baseline_path = "results/BENCH_serving_quick.json".to_string();
     let mut serving_current_path: Option<String> = None;
+    let mut quant_baseline_path = "results/BENCH_serving_quant_quick.json".to_string();
+    let mut quant_current_path: Option<String> = None;
     let mut threshold = 0.15f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -62,6 +77,12 @@ fn main() {
             "--serving-current" => {
                 serving_current_path = Some(it.next().expect("--serving-current FILE").clone())
             }
+            "--quant-baseline" => {
+                quant_baseline_path = it.next().expect("--quant-baseline FILE").clone()
+            }
+            "--quant-current" => {
+                quant_current_path = Some(it.next().expect("--quant-current FILE").clone())
+            }
             "--threshold" => {
                 threshold = it
                     .next()
@@ -70,7 +91,8 @@ fn main() {
             }
             other => panic!(
                 "unknown flag {other} (supported: --baseline FILE, --current FILE, \
-                 --serving-baseline FILE, --serving-current FILE, --threshold F)"
+                 --serving-baseline FILE, --serving-current FILE, \
+                 --quant-baseline FILE, --quant-current FILE, --threshold F)"
             ),
         }
     }
@@ -110,8 +132,38 @@ fn main() {
         pass &= ok;
         gated = true;
     }
+    if let Some(quant_current_path) = &quant_current_path {
+        let (baseline, _) = parse_serving_quant(&read(&quant_baseline_path))
+            .unwrap_or_else(|e| panic!("parsing quant baseline {quant_baseline_path}: {e}"));
+        let (current, speedup) = parse_serving_quant(&read(quant_current_path))
+            .unwrap_or_else(|e| panic!("parsing quant current {quant_current_path}: {e}"));
+        let (verdicts, ok) =
+            compare_serving_quant(&baseline, &current, threshold, QUANT_RECALL_FLOOR);
+        print_verdicts(
+            "serving_quant",
+            &quant_baseline_path,
+            quant_current_path,
+            &verdicts,
+        );
+        for r in &current {
+            if r.recall_at_topk < QUANT_RECALL_FLOOR {
+                println!(
+                    "  {}+{} recall {:.4} below the {QUANT_RECALL_FLOOR} floor  REGRESSED",
+                    r.precision,
+                    if r.pruned { "pruned" } else { "exhaustive" },
+                    r.recall_at_topk
+                );
+            }
+        }
+        println!("  best cell vs f32 exhaustive speedup: {speedup:.2}x");
+        pass &= ok;
+        gated = true;
+    }
     if !gated {
-        panic!("perf_gate requires --current FILE and/or --serving-current FILE");
+        panic!(
+            "perf_gate requires --current FILE, --serving-current FILE and/or \
+             --quant-current FILE"
+        );
     }
 
     if pass {

@@ -55,13 +55,14 @@ struct Measurement {
     queries_per_sec: f64,
     p50_us: f64,
     p99_us: f64,
+    p999_us: f64,
 }
 
 /// Percentiles over per-query latencies in µs (nearest-rank).
-fn percentiles(lat_us: &mut [f64]) -> (f64, f64) {
+fn percentiles(lat_us: &mut [f64]) -> (f64, f64, f64) {
     lat_us.sort_by(f64::total_cmp);
     let pick = |p: f64| lat_us[((lat_us.len() as f64 * p) as usize).min(lat_us.len() - 1)];
-    (pick(0.50), (pick(0.99)))
+    (pick(0.50), pick(0.99), pick(0.999))
 }
 
 /// One full pass over the query stream; returns (total secs, per-query µs).
@@ -101,13 +102,14 @@ fn measure(
             best_lat = lat;
         }
     }
-    let (p50_us, p99_us) = percentiles(&mut best_lat);
+    let (p50_us, p99_us, p999_us) = percentiles(&mut best_lat);
     Measurement {
         mode,
         batch,
         queries_per_sec: queries.len() as f64 / best_secs,
         p50_us,
         p99_us,
+        p999_us,
     }
 }
 
@@ -175,8 +177,8 @@ fn main() {
 
     for m in &results {
         println!(
-            "{:>8} batch {:>4}  {:>9.0} queries/s  p50 {:>8.1} us  p99 {:>8.1} us",
-            m.mode, m.batch, m.queries_per_sec, m.p50_us, m.p99_us
+            "{:>8} batch {:>4}  {:>9.0} queries/s  p50 {:>8.1} us  p99 {:>8.1} us  p999 {:>8.1} us",
+            m.mode, m.batch, m.queries_per_sec, m.p50_us, m.p99_us, m.p999_us
         );
     }
 
@@ -193,8 +195,8 @@ fn main() {
         .map(|m| {
             format!(
                 "    {{\"mode\": \"{}\", \"batch\": {}, \"queries_per_sec\": {:.1}, \
-                 \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
-                m.mode, m.batch, m.queries_per_sec, m.p50_us, m.p99_us
+                 \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}}}",
+                m.mode, m.batch, m.queries_per_sec, m.p50_us, m.p99_us, m.p999_us
             )
         })
         .collect();

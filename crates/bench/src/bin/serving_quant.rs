@@ -1,0 +1,308 @@
+//! Quantized + norm-pruned serving benchmark: every (precision, pruning)
+//! cell of the serving engine against the f32 exhaustive scan, with
+//! measured recall against the f32 oracle.
+//!
+//! The catalogue reuses the serving bench's 4096 × 16384 (k = 64) profile
+//! but scales item factor rows by a zipf-like popularity factor
+//! `(1 + r)^-0.8` (row `r` in descending popularity): MF item-factor norms
+//! track item popularity in real datasets, and norm skew is exactly the
+//! structure the Cauchy–Schwarz pruning bound exploits. The f32 exhaustive
+//! cell scans every item regardless of the factor distribution, so its
+//! throughput — and the headline `speedup_best_vs_f32_exhaustive` ratio —
+//! remains comparable to the uniform-catalogue `BENCH_serving.json`
+//! numbers. The skew is recorded in the artifact (`catalogue` key).
+//!
+//! Per cell: best-of-`rounds` batch-256 throughput, nearest-rank
+//! p50/p99/p999 over per-query amortized latencies, the measured pruning
+//! skip rate, and recall@topk against [`hcc_serve::naive_top_k`] on the
+//! same f32 factors (tie-tolerant: a returned item counts when its true
+//! f32 score reaches the oracle's k-th score within 1e-4 relative).
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin serving_quant \
+//!     [-- --shards N --quick --out FILE.json]
+//! ```
+//!
+//! `--quick` shrinks to CI scale and retargets
+//! `results/BENCH_serving_quant_quick.json`, the perf-gate baseline for
+//! these cells. Schema: `results/README.md`.
+
+use hcc_serve::{naive_top_k, Precision, ServeEngine, ServedModel};
+use hcc_sgd::{dot, FactorMatrix};
+use std::time::Instant;
+
+/// Catalogue dimensions, full-size or `--quick`.
+struct Params {
+    users: usize,
+    items: usize,
+    k: usize,
+    topk: usize,
+    queries: usize,
+    batch: usize,
+}
+
+const FULL: Params = Params {
+    users: 4_096,
+    items: 16_384,
+    k: 64,
+    topk: 10,
+    queries: 2_048,
+    batch: 256,
+};
+
+const QUICK: Params = Params {
+    users: 1_024,
+    items: 4_096,
+    k: 32,
+    topk: 10,
+    queries: 512,
+    batch: 256,
+};
+
+/// Popularity skew applied to item row `r`: zipf-like with exponent 0.8.
+fn popularity(r: usize) -> f32 {
+    (1.0 + r as f32).powf(-0.8)
+}
+
+struct Cell {
+    precision: Precision,
+    pruned: bool,
+    queries_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    recall: f64,
+    skip_rate: f64,
+}
+
+fn percentiles(lat_us: &mut [f64]) -> (f64, f64, f64) {
+    lat_us.sort_by(f64::total_cmp);
+    let pick = |p: f64| lat_us[((lat_us.len() as f64 * p) as usize).min(lat_us.len() - 1)];
+    (pick(0.50), pick(0.99), pick(0.999))
+}
+
+/// Tie-tolerant recall@k of `got` against the f32 oracle ranking for
+/// `user`: a returned item counts when its true f32 score reaches the
+/// oracle's k-th score within 1e-4 relative — rank swaps inside a
+/// near-tie group are not errors, genuinely missing items are.
+fn recall_against_oracle(
+    p: &FactorMatrix,
+    q: &FactorMatrix,
+    user: u32,
+    got: &[(u32, f32)],
+    topk: usize,
+) -> f64 {
+    let oracle = naive_top_k(p, q, None, user, topk);
+    if oracle.is_empty() {
+        return 1.0;
+    }
+    let kth = oracle.last().unwrap().1;
+    let tol = 1e-4 * (1.0 + kth.abs());
+    let hits = got
+        .iter()
+        .filter(|(item, _)| dot(p.row(user as usize), q.row(*item as usize)) >= kth - tol)
+        .count();
+    hits as f64 / oracle.len() as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shards = 8usize;
+    let mut rounds = 3usize;
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => shards = it.next().and_then(|v| v.parse().ok()).expect("--shards N"),
+            "--rounds" => rounds = it.next().and_then(|v| v.parse().ok()).expect("--rounds N"),
+            "--quick" => quick = true,
+            "--out" => out = Some(it.next().expect("--out FILE.json").clone()),
+            other => panic!(
+                "unknown flag {other} (supported: --shards N, --rounds N, --quick, --out FILE)"
+            ),
+        }
+    }
+    let p = if quick { QUICK } else { FULL };
+    let out = out.unwrap_or_else(|| {
+        if quick {
+            "results/BENCH_serving_quant_quick.json".into()
+        } else {
+            "results/BENCH_serving_quant.json".into()
+        }
+    });
+
+    println!(
+        "catalogue: {} users x {} items, k = {}, top-{}, zipf(0.8) item norms \
+         ({} queries, batch {}, {} shards, backend {})",
+        p.users,
+        p.items,
+        p.k,
+        p.topk,
+        p.queries,
+        p.batch,
+        shards,
+        hcc_sgd::simd::active_backend().name()
+    );
+    let factors_p = FactorMatrix::random(p.users, p.k, 1);
+    let q_uniform = FactorMatrix::random(p.items, p.k, 2);
+    let q_data: Vec<f32> = (0..p.items)
+        .flat_map(|r| {
+            let s = popularity(r);
+            q_uniform
+                .row(r)
+                .iter()
+                .map(move |&x| x * s)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let factors_q = FactorMatrix::from_vec(p.items, p.k, q_data);
+
+    // Same deterministic query stream as the serving bench.
+    let queries: Vec<u32> = (0..p.queries as u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761)) % p.users as u32)
+        .collect();
+    let mut distinct: Vec<u32> = queries.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    let configs: Vec<(Precision, bool)> = [Precision::F32, Precision::Fp16, Precision::Int8]
+        .into_iter()
+        .flat_map(|prec| [(prec, false), (prec, true)])
+        .collect();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (precision, pruned) in configs {
+        let engine = ServeEngine::new(
+            ServedModel::build_with(
+                factors_p.clone(),
+                factors_q.clone(),
+                None,
+                shards,
+                precision,
+                pruned,
+            )
+            .expect("factor shapes agree"),
+        );
+
+        // Recall over every distinct query user (answers are deterministic,
+        // so one pass suffices), which also warms the scan path.
+        let mut recall_sum = 0.0;
+        for &u in &distinct {
+            let got = engine.top_k(u, p.topk).expect("known user");
+            recall_sum += recall_against_oracle(&factors_p, &factors_q, u, &got, p.topk);
+        }
+        let recall = recall_sum / distinct.len() as f64;
+
+        let mut best_secs = f64::INFINITY;
+        let mut best_lat: Vec<f64> = Vec::new();
+        for _ in 0..rounds {
+            let mut lat_us = Vec::with_capacity(queries.len());
+            let t_total = Instant::now();
+            for chunk in queries.chunks(p.batch) {
+                let t0 = Instant::now();
+                let answered =
+                    std::hint::black_box(engine.top_k_batch(chunk, p.topk).expect("known users"))
+                        .len();
+                assert_eq!(answered, chunk.len());
+                let per_query = t0.elapsed().as_secs_f64() * 1e6 / chunk.len() as f64;
+                lat_us.extend(std::iter::repeat_n(per_query, chunk.len()));
+            }
+            let secs = t_total.elapsed().as_secs_f64();
+            if secs < best_secs {
+                best_secs = secs;
+                best_lat = lat_us;
+            }
+        }
+        let (p50_us, p99_us, p999_us) = percentiles(&mut best_lat);
+        let skip_rate = 1.0 - engine.stats().scan_frac;
+        let cell = Cell {
+            precision,
+            pruned,
+            queries_per_sec: queries.len() as f64 / best_secs,
+            p50_us,
+            p99_us,
+            p999_us,
+            recall,
+            skip_rate,
+        };
+        println!(
+            "{:>5} {:>10}  {:>9.0} queries/s  p50 {:>7.1} us  p99 {:>7.1} us  \
+             p999 {:>7.1} us  recall@{} {:.4}  skip {:>5.1}%",
+            cell.precision.name(),
+            if pruned { "pruned" } else { "exhaustive" },
+            cell.queries_per_sec,
+            cell.p50_us,
+            cell.p99_us,
+            cell.p999_us,
+            p.topk,
+            cell.recall,
+            cell.skip_rate * 100.0
+        );
+        cells.push(cell);
+    }
+
+    let f32_exhaustive = cells
+        .iter()
+        .find(|c| c.precision == Precision::F32 && !c.pruned)
+        .expect("f32 exhaustive cell")
+        .queries_per_sec;
+    let best = cells
+        .iter()
+        .max_by(|a, b| a.queries_per_sec.total_cmp(&b.queries_per_sec))
+        .expect("nonempty cells");
+    let speedup = best.queries_per_sec / f32_exhaustive;
+    println!(
+        "best cell {}+{} vs f32 exhaustive: {speedup:.2}x at recall@{} {:.4}",
+        best.precision.name(),
+        if best.pruned { "pruned" } else { "exhaustive" },
+        p.topk,
+        best.recall
+    );
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"precision\": \"{}\", \"pruned\": {}, \"queries_per_sec\": {:.1}, \
+                 \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \
+                 \"recall_at_topk\": {:.4}, \"skip_rate\": {:.4}}}",
+                c.precision.name(),
+                c.pruned,
+                c.queries_per_sec,
+                c.p50_us,
+                c.p99_us,
+                c.p999_us,
+                c.recall,
+                c.skip_rate
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serving_quant\",\n  \"quick\": {quick},\n  \"users\": {},\n  \
+         \"items\": {},\n  \"k\": {},\n  \"topk\": {},\n  \"queries\": {},\n  \
+         \"batch\": {},\n  \"shards\": {},\n  \"rounds\": {rounds},\n  \"backend\": \"{}\",\n  \
+         \"catalogue\": \"zipf-norm(0.8)\",\n  \
+         \"results\": [\n{}\n  ],\n  \"best_cell\": \"{}+{}\",\n  \
+         \"speedup_best_vs_f32_exhaustive\": {:.3}\n}}\n",
+        p.users,
+        p.items,
+        p.k,
+        p.topk,
+        p.queries,
+        p.batch,
+        shards,
+        hcc_sgd::simd::active_backend().name(),
+        rows.join(",\n"),
+        best.precision.name(),
+        if best.pruned { "pruned" } else { "exhaustive" },
+        speedup,
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

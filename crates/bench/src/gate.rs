@@ -226,11 +226,135 @@ pub fn validate_serving_schema(doc: &Value) -> Result<(), String> {
         let qps = require_num(r, "queries_per_sec", &what)?;
         let p50 = require_num(r, "p50_us", &what)?;
         let p99 = require_num(r, "p99_us", &what)?;
-        if qps <= 0.0 || p50 < 0.0 || p99 < p50 {
+        let p999 = require_num(r, "p999_us", &what)?;
+        if qps <= 0.0 || p50 < 0.0 || p99 < p50 || p999 < p99 {
             return Err(format!("{what}: inconsistent measurement"));
         }
     }
     let speedup = require_num(doc, "speedup_batch256_vs_naive", what)?;
+    if speedup <= 0.0 {
+        return Err(format!("{what}: non-positive speedup"));
+    }
+    Ok(())
+}
+
+/// One measured cell of the quantized serving bench: a (precision, pruned)
+/// pair with throughput and quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantRow {
+    pub precision: String,
+    pub pruned: bool,
+    pub queries_per_sec: f64,
+    pub recall_at_topk: f64,
+    pub skip_rate: f64,
+}
+
+/// Extracts the `results` rows and the headline speedup of a
+/// `BENCH_serving_quant*.json` document.
+pub fn parse_serving_quant(src: &str) -> Result<(Vec<QuantRow>, f64), String> {
+    let doc = json::parse(src)?;
+    validate_serving_quant_schema(&doc)?;
+    let rows = doc.get("results").and_then(Value::as_arr).unwrap();
+    let parsed = rows
+        .iter()
+        .map(|r| QuantRow {
+            precision: r
+                .get("precision")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string(),
+            pruned: matches!(r.get("pruned"), Some(Value::Bool(true))),
+            queries_per_sec: r.get("queries_per_sec").and_then(Value::as_f64).unwrap(),
+            recall_at_topk: r.get("recall_at_topk").and_then(Value::as_f64).unwrap(),
+            skip_rate: r.get("skip_rate").and_then(Value::as_f64).unwrap(),
+        })
+        .collect();
+    let speedup = doc
+        .get("speedup_best_vs_f32_exhaustive")
+        .and_then(Value::as_f64)
+        .unwrap();
+    Ok((parsed, speedup))
+}
+
+/// Compares a current quantized-serving run against the committed
+/// baseline: a (precision, pruned) cell regresses when its throughput
+/// drops by more than `threshold` or vanishes entirely (a missing cell —
+/// e.g. a dropped precision tier — is itself a regression, same rule as
+/// hotpath), and any cell whose recall falls below `recall_floor` fails
+/// regardless of speed.
+pub fn compare_serving_quant(
+    baseline: &[QuantRow],
+    current: &[QuantRow],
+    threshold: f64,
+    recall_floor: f64,
+) -> (Vec<Verdict>, bool) {
+    let as_hotpath = |rows: &[QuantRow]| -> Vec<HotpathRow> {
+        rows.iter()
+            .map(|r| HotpathRow {
+                backend: r.precision.clone(),
+                schedule: if r.pruned { "pruned" } else { "exhaustive" }.into(),
+                updates_per_sec: r.queries_per_sec,
+            })
+            .collect()
+    };
+    let (verdicts, mut pass) = compare(&as_hotpath(baseline), &as_hotpath(current), threshold);
+    pass &= current.iter().all(|r| r.recall_at_topk >= recall_floor);
+    (verdicts, pass)
+}
+
+/// Validates the `BENCH_serving_quant*.json` schema (see
+/// `results/README.md`). Every row must carry the full latency triple
+/// (p50/p99/p999) plus recall and skip rate — a row missing any of them is
+/// rejected, so the committed artifact cannot silently drop a tail cell.
+pub fn validate_serving_quant_schema(doc: &Value) -> Result<(), String> {
+    let what = "serving_quant";
+    let bench = require_str(doc, "bench", what)?;
+    if bench != "serving_quant" {
+        return Err(format!(
+            "{what}: \"bench\" is \"{bench}\", expected \"serving_quant\""
+        ));
+    }
+    for key in [
+        "users", "items", "k", "topk", "queries", "batch", "shards", "rounds",
+    ] {
+        require_num(doc, key, what)?;
+    }
+    require_str(doc, "backend", what)?;
+    require_str(doc, "catalogue", what)?;
+    require_str(doc, "best_cell", what)?;
+    let rows = require_arr(doc, "results", what)?;
+    if rows.is_empty() {
+        return Err(format!("{what}: \"results\" is empty"));
+    }
+    let mut has_f32_exhaustive = false;
+    for (i, r) in rows.iter().enumerate() {
+        let what = format!("serving_quant.results[{i}]");
+        let precision = require_str(r, "precision", &what)?;
+        if !matches!(precision, "f32" | "fp16" | "int8") {
+            return Err(format!("{what}: unknown precision \"{precision}\""));
+        }
+        let pruned = match require(r, "pruned", &what)? {
+            Value::Bool(b) => *b,
+            _ => return Err(format!("{what}: \"pruned\" must be a boolean")),
+        };
+        has_f32_exhaustive |= precision == "f32" && !pruned;
+        let qps = require_num(r, "queries_per_sec", &what)?;
+        let p50 = require_num(r, "p50_us", &what)?;
+        let p99 = require_num(r, "p99_us", &what)?;
+        let p999 = require_num(r, "p999_us", &what)?;
+        let recall = require_num(r, "recall_at_topk", &what)?;
+        let skip = require_num(r, "skip_rate", &what)?;
+        if qps <= 0.0 || p50 < 0.0 || p99 < p50 || p999 < p99 {
+            return Err(format!("{what}: inconsistent latency measurement"));
+        }
+        if !(0.0..=1.0).contains(&recall) || !(0.0..=1.0).contains(&skip) {
+            return Err(format!("{what}: recall/skip_rate outside [0, 1]"));
+        }
+    }
+    if !has_f32_exhaustive {
+        return Err(format!("{what}: no f32 exhaustive reference cell"));
+    }
+    let speedup = require_num(doc, "speedup_best_vs_f32_exhaustive", what)?;
     if speedup <= 0.0 {
         return Err(format!("{what}: non-positive speedup"));
     }
@@ -391,6 +515,95 @@ mod tests {
         assert_eq!(verdicts[1].cell, "sharded + batch-256");
         // A vanished cell fails, same rule as hotpath.
         assert!(!compare_serving(&base, &base[..1], 0.15).1);
+    }
+
+    #[test]
+    fn committed_quant_artifacts_meet_speedup_and_recall_floors() {
+        for name in ["BENCH_serving_quant.json", "BENCH_serving_quant_quick.json"] {
+            let src = committed(name).unwrap_or_else(|| panic!("{name} missing from results/"));
+            let (rows, speedup) =
+                parse_serving_quant(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(rows.len(), 6, "{name}: 3 precisions x pruned/exhaustive");
+            for r in &rows {
+                assert!(
+                    r.recall_at_topk >= 0.99,
+                    "{name}: {}+{} recall {} below 0.99",
+                    r.precision,
+                    if r.pruned { "pruned" } else { "exhaustive" },
+                    r.recall_at_topk
+                );
+            }
+            // The design floor from the serving rework: the best quantized/
+            // pruned cell must beat the f32 exhaustive scan by >= 10x on the
+            // committed full-size artifact.
+            if name == "BENCH_serving_quant.json" {
+                assert!(
+                    speedup >= 10.0,
+                    "{name}: speedup {speedup} below 10.0 floor"
+                );
+                let pruned = rows.iter().find(|r| r.pruned).unwrap();
+                assert!(pruned.skip_rate > 0.0, "{name}: pruning never skipped");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_gate_compares_precision_cells_and_recall() {
+        let qrow = |precision: &str, pruned: bool, qps: f64, recall: f64| QuantRow {
+            precision: precision.into(),
+            pruned,
+            queries_per_sec: qps,
+            recall_at_topk: recall,
+            skip_rate: 0.5,
+        };
+        let base = vec![
+            qrow("f32", false, 100.0, 1.0),
+            qrow("int8", true, 1500.0, 0.995),
+        ];
+        let ok = vec![
+            qrow("f32", false, 95.0, 1.0),
+            qrow("int8", true, 1400.0, 0.996),
+        ];
+        assert!(compare_serving_quant(&base, &ok, 0.15, 0.99).1);
+        // A slow cell fails.
+        let slow = vec![
+            qrow("f32", false, 100.0, 1.0),
+            qrow("int8", true, 700.0, 0.995),
+        ];
+        let (verdicts, pass) = compare_serving_quant(&base, &slow, 0.15, 0.99);
+        assert!(!pass);
+        assert_eq!(verdicts[1].cell, "int8 + pruned");
+        // A vanished cell fails even if everything present is fast.
+        assert!(!compare_serving_quant(&base, &ok[..1], 0.15, 0.99).1);
+        // A recall collapse fails even at full speed.
+        let bad_recall = vec![
+            qrow("f32", false, 100.0, 1.0),
+            qrow("int8", true, 1500.0, 0.9),
+        ];
+        assert!(!compare_serving_quant(&base, &bad_recall, 0.15, 0.99).1);
+    }
+
+    #[test]
+    fn quant_schema_rejects_malformed_documents() {
+        let doc = json::parse(r#"{"bench": "serving_quant", "users": 10}"#).unwrap();
+        assert!(validate_serving_quant_schema(&doc).is_err());
+        // A row without p999 is rejected — the tail cell is not optional.
+        let no_p999 = r#"{"bench": "serving_quant", "users": 1, "items": 1, "k": 1,
+            "topk": 1, "queries": 1, "batch": 1, "shards": 1, "rounds": 1,
+            "backend": "scalar", "catalogue": "zipf-norm(0.8)", "best_cell": "f32+exhaustive",
+            "results": [{"precision": "f32", "pruned": false, "queries_per_sec": 10.0,
+                         "p50_us": 1.0, "p99_us": 2.0,
+                         "recall_at_topk": 1.0, "skip_rate": 0.0}],
+            "speedup_best_vs_f32_exhaustive": 1.0}"#;
+        let err = validate_serving_quant_schema(&json::parse(no_p999).unwrap()).unwrap_err();
+        assert!(err.contains("p999_us"), "{err}");
+        // Without the f32 exhaustive reference cell the speedup is
+        // meaningless.
+        let no_ref = no_p999
+            .replace("\"p99_us\": 2.0,", "\"p99_us\": 2.0, \"p999_us\": 2.0,")
+            .replace("\"pruned\": false", "\"pruned\": true");
+        let err = validate_serving_quant_schema(&json::parse(&no_ref).unwrap()).unwrap_err();
+        assert!(err.contains("f32 exhaustive"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::config::{HccConfig, PartitionMode, WorkerSpec};
 use crate::metrics::evaluate_ranking;
 use crate::train::HccMf;
 use hcc_comm::TransferStrategy;
-use hcc_serve::{Recommender, ServeEngine};
+use hcc_serve::{
+    AdmissionConfig, AdmissionPipeline, Precision, Recommender, ServeEngine, ServeError,
+};
 use hcc_sgd::{LearningRate, Schedule};
 use hcc_sparse::stats::row_count_quantiles;
 use hcc_sparse::MatrixStats;
@@ -60,6 +62,12 @@ pub struct ServeArgs {
     pub shards: usize,
     /// Queries per batch.
     pub batch: usize,
+    /// Item-shard storage precision (f32, fp16 or int8).
+    pub precision: Precision,
+    /// When set, route queries through the bounded async admission
+    /// pipeline with this queue capacity (`--batch` caps the micro-batch);
+    /// overload sheds instead of queueing without bound.
+    pub admission_queue: Option<usize>,
     /// Write a JSONL telemetry timeline (one `query` span per query).
     pub telemetry: Option<String>,
 }
@@ -147,7 +155,8 @@ pub const USAGE: &str = "usage:
   hcc analyze <ratings.txt>
   hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]
   hcc serve <model.hccmf> <ratings.txt> --queries FILE [--topk N]
-            [--shards N] [--batch N] [--telemetry FILE.jsonl]";
+            [--shards N] [--batch N] [--precision f32|fp16|int8]
+            [--admission-queue N] [--telemetry FILE.jsonl]";
 
 /// Parses raw arguments (excluding the program name).
 pub fn parse(args: &[String]) -> Result<CliCommand, String> {
@@ -201,6 +210,8 @@ pub fn parse(args: &[String]) -> Result<CliCommand, String> {
             let mut topk = 10usize;
             let mut shards = 4usize;
             let mut batch = 32usize;
+            let mut precision = Precision::default();
+            let mut admission_queue = None;
             let mut telemetry = None;
             while let Some(arg) = it.next() {
                 let mut next = |name: &str| -> Result<String, String> {
@@ -223,12 +234,27 @@ pub fn parse(args: &[String]) -> Result<CliCommand, String> {
                             .parse()
                             .map_err(|e| format!("--batch: {e}"))?
                     }
+                    "--precision" => {
+                        precision = next("--precision")?
+                            .parse()
+                            .map_err(|e| format!("--precision: {e}"))?
+                    }
+                    "--admission-queue" => {
+                        admission_queue = Some(
+                            next("--admission-queue")?
+                                .parse()
+                                .map_err(|e| format!("--admission-queue: {e}"))?,
+                        )
+                    }
                     "--telemetry" => telemetry = Some(next("--telemetry")?),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if shards == 0 || batch == 0 {
                 return Err("--shards and --batch must be >= 1".into());
+            }
+            if admission_queue == Some(0) {
+                return Err("--admission-queue must be >= 1".into());
             }
             Ok(CliCommand::Serve(ServeArgs {
                 model,
@@ -237,6 +263,8 @@ pub fn parse(args: &[String]) -> Result<CliCommand, String> {
                 topk,
                 shards,
                 batch,
+                precision,
+                admission_queue,
                 telemetry,
             }))
         }
@@ -425,8 +453,13 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
         CliCommand::Serve(args) => {
             let matrix =
                 hcc_sparse::io::read_triples_file(&args.ratings).map_err(|e| e.to_string())?;
-            let model = crate::serving::load_served_model(&args.model, Some(&matrix), args.shards)
-                .map_err(|e| e.to_string())?;
+            let model = crate::serving::load_served_model_with(
+                &args.model,
+                Some(&matrix),
+                args.shards,
+                args.precision,
+            )
+            .map_err(|e| e.to_string())?;
             let queries = parse_query_file(
                 &std::fs::read_to_string(&args.queries)
                     .map_err(|e| format!("reading {}: {e}", args.queries))?,
@@ -436,10 +469,11 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
             }
             writeln!(
                 out,
-                "serving {} users × {} items (k={}, shards {:?})",
+                "serving {} users × {} items (k={}, {}, shards {:?})",
                 model.users(),
                 model.items(),
                 model.k(),
+                model.precision(),
                 model.shard_sizes()
             )
             .ok();
@@ -461,7 +495,7 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
             } else {
                 hcc_telemetry::Telemetry::disabled()
             };
-            let engine = ServeEngine::with_telemetry(model, telemetry);
+            let engine = std::sync::Arc::new(ServeEngine::with_telemetry(model, telemetry));
 
             // Warm pass: fault any lazy state (page cache, branch
             // predictors) on a prefix so the measured run is steady-state.
@@ -472,11 +506,44 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
 
             let t0 = std::time::Instant::now();
             let mut answered = 0usize;
-            for chunk in queries.chunks(args.batch) {
-                let results = engine
-                    .top_k_batch(chunk, args.topk)
-                    .map_err(|e| e.to_string())?;
-                answered += results.len();
+            if let Some(capacity) = args.admission_queue {
+                // Async path: submit everything through the bounded queue;
+                // overload sheds (reported) rather than growing the queue.
+                let pipeline = AdmissionPipeline::new(
+                    std::sync::Arc::clone(&engine),
+                    AdmissionConfig {
+                        capacity,
+                        max_batch: args.batch,
+                    },
+                );
+                let mut tickets = Vec::with_capacity(queries.len());
+                let mut shed = 0u64;
+                for &user in &queries {
+                    match pipeline.submit(user, args.topk) {
+                        Ok(t) => tickets.push(t),
+                        Err(ServeError::Overloaded { .. }) => shed += 1,
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+                for t in tickets {
+                    t.wait().map_err(|e| e.to_string())?;
+                    answered += 1;
+                }
+                let a = pipeline.stats();
+                drop(pipeline); // joins dispatcher + workers, releasing their Arcs
+                writeln!(
+                    out,
+                    "admission: {} admitted, {} shed (queue capacity {capacity})",
+                    a.admitted, shed
+                )
+                .ok();
+            } else {
+                for chunk in queries.chunks(args.batch) {
+                    let results = engine
+                        .top_k_batch(chunk, args.topk)
+                        .map_err(|e| e.to_string())?;
+                    answered += results.len();
+                }
             }
             let wall = t0.elapsed();
             let stats = engine.stats();
@@ -488,13 +555,17 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
             .ok();
             writeln!(
                 out,
-                "latency p50 {} µs, p99 {} µs, {:.0} queries/s",
+                "latency p50 {} µs, p99 {} µs, p999 {} µs, {:.0} queries/s, scanned {:.1}% of items",
                 stats.p50_us,
                 stats.p99_us,
-                answered as f64 / wall.as_secs_f64().max(1e-9)
+                stats.p999_us,
+                answered as f64 / wall.as_secs_f64().max(1e-9),
+                stats.scan_frac * 100.0
             )
             .ok();
             if let Some(path) = &args.telemetry {
+                let engine = std::sync::Arc::try_unwrap(engine)
+                    .map_err(|_| "serving engine still shared after pipeline shutdown")?;
                 let timeline = engine
                     .finish_telemetry()
                     .ok_or("telemetry timeline missing despite --telemetry")?;
@@ -746,7 +817,8 @@ mod tests {
     #[test]
     fn parse_serve_defaults_and_flags() {
         let cmd = parse(&argv(
-            "serve m.hccmf r.txt --queries q.txt --topk 5 --shards 8 --batch 64 --telemetry t.jsonl",
+            "serve m.hccmf r.txt --queries q.txt --topk 5 --shards 8 --batch 64 \
+             --precision int8 --admission-queue 512 --telemetry t.jsonl",
         ))
         .unwrap();
         assert_eq!(
@@ -758,12 +830,16 @@ mod tests {
                 topk: 5,
                 shards: 8,
                 batch: 64,
+                precision: Precision::Int8,
+                admission_queue: Some(512),
                 telemetry: Some("t.jsonl".into()),
             })
         );
         match parse(&argv("serve m.hccmf r.txt --queries q.txt")).unwrap() {
             CliCommand::Serve(args) => {
                 assert_eq!((args.topk, args.shards, args.batch), (10, 4, 32));
+                assert_eq!(args.precision, Precision::F32);
+                assert_eq!(args.admission_queue, None);
                 assert_eq!(args.telemetry, None);
             }
             other => panic!("{other:?}"),
@@ -771,6 +847,11 @@ mod tests {
         assert!(parse(&argv("serve m.hccmf r.txt")).is_err()); // no --queries
         assert!(parse(&argv("serve m.hccmf r.txt --queries q.txt --shards 0")).is_err());
         assert!(parse(&argv("serve m.hccmf r.txt --queries q.txt --batch 0")).is_err());
+        assert!(parse(&argv("serve m.hccmf r.txt --queries q.txt --precision f64")).is_err());
+        assert!(parse(&argv(
+            "serve m.hccmf r.txt --queries q.txt --admission-queue 0"
+        ))
+        .is_err());
         assert!(parse(&argv("serve m.hccmf r.txt --queries q.txt --bogus")).is_err());
     }
 
@@ -837,6 +918,22 @@ mod tests {
             })
             .count();
         assert_eq!(spans, 6, "4 measured + 2 warm");
+
+        // The same workload through the quantized async path: answers flow
+        // through the admission pipeline and the summary reports it.
+        let mut buf = Vec::new();
+        let cmd = parse(&argv(&format!(
+            "serve {} {} --queries {} --topk 3 --shards 2 --precision fp16 --admission-queue 16",
+            model.display(),
+            ratings.display(),
+            queries.display()
+        )))
+        .unwrap();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("fp16"), "{text}");
+        assert!(text.contains("admission: 4 admitted, 0 shed"), "{text}");
+        assert!(text.contains("served 4 queries"), "{text}");
 
         // An out-of-range user in the workload is a clean error.
         std::fs::write(&queries, "9999\n").unwrap();

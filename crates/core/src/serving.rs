@@ -10,7 +10,7 @@
 
 use crate::checkpoint::load_model;
 use crate::error::HccError;
-use hcc_serve::{ServeEngine, ServeError, ServedModel};
+use hcc_serve::{Precision, ServeEngine, ServeError, ServedModel};
 use hcc_sparse::CooMatrix;
 use std::path::Path;
 
@@ -23,13 +23,30 @@ impl From<ServeError> for HccError {
 /// Loads a v1/v2 model checkpoint and builds an item-sharded serving
 /// snapshot from it. `train`, when given, supplies the seen-item filter and
 /// entry-weights the shard split; its dimensions must match the checkpoint.
+/// Shards are stored at f32 with norm pruning on; use
+/// [`load_served_model_with`] to pick a quantized tier.
 pub fn load_served_model<P: AsRef<Path>>(
     path: P,
     train: Option<&CooMatrix>,
     shards: usize,
 ) -> Result<ServedModel, HccError> {
+    load_served_model_with(path, train, shards, Precision::F32)
+}
+
+/// [`load_served_model`] with an explicit storage precision for the item
+/// shards (the `--precision` CLI flag lands here). Checkpoints are always
+/// full-precision on disk; quantization happens at build time, so the same
+/// artifact can serve at any tier.
+pub fn load_served_model_with<P: AsRef<Path>>(
+    path: P,
+    train: Option<&CooMatrix>,
+    shards: usize,
+    precision: Precision,
+) -> Result<ServedModel, HccError> {
     let (p, q) = load_model(path)?;
-    Ok(ServedModel::build(p, q, train, shards)?)
+    Ok(ServedModel::build_with(
+        p, q, train, shards, precision, true,
+    )?)
 }
 
 /// Hot-reloads `engine` from a checkpoint on disk; returns the engine's
@@ -92,6 +109,27 @@ mod tests {
         // The engine never swapped: same answers, zero reloads.
         assert_eq!(engine.top_k(1, 3).unwrap(), before);
         assert_eq!(engine.stats().reloads, 0);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn precision_tiers_load_from_the_same_checkpoint() {
+        let path = tmp("tiers.hccmf");
+        let p = FactorMatrix::random(6, 8, 7);
+        let q = FactorMatrix::random(40, 8, 8);
+        save_model(&path, &p, &q).unwrap();
+        let f32_model = load_served_model_with(&path, None, 2, Precision::F32).unwrap();
+        let oracle = ServeEngine::new(f32_model).top_k(0, 5).unwrap();
+        for tier in [Precision::Fp16, Precision::Int8] {
+            let model = load_served_model_with(&path, None, 2, tier).unwrap();
+            assert_eq!(model.precision(), tier);
+            let got = ServeEngine::new(model).top_k(0, 5).unwrap();
+            // Random factors are well separated at these sizes; ranks hold
+            // across tiers even at int8.
+            let gi: Vec<u32> = got.iter().map(|e| e.0).collect();
+            let oi: Vec<u32> = oracle.iter().map(|e| e.0).collect();
+            assert_eq!(gi, oi, "{tier}: {got:?} vs {oracle:?}");
+        }
         fs::remove_file(&path).ok();
     }
 

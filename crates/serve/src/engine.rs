@@ -1,4 +1,4 @@
-//! The serving engine: snapshot queries, batched shard fan-out, hot reload.
+//! The serving engine: snapshot queries, pruned shard scans, hot reload.
 //!
 //! ## Snapshot discipline
 //!
@@ -15,19 +15,29 @@
 //!
 //! ## Query plan
 //!
-//! Single queries scan the item shards serially (spawning threads would
-//! cost more than the scan). Batches fan out one thread per shard under
-//! `std::thread::scope`; each thread scores *all* users of the batch
-//! against *its* shard with the SIMD dot kernel into size-`k` heaps, and
-//! the caller merges the per-shard heaps per user. The merge is exact:
-//! every shard returns its local top `k`, and any global top-`k` item is
-//! necessarily in its own shard's top `k`.
+//! Queries scan the item shards with the precision tier's dot kernel into a
+//! size-`k` heap. On a pruned model the rows come in descending-norm order
+//! with per-block norm maxima, so once the heap is full the scan checks
+//! `‖p_u‖ · block_norm < heap floor` per block and stops at the first
+//! block that cannot beat the floor — the Cauchy–Schwarz bound makes the
+//! early exit *exact* (any remaining item's score is bounded by the
+//! product of norms). On realistic factor distributions this skips the
+//! large majority of items; [`ServeStats::scan_frac`] reports the measured
+//! fraction actually scored.
+//!
+//! Calls on this type run the scan on the caller's thread; the concurrent
+//! fan-out lives in [`crate::AdmissionPipeline`], which feeds persistent
+//! per-shard workers through a bounded admission queue (replacing the old
+//! per-batch `std::thread::scope` spawn, whose thread startup cost was
+//! paid on every batch and whose unbounded concurrency collapsed tail
+//! latency under overload).
 
 use crate::error::ServeError;
 use crate::foldin::{fold_in, FoldInConfig};
-use crate::model::{ItemShard, ServedModel};
+use crate::model::{ItemShard, ServedModel, ShardData, NORM_BLOCK};
+use crate::precision::Precision;
 use crate::topk::TopK;
-use hcc_sgd::simd;
+use hcc_sgd::{int8, simd};
 use hcc_telemetry::{Phase, Telemetry, Timeline};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,8 +56,13 @@ pub struct ServeStats {
     pub p50_us: u64,
     /// 99th-percentile per-query latency, µs.
     pub p99_us: u64,
+    /// 99.9th-percentile per-query latency, µs.
+    pub p999_us: u64,
     /// Queries per second over the engine's lifetime.
     pub qps: f64,
+    /// Fraction of candidate items actually scored (scored ÷ scannable);
+    /// `1 − scan_frac` is the pruning skip rate. 0 with no traffic.
+    pub scan_frac: f64,
 }
 
 /// An in-process serving engine over an item-sharded factor snapshot.
@@ -61,6 +76,11 @@ pub struct ServeEngine {
     latencies: Mutex<LatencyReservoir>,
     queries: AtomicU64,
     reloads: AtomicU64,
+    /// Items scored across all queries (pruned and seen items excluded).
+    scanned: AtomicU64,
+    /// Items an exhaustive scan would have visited (`model.items()` summed
+    /// per query) — the denominator of [`ServeStats::scan_frac`].
+    scannable: AtomicU64,
     started: Instant,
 }
 
@@ -106,6 +126,41 @@ impl LatencyReservoir {
     }
 }
 
+/// Per-query precomputation the scan kernels need beyond the f32 user row:
+/// the user-side norm for the pruning bound (in the same representation the
+/// scores are computed in), and — for int8 models — the quantized user row.
+/// Built once per query, reused across every shard.
+pub(crate) struct QueryPrep {
+    /// ‖û‖ of the scoring representation: the f32 row's norm for f32/fp16
+    /// models, the *dequantized* quantized row's norm for int8 (the scan
+    /// scores `scale_i·scale_u·⟨q_u, q_i⟩ = ⟨û, q̂_i⟩`, so the bound must
+    /// use `‖û‖`, not `‖u‖`).
+    norm: f32,
+    /// `(quantized row, scale)` — present iff the model's tier is int8.
+    i8: Option<(Vec<i8>, f32)>,
+}
+
+impl QueryPrep {
+    pub(crate) fn new(model: &ServedModel, row: &[f32]) -> QueryPrep {
+        match model.precision() {
+            Precision::Int8 => {
+                let scale = int8::scale_for(row);
+                let mut q = vec![0i8; row.len()];
+                int8::quantize(row, scale, &mut q);
+                let norm = scale * (int8::dot_i8_scalar(&q, &q) as f32).sqrt();
+                QueryPrep {
+                    norm,
+                    i8: Some((q, scale)),
+                }
+            }
+            _ => QueryPrep {
+                norm: simd::dot(row, row).sqrt(),
+                i8: None,
+            },
+        }
+    }
+}
+
 impl ServeEngine {
     /// An engine serving `model`, with telemetry off.
     pub fn new(model: ServedModel) -> ServeEngine {
@@ -123,6 +178,8 @@ impl ServeEngine {
             latencies: Mutex::new(LatencyReservoir::new()),
             queries: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            scanned: AtomicU64::new(0),
+            scannable: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -146,24 +203,29 @@ impl ServeEngine {
         self.reloads.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Predicted score for `(user, item)` on the current snapshot.
+    /// Predicted score for `(user, item)` on the current snapshot, at the
+    /// snapshot's storage precision.
     pub fn predict(&self, user: u32, item: u32) -> Result<f32, ServeError> {
         let model = self.model();
-        Ok(simd::dot(model.user_row(user)?, model.item_row(item)?))
+        let item_row = model.item_row(item)?;
+        Ok(simd::dot(model.user_row(user)?, &item_row))
     }
 
     /// The `count` highest-scored unseen items for `user`, best first.
     pub fn top_k(&self, user: u32, count: usize) -> Result<Vec<(u32, f32)>, ServeError> {
         let model = self.model();
         let t0 = Instant::now();
-        let result = top_k_on(&model, user, count)?;
+        let (result, visited) = top_k_counted(&model, user, count)?;
+        self.note_scan(visited, model.items() as u64);
         self.note_queries(1, t0);
         Ok(result)
     }
 
-    /// Answers a batch of top-k queries against one snapshot, fanning out
-    /// one thread per item shard. Any unknown user fails the whole batch
-    /// before any scoring work happens.
+    /// Answers a batch of top-k queries against one snapshot, serially on
+    /// the calling thread. Any unknown user fails the whole batch before
+    /// any scoring work happens. For concurrent batch execution route
+    /// through [`crate::AdmissionPipeline`], which keeps persistent
+    /// per-shard workers instead of spawning threads per batch.
     pub fn top_k_batch(
         &self,
         users: &[u32],
@@ -172,63 +234,26 @@ impl ServeEngine {
         let model = self.model();
         let t0 = Instant::now();
         // Resolve every user row up front: validates the whole batch before
-        // any scoring work, and hands the fan-out threads plain slices.
+        // any scoring work.
         let rows: Vec<&[f32]> = users
             .iter()
             .map(|&u| model.user_row(u))
             .collect::<Result<_, ServeError>>()?;
-        // Seen lists are per-user state shared by every shard thread:
-        // compute them once, outside the fan-out.
-        let seen: Vec<Vec<u32>> = users.iter().map(|&u| model.seen_items(u)).collect();
-        let shards = model.shards();
-        let result = if shards.len() <= 1 || users.len() <= 1 {
-            rows.iter()
-                .zip(&seen)
-                .map(|(&row, s)| {
-                    let mut best = TopK::new(count);
-                    for shard in shards {
-                        scan_shard(shard, row, s, &mut best);
-                    }
-                    best.into_sorted()
-                })
-                .collect()
-        } else {
-            // One thread per shard; each produces per-user partial heaps.
-            let partials: Vec<Vec<Vec<(u32, f32)>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|shard| {
-                        let rows = &rows;
-                        let seen = &seen;
-                        scope.spawn(move || {
-                            rows.iter()
-                                .zip(seen)
-                                .map(|(&row, s)| {
-                                    let mut best = TopK::new(count);
-                                    scan_shard(shard, row, s, &mut best);
-                                    best.into_sorted()
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                    .collect()
-            });
-            (0..users.len())
-                .map(|qi| {
-                    let mut best = TopK::new(count);
-                    for per_shard in &partials {
-                        for &(item, score) in &per_shard[qi] {
-                            best.offer(item, score);
-                        }
-                    }
-                    best.into_sorted()
-                })
-                .collect()
-        };
+        let mut visited = 0u64;
+        let result = rows
+            .iter()
+            .zip(users)
+            .map(|(&row, &u)| {
+                let seen = model.seen_items(u);
+                let prep = QueryPrep::new(&model, row);
+                let mut best = TopK::new(count);
+                for shard in model.shards() {
+                    visited += scan_shard(shard, row, &prep, &seen, model.pruned(), &mut best);
+                }
+                best.into_sorted()
+            })
+            .collect();
+        self.note_scan(visited, (users.len() * model.items()) as u64);
         self.note_queries(users.len() as u64, t0);
         Ok(result)
     }
@@ -265,17 +290,20 @@ impl ServeEngine {
         let t0 = Instant::now();
         let mut seen = exclude.to_vec();
         seen.sort_unstable();
+        let prep = QueryPrep::new(&model, user_row);
         let mut best = TopK::new(count);
+        let mut visited = 0u64;
         for shard in model.shards() {
-            scan_shard(shard, user_row, &seen, &mut best);
+            visited += scan_shard(shard, user_row, &prep, &seen, model.pruned(), &mut best);
         }
+        self.note_scan(visited, model.items() as u64);
         self.note_queries(1, t0);
         Ok(best.into_sorted())
     }
 
     /// Serving statistics so far. Percentiles come from a bounded
     /// uniform reservoir of per-query latencies (`LatencyReservoir`),
-    /// exact until the reservoir first fills.
+    /// exact until the reservoir first fills (4096 queries).
     pub fn stats(&self) -> ServeStats {
         let mut lat = self.latencies.lock().sample.clone();
         lat.sort_unstable();
@@ -290,12 +318,20 @@ impl ServeEngine {
         // in-flight queries by design.
         let queries = self.queries.load(Ordering::Relaxed);
         let reloads = self.reloads.load(Ordering::Relaxed);
+        let scanned = self.scanned.load(Ordering::Relaxed);
+        let scannable = self.scannable.load(Ordering::Relaxed);
         ServeStats {
             queries,
             reloads,
             p50_us: pick(0.50),
             p99_us: pick(0.99),
+            p999_us: pick(0.999),
             qps: queries as f64 / self.started.elapsed().as_secs_f64().max(1e-9),
+            scan_frac: if scannable == 0 {
+                0.0
+            } else {
+                scanned as f64 / scannable as f64
+            },
         }
     }
 
@@ -303,6 +339,22 @@ impl ServeEngine {
     /// engine was built with telemetry disabled).
     pub fn finish_telemetry(self) -> Option<Timeline> {
         self.telemetry.finish()
+    }
+
+    /// The engine's telemetry handle (for the admission pipeline's own
+    /// lane writes; query spans keep going through
+    /// [`note_queries`](Self::note_queries)).
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Adds to the scanned/scannable item counters behind
+    /// [`ServeStats::scan_frac`].
+    pub(crate) fn note_scan(&self, visited: u64, possible: u64) {
+        // ordering: Relaxed — statistics counters; no other memory is
+        // published through them.
+        self.scanned.fetch_add(visited, Ordering::Relaxed);
+        self.scannable.fetch_add(possible, Ordering::Relaxed);
     }
 
     /// Records `n` answered queries that together took `t0.elapsed()`.
@@ -344,6 +396,37 @@ impl ServeEngine {
             }
         }
     }
+
+    /// Records individually measured per-query latencies (the admission
+    /// pipeline measures enqueue→answer wall time per query, so tail
+    /// percentiles include queue wait). Same server-lane serialization
+    /// argument as [`note_queries`](Self::note_queries): the telemetry
+    /// writes happen under the `latencies` mutex.
+    pub(crate) fn note_latencies(&self, lat_us: &[u64]) {
+        // ordering: Relaxed — statistics counter, as in `note_queries`.
+        self.queries
+            .fetch_add(lat_us.len() as u64, Ordering::Relaxed);
+        let mut lat = self.latencies.lock();
+        for &us in lat_us {
+            lat.record(us);
+        }
+        if self.telemetry.is_enabled() {
+            let lane = self.telemetry.server_lane();
+            // Writer handoff under the mutex, as in `note_queries`.
+            self.telemetry.adopt_lane(lane);
+            let now = self.telemetry.now_us();
+            for (i, &us) in lat_us.iter().enumerate() {
+                self.telemetry.phase(
+                    lane,
+                    0,
+                    i as u32,
+                    Phase::Query,
+                    now.saturating_sub(us),
+                    std::time::Duration::from_micros(us),
+                );
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -353,6 +436,7 @@ impl std::fmt::Debug for ServeEngine {
             .field("users", &model.users())
             .field("items", &model.items())
             .field("shards", &model.shard_count())
+            .field("precision", &model.precision())
             // ordering: Relaxed — debug statistics.
             .field("queries", &self.queries.load(Ordering::Relaxed))
             .field("reloads", &self.reloads.load(Ordering::Relaxed))
@@ -367,42 +451,93 @@ pub(crate) fn top_k_on(
     user: u32,
     count: usize,
 ) -> Result<Vec<(u32, f32)>, ServeError> {
-    let row = model.user_row(user)?;
-    let seen = model.seen_items(user);
-    let mut best = TopK::new(count);
-    for shard in model.shards() {
-        scan_shard(shard, row, &seen, &mut best);
-    }
-    Ok(best.into_sorted())
+    Ok(top_k_counted(model, user, count)?.0)
 }
 
-/// Scores one shard for one user row into `best`. `seen_sorted` must be
-/// ascending; items on it are skipped.
-fn scan_shard(shard: &ItemShard, user_row: &[f32], seen_sorted: &[u32], best: &mut TopK) {
-    // Narrow the seen list to this shard's contiguous range first: the
-    // inner loop's membership test walks a cursor instead of binary
-    // searching per item.
-    let end = shard.start + shard.q.rows() as u32;
+/// [`top_k_on`] plus the number of items actually scored (for the
+/// engine's scan-fraction statistic).
+fn top_k_counted(
+    model: &ServedModel,
+    user: u32,
+    count: usize,
+) -> Result<(Vec<(u32, f32)>, u64), ServeError> {
+    let row = model.user_row(user)?;
+    let seen = model.seen_items(user);
+    let prep = QueryPrep::new(model, row);
+    let mut best = TopK::new(count);
+    let mut visited = 0u64;
+    for shard in model.shards() {
+        visited += scan_shard(shard, row, &prep, &seen, model.pruned(), &mut best);
+    }
+    Ok((best.into_sorted(), visited))
+}
+
+/// Scores one shard for one user into `best`, returning the number of
+/// items scored. `seen_sorted` must be ascending; items on it are skipped
+/// (and not counted as scored).
+///
+/// On a pruned model the shard's rows are in descending stored-norm order:
+/// once the heap is full, a block whose `‖û‖ · block_norm` bound is
+/// *strictly below* the heap floor ends the scan — every later block's
+/// bound is no larger, and a candidate tying the floor would need to be
+/// scored (equal scores win on smaller item id), so only a strict
+/// shortfall may skip.
+///
+/// # Panics
+/// Panics if `prep` was built for a different model precision than the
+/// shard stores (an int8 shard requires the quantized query row).
+/// `QueryPrep::new` on the owning model makes this unreachable.
+pub(crate) fn scan_shard(
+    shard: &ItemShard,
+    row: &[f32],
+    prep: &QueryPrep,
+    seen_sorted: &[u32],
+    pruned: bool,
+    best: &mut TopK,
+) -> u64 {
+    // Narrow the seen list to this shard's contiguous id range once; the
+    // inner loop binary-searches the window (the scan order is norm-rank,
+    // not id order, so a merge cursor no longer applies).
+    let end = shard.start + shard.len as u32;
     let lo = seen_sorted.partition_point(|&s| s < shard.start);
     let hi = seen_sorted.partition_point(|&s| s < end);
-    let mut seen_cursor = &seen_sorted[lo..hi];
-    for local in 0..shard.q.rows() {
-        let item = shard.start + local as u32;
-        // Drop stale entries (duplicates of earlier items — training data
-        // may rate the same pair twice) before the membership test.
-        while let [first, rest @ ..] = seen_cursor {
-            if *first >= item {
-                break;
+    let seen = &seen_sorted[lo..hi];
+    let k = shard.k;
+    let mut visited = 0u64;
+    for (b, &block_norm) in shard.block_norms.iter().enumerate() {
+        if pruned && best.is_full() {
+            match best.floor() {
+                // k = 0: nothing can ever enter the heap.
+                None => break,
+                // Cauchy–Schwarz cutoff (see the function docs).
+                Some(floor) if prep.norm * block_norm < floor => break,
+                _ => {}
             }
-            seen_cursor = rest;
         }
-        if let [first, ..] = seen_cursor {
-            if *first == item {
+        let blo = b * NORM_BLOCK;
+        let bhi = (blo + NORM_BLOCK).min(shard.len);
+        for pos in blo..bhi {
+            let item = shard.ids[pos];
+            if !seen.is_empty() && seen.binary_search(&item).is_ok() {
                 continue;
             }
+            visited += 1;
+            let (rlo, rhi) = (pos * k, (pos + 1) * k);
+            let score = match &shard.data {
+                ShardData::F32(d) => simd::dot(row, &d[rlo..rhi]),
+                ShardData::Fp16(d) => simd::dot_f16(row, &d[rlo..rhi]),
+                ShardData::Int8 { data, scale } => {
+                    let (qrow, qscale) = prep
+                        .i8
+                        .as_ref()
+                        .expect("QueryPrep built for a non-int8 model fed to an int8 shard");
+                    (scale * qscale) * simd::dot_i8(qrow, &data[rlo..rhi]) as f32
+                }
+            };
+            best.offer(item, score);
         }
-        best.offer(item, simd::dot(user_row, shard.q.row(local)));
     }
+    visited
 }
 
 #[cfg(test)]
@@ -448,10 +583,51 @@ mod tests {
         }
     }
 
+    /// Pruning is exact for f32: the pruned scan must return identical
+    /// ranks to an exhaustive build of the same factors, while scanning
+    /// strictly fewer items when norms are spread out.
+    #[test]
+    fn pruned_scan_is_exact_and_actually_prunes() {
+        let p = FactorMatrix::random(8, 16, 3);
+        let q_base = FactorMatrix::random(400, 16, 4);
+        // Spread the norms (popularity-like skew) so pruning has leverage.
+        let k = q_base.k();
+        let data: Vec<f32> = (0..q_base.rows())
+            .flat_map(|r| {
+                let scale = 1.0 / (1.0 + r as f32 * 0.05);
+                q_base
+                    .row(r)
+                    .iter()
+                    .map(move |&x| x * scale)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let q = FactorMatrix::from_vec(400, k, data);
+        let pruned = ServeEngine::new(
+            ServedModel::build_with(p.clone(), q.clone(), None, 3, Precision::F32, true).unwrap(),
+        );
+        let exhaustive = ServeEngine::new(
+            ServedModel::build_with(p.clone(), q.clone(), None, 3, Precision::F32, false).unwrap(),
+        );
+        for u in 0..8u32 {
+            assert_eq!(
+                pruned.top_k(u, 10).unwrap(),
+                exhaustive.top_k(u, 10).unwrap()
+            );
+        }
+        let (sp, se) = (pruned.stats(), exhaustive.stats());
+        assert!((se.scan_frac - 1.0).abs() < 1e-9, "exhaustive scans all");
+        assert!(
+            sp.scan_frac < 0.8,
+            "pruning should skip items on skewed norms: {}",
+            sp.scan_frac
+        );
+    }
+
     #[test]
     fn duplicate_ratings_never_leak_seen_items() {
-        // The same (user, item) pair twice in training data must not wedge
-        // the seen cursor: items rated *after* a duplicate stay filtered.
+        // The same (user, item) pair twice in training data must not break
+        // seen filtering: items rated *after* a duplicate stay filtered.
         let p = FactorMatrix::random(2, 4, 1);
         let q = FactorMatrix::random(8, 4, 2);
         let train = CooMatrix::new(
@@ -520,6 +696,8 @@ mod tests {
         assert_eq!(s.queries, 12);
         assert!(s.qps > 0.0);
         assert!(s.p99_us >= s.p50_us);
+        assert!(s.p999_us >= s.p99_us);
+        assert!(s.scan_frac > 0.0 && s.scan_frac <= 1.0);
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub enum ServeError {
     DimMismatch(String),
     /// Fold-in was asked to learn from zero ratings.
     EmptyFoldIn,
+    /// The admission queue was full and the query was shed instead of
+    /// queued (backpressure: the caller should retry later or degrade).
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The admission pipeline shut down before this query was answered.
+    PipelineClosed,
 }
 
 impl std::fmt::Display for ServeError {
@@ -39,6 +47,12 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::DimMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             ServeError::EmptyFoldIn => write!(f, "fold-in needs at least one rating"),
+            ServeError::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} queries); query shed")
+            }
+            ServeError::PipelineClosed => {
+                write!(f, "admission pipeline shut down before answering")
+            }
         }
     }
 }

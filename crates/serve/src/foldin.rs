@@ -51,8 +51,10 @@ pub fn fold_in(
         return Err(ServeError::EmptyFoldIn);
     }
     // Resolve every item row before the first update so a bad rating list
-    // cannot leave a half-trained row.
-    let rows: Vec<&[f32]> = ratings
+    // cannot leave a half-trained row. Rows come back dequantized — on a
+    // reduced-precision model the fold-in trains against the same values
+    // the scans score with.
+    let rows: Vec<Vec<f32>> = ratings
         .iter()
         .map(|&(item, _)| model.item_row(item))
         .collect::<Result<_, ServeError>>()?;
@@ -60,7 +62,7 @@ pub fn fold_in(
     let mut p_row = FactorMatrix::random(1, k, config.seed).row(0).to_vec();
     let mut scratch = vec![0f32; k];
     for _ in 0..config.epochs {
-        for (&(_, r), &row) in ratings.iter().zip(&rows) {
+        for (&(_, r), row) in ratings.iter().zip(&rows) {
             // Copy-out keeps Q frozen: the kernel updates the scratch copy
             // and we throw it away.
             scratch.copy_from_slice(row);
@@ -97,7 +99,7 @@ mod tests {
             ..FoldInConfig::default()
         };
         let row = fold_in(&model, &ratings, &cfg).unwrap();
-        let pred = dot(&row, model.item_row(0).unwrap());
+        let pred = dot(&row, &model.item_row(0).unwrap());
         assert!((pred - 4.0).abs() < 1e-2, "predicted {pred}");
     }
 

@@ -22,6 +22,18 @@
 //! * **Online fold-in** ([`ServeEngine::fold_in`]) — an unseen user's `P`
 //!   row is trained on the spot with a few SGD passes against the frozen
 //!   `Q`, reusing `hcc_sgd::kernel::sgd_step`.
+//! * **Precision tiers** ([`Precision`]) — shards store `Q` at `f32`,
+//!   `fp16` (F16C codec from `hcc_sgd::fp16`), or `int8` with one scale
+//!   per shard, halving or quartering scan bandwidth; every tier is held
+//!   to the rank-equivalence oracle under a score tolerance.
+//! * **MIPS norm pruning** — pruned shards order items by descending
+//!   stored norm with per-block norm maxima, so a full heap ends the scan
+//!   at the first block whose Cauchy–Schwarz bound `‖p_u‖·‖q_i‖` cannot
+//!   beat the heap floor. Exact, not approximate (see `engine` docs).
+//! * **Bounded async admission** ([`AdmissionPipeline`]) — a bounded
+//!   queue feeds micro-batches to persistent per-shard scan workers;
+//!   overload sheds at the door with [`ServeError::Overloaded`] instead
+//!   of letting queue wait destroy tail latency.
 //!
 //! Correctness is anchored by a differential oracle: the sharded + SIMD +
 //! heap pipeline must be rank-identical (score-tie tolerant) to
@@ -43,17 +55,21 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod admission;
 pub mod engine;
 pub mod error;
 pub mod foldin;
 pub mod model;
 pub mod oracle;
+pub mod precision;
 pub mod recommend;
 mod topk;
 
+pub use admission::{AdmissionConfig, AdmissionPipeline, AdmissionStats, Ticket};
 pub use engine::{ServeEngine, ServeStats};
 pub use error::ServeError;
 pub use foldin::FoldInConfig;
 pub use model::ServedModel;
 pub use oracle::naive_top_k;
+pub use precision::Precision;
 pub use recommend::Recommender;

@@ -5,26 +5,96 @@
 //! reload is a pointer swap to a freshly built snapshot (see
 //! [`crate::ServeEngine`]).
 //!
-//! `Q` is cut into contiguous item ranges — one shard per worker thread of
-//! a batched query — using the same planning machinery the trainer uses to
-//! cut the rating matrix: per-shard fractions come from
+//! `Q` is cut into contiguous item ranges using the same planning machinery
+//! the trainer uses to cut the rating matrix: per-shard fractions come from
 //! [`hcc_partition::dp0`] (equal virtual speeds → balanced shards) and,
 //! when the training matrix is available, the split points come from
 //! [`GridPartition`] over the *item* axis so shards balance seen-item
 //! filtering work, not just item counts.
+//!
+//! ## Precision tiers and norm ordering
+//!
+//! Within each shard, item rows are stored at a chosen [`Precision`] (f32,
+//! fp16, or int8-with-per-shard-scale) and — when pruning is enabled —
+//! *reordered by descending stored-representation norm* ‖q̂_i‖, with the
+//! per-block maxima kept in [`ItemShard::block_norms`]. The Cauchy–Schwarz
+//! bound `score(u, i) = p_u·q̂_i ≤ ‖p_u‖·‖q̂_i‖` then lets a scan stop at
+//! the first block whose bound cannot beat the current top-k heap floor:
+//! every later block has an even smaller norm. Norms are computed from the
+//! *dequantized* rows — the same values the scan kernels actually dot
+//! against — so the bound is valid per representation, and pruning is
+//! exact (never drops a true top-k item) rather than approximate.
 
 use crate::error::ServeError;
+use crate::precision::Precision;
 use hcc_partition::dp0;
-use hcc_sgd::FactorMatrix;
+use hcc_sgd::{int8, simd, FactorMatrix};
 use hcc_sparse::{Axis, CooMatrix, CsrMatrix, GridPartition};
 
-/// One contiguous item shard: rows `start..start + q.rows()` of global `Q`.
+/// Items per pruning block: one norm bound check amortized over this many
+/// scored rows. 64 keeps the check overhead under 2% of block work at
+/// k = 64 while still stopping within ~64 items of the ideal cut.
+pub(crate) const NORM_BLOCK: usize = 64;
+
+/// Quantized row storage for one shard, laid out position-major (position
+/// = norm rank when pruning, item order otherwise).
+#[derive(Debug, Clone)]
+pub(crate) enum ShardData {
+    /// Full-precision rows.
+    F32(Vec<f32>),
+    /// binary16-encoded rows.
+    Fp16(Vec<u16>),
+    /// Symmetric int8 rows sharing one scale.
+    Int8 {
+        /// Quantized values, `len · k` of them.
+        data: Vec<i8>,
+        /// Dequantization scale: `x̂ = q · scale`.
+        scale: f32,
+    },
+}
+
+/// One contiguous item shard: global items `start..start + len`, stored in
+/// scan-position order with the id↔position maps needed because pruning
+/// reorders rows by norm.
 #[derive(Debug, Clone)]
 pub(crate) struct ItemShard {
     /// First global item id in this shard.
     pub start: u32,
-    /// The shard's slice of `Q` (row `i` is global item `start + i`).
-    pub q: FactorMatrix,
+    /// Items in this shard.
+    pub len: usize,
+    /// Latent dimension (row stride).
+    pub k: usize,
+    /// Scan position → global item id (descending stored-rep norm when
+    /// the model was built with pruning; ascending id otherwise).
+    pub ids: Vec<u32>,
+    /// Local item offset (`id - start`) → scan position; inverse of `ids`.
+    pub pos: Vec<u32>,
+    /// Per-block maximum stored-representation norm ‖q̂_i‖, one entry per
+    /// [`NORM_BLOCK`] positions. With norm-descending order this is the
+    /// first norm of each block, and the sequence is non-increasing.
+    pub block_norms: Vec<f32>,
+    /// The rows themselves, position-major.
+    pub data: ShardData,
+}
+
+impl ItemShard {
+    /// The row at scan position `pos`, dequantized to f32.
+    pub fn row_f32(&self, pos: usize) -> Vec<f32> {
+        let (lo, hi) = (pos * self.k, (pos + 1) * self.k);
+        match &self.data {
+            ShardData::F32(d) => d[lo..hi].to_vec(),
+            ShardData::Fp16(d) => {
+                let mut out = vec![0.0f32; self.k];
+                simd::decode_f16(&d[lo..hi], &mut out);
+                out
+            }
+            ShardData::Int8 { data, scale } => {
+                let mut out = vec![0.0f32; self.k];
+                int8::dequantize(&data[lo..hi], *scale, &mut out);
+                out
+            }
+        }
+    }
 }
 
 /// An immutable snapshot of a servable model: `P`, sharded `Q`, and the
@@ -34,22 +104,42 @@ pub struct ServedModel {
     p: FactorMatrix,
     shards: Vec<ItemShard>,
     items: usize,
+    precision: Precision,
+    pruned: bool,
     /// Per-user seen items from the training matrix (`None` = serve
     /// everything, nothing is filtered).
     seen: Option<CsrMatrix>,
 }
 
 impl ServedModel {
-    /// Builds a snapshot from trained factors.
-    ///
-    /// `train`, when given, must match the factor shapes; its entries
-    /// become the seen-item filter and weight the shard split. `shards` is
-    /// clamped to `[1, items]` (an empty `Q` yields a single empty shard).
+    /// Builds a full-precision snapshot with norm pruning enabled — the
+    /// default configuration (pruning at f32 is exact, so there is no
+    /// reason to serve without it). See [`build_with`](Self::build_with).
     pub fn build(
         p: FactorMatrix,
         q: FactorMatrix,
         train: Option<&CooMatrix>,
         shards: usize,
+    ) -> Result<ServedModel, ServeError> {
+        ServedModel::build_with(p, q, train, shards, Precision::F32, true)
+    }
+
+    /// Builds a snapshot from trained factors.
+    ///
+    /// `train`, when given, must match the factor shapes; its entries
+    /// become the seen-item filter and weight the shard split. `shards` is
+    /// clamped to `[1, items]` (an empty `Q` yields a single empty shard).
+    /// `precision` selects the item-factor storage tier and `prune`
+    /// enables the norm-descending reorder that powers the scan's
+    /// Cauchy–Schwarz early exit (`prune = false` keeps items in id order
+    /// and scans exhaustively — the bench baseline configuration).
+    pub fn build_with(
+        p: FactorMatrix,
+        q: FactorMatrix,
+        train: Option<&CooMatrix>,
+        shards: usize,
+        precision: Precision,
+        prune: bool,
     ) -> Result<ServedModel, ServeError> {
         if p.k() != q.k() {
             return Err(ServeError::DimMismatch(format!(
@@ -72,22 +162,16 @@ impl ServedModel {
         let items = q.rows();
         let shards = shards.clamp(1, items.max(1));
         let boundaries = plan_item_boundaries(items, shards, train);
-        let k = q.k();
         let shard_stores: Vec<ItemShard> = boundaries
             .windows(2)
-            .map(|w| {
-                let (lo, hi) = (w[0] as usize, w[1] as usize);
-                let data: Vec<f32> = (lo..hi).flat_map(|r| q.row(r).iter().copied()).collect();
-                ItemShard {
-                    start: w[0],
-                    q: FactorMatrix::from_vec(hi - lo, k, data),
-                }
-            })
+            .map(|w| build_shard(&q, w[0], w[1], precision, prune))
             .collect();
         Ok(ServedModel {
             p,
             shards: shard_stores,
             items,
+            precision,
+            pruned: prune,
             seen: train.map(CsrMatrix::from),
         })
     }
@@ -110,6 +194,18 @@ impl ServedModel {
         self.p.k()
     }
 
+    /// Item-factor storage tier this snapshot was built with.
+    #[inline]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Whether scans may early-exit on the block-norm bound.
+    #[inline]
+    pub fn pruned(&self) -> bool {
+        self.pruned
+    }
+
     /// Number of item shards.
     #[inline]
     pub fn shard_count(&self) -> usize {
@@ -118,7 +214,7 @@ impl ServedModel {
 
     /// Per-shard item counts (diagnostics; sums to [`items`](Self::items)).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.q.rows()).collect()
+        self.shards.iter().map(|s| s.len).collect()
     }
 
     /// User `u`'s factor row, or a typed error past the last row.
@@ -134,8 +230,18 @@ impl ServedModel {
         }
     }
 
-    /// Item `i`'s factor row (resolved through its shard), or a typed error.
-    pub fn item_row(&self, item: u32) -> Result<&[f32], ServeError> {
+    /// Item `i`'s factor row (resolved through its shard and the scan
+    /// permutation), dequantized to f32 — the values the scan kernels
+    /// score against, which for quantized tiers differ from the trained
+    /// row by the representation's rounding error.
+    pub fn item_row(&self, item: u32) -> Result<Vec<f32>, ServeError> {
+        let shard = self.shard_of(item)?;
+        let pos = shard.pos[(item - shard.start) as usize] as usize;
+        Ok(shard.row_f32(pos))
+    }
+
+    /// The shard owning `item`, or a typed error for an out-of-range id.
+    fn shard_of(&self, item: u32) -> Result<&ItemShard, ServeError> {
         if (item as usize) >= self.items {
             return Err(ServeError::UnknownItem {
                 item,
@@ -148,8 +254,7 @@ impl ServedModel {
             .shards
             .partition_point(|s| s.start <= item)
             .saturating_sub(1);
-        let shard = &self.shards[idx];
-        Ok(shard.q.row((item - shard.start) as usize))
+        Ok(&self.shards[idx])
     }
 
     /// The items `user` rated during training, sorted ascending (empty when
@@ -170,6 +275,113 @@ impl ServedModel {
     pub(crate) fn shards(&self) -> &[ItemShard] {
         &self.shards
     }
+}
+
+/// Builds one shard over global items `start..end`: encodes the rows at
+/// `precision`, computes per-row stored-representation norms, applies the
+/// norm-descending permutation (identity when `prune` is off), and folds
+/// the norms into per-block maxima.
+fn build_shard(
+    q: &FactorMatrix,
+    start: u32,
+    end: u32,
+    precision: Precision,
+    prune: bool,
+) -> ItemShard {
+    let (lo, hi) = (start as usize, end as usize);
+    let len = hi - lo;
+    let k = q.k();
+    // Flatten the shard's slice of Q once; all three tiers encode from it.
+    let flat: Vec<f32> = (lo..hi).flat_map(|r| q.row(r).iter().copied()).collect();
+
+    // Encode in *original* order and compute the dequantized-per-row norms
+    // the scan's bound must use.
+    let (data, norms): (ShardData, Vec<f32>) = match precision {
+        Precision::F32 => {
+            let norms = (0..len)
+                .map(|r| simd::dot(&flat[r * k..(r + 1) * k], &flat[r * k..(r + 1) * k]).sqrt())
+                .collect();
+            (ShardData::F32(flat.clone()), norms)
+        }
+        Precision::Fp16 => {
+            let mut enc = vec![0u16; flat.len()];
+            simd::encode_f16(&flat, &mut enc);
+            let mut dec = vec![0.0f32; flat.len()];
+            simd::decode_f16(&enc, &mut dec);
+            let norms = (0..len)
+                .map(|r| simd::dot(&dec[r * k..(r + 1) * k], &dec[r * k..(r + 1) * k]).sqrt())
+                .collect();
+            (ShardData::Fp16(enc), norms)
+        }
+        Precision::Int8 => {
+            let scale = int8::scale_for(&flat);
+            let mut enc = vec![0i8; flat.len()];
+            int8::quantize(&flat, scale, &mut enc);
+            let norms = (0..len)
+                .map(|r| {
+                    let row = &enc[r * k..(r + 1) * k];
+                    scale * (int8::dot_i8_scalar(row, row) as f32).sqrt()
+                })
+                .collect();
+            (ShardData::Int8 { data: enc, scale }, norms)
+        }
+    };
+
+    // Scan permutation: descending norm (ties toward the smaller id so
+    // builds are deterministic), or identity for exhaustive models.
+    let mut perm: Vec<u32> = (0..len as u32).collect();
+    if prune {
+        perm.sort_by(|&a, &b| {
+            norms[b as usize]
+                .total_cmp(&norms[a as usize])
+                .then(a.cmp(&b))
+        });
+    }
+    let mut pos = vec![0u32; len];
+    for (p_idx, &local) in perm.iter().enumerate() {
+        pos[local as usize] = p_idx as u32;
+    }
+    let ids: Vec<u32> = perm.iter().map(|&local| start + local).collect();
+
+    // Gather rows into permuted, position-major storage.
+    let data = match data {
+        ShardData::F32(src) => ShardData::F32(gather(&src, &perm, k)),
+        ShardData::Fp16(src) => ShardData::Fp16(gather(&src, &perm, k)),
+        ShardData::Int8 { data: src, scale } => ShardData::Int8 {
+            data: gather(&src, &perm, k),
+            scale,
+        },
+    };
+
+    let block_norms: Vec<f32> = (0..len.div_ceil(NORM_BLOCK))
+        .map(|b| {
+            let blo = b * NORM_BLOCK;
+            let bhi = (blo + NORM_BLOCK).min(len);
+            perm[blo..bhi]
+                .iter()
+                .fold(0.0f32, |m, &local| m.max(norms[local as usize]))
+        })
+        .collect();
+
+    ItemShard {
+        start,
+        len,
+        k,
+        ids,
+        pos,
+        block_norms,
+        data,
+    }
+}
+
+/// Copies `k`-strided rows of `src` into a new vec, in `perm` order.
+fn gather<T: Copy + Default>(src: &[T], perm: &[u32], k: usize) -> Vec<T> {
+    let mut out = Vec::with_capacity(src.len());
+    for &local in perm {
+        let r = local as usize;
+        out.extend_from_slice(&src[r * k..(r + 1) * k]);
+    }
+    out
 }
 
 /// Plans `shards + 1` item boundaries. With a training matrix the split
@@ -217,9 +429,62 @@ mod tests {
         let m = ServedModel::build(p, q.clone(), None, 4).unwrap();
         assert_eq!(m.shard_count(), 4);
         assert_eq!(m.shard_sizes().iter().sum::<usize>(), 103);
-        // Every item row resolves to exactly the global Q row.
+        // Every item row resolves to exactly the global Q row, through the
+        // norm permutation.
         for i in 0..103u32 {
             assert_eq!(m.item_row(i).unwrap(), q.row(i as usize));
+        }
+    }
+
+    #[test]
+    fn item_rows_resolve_under_every_precision_and_ordering() {
+        let (p, q) = factors(4, 61, 8);
+        for precision in [Precision::F32, Precision::Fp16, Precision::Int8] {
+            for prune in [false, true] {
+                let m = ServedModel::build_with(p.clone(), q.clone(), None, 3, precision, prune)
+                    .unwrap();
+                assert_eq!(m.precision(), precision);
+                assert_eq!(m.pruned(), prune);
+                for i in 0..61u32 {
+                    let got = m.item_row(i).unwrap();
+                    let want = q.row(i as usize);
+                    // Quantized rows differ by bounded rounding only.
+                    let tol = match precision {
+                        Precision::F32 => 0.0,
+                        Precision::Fp16 => 1e-3,
+                        Precision::Int8 => 0.05,
+                    };
+                    for (g, w) in got.iter().zip(want) {
+                        assert!(
+                            (g - w).abs() <= tol,
+                            "{precision:?} prune={prune} item {i}: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_shards_store_norms_descending_per_block() {
+        let (_, q) = factors(1, 100, 8);
+        let m = ServedModel::build(FactorMatrix::random(1, 8, 1), q, None, 2).unwrap();
+        for shard in m.shards() {
+            // Block norms are non-increasing (blocks ordered by norm rank).
+            for w in shard.block_norms.windows(2) {
+                assert!(w[0] >= w[1], "block norms must descend: {w:?}");
+            }
+            // ids/pos are inverse permutations.
+            for (p_idx, &id) in shard.ids.iter().enumerate() {
+                assert_eq!(shard.pos[(id - shard.start) as usize] as usize, p_idx);
+            }
+            // Per-row norms never exceed their block's stored maximum.
+            for (p_idx, _) in shard.ids.iter().enumerate() {
+                let row = shard.row_f32(p_idx);
+                let n = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let b = shard.block_norms[p_idx / NORM_BLOCK];
+                assert!(n <= b + 1e-5, "pos {p_idx}: norm {n} > block bound {b}");
+            }
         }
     }
 

@@ -1,0 +1,79 @@
+//! Serving-side storage precision tiers.
+//!
+//! A served model stores its item factors at one of three precisions,
+//! chosen at build time. Lower tiers trade a bounded quantization error
+//! (fp16: ~2⁻¹¹ relative; int8: ≤ scale/2 absolute per element) for half
+//! or quarter memory traffic per scanned item — the serving analog of the
+//! training side's FP16 transmission strategy, following CuMF_SGD's
+//! observation that MF factor values tolerate half precision.
+
+/// Storage precision of a [`ServedModel`](crate::ServedModel)'s item shards.
+/// The user matrix `P` always stays f32 (it is read once per query, not
+/// once per item, so shrinking it buys nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full f32 rows — exact scores, the reference tier.
+    #[default]
+    F32,
+    /// IEEE-754 binary16 rows decoded on the fly (F16C on x86-64).
+    Fp16,
+    /// Symmetric int8 rows with one scale per shard; scores are integer
+    /// dots rescaled by `scale_item · scale_query`.
+    Int8,
+}
+
+impl Precision {
+    /// Stable name used by the CLI flag and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Fp16 => "fp16",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Inverse of [`name`](Precision::name).
+    pub fn from_name(s: &str) -> Option<Precision> {
+        Some(match s {
+            "f32" => Precision::F32,
+            "fp16" => Precision::Fp16,
+            "int8" => Precision::Int8,
+            _ => return None,
+        })
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Precision, String> {
+        Precision::from_name(s)
+            .ok_or_else(|| format!("unknown precision {s:?} (expected f32, fp16 or int8)"))
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in [Precision::F32, Precision::Fp16, Precision::Int8] {
+            assert_eq!(Precision::from_name(p.name()), Some(p));
+            assert_eq!(p.name().parse::<Precision>().unwrap(), p);
+        }
+        assert_eq!(Precision::from_name("f64"), None);
+        assert!("bf16".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(Precision::default(), Precision::F32);
+    }
+}

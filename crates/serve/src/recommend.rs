@@ -46,7 +46,7 @@ impl Recommender {
     pub fn predict(&self, user: u32, item: u32) -> f32 {
         dot(
             self.model.user_row(user).expect("user out of range"),
-            self.model.item_row(item).expect("item out of range"),
+            &self.model.item_row(item).expect("item out of range"),
         )
     }
 

@@ -66,6 +66,25 @@ impl TopK {
         }
     }
 
+    /// Whether the heap already holds `k` candidates — the precondition
+    /// for pruning on [`floor`](TopK::floor) (a non-full heap accepts any
+    /// candidate, so nothing may be skipped yet). Vacuously true for
+    /// `k = 0`, where every candidate is refused.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The score a newcomer must *beat* to enter a full heap (the worst
+    /// kept candidate's score), or `None` when `k = 0` and nothing can
+    /// ever enter. A scan may skip any candidate whose score upper bound
+    /// is strictly below this floor; a bound exactly equal to the floor
+    /// must still be scored (equal scores win on smaller item id).
+    #[inline]
+    pub fn floor(&self) -> Option<f32> {
+        self.heap.peek().map(|worst| worst.0.score)
+    }
+
     /// Drains into a best-first `(item, score)` list.
     pub fn into_sorted(self) -> Vec<(u32, f32)> {
         let mut out: Vec<Candidate> = self.heap.into_iter().map(|r| r.0).collect();
@@ -104,6 +123,24 @@ mod tests {
         let mut t = TopK::new(10);
         t.offer(0, 1.0);
         assert_eq!(t.into_sorted().len(), 1);
+    }
+
+    #[test]
+    fn floor_tracks_the_worst_kept_candidate() {
+        let mut t = TopK::new(2);
+        assert!(!t.is_full());
+        assert_eq!(t.floor(), None);
+        t.offer(0, 5.0);
+        assert!(!t.is_full());
+        t.offer(1, 3.0);
+        assert!(t.is_full());
+        assert_eq!(t.floor(), Some(3.0));
+        t.offer(2, 4.0); // evicts the 3.0
+        assert_eq!(t.floor(), Some(4.0));
+        // k = 0: full from the start, floor never exists.
+        let t = TopK::new(0);
+        assert!(t.is_full());
+        assert_eq!(t.floor(), None);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Symmetric int8 quantization for serving-side factor storage.
+//!
+//! The serving path stores item factors at reduced precision to cut memory
+//! bandwidth (CuMF_SGD makes the same argument for half-precision factor
+//! traffic). This module is the int8 tier: a *per-shard* scale maps f32
+//! values into `[-127, 127]` symmetrically, so a dot product of two
+//! quantized rows is an integer multiply-accumulate rescaled by the product
+//! of the two scales:
+//!
+//! ```text
+//! scale = max|x| / 127
+//! q(x)  = round(x / scale) clamped to [-127, 127]
+//! x̂     = q(x) * scale            (|x − x̂| ≤ scale/2 for in-range x)
+//! a·b  ≈ scale_a * scale_b * Σ qa[j]*qb[j]
+//! ```
+//!
+//! The integer accumulation is exact (i32 cannot overflow for any realistic
+//! `k`: each product is ≤ 127² = 16129, so overflow needs k > 133 000), so
+//! scalar and AVX2 backends agree **bit-exactly** on the integer dot — the
+//! only approximation in the pipeline is the quantization itself, which the
+//! round-trip proptests bound by `scale/2` per element.
+
+/// The symmetric quantization range: values map to `[-Q_MAX, Q_MAX]`.
+/// `-128` is deliberately unused so the range is symmetric and `-x`
+/// quantizes to `-q(x)` exactly.
+pub const Q_MAX: i32 = 127;
+
+/// Per-slice symmetric scale: `max|x| / 127`, or `1.0` for an all-zero (or
+/// empty) slice so dequantization never divides by zero. Non-finite inputs
+/// are the caller's bug; the scale of an infinite slice is infinite and the
+/// round-trip bound does not apply.
+pub fn scale_for(src: &[f32]) -> f32 {
+    let max_abs = src.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max_abs > 0.0 {
+        max_abs / Q_MAX as f32
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes `src` into `dst` with the given scale: round-to-nearest, then
+/// clamp to `[-127, 127]`. With `scale = scale_for(src)` every value is in
+/// range before clamping, which is what gives the `|x − x̂| ≤ scale/2`
+/// round-trip bound.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn quantize(src: &[f32], scale: f32, dst: &mut [i8]) {
+    assert_eq!(src.len(), dst.len(), "quantize buffers must match");
+    let inv = 1.0 / scale;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = (x * inv).round().clamp(-(Q_MAX as f32), Q_MAX as f32) as i8;
+    }
+}
+
+/// Dequantizes `src` into `dst`: `x̂ = q * scale`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dequantize(src: &[i8], scale: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "dequantize buffers must match");
+    for (d, &q) in dst.iter_mut().zip(src) {
+        *d = q as f32 * scale;
+    }
+}
+
+/// Scalar reference integer dot product; the AVX2 kernel in
+/// [`crate::simd`] must agree bit-exactly (integer arithmetic).
+#[inline]
+pub fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_of_zero_slice_is_one_and_roundtrip_is_exact() {
+        assert_eq!(scale_for(&[]), 1.0);
+        assert_eq!(scale_for(&[0.0, -0.0]), 1.0);
+        let src = [0.0f32, 0.0];
+        let mut q = [0i8; 2];
+        quantize(&src, scale_for(&src), &mut q);
+        assert_eq!(q, [0, 0]);
+    }
+
+    #[test]
+    fn extremes_hit_full_range_symmetrically() {
+        let src = [3.5f32, -3.5, 0.0, 1.75];
+        let scale = scale_for(&src);
+        let mut q = [0i8; 4];
+        quantize(&src, scale, &mut q);
+        assert_eq!(q[0], 127);
+        assert_eq!(q[1], -127);
+        assert_eq!(q[2], 0);
+        // 1.75 = half of max → 63.5 rounds to 64 (round half away from zero).
+        assert_eq!(q[3], 64);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        let src: Vec<f32> = (0..257)
+            .map(|j| ((j * 37 + 11) as f32 * 0.37).sin() * 2.5)
+            .collect();
+        let scale = scale_for(&src);
+        let mut q = vec![0i8; src.len()];
+        quantize(&src, scale, &mut q);
+        let mut back = vec![0.0f32; src.len()];
+        dequantize(&q, scale, &mut back);
+        for (j, (&x, &x2)) in src.iter().zip(back.iter()).enumerate() {
+            assert!(
+                (x - x2).abs() <= scale / 2.0 + 1e-7,
+                "elem {j}: {x} vs {x2} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_dot_tracks_f32_dot() {
+        let a: Vec<f32> = (0..64)
+            .map(|j| ((j * 13 + 5) as f32 * 0.11).sin())
+            .collect();
+        let b: Vec<f32> = (0..64)
+            .map(|j| ((j * 29 + 3) as f32 * 0.07).cos())
+            .collect();
+        let (sa, sb) = (scale_for(&a), scale_for(&b));
+        let mut qa = vec![0i8; 64];
+        let mut qb = vec![0i8; 64];
+        quantize(&a, sa, &mut qa);
+        quantize(&b, sb, &mut qb);
+        let approx = sa * sb * dot_i8_scalar(&qa, &qb) as f32;
+        let exact: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        // Error per term ≤ sa/2·|b| + sb/2·|a| + sa·sb/4; loose bound below.
+        assert!(
+            (approx - exact).abs() < 64.0 * (sa + sb),
+            "approx {approx} vs exact {exact}"
+        );
+    }
+}

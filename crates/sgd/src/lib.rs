@@ -14,6 +14,8 @@
 //! * [`schedule`] — learning-rate schedules (the paper uses a constant γ).
 //! * [`fp16`] — IEEE-754 binary16 conversion implemented from scratch, used
 //!   by the "Transmitting FP16 Data" communication strategy.
+//! * [`int8`] — symmetric per-shard int8 quantization for the serving tier
+//!   (`hcc-serve` stores item factors at reduced precision).
 //! * [`biased`] — the biased-MF extension `μ + b_u + c_i + p·q`, the
 //!   standard production refinement of the paper's plain model.
 //! * [`adagrad`] — AdaGrad-scaled Hogwild (CuMF_SGD ships the same
@@ -48,6 +50,7 @@ pub mod biased;
 pub mod factors;
 pub mod fp16;
 pub mod hogwild;
+pub mod int8;
 pub mod kernel;
 pub mod loss;
 pub mod momentum;

@@ -17,7 +17,9 @@
 //!   round-to-nearest-even implements the same IEEE-754 conversion as the
 //!   scalar codec in [`crate::fp16`], including subnormals (the F16C
 //!   instructions are exempt from DAZ/FTZ) and NaN quieting.
-//! * `dot` / `fused_step_ptr`: scalar and AVX2 differ only by reassociation
+//! * `dot_i8`: **bit-exact** across backends — the accumulation is integer
+//!   arithmetic, so VPMADDWD and the scalar loop produce identical i32s.
+//! * `dot` / `dot_f16` / `fused_step_ptr`: scalar and AVX2 differ only by reassociation
 //!   of the dot reduction and FMA contraction in the update (relative error
 //!   ≤ ~k·ε). Within one process the backend is fixed, so the plain and
 //!   shared SGD paths — both of which route through [`fused_step_ptr`] —
@@ -143,6 +145,50 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
             unsafe { avx2::dot_ptr(a.as_ptr(), b.as_ptr(), a.len()) }
         }
         _ => scalar::dot(a, b),
+    }
+}
+
+/// Dispatched mixed-precision inner product: an f32 query row against a
+/// binary16-encoded stored row (the serving fp16 tier). The AVX2 path
+/// widens 8 halves per iteration with VCVTPH2PS and FMA-accumulates; the
+/// scalar path decodes through [`crate::fp16::f16_to_f32`]. Both compute
+/// `Σ a[j]·decode(b[j])`, differing only by reduction reassociation.
+#[inline]
+pub fn dot_f16(a: &[f32], b: &[u16]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            // SAFETY: backend implies AVX2+FMA+F16C present; both pointers
+            // cover `a.len()` valid elements (debug-asserted equal above,
+            // and the kernel never reads past `min` of the two in release
+            // because the dispatcher's contract is equal lengths).
+            unsafe { avx2::dot_f16_ptr(a.as_ptr(), b.as_ptr(), a.len().min(b.len())) }
+        }
+        _ => {
+            let mut acc = 0.0f32;
+            for (&x, &h) in a.iter().zip(b.iter()) {
+                acc += x * crate::fp16::f16_to_f32(h);
+            }
+            acc
+        }
+    }
+}
+
+/// Dispatched integer inner product of two int8 rows (the serving int8
+/// tier). Exact i32 accumulation — scalar and AVX2 agree bit-for-bit, so
+/// equivalence tests can use strict equality.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            // SAFETY: backend implies AVX2 present; both pointers cover
+            // `min(a.len(), b.len())` valid i8s.
+            unsafe { avx2::dot_i8_ptr(a.as_ptr(), b.as_ptr(), a.len().min(b.len())) }
+        }
+        _ => crate::int8::dot_i8_scalar(a, b),
     }
 }
 
@@ -409,6 +455,88 @@ pub mod avx2 {
         }
     }
 
+    /// Mixed-precision inner product: f32 row `a` against f16-encoded row
+    /// `b`, widening 8 halves per iteration with VCVTPH2PS.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA+F16C; `a` must point to `k` valid f32s and `b` to
+    /// `k` valid u16 half patterns.
+    #[target_feature(enable = "avx2,fma,f16c")]
+    pub unsafe fn dot_f16_ptr(a: *const f32, b: *const u16, k: usize) -> f32 {
+        // SAFETY: element accesses stay in `0..k`, valid for both pointers
+        // per the caller contract; the 128-bit load reads 8 u16 = 16 bytes
+        // at b+j, in bounds while j+8 <= k; loads are unaligned.
+        unsafe {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut j = 0usize;
+            while j + 16 <= k {
+                let b0 = _mm256_cvtph_ps(_mm_loadu_si128(b.add(j) as *const __m128i));
+                let b1 = _mm256_cvtph_ps(_mm_loadu_si128(b.add(j + 8) as *const __m128i));
+                acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(j)), b0, acc0);
+                acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(j + 8)), b1, acc1);
+                j += 16;
+            }
+            if j + 8 <= k {
+                let bv = _mm256_cvtph_ps(_mm_loadu_si128(b.add(j) as *const __m128i));
+                acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(j)), bv, acc0);
+                j += 8;
+            }
+            let mut acc = hsum(_mm256_add_ps(acc0, acc1));
+            while j < k {
+                acc += *a.add(j) * crate::fp16::f16_to_f32(*b.add(j));
+                j += 1;
+            }
+            acc
+        }
+    }
+
+    /// Horizontal sum of one 8-lane i32 register.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        // Register-only intrinsics; no pointer access.
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256(v, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// Integer inner product of two int8 rows: 16 lanes widened to i16 per
+    /// step (VPMOVSXBW), pairwise-multiplied and summed into i32 lanes
+    /// (VPMADDWD). Exact — bit-identical to the scalar reference.
+    ///
+    /// # Safety
+    /// Requires AVX2; `a` and `b` must each point to `k` valid i8s.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_i8_ptr(a: *const i8, b: *const i8, k: usize) -> i32 {
+        // SAFETY: element accesses stay in `0..k`, valid per the caller
+        // contract; each 128-bit load reads 16 i8 = 16 bytes at offset j,
+        // in bounds while j+16 <= k. i32 lanes cannot overflow: each
+        // madd term is ≤ 2·127² and at most k/8 terms accumulate per lane.
+        unsafe {
+            let mut acc = _mm256_setzero_si256();
+            let mut j = 0usize;
+            while j + 16 <= k {
+                let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.add(j) as *const __m128i));
+                let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.add(j) as *const __m128i));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+                j += 16;
+            }
+            let mut total = hsum_epi32(acc);
+            while j < k {
+                total += *a.add(j) as i32 * *b.add(j) as i32;
+                j += 1;
+            }
+            total
+        }
+    }
+
     /// Bulk f32 → f16 via VCVTPS2PH (round-to-nearest-even), 8 lanes/iter.
     ///
     /// # Safety
@@ -544,6 +672,49 @@ mod tests {
                 (s - v).abs() <= 1e-5 * s.abs().max(1.0),
                 "k {k}: scalar {s} vs avx2 {v}"
             );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn dot_f16_backends_agree_within_reassociation_tolerance() {
+        if !avx2_available() {
+            return;
+        }
+        for k in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 64, 127, 128] {
+            let a: Vec<f32> = (0..k)
+                .map(|j| ((j * 41 + 7) as f32 * 0.013).sin())
+                .collect();
+            let b: Vec<u16> = (0..k)
+                .map(|j| crate::fp16::f32_to_f16(((j * 17 + 3) as f32 * 0.021).cos()))
+                .collect();
+            let s: f32 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &h)| x * crate::fp16::f16_to_f32(h))
+                .sum();
+            // SAFETY: AVX2+FMA+F16C runtime-checked above; slices hold k elems.
+            let v = unsafe { avx2::dot_f16_ptr(a.as_ptr(), b.as_ptr(), k) };
+            assert!(
+                (s - v).abs() <= 1e-5 * s.abs().max(1.0),
+                "k {k}: scalar {s} vs avx2 {v}"
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn dot_i8_backends_bit_exact() {
+        if !avx2_available() {
+            return;
+        }
+        for k in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 64, 100, 127, 128] {
+            let a: Vec<i8> = (0..k).map(|j| ((j * 37 + 11) % 255) as i8).collect();
+            let b: Vec<i8> = (0..k).map(|j| ((j * 91 + 53) % 255) as i8).collect();
+            let s = crate::int8::dot_i8_scalar(&a, &b);
+            // SAFETY: AVX2 runtime-checked above; slices hold k i8s.
+            let v = unsafe { avx2::dot_i8_ptr(a.as_ptr(), b.as_ptr(), k) };
+            assert_eq!(s, v, "k {k}");
         }
     }
 

@@ -143,6 +143,19 @@ pub enum Event {
         /// Wall-clock duration of the epoch's execution, µs.
         wall_us: u64,
     },
+    /// Admission-queue state sampled by the serving dispatcher after it
+    /// drained one micro-batch (serving-side; outside the Eq. 1–4 training
+    /// model, so `epoch` is always 0 — kept for the uniform accessor).
+    Admission {
+        /// Always 0 for serving events.
+        epoch: u32,
+        /// Queries still waiting in the queue after the drain.
+        depth: u64,
+        /// Queries shed since the pipeline started (cumulative).
+        shed: u64,
+        /// Queries admitted into the drained micro-batch.
+        admitted: u64,
+    },
 }
 
 impl Event {
@@ -155,7 +168,8 @@ impl Event {
             | Event::WorkerLost { epoch, .. }
             | Event::Rollback { epoch, .. }
             | Event::Checkpoint { epoch, .. }
-            | Event::EpochEnd { epoch, .. } => epoch,
+            | Event::EpochEnd { epoch, .. }
+            | Event::Admission { epoch, .. } => epoch,
         }
     }
 }

@@ -66,6 +66,15 @@ fn event_line(ev: &Event) -> String {
         Event::EpochEnd { epoch, wall_us } => {
             format!("{{\"type\":\"epoch_end\",\"epoch\":{epoch},\"wall_us\":{wall_us}}}")
         }
+        Event::Admission {
+            epoch,
+            depth,
+            shed,
+            admitted,
+        } => format!(
+            "{{\"type\":\"admission\",\"epoch\":{epoch},\"depth\":{depth},\
+             \"shed\":{shed},\"admitted\":{admitted}}}"
+        ),
     }
 }
 
@@ -154,6 +163,12 @@ pub fn parse(text: &str) -> Result<Timeline, String> {
                 epoch: field_u32(&v, "epoch")?,
                 wall_us: field_u64(&v, "wall_us")?,
             },
+            "admission" => Event::Admission {
+                epoch: field_u32(&v, "epoch")?,
+                depth: field_u64(&v, "depth")?,
+                shed: field_u64(&v, "shed")?,
+                admitted: field_u64(&v, "admitted")?,
+            },
             other => return Err(format!("line {}: unknown event type {other:?}", lineno + 1)),
         };
         events.push(ev);
@@ -226,6 +241,12 @@ mod tests {
                 Event::EpochEnd {
                     epoch: 0,
                     wall_us: 930,
+                },
+                Event::Admission {
+                    epoch: 0,
+                    depth: 17,
+                    shed: 3,
+                    admitted: 32,
                 },
             ],
             dropped: 1,

@@ -12,8 +12,8 @@ use hcc_mf::{
     load_served_model, reload_from_checkpoint, save_model, HccConfig, HccError, HccMf,
     LearningRate, PartitionMode, WorkerSpec,
 };
-use hcc_serve::{naive_top_k, FoldInConfig, ServeEngine, ServedModel};
-use hcc_sgd::FactorMatrix;
+use hcc_serve::{naive_top_k, FoldInConfig, Precision, ServeEngine, ServedModel};
+use hcc_sgd::{int8, FactorMatrix};
 use hcc_sparse::{CooMatrix, CsrMatrix, GenConfig, Rating, SyntheticDataset};
 use proptest::prelude::*;
 use proptest::TestRng;
@@ -180,6 +180,112 @@ fn fold_in_is_deterministic_and_pure_over_256_cases() {
         // Snapshot untouched: existing users still answer from the same Q.
         let want = naive_top_k(&p, &q, train.as_ref().map(CsrMatrix::from).as_ref(), 0, 5);
         assert_rank_equivalent(&engine.top_k(0, 5).unwrap(), &want, "post-fold-in query");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Property: quantized precision tiers
+// ---------------------------------------------------------------------------
+
+/// Round-trips a row through the int8 codec exactly the way `QueryPrep`
+/// and the shard builder do: per-row scale, quantize, dequantize.
+fn int8_roundtrip(row: &[f32]) -> (Vec<f32>, f32) {
+    let scale = int8::scale_for(row);
+    let mut q = vec![0i8; row.len()];
+    int8::quantize(row, scale, &mut q);
+    let mut back = vec![0.0f32; row.len()];
+    int8::dequantize(&q, scale, &mut back);
+    (back, scale)
+}
+
+/// The int8 codec contract the serving tiers rest on: round-to-nearest
+/// quantization against a per-row max-abs scale never moves any element by
+/// more than half a quantization step.
+#[test]
+fn int8_round_trip_error_is_within_half_a_step_over_256_cases() {
+    run_scenarios(0x1008_c0de, |s| {
+        let (p, q, _) = build_scenario(s);
+        for (mat, name) in [(&p, "P"), (&q, "Q")] {
+            for r in 0..mat.rows() {
+                let row = mat.row(r);
+                let (back, scale) = int8_roundtrip(row);
+                // Half a step plus a whisker of f32 rounding slack from the
+                // quantize divide and dequantize multiply.
+                let bound = scale * 0.5 * (1.0 + 1e-5) + f32::EPSILON;
+                for (j, (&x, &y)) in row.iter().zip(&back).enumerate() {
+                    assert!(
+                        (x - y).abs() <= bound,
+                        "{name}[{r}][{j}]: {x} -> {y} strayed past scale/2 = {}",
+                        scale * 0.5
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Rank equivalence for the quantized tiers, pruned and exhaustive. The
+/// oracle is `naive_top_k` over the *dequantized* factors — the stored
+/// representation the engine actually scores — because quantization
+/// legitimately perturbs scores beyond the 1e-4 tie band, while the scan
+/// order, pruning bound, and merge must not add any error of their own.
+/// (f32 + pruned vs the raw-factor oracle is the earlier 256-case test.)
+#[test]
+fn quantized_tiers_match_their_dequantized_oracle_over_256_cases() {
+    run_scenarios(0x0a17_f16e, |s| {
+        let (p, q, train) = build_scenario(s);
+        for precision in [Precision::Fp16, Precision::Int8] {
+            // Effective user factors: int8 scoring quantizes the query row
+            // too (per-row scale, like `QueryPrep`); fp16 leaves it f32.
+            let eff_p = match precision {
+                Precision::Int8 => {
+                    let data: Vec<f32> = (0..p.rows())
+                        .flat_map(|r| int8_roundtrip(p.row(r)).0)
+                        .collect();
+                    FactorMatrix::from_vec(p.rows(), s.k, data)
+                }
+                _ => p.clone(),
+            };
+            for pruned in [false, true] {
+                let model = ServedModel::build_with(
+                    p.clone(),
+                    q.clone(),
+                    train.as_ref(),
+                    s.shards,
+                    precision,
+                    pruned,
+                )
+                .unwrap();
+                // Effective item factors: whatever the shards stored, read
+                // back dequantized (also exercises `item_row` per tier).
+                let eff_q_data: Vec<f32> = (0..s.items)
+                    .flat_map(|i| model.item_row(i).unwrap())
+                    .collect();
+                let eff_q = FactorMatrix::from_vec(s.items as usize, s.k, eff_q_data);
+                let seen = train.as_ref().map(CsrMatrix::from);
+                let engine = ServeEngine::new(model);
+
+                let users: Vec<u32> = (0..s.users).collect();
+                for &user in &users {
+                    let want = naive_top_k(&eff_p, &eff_q, seen.as_ref(), user, s.count);
+                    let got = engine.top_k(user, s.count).unwrap();
+                    assert_rank_equivalent(
+                        &got,
+                        &want,
+                        &format!("{} pruned={pruned}, user {user}", precision.name()),
+                    );
+                }
+                let batch = engine.top_k_batch(&users, s.count).unwrap();
+                for (user, b) in users.iter().zip(&batch) {
+                    let want = naive_top_k(&eff_p, &eff_q, seen.as_ref(), *user, s.count);
+                    assert_rank_equivalent(
+                        b,
+                        &want,
+                        &format!("{} pruned={pruned}, batch user {user}", precision.name()),
+                    );
+                }
+            }
+        }
     });
 }
 
