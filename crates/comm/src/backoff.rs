@@ -1,0 +1,159 @@
+//! Jittered exponential backoff, shared by every retry loop in the
+//! workspace.
+//!
+//! The supervisor's `collect_timeout` loop, the socket transport's
+//! reconnect path, and the serving hot-reload retry all follow the same
+//! shape: start at some delay, multiply by a factor after each failure,
+//! optionally cap, optionally jitter. This type centralizes the math so
+//! the sequences stay identical where they must (the supervisor's retry
+//! ladder is part of the observable training behaviour) and deterministic
+//! where randomness is wanted (jitter comes from a seeded splitmix64, not
+//! a global RNG).
+
+use std::time::Duration;
+
+/// Deterministic jittered exponential backoff.
+///
+/// [`next_delay`](Backoff::next_delay) returns the *current* delay and
+/// then advances it, so the first call yields the initial delay exactly —
+/// matching the supervisor's historical `timeout → timeout · factor`
+/// ladder bit-for-bit when jitter is off.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    cur: Duration,
+    factor: f64,
+    max: Duration,
+    /// Jitter fraction in `[0, 1)`: each delay is scaled by a
+    /// deterministic factor in `[1 − jitter, 1 + jitter]`.
+    jitter: f64,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A plain exponential ladder: `initial`, `initial·factor`,
+    /// `initial·factor²`, … with no cap and no jitter. `factor` is clamped
+    /// to at least 1.0 so the ladder never shrinks.
+    pub fn new(initial: Duration, factor: f64) -> Backoff {
+        Backoff {
+            cur: initial,
+            factor: factor.max(1.0),
+            max: Duration::MAX,
+            jitter: 0.0,
+            rng: 0,
+        }
+    }
+
+    /// Caps every returned delay (and the internal ladder) at `max`.
+    pub fn with_max(mut self, max: Duration) -> Backoff {
+        self.max = max;
+        self.cur = self.cur.min(max);
+        self
+    }
+
+    /// Adds deterministic jitter: each delay is scaled by a factor drawn
+    /// from `[1 − frac, 1 + frac]` using a splitmix64 stream seeded with
+    /// `seed`. Two `Backoff`s with the same seed produce identical
+    /// sequences. `frac` is clamped to `[0, 0.99]`.
+    pub fn with_jitter(mut self, seed: u64, frac: f64) -> Backoff {
+        self.jitter = frac.clamp(0.0, 0.99);
+        // Avoid the all-zero splitmix64 fixed point for seed 0.
+        self.rng = seed ^ 0x9E37_79B9_7F4A_7C15;
+        self
+    }
+
+    /// Returns the delay to use for the next attempt and advances the
+    /// ladder.
+    pub fn next_delay(&mut self) -> Duration {
+        let base = self.cur;
+        // Advance: cur ← min(cur · factor, max). Computed in f64 seconds
+        // with clamping so the multiply can never overflow Duration.
+        let advanced = self.cur.as_secs_f64() * self.factor;
+        let cap = self.max.as_secs_f64();
+        self.cur = Duration::from_secs_f64(if advanced.is_finite() {
+            advanced.min(cap)
+        } else {
+            cap
+        });
+        if self.jitter == 0.0 {
+            return base;
+        }
+        // splitmix64 step → uniform in [0, 1) → scale in [1−j, 1+j].
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let scale = 1.0 - self.jitter + 2.0 * self.jitter * unit;
+        Duration::from_secs_f64((base.as_secs_f64() * scale).min(self.max.as_secs_f64()))
+    }
+
+    /// Peeks at the delay the next [`next_delay`](Backoff::next_delay)
+    /// call will base itself on (pre-jitter).
+    pub fn current(&self) -> Duration {
+        self.cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ladder_matches_the_supervisor_sequence() {
+        // The historical supervisor loop: timeout, then timeout·1.5, …
+        let mut bo = Backoff::new(Duration::from_millis(200), 1.5);
+        let mut manual = Duration::from_millis(200);
+        for _ in 0..5 {
+            assert_eq!(bo.next_delay(), manual);
+            manual = manual.mul_f64(1.5);
+        }
+    }
+
+    #[test]
+    fn factor_below_one_is_clamped() {
+        let mut bo = Backoff::new(Duration::from_millis(10), 0.5);
+        let a = bo.next_delay();
+        let b = bo.next_delay();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn max_caps_the_ladder() {
+        let mut bo =
+            Backoff::new(Duration::from_millis(100), 10.0).with_max(Duration::from_millis(250));
+        assert_eq!(bo.next_delay(), Duration::from_millis(100));
+        assert_eq!(bo.next_delay(), Duration::from_millis(250));
+        assert_eq!(bo.next_delay(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let seq = |seed| {
+            let mut bo = Backoff::new(Duration::from_millis(100), 2.0)
+                .with_jitter(seed, 0.2)
+                .with_max(Duration::from_secs(1));
+            (0..6).map(|_| bo.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7), "same seed, same sequence");
+        assert_ne!(seq(7), seq(8), "different seed, different jitter");
+        let mut bo = Backoff::new(Duration::from_millis(100), 2.0).with_jitter(3, 0.25);
+        let base = [100.0, 200.0, 400.0];
+        for expect in base {
+            let got = bo.next_delay().as_secs_f64() * 1000.0;
+            assert!(
+                got >= expect * 0.75 - 1e-6 && got <= expect * 1.25 + 1e-6,
+                "delay {got}ms outside ±25% of {expect}ms"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_factors_never_overflow() {
+        let mut bo = Backoff::new(Duration::from_secs(1), 1e18).with_max(Duration::from_secs(60));
+        for _ in 0..10 {
+            assert!(bo.next_delay() <= Duration::from_secs(60));
+        }
+        assert_eq!(bo.current(), Duration::from_secs(60));
+    }
+}

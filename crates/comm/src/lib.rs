@@ -17,6 +17,15 @@
 //! * [`pipeline`] — the asynchronous pull→compute→push pipeline used by
 //!   Strategy 3 ("Asynchronous Computing-Transmission") to overlap
 //!   communication with computation across multiple streams.
+//! * [`frame`] — the length-prefixed, CRC-32-trailed wire frame codec the
+//!   socket transport speaks (and the checkpoint footer reuses).
+//! * [`socket`] — [`CommSocket`]: the same [`Transport`] contract over a
+//!   Unix domain socket with per-RPC deadlines, bounded retries, jittered
+//!   reconnect backoff, and idempotent push dedup.
+//! * [`chaos`] — [`ChaosTransport`]: a seeded, deterministic
+//!   drop/delay/duplicate/corrupt/partition wrapper around any transport.
+//! * [`backoff`] — the jittered-exponential [`Backoff`] ladder shared by
+//!   every retry loop in the workspace.
 
 //!
 //! ```
@@ -34,12 +43,20 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod backoff;
 pub mod buffer;
+pub mod chaos;
+pub mod frame;
 pub mod pipeline;
+pub mod socket;
 pub mod strategy;
 pub mod transport;
 
+pub use backoff::Backoff;
 pub use buffer::SharedBuffer;
+pub use chaos::{ChaosStats, ChaosTransport, NetChaosPlan, Partition};
+pub use frame::{crc32, Frame, FrameError, RpcKind};
 pub use pipeline::{run_pipeline, PipelineStats};
+pub use socket::{CommSocket, NetEvent, NetEventKind, NetStats, SocketConfig};
 pub use strategy::TransferStrategy;
 pub use transport::{CommError, CommP, CommShared, Payload, Precision, Transport};

@@ -22,14 +22,23 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Transport-level failures surfaced to the supervisor instead of blocking
-/// forever or panicking. `Timeout` is retryable (the peer may be a
-/// straggler); `Disconnected` is fatal for that peer.
+/// forever or panicking. `Timeout` and `Corrupt` are retryable (the peer
+/// may be a straggler, the frame may arrive clean next time);
+/// `Disconnected` and `PartitionedLink` are fatal for that peer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommError {
     /// No push arrived within the deadline.
     Timeout,
     /// The peer's channel endpoint is gone (worker thread exited).
     Disconnected,
+    /// A frame arrived but failed integrity checks (CRC mismatch, bad
+    /// header). The supervisor treats this exactly like a dropped push:
+    /// retry, then classify the worker as a straggler/dead.
+    Corrupt,
+    /// The link to this peer is partitioned: reconnect attempts exhausted
+    /// their backoff budget. Unlike `Timeout` there is no point retrying
+    /// within the epoch.
+    PartitionedLink,
 }
 
 impl std::fmt::Display for CommError {
@@ -37,6 +46,8 @@ impl std::fmt::Display for CommError {
         match self {
             CommError::Timeout => write!(f, "transport wait timed out"),
             CommError::Disconnected => write!(f, "transport peer disconnected"),
+            CommError::Corrupt => write!(f, "transport frame failed integrity check"),
+            CommError::PartitionedLink => write!(f, "transport link partitioned"),
         }
     }
 }
@@ -73,6 +84,15 @@ pub trait Transport: Send + Sync {
     fn pull(&self, worker: usize, dst: &mut [f32]);
     /// Worker side: submit this worker's updated data.
     fn push(&self, worker: usize, src: &[f32]);
+    /// Worker side: deliver a *wire-level duplicate* of this worker's most
+    /// recent push (what a retransmitting network does when the original
+    /// also arrived). Framed transports resend under the same sequence
+    /// number so the server's idempotency dedup is exercised; for
+    /// shared-memory transports a duplicate of an in-place buffer write is
+    /// indistinguishable from the original, so the default is a no-op.
+    fn push_duplicate(&self, worker: usize, src: &[f32]) {
+        let _ = (worker, src);
+    }
     /// Server side: obtain worker `worker`'s most recent push into `dst`.
     /// Blocks until a push is available.
     fn collect(&self, worker: usize, dst: &mut [f32]);

@@ -75,38 +75,13 @@ pub struct ResumeState {
 }
 
 // ---------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3, the zlib polynomial), table built at compile time so
-// no external crate is needed.
+// CRC-32 (IEEE 802.3, the zlib polynomial). The implementation lives in
+// `hcc_comm::frame` — the checkpoint footer and the network frame trailer
+// are byte-for-byte the same checksum — and is re-exported here so
+// existing `checkpoint::crc32` callers keep working.
 // ---------------------------------------------------------------------------
 
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32/IEEE of `data` (init all-ones, reflected, final xor all-ones).
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+pub use hcc_comm::frame::crc32;
 
 // ---------------------------------------------------------------------------
 // Save

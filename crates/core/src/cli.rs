@@ -9,7 +9,7 @@
 //! hcc serve <model.hccmf> <ratings.txt> --queries FILE [serving flags]
 //! ```
 
-use crate::config::{HccConfig, PartitionMode, WorkerSpec};
+use crate::config::{HccConfig, PartitionMode, TransportKind, WorkerSpec};
 use crate::metrics::evaluate_ranking;
 use crate::train::HccMf;
 use hcc_comm::TransferStrategy;
@@ -113,6 +113,11 @@ pub struct TrainArgs {
     /// Enable the fault-tolerance supervisor (heartbeats, divergence
     /// rollback, survivor re-planning).
     pub fault_tolerant: bool,
+    /// Transport carrying pull/push traffic between server and workers.
+    pub transport: TransportKind,
+    /// Seed for deterministic network chaos injection (drops, delays,
+    /// duplicates, corruption). Implies `--fault-tolerant`.
+    pub net_chaos: Option<u64>,
     /// Write a JSONL telemetry timeline here and print the epoch
     /// breakdown + cost-model validation after training.
     pub telemetry: Option<String>,
@@ -139,6 +144,8 @@ impl Default for TrainArgs {
             checkpoint_path: None,
             resume: None,
             fault_tolerant: false,
+            transport: TransportKind::Shared,
+            net_chaos: None,
             telemetry: None,
         }
     }
@@ -151,7 +158,8 @@ pub const USAGE: &str = "usage:
             [--partition auto|uniform|dp0|dp1|dp2] [--schedule stripe|tiled]
             [--test-frac F] [--seed N] [--out PREFIX] [--rank-metrics]
             [--checkpoint-every N [--checkpoint-path FILE]] [--resume FILE]
-            [--fault-tolerant] [--telemetry FILE.jsonl]
+            [--fault-tolerant] [--transport shared|commp|socket]
+            [--net-chaos SEED] [--telemetry FILE.jsonl]
   hcc analyze <ratings.txt>
   hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]
   hcc serve <model.hccmf> <ratings.txt> --queries FILE [--topk N]
@@ -332,6 +340,21 @@ fn parse_train<'a, I: Iterator<Item = &'a String>>(
             "--checkpoint-path" => args.checkpoint_path = Some(next("--checkpoint-path")?),
             "--resume" => args.resume = Some(next("--resume")?),
             "--fault-tolerant" => args.fault_tolerant = true,
+            "--transport" => {
+                args.transport = match next("--transport")?.as_str() {
+                    "shared" => TransportKind::Shared,
+                    "commp" => TransportKind::CommP,
+                    "socket" => TransportKind::Socket,
+                    other => return Err(format!("unknown transport {other}")),
+                }
+            }
+            "--net-chaos" => {
+                args.net_chaos = Some(
+                    next("--net-chaos")?
+                        .parse()
+                        .map_err(|e| format!("--net-chaos: {e}"))?,
+                )
+            }
             "--telemetry" => args.telemetry = Some(next("--telemetry")?),
             "--strategy" => {
                 args.strategy = match next("--strategy")?.as_str() {
@@ -606,9 +629,15 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                 .partition(args.partition)
                 .schedule(args.schedule)
                 .seed(args.seed)
+                .transport(args.transport)
                 .track_rmse(true);
-            if args.fault_tolerant {
+            // Network chaos needs the supervisor's bounded collects, so
+            // `--net-chaos` implies `--fault-tolerant`.
+            if args.fault_tolerant || args.net_chaos.is_some() {
                 builder = builder.fault_tolerance(crate::supervisor::SupervisorConfig::default());
+            }
+            if let Some(seed) = args.net_chaos {
+                builder = builder.net_chaos(seed);
             }
             if let Some(path) = &args.telemetry {
                 builder = builder.telemetry(path.clone());
@@ -734,6 +763,27 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("train d.txt --checkpoint-every zero")).is_err());
+    }
+
+    #[test]
+    fn parse_transport_and_net_chaos_flags() {
+        let cmd = parse(&argv("train data.txt --transport socket --net-chaos 7")).unwrap();
+        match cmd {
+            CliCommand::Train(args) => {
+                assert_eq!(args.transport, TransportKind::Socket);
+                assert_eq!(args.net_chaos, Some(7));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("train data.txt")).unwrap() {
+            CliCommand::Train(args) => {
+                assert_eq!(args.transport, TransportKind::Shared);
+                assert_eq!(args.net_chaos, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("train d.txt --transport carrier-pigeon")).is_err());
+        assert!(parse(&argv("train d.txt --net-chaos nope")).is_err());
     }
 
     #[test]

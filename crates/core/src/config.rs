@@ -81,6 +81,10 @@ pub enum TransportKind {
     Shared,
     /// Message-passing with serialize + staging copies (COMM-P / ps-lite).
     CommP,
+    /// Framed socket RPC over a Unix domain socket: CRC-32-trailed frames,
+    /// per-RPC deadlines, bounded retries with jittered backoff, and
+    /// idempotent push dedup ([`hcc_comm::CommSocket`]).
+    Socket,
 }
 
 /// Which per-update rule the workers run.
@@ -175,6 +179,12 @@ pub struct HccConfig {
     pub fault_tolerance: Option<crate::supervisor::SupervisorConfig>,
     /// Deterministic fault-injection script (requires `fault_tolerance`).
     pub fault_plan: Option<crate::fault::FaultPlan>,
+    /// Seeded network chaos: wraps the transport in
+    /// [`hcc_comm::ChaosTransport`], which drops/delays/duplicates/corrupts
+    /// pushes (and optionally partitions a link) on a deterministic
+    /// schedule. Requires `fault_tolerance` — the unsupervised loop's
+    /// blocking collect would hang forever on a dropped push.
+    pub net_chaos: Option<hcc_comm::NetChaosPlan>,
     /// Write a crash-safe v2 checkpoint every N epochs (requires
     /// `checkpoint_path`).
     pub checkpoint_every: Option<usize>,
@@ -233,6 +243,13 @@ impl HccConfig {
         if self.fault_plan.is_some() && self.fault_tolerance.is_none() {
             return Err(HccError::BadConfig(
                 "fault_plan requires fault_tolerance".into(),
+            ));
+        }
+        if self.net_chaos.is_some() && self.fault_tolerance.is_none() {
+            return Err(HccError::BadConfig(
+                "net_chaos requires fault_tolerance (the unsupervised collect \
+                 would block forever on a dropped push)"
+                    .into(),
             ));
         }
         if self.fault_tolerance.is_some() && self.streams != 1 {
@@ -301,6 +318,7 @@ impl Default for HccConfigBuilder {
                 warm_start: None,
                 fault_tolerance: None,
                 fault_plan: None,
+                net_chaos: None,
                 checkpoint_every: None,
                 checkpoint_path: None,
                 resume: None,
@@ -427,6 +445,20 @@ impl HccConfigBuilder {
         self
     }
 
+    /// Enables seeded network chaos with the default hostile-network rates
+    /// (the CLI's `--net-chaos SEED` recipe). Requires
+    /// [`fault_tolerance`](Self::fault_tolerance).
+    pub fn net_chaos(mut self, seed: u64) -> Self {
+        self.config.net_chaos = Some(hcc_comm::NetChaosPlan::from_seed(seed));
+        self
+    }
+
+    /// Installs an explicit network chaos plan (custom rates, partitions).
+    pub fn net_chaos_plan(mut self, plan: hcc_comm::NetChaosPlan) -> Self {
+        self.config.net_chaos = Some(plan);
+        self
+    }
+
     /// Writes a crash-safe checkpoint to `path` every `every` epochs.
     pub fn checkpoint(mut self, path: impl Into<std::path::PathBuf>, every: usize) -> Self {
         self.config.checkpoint_path = Some(path.into());
@@ -522,6 +554,18 @@ mod tests {
         // Fault plan without supervision.
         assert!(HccConfig::builder()
             .fault_plan(crate::fault::FaultPlan::new(1))
+            .try_build()
+            .is_err());
+        // Network chaos without supervision would hang the blocking collect.
+        assert!(HccConfig::builder().net_chaos(7).try_build().is_err());
+        assert!(HccConfig::builder()
+            .net_chaos(7)
+            .fault_tolerance(crate::supervisor::SupervisorConfig::default())
+            .try_build()
+            .is_ok());
+        // An explicit plan goes through the same gate.
+        assert!(HccConfig::builder()
+            .net_chaos_plan(hcc_comm::NetChaosPlan::quiet(1).with_partition(0, 2))
             .try_build()
             .is_err());
         // Supervision only supports the synchronous path.

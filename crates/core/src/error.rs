@@ -125,11 +125,25 @@ mod tests {
         let comm: HccError = hcc_comm::CommError::Timeout.into();
         assert!(matches!(comm, HccError::Comm(_)));
         assert!(comm.is_retryable());
+        // The network-fault variants convert (and stay retryable) too: a
+        // corrupt frame or partitioned link is transient from the caller's
+        // perspective — the supervisor decides when to give up.
+        for err in [
+            hcc_comm::CommError::Corrupt,
+            hcc_comm::CommError::PartitionedLink,
+            hcc_comm::CommError::Disconnected,
+        ] {
+            let e: HccError = err.into();
+            assert!(matches!(e, HccError::Comm(_)), "{err:?}");
+            assert!(e.is_retryable(), "{err:?}");
+        }
         assert!(!HccError::Diverged {
             epoch: 0,
             rollbacks: 0
         }
         .is_retryable());
         assert!(!HccError::BadInput("empty".into()).is_retryable());
+        // A corrupt checkpoint never heals by retrying the read.
+        assert!(!HccError::CorruptCheckpoint("crc".into()).is_retryable());
     }
 }

@@ -70,7 +70,9 @@ pub use error::HccError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{evaluate_ranking, RankingMetrics};
 pub use report::{HccReport, WorkerEpochStats};
-pub use serving::{load_served_model, load_served_model_with, reload_from_checkpoint};
+pub use serving::{
+    load_served_model, load_served_model_with, reload_from_checkpoint, reload_with_backoff,
+};
 pub use supervisor::{Supervisor, SupervisorConfig, WorkerHealth};
 pub use train::HccMf;
 

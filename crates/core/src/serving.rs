@@ -10,9 +10,11 @@
 
 use crate::checkpoint::load_model;
 use crate::error::HccError;
+use hcc_comm::Backoff;
 use hcc_serve::{Precision, ServeEngine, ServeError, ServedModel};
 use hcc_sparse::CooMatrix;
 use std::path::Path;
+use std::time::Duration;
 
 impl From<ServeError> for HccError {
     fn from(err: ServeError) -> Self {
@@ -49,18 +51,62 @@ pub fn load_served_model_with<P: AsRef<Path>>(
     )?)
 }
 
+/// Default retry budget for [`reload_from_checkpoint`]: three attempts
+/// spaced by a 25 ms → 50 ms exponential ladder. Deployment tooling often
+/// renames the artifact into place moments before triggering the reload,
+/// so a briefly-missing or still-moving file deserves a short wait.
+const RELOAD_ATTEMPTS: u32 = 3;
+const RELOAD_BACKOFF: Duration = Duration::from_millis(25);
+
 /// Hot-reloads `engine` from a checkpoint on disk; returns the engine's
 /// reload count. Any failure — unreadable file, bad magic, CRC mismatch
 /// ([`HccError::CorruptCheckpoint`]), factor/`train` shape disagreement —
 /// happens before the swap, so the engine keeps serving its current model.
+///
+/// Transient failures ([`HccError::is_retryable`]: filesystem and
+/// transport trouble) are retried a few times with exponential backoff.
+/// Deterministic ones — a corrupt artifact, mismatched shapes — fail
+/// immediately: re-reading the same bad bytes can't succeed.
 pub fn reload_from_checkpoint<P: AsRef<Path>>(
     engine: &ServeEngine,
     path: P,
     train: Option<&CooMatrix>,
     shards: usize,
 ) -> Result<u64, HccError> {
-    let model = load_served_model(path, train, shards)?;
-    Ok(engine.reload(model))
+    reload_with_backoff(
+        engine,
+        path,
+        train,
+        shards,
+        RELOAD_ATTEMPTS,
+        Backoff::new(RELOAD_BACKOFF, 2.0),
+    )
+}
+
+/// [`reload_from_checkpoint`] with explicit retry tuning. `attempts` is
+/// clamped to at least 1; `backoff` supplies the sleep before each retry.
+pub fn reload_with_backoff<P: AsRef<Path>>(
+    engine: &ServeEngine,
+    path: P,
+    train: Option<&CooMatrix>,
+    shards: usize,
+    attempts: u32,
+    mut backoff: Backoff,
+) -> Result<u64, HccError> {
+    let mut attempt = 0;
+    loop {
+        match load_served_model(path.as_ref(), train, shards) {
+            Ok(model) => return Ok(engine.reload(model)),
+            Err(err) if !err.is_retryable() => return Err(err),
+            Err(err) => {
+                attempt += 1;
+                if attempt >= attempts.max(1) {
+                    return Err(err);
+                }
+                std::thread::sleep(backoff.next_delay());
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +154,82 @@ mod tests {
 
         // The engine never swapped: same answers, zero reloads.
         assert_eq!(engine.top_k(1, 3).unwrap(), before);
+        assert_eq!(engine.stats().reloads, 0);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_io_failure_is_retried_until_the_artifact_lands() {
+        let path = tmp("transient.hccmf");
+        fs::remove_file(&path).ok(); // not there yet: first attempts fail Io
+        let seed = tmp("transient_seed.hccmf");
+        let p = FactorMatrix::random(4, 2, 9);
+        let q = FactorMatrix::random(5, 2, 10);
+        save_model(&seed, &p, &q).unwrap();
+        let engine = ServeEngine::new(load_served_model(&seed, None, 2).unwrap());
+
+        // A deployer thread renames the artifact into place mid-retry.
+        let landing = path.clone();
+        let src = seed.clone();
+        let deployer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            fs::copy(&src, &landing).unwrap();
+        });
+        let reloads = reload_with_backoff(
+            &engine,
+            &path,
+            None,
+            2,
+            10,
+            Backoff::new(Duration::from_millis(25), 1.0),
+        )
+        .unwrap();
+        deployer.join().unwrap();
+        assert_eq!(reloads, 1);
+        assert_eq!(engine.stats().reloads, 1);
+
+        // With the file still missing and the budget exhausted, the final
+        // error is the transient one.
+        fs::remove_file(&path).ok();
+        let err = reload_with_backoff(
+            &engine,
+            &path,
+            None,
+            2,
+            2,
+            Backoff::new(Duration::from_millis(1), 1.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HccError::Io(_)), "{err:?}");
+        fs::remove_file(&seed).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_not_retried() {
+        let path = tmp("corrupt_fastfail.hccmf");
+        let p = FactorMatrix::random(4, 2, 11);
+        let q = FactorMatrix::random(5, 2, 12);
+        save_model(&path, &p, &q).unwrap();
+        let engine = ServeEngine::new(load_served_model(&path, None, 2).unwrap());
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        // A 5 s ladder would make even one retry obvious; the corrupt
+        // artifact must fail deterministically without sleeping at all.
+        let t0 = std::time::Instant::now();
+        let err = reload_with_backoff(
+            &engine,
+            &path,
+            None,
+            2,
+            5,
+            Backoff::new(Duration::from_secs(5), 2.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HccError::CorruptCheckpoint(_)), "{err:?}");
+        assert!(t0.elapsed() < Duration::from_secs(2), "reload slept");
         assert_eq!(engine.stats().reloads, 0);
         fs::remove_file(&path).ok();
     }

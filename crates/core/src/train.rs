@@ -9,11 +9,15 @@ use crate::report::{HccReport, WorkerEpochStats};
 use crate::server::{merge_weighted, merge_weights, region_layout, RegionLayout};
 use crate::supervisor::{Supervisor, WorkerHealth};
 use crate::worker::{bucket_by_stream, rebase_entries, stream_col_range, WorkerState};
-use hcc_comm::{CommError, CommP, CommShared, Precision, TransferStrategy, Transport};
+use hcc_comm::socket::NetEventKind;
+use hcc_comm::{
+    Backoff, ChaosTransport, CommError, CommP, CommShared, CommSocket, Precision, TransferStrategy,
+    Transport,
+};
 use hcc_partition::{dp0, dp1_step, dp2, replan_survivors, StrategyChoice, WorkerClass};
 use hcc_sgd::{rmse_parallel, FactorMatrix, SharedFactors};
 use hcc_sparse::{Axis, CooMatrix, GridPartition};
-use hcc_telemetry::{Dir, Event, Phase, Telemetry};
+use hcc_telemetry::{Dir, Event, NetCause, Phase, Telemetry};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -84,7 +88,7 @@ impl HccMf {
 
         let mut session = Session::create(&self.config, work)?;
         if let Some(state) = resume {
-            session.apply_resume(state);
+            session.apply_resume(state)?;
         }
         session.run(transposed)?;
         let report = session.into_report(transposed);
@@ -155,6 +159,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Maps a transport error to its telemetry cause tag.
+fn net_cause(err: CommError) -> NetCause {
+    match err {
+        CommError::Timeout => NetCause::Timeout,
+        CommError::Corrupt => NetCause::Corrupt,
+        CommError::Disconnected => NetCause::Disconnected,
+        CommError::PartitionedLink => NetCause::Partitioned,
+    }
+}
+
 /// Keeps the elements of `items` whose index is flagged alive.
 fn filter_alive<T: Clone>(items: &[T], alive: &[bool]) -> Vec<T> {
     items
@@ -192,6 +206,11 @@ struct Session<'a> {
     workers: Vec<WorkerState>,
     layout: RegionLayout,
     transport: TransportArc,
+    /// Deterministic network-chaos wrapper around `transport`, built when
+    /// `config.net_chaos` is set. The epoch loop routes pull/push/collect
+    /// through it via [`active_transport`](Session::active_transport);
+    /// wire-byte accounting keeps reading the inner transport directly.
+    net_chaos: Option<Arc<ChaosTransport>>,
     // Fault tolerance.
     supervisor: Option<Supervisor>,
     /// Last-good `(P, Q)` for divergence rollback.
@@ -216,10 +235,12 @@ struct Session<'a> {
 }
 
 /// Transport handle: the async path needs the concrete `CommShared` for
-/// ranged/chunked operations; the sync path only the trait.
+/// ranged/chunked operations; the sync path only the trait. The socket
+/// variant is additionally queried for its resilience counters/events.
 enum TransportArc {
     Shared(Arc<CommShared>),
     CommP(Arc<CommP>),
+    Socket(Arc<CommSocket>),
 }
 
 impl TransportArc {
@@ -227,6 +248,22 @@ impl TransportArc {
         match self {
             TransportArc::Shared(t) => t.as_ref(),
             TransportArc::CommP(t) => t.as_ref(),
+            TransportArc::Socket(t) => t.as_ref(),
+        }
+    }
+
+    fn as_dyn_arc(&self) -> Arc<dyn Transport> {
+        match self {
+            TransportArc::Shared(t) => Arc::clone(t) as Arc<dyn Transport>,
+            TransportArc::CommP(t) => Arc::clone(t) as Arc<dyn Transport>,
+            TransportArc::Socket(t) => Arc::clone(t) as Arc<dyn Transport>,
+        }
+    }
+
+    fn socket(&self) -> Option<&CommSocket> {
+        match self {
+            TransportArc::Socket(t) => Some(t.as_ref()),
+            _ => None,
         }
     }
 
@@ -316,6 +353,7 @@ impl<'a> Session<'a> {
             health_history: Vec::new(),
             layout: region_layout(config.strategy, m, n, k, m),
             transport: TransportArc::Shared(Arc::new(CommShared::new(1, 1, 1, Precision::Fp32))),
+            net_chaos: None,
             rmse_history: Vec::new(),
             epoch_times: Vec::new(),
             worker_stats: Vec::new(),
@@ -330,14 +368,24 @@ impl<'a> Session<'a> {
             total_updates: 0,
             telemetry,
         };
-        session.rebuild_workers(fractions);
+        session.rebuild_workers(fractions)?;
         Ok(session)
+    }
+
+    /// The transport the epoch loop should use: the chaos wrapper when
+    /// network-fault injection is configured, the bare transport otherwise.
+    fn active_transport(&self) -> &dyn Transport {
+        match &self.net_chaos {
+            Some(chaos) => chaos.as_ref(),
+            None => self.transport.as_dyn(),
+        }
     }
 
     /// (Re)builds worker states and the transport for a partition vector.
     /// Worker-held `P` rows are flushed into `global_p` first so no training
-    /// progress is lost across repartitions.
-    fn rebuild_workers(&mut self, fractions: Vec<f64>) {
+    /// progress is lost across repartitions. Fallible because the socket
+    /// transport binds an OS resource.
+    fn rebuild_workers(&mut self, fractions: Vec<f64>) -> Result<(), HccError> {
         self.flush_local_p();
         let grid = GridPartition::build(&self.work, Axis::Row, &fractions);
         let k = self.k;
@@ -402,13 +450,40 @@ impl<'a> Session<'a> {
             TransportKind::CommP => {
                 TransportArc::CommP(Arc::new(CommP::new(workers.len(), precision)))
             }
+            TransportKind::Socket => TransportArc::Socket(Arc::new(
+                CommSocket::new(
+                    workers.len(),
+                    self.layout.pull_len,
+                    self.layout.push_len,
+                    precision,
+                )
+                .map_err(|e| HccError::Comm(format!("binding socket transport: {e}")))?,
+            )),
         };
+        self.net_chaos = self.config.net_chaos.as_ref().map(|plan| {
+            // The plan addresses workers by *starting-fleet* id; remap its
+            // partition to the current fleet index, dropping it once that
+            // worker has been removed (its link is already gone).
+            let mut plan = plan.clone();
+            if let Some(part) = plan.partition {
+                plan.partition = self
+                    .orig_ids
+                    .iter()
+                    .position(|&id| id == part.worker)
+                    .map(|w| hcc_comm::Partition {
+                        worker: w,
+                        from_epoch: part.from_epoch,
+                    });
+            }
+            Arc::new(ChaosTransport::new(self.transport.as_dyn_arc(), plan))
+        });
         self.workers = workers;
         self.fractions = fractions;
+        Ok(())
     }
 
     /// Restores factors and loop state from a validated v2 checkpoint.
-    fn apply_resume(&mut self, state: ResumeState) {
+    fn apply_resume(&mut self, state: ResumeState) -> Result<(), HccError> {
         self.global_p = state.p;
         self.global_q = state.q.into_vec();
         self.start_epoch = state.meta.epoch;
@@ -419,7 +494,7 @@ impl<'a> Session<'a> {
         // Worker states were seeded from the random init; re-copy the
         // restored rows. Clearing first stops rebuild flushing stale P.
         self.workers.clear();
-        self.rebuild_workers(self.fractions.clone());
+        self.rebuild_workers(self.fractions.clone())
     }
 
     /// Writes every worker's `P` rows back into the global matrix.
@@ -513,7 +588,7 @@ impl<'a> Session<'a> {
                             // Clear first: the diverged local factors must
                             // not be flushed over the restored snapshot.
                             self.workers.clear();
-                            self.rebuild_workers(self.fractions.clone());
+                            self.rebuild_workers(self.fractions.clone())?;
                             continue; // retry the same epoch at reduced LR
                         }
                         None => {
@@ -550,6 +625,34 @@ impl<'a> Session<'a> {
                     },
                 );
             }
+            // Drain the socket transport's resilience events every epoch
+            // (bounding their buffer) and attribute them to this epoch on
+            // the server lane via the workers' starting-fleet ids.
+            if let Some(socket) = self.transport.socket() {
+                let events = socket.drain_net_events();
+                if self.telemetry.is_enabled() {
+                    let lane = self.telemetry.server_lane();
+                    for ev in events {
+                        let worker = self.orig_ids.get(ev.worker).copied().unwrap_or(ev.worker);
+                        let event = match ev.kind {
+                            NetEventKind::Retry { cause, bytes } => Event::NetRetry {
+                                epoch: epoch as u32,
+                                worker: worker as u32,
+                                cause: net_cause(cause),
+                                delay_us: ev.delay_us,
+                                bytes,
+                            },
+                            NetEventKind::Reconnect { attempt } => Event::Reconnect {
+                                epoch: epoch as u32,
+                                worker: worker as u32,
+                                attempt,
+                                delay_us: ev.delay_us,
+                            },
+                        };
+                        self.telemetry.record(lane, event);
+                    }
+                }
+            }
             self.epoch_times.push(elapsed);
             self.total_updates += outcome.stats.iter().map(|s| s.updates).sum::<u64>();
             self.sync_times.push(outcome.sync_time);
@@ -574,7 +677,7 @@ impl<'a> Session<'a> {
             if self.config.track_rmse && self.should_stop_early() {
                 break;
             }
-            self.adapt(epoch);
+            self.adapt(epoch)?;
             epoch += 1;
         }
         self.flush_local_p();
@@ -664,7 +767,7 @@ impl<'a> Session<'a> {
         self.specs = filter_alive(&self.specs, &alive);
         self.orig_ids = filter_alive(&self.orig_ids, &alive);
         self.classes = filter_alive(&self.classes, &alive);
-        self.rebuild_workers(fractions);
+        self.rebuild_workers(fractions)?;
         if let Some(sup) = self.supervisor.as_mut() {
             sup.board.resize(survivors);
         }
@@ -678,7 +781,7 @@ impl<'a> Session<'a> {
         let n = self.n;
         let layout = self.layout;
         let strategy = self.config.strategy;
-        let transport = self.transport.as_dyn();
+        let transport = self.active_transport();
         let telemetry = &self.telemetry;
         let epoch_u32 = epoch as u32;
         let orig_ids = &self.orig_ids;
@@ -830,7 +933,7 @@ impl<'a> Session<'a> {
         let n = self.n;
         let layout = self.layout;
         let strategy = self.config.strategy;
-        let transport = self.transport.as_dyn();
+        let transport = self.active_transport();
         let telemetry = &self.telemetry;
         let epoch_u32 = epoch as u32;
         let sup = self.supervisor.as_ref().expect("supervised");
@@ -958,15 +1061,19 @@ impl<'a> Session<'a> {
 
             // Server: bounded-timeout collect per worker with backoff;
             // missing or non-finite pushes are skipped and flagged.
+            let server_lane = telemetry.server_lane();
             let mut collect_staging = vec![0f32; layout.push_len];
             #[allow(clippy::needless_range_loop)] // w indexes several arrays
             for w in 0..self.workers.len() {
-                let mut timeout = timeout0;
+                // Jitter-free `Backoff` reproduces the historical
+                // `timeout → timeout·factor → …` ladder bit-for-bit.
+                let mut ladder = Backoff::new(timeout0, backoff);
                 let mut got = false;
                 for _attempt in 0..retries {
                     if board.is_dead(w) {
                         break;
                     }
+                    let timeout = ladder.next_delay();
                     match transport.collect_timeout(
                         w,
                         &mut collect_staging[..layout.push_len],
@@ -976,15 +1083,36 @@ impl<'a> Session<'a> {
                             got = true;
                             break;
                         }
-                        Err(CommError::Timeout) => timeout = timeout.mul_f64(backoff),
+                        // A corrupt frame degrades to a dropped one: wait
+                        // out the next ladder step in case a retransmit
+                        // (or a slow worker) still delivers a clean push.
+                        Err(err @ (CommError::Timeout | CommError::Corrupt)) => {
+                            telemetry.record(
+                                server_lane,
+                                Event::NetRetry {
+                                    epoch: epoch_u32,
+                                    worker: orig_ids[w] as u32,
+                                    cause: net_cause(err),
+                                    delay_us: timeout.as_micros() as u64,
+                                    bytes: 0,
+                                },
+                            );
+                        }
                         Err(CommError::Disconnected) => break,
+                        // A partitioned worker keeps computing and beating
+                        // its heartbeat, so classification alone would call
+                        // it a straggler forever; declare the link dead so
+                        // the survivors re-plan.
+                        Err(CommError::PartitionedLink) => {
+                            board.mark_dead(w);
+                            break;
+                        }
                     }
                 }
                 if !got {
                     missed[w] = true;
                     continue;
                 }
-                let server_lane = telemetry.server_lane();
                 let start = telemetry.now_us();
                 let t0 = Instant::now();
                 let q_part = &collect_staging[layout.push_q_offset..layout.push_q_offset + n * k];
@@ -1054,7 +1182,9 @@ impl<'a> Session<'a> {
     fn run_epoch_async(&mut self, lr: f32, epoch: usize) -> (Vec<WorkerEpochStats>, Duration) {
         let comm = match &self.transport {
             TransportArc::Shared(c) => Arc::clone(c),
-            TransportArc::CommP(_) => unreachable!("validated in train()"),
+            TransportArc::CommP(_) | TransportArc::Socket(_) => {
+                unreachable!("validated in train()")
+            }
         };
         let telemetry = &self.telemetry;
         let epoch_u32 = epoch as u32;
@@ -1205,24 +1335,24 @@ impl<'a> Session<'a> {
     }
 
     /// Post-epoch partition adaptation (Algorithm 1 / Eq. 7).
-    fn adapt(&mut self, epoch: usize) {
+    fn adapt(&mut self, epoch: usize) -> Result<(), HccError> {
         let mode = self.config.partition;
         if !matches!(
             mode,
             PartitionMode::Dp1 | PartitionMode::Dp2 | PartitionMode::Auto
         ) {
-            return;
+            return Ok(());
         }
         if epoch + 1 >= self.config.epochs || epoch >= self.config.adapt_epochs {
-            return;
+            return Ok(());
         }
         let Some(stats) = self.worker_stats.last() else {
-            return;
+            return Ok(());
         };
         if stats.len() != self.fractions.len() {
             // The fleet shrank this epoch (supervisor removed dead workers);
             // last epoch's timings no longer line up with the partition.
-            return;
+            return Ok(());
         }
         let t: Vec<f64> = stats
             .iter()
@@ -1249,15 +1379,15 @@ impl<'a> Session<'a> {
             if want_dp2 {
                 let next = dp2(&self.fractions, &t, sync_per_worker);
                 self.strategy_used = StrategyChoice::Dp2;
-                self.rebuild_workers(next);
-                return;
+                return self.rebuild_workers(next);
             }
             self.strategy_used = StrategyChoice::Dp1;
         }
 
         if let Some(next) = dp1_step(&self.fractions, &t, &self.classes, 0.1) {
-            self.rebuild_workers(next);
+            self.rebuild_workers(next)?;
         }
+        Ok(())
     }
 
     fn into_report(mut self, transposed: bool) -> HccReport {

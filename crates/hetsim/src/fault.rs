@@ -15,6 +15,8 @@
 use crate::des::simulate_epoch_des_impl;
 use crate::engine::{EpochTrace, SimConfig, Workload};
 use crate::platform::Platform;
+use hcc_comm::chaos::{chaos_roll, OP_CORRUPT, OP_DELAY, OP_DROP};
+use hcc_comm::NetChaosPlan;
 
 /// What goes wrong with a worker during the simulated epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +61,37 @@ impl SimFault {
             kind: SimFaultKind::DropPush,
         }
     }
+}
+
+/// Derives this epoch's simulator faults from a network chaos plan, using
+/// the *same* `(seed, worker, epoch, op)` rolls as the live
+/// [`hcc_comm::ChaosTransport`]. A dropped or corrupt push becomes
+/// [`SimFaultKind::DropPush`] (the server's merge never sees it either
+/// way), a delayed push becomes a [`SimFaultKind::Stall`] of the plan's
+/// delay, and a partitioned worker drops its push from `from_epoch` on.
+/// Duplicates are invisible here — the real transport dedups them, so
+/// their only cost is wire bytes, which the DES bus model doesn't charge
+/// for retransmits.
+pub fn derive_net_faults(plan: &NetChaosPlan, workers: usize, epoch: u64) -> Vec<SimFault> {
+    let mut faults = Vec::new();
+    for w in 0..workers {
+        if let Some(part) = plan.partition {
+            if part.worker == w && epoch >= part.from_epoch {
+                faults.push(SimFault::drop_push(w));
+                continue;
+            }
+        }
+        if chaos_roll(plan.seed, w, epoch, OP_DROP) < plan.drop_rate
+            || chaos_roll(plan.seed, w, epoch, OP_CORRUPT) < plan.corrupt_rate
+        {
+            faults.push(SimFault::drop_push(w));
+            continue;
+        }
+        if chaos_roll(plan.seed, w, epoch, OP_DELAY) < plan.delay_rate {
+            faults.push(SimFault::stall(w, plan.delay.as_secs_f64()));
+        }
+    }
+    faults
 }
 
 /// Simulates one epoch under the given faults with the strict event
@@ -161,6 +194,55 @@ mod tests {
         let a = simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &faults);
         let b = simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &faults);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn net_faults_derive_deterministically_from_a_chaos_plan() {
+        let plan = NetChaosPlan::from_seed(42);
+        let a = derive_net_faults(&plan, 4, 3);
+        let b = derive_net_faults(&plan, 4, 3);
+        assert_eq!(a, b, "same plan+epoch must derive identical faults");
+        // A quiet plan derives nothing.
+        assert!(derive_net_faults(&NetChaosPlan::quiet(42), 4, 3).is_empty());
+        // Over many epochs, a 10%-drop/5%-corrupt plan must produce some
+        // dropped pushes and some stalls, but nowhere near every epoch.
+        let mut drops = 0usize;
+        let mut stalls = 0usize;
+        for epoch in 0..200 {
+            for f in derive_net_faults(&plan, 4, epoch) {
+                match f.kind {
+                    SimFaultKind::DropPush => drops += 1,
+                    SimFaultKind::Stall(s) => {
+                        assert!((s - 0.005).abs() < 1e-12);
+                        stalls += 1;
+                    }
+                    SimFaultKind::Crash => panic!("chaos never derives a crash"),
+                }
+            }
+        }
+        // 800 rolls at ~14.5% combined drop|corrupt and ~10% delay.
+        assert!((60..=180).contains(&drops), "drops {drops}");
+        assert!((40..=140).contains(&stalls), "stalls {stalls}");
+    }
+
+    #[test]
+    fn partitioned_worker_drops_pushes_from_its_epoch() {
+        let plan = NetChaosPlan::quiet(7).with_partition(2, 5);
+        assert!(derive_net_faults(&plan, 4, 4).is_empty());
+        for epoch in 5..8 {
+            let faults = derive_net_faults(&plan, 4, epoch);
+            assert_eq!(faults, vec![SimFault::drop_push(2)], "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn derived_faults_feed_the_des_calendar() {
+        let (platform, cfg, x) = testbed();
+        let plan = NetChaosPlan::quiet(1).with_partition(1, 0);
+        let faults = derive_net_faults(&plan, platform.workers.len(), 0);
+        let trace = simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &faults);
+        // The partitioned worker pushes into the void: no sync span.
+        assert!(trace.worker_spans(1).iter().all(|s| s.phase != Phase::Sync));
     }
 
     #[test]

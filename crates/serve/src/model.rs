@@ -17,7 +17,7 @@
 //! Within each shard, item rows are stored at a chosen [`Precision`] (f32,
 //! fp16, or int8-with-per-shard-scale) and — when pruning is enabled —
 //! *reordered by descending stored-representation norm* ‖q̂_i‖, with the
-//! per-block maxima kept in [`ItemShard::block_norms`]. The Cauchy–Schwarz
+//! per-block maxima kept in `ItemShard::block_norms`. The Cauchy–Schwarz
 //! bound `score(u, i) = p_u·q̂_i ≤ ‖p_u‖·‖q̂_i‖` then lets a scan stop at
 //! the first block whose bound cannot beat the current top-k heap floor:
 //! every later block has an even smaller norm. Norms are computed from the

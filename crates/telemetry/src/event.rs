@@ -78,6 +78,44 @@ impl Dir {
     }
 }
 
+/// Why a network RPC had to be retried (the transport-level cause the
+/// socket COMM reports; shared-memory transports never emit these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetCause {
+    /// The per-RPC deadline expired with no reply.
+    Timeout,
+    /// The reply (or the request, as nacked by the server) failed its
+    /// CRC-32 integrity check.
+    Corrupt,
+    /// The peer hung up mid-exchange.
+    Disconnected,
+    /// The link is partitioned: reconnect attempts are exhausted.
+    Partitioned,
+}
+
+impl NetCause {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetCause::Timeout => "timeout",
+            NetCause::Corrupt => "corrupt",
+            NetCause::Disconnected => "disconnected",
+            NetCause::Partitioned => "partitioned",
+        }
+    }
+
+    /// Inverse of [`name`](NetCause::name).
+    pub fn from_name(s: &str) -> Option<NetCause> {
+        Some(match s {
+            "timeout" => NetCause::Timeout,
+            "corrupt" => NetCause::Corrupt,
+            "disconnected" => NetCause::Disconnected,
+            "partitioned" => NetCause::Partitioned,
+            _ => return None,
+        })
+    }
+}
+
 /// One telemetry event. All timestamps are microseconds since the
 /// [`Telemetry`](crate::Telemetry) handle was created (a single monotonic
 /// origin, so spans from different workers interleave on one time axis).
@@ -143,6 +181,32 @@ pub enum Event {
         /// Wall-clock duration of the epoch's execution, µs.
         wall_us: u64,
     },
+    /// A network RPC was retried during `epoch` (socket transport only).
+    NetRetry {
+        /// Training epoch the retry happened in.
+        epoch: u32,
+        /// Worker whose link retried (starting-fleet index).
+        worker: u32,
+        /// What went wrong with the previous attempt.
+        cause: NetCause,
+        /// Backoff delay applied before the retry, µs.
+        delay_us: u64,
+        /// Bytes re-sent by the retry (cumulates into the epoch's
+        /// retransmit total in [`summary::epoch_breakdown`](crate::summary::epoch_breakdown)).
+        bytes: u64,
+    },
+    /// A worker's connection to the server was re-established after a
+    /// failure (socket transport only).
+    Reconnect {
+        /// Training epoch the reconnect happened in.
+        epoch: u32,
+        /// Worker whose link reconnected (starting-fleet index).
+        worker: u32,
+        /// Which dial attempt succeeded (1-based; 0 is the eager dial).
+        attempt: u32,
+        /// Backoff delay that preceded the successful dial, µs.
+        delay_us: u64,
+    },
     /// Admission-queue state sampled by the serving dispatcher after it
     /// drained one micro-batch (serving-side; outside the Eq. 1–4 training
     /// model, so `epoch` is always 0 — kept for the uniform accessor).
@@ -169,6 +233,8 @@ impl Event {
             | Event::Rollback { epoch, .. }
             | Event::Checkpoint { epoch, .. }
             | Event::EpochEnd { epoch, .. }
+            | Event::NetRetry { epoch, .. }
+            | Event::Reconnect { epoch, .. }
             | Event::Admission { epoch, .. } => epoch,
         }
     }
@@ -232,8 +298,17 @@ mod tests {
         for d in [Dir::Pull, Dir::Push] {
             assert_eq!(Dir::from_name(d.name()), Some(d));
         }
+        for c in [
+            NetCause::Timeout,
+            NetCause::Corrupt,
+            NetCause::Disconnected,
+            NetCause::Partitioned,
+        ] {
+            assert_eq!(NetCause::from_name(c.name()), Some(c));
+        }
         assert_eq!(Phase::from_name("bogus"), None);
         assert_eq!(Dir::from_name("bogus"), None);
+        assert_eq!(NetCause::from_name("bogus"), None);
     }
 
     #[test]
@@ -254,6 +329,27 @@ mod tests {
             }
             .epoch(),
             3
+        );
+        assert_eq!(
+            Event::NetRetry {
+                epoch: 5,
+                worker: 1,
+                cause: NetCause::Corrupt,
+                delay_us: 250,
+                bytes: 64
+            }
+            .epoch(),
+            5
+        );
+        assert_eq!(
+            Event::Reconnect {
+                epoch: 6,
+                worker: 0,
+                attempt: 2,
+                delay_us: 10
+            }
+            .epoch(),
+            6
         );
     }
 }

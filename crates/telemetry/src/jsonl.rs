@@ -5,7 +5,7 @@
 //! tests pin down. Unknown `type` values are rejected (the schema is
 //! versioned by the header's `format` field).
 
-use crate::event::{Dir, Event, Header, Phase, Timeline};
+use crate::event::{Dir, Event, Header, NetCause, Phase, Timeline};
 use crate::json::{escape, parse as parse_json, Value};
 
 /// Schema version emitted in the header line.
@@ -66,6 +66,26 @@ fn event_line(ev: &Event) -> String {
         Event::EpochEnd { epoch, wall_us } => {
             format!("{{\"type\":\"epoch_end\",\"epoch\":{epoch},\"wall_us\":{wall_us}}}")
         }
+        Event::NetRetry {
+            epoch,
+            worker,
+            cause,
+            delay_us,
+            bytes,
+        } => format!(
+            "{{\"type\":\"net_retry\",\"epoch\":{epoch},\"worker\":{worker},\"cause\":\"{}\",\
+             \"delay_us\":{delay_us},\"bytes\":{bytes}}}",
+            cause.name()
+        ),
+        Event::Reconnect {
+            epoch,
+            worker,
+            attempt,
+            delay_us,
+        } => format!(
+            "{{\"type\":\"reconnect\",\"epoch\":{epoch},\"worker\":{worker},\
+             \"attempt\":{attempt},\"delay_us\":{delay_us}}}"
+        ),
         Event::Admission {
             epoch,
             depth,
@@ -163,6 +183,20 @@ pub fn parse(text: &str) -> Result<Timeline, String> {
                 epoch: field_u32(&v, "epoch")?,
                 wall_us: field_u64(&v, "wall_us")?,
             },
+            "net_retry" => Event::NetRetry {
+                epoch: field_u32(&v, "epoch")?,
+                worker: field_u32(&v, "worker")?,
+                cause: NetCause::from_name(field_str(&v, "cause")?)
+                    .ok_or_else(|| format!("line {}: unknown net cause", lineno + 1))?,
+                delay_us: field_u64(&v, "delay_us")?,
+                bytes: field_u64(&v, "bytes")?,
+            },
+            "reconnect" => Event::Reconnect {
+                epoch: field_u32(&v, "epoch")?,
+                worker: field_u32(&v, "worker")?,
+                attempt: field_u32(&v, "attempt")?,
+                delay_us: field_u64(&v, "delay_us")?,
+            },
             "admission" => Event::Admission {
                 epoch: field_u32(&v, "epoch")?,
                 depth: field_u64(&v, "depth")?,
@@ -241,6 +275,19 @@ mod tests {
                 Event::EpochEnd {
                     epoch: 0,
                     wall_us: 930,
+                },
+                Event::NetRetry {
+                    epoch: 1,
+                    worker: 0,
+                    cause: NetCause::Corrupt,
+                    delay_us: 5_000,
+                    bytes: 4_096,
+                },
+                Event::Reconnect {
+                    epoch: 2,
+                    worker: 1,
+                    attempt: 2,
+                    delay_us: 10_000,
                 },
                 Event::Admission {
                     epoch: 0,

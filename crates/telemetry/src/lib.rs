@@ -31,7 +31,7 @@ pub mod jsonl;
 mod ring;
 pub mod summary;
 
-pub use event::{Dir, Event, Header, Phase, Timeline};
+pub use event::{Dir, Event, Header, NetCause, Phase, Timeline};
 pub use summary::{
     epoch_breakdown, validate_cost_model, EpochBreakdown, ModelRow, ModelValidation, PhaseTotals,
 };

@@ -46,6 +46,9 @@ pub struct EpochBreakdown {
     pub pull_bytes: u64,
     /// Bytes pushed over the wire this epoch.
     pub push_bytes: u64,
+    /// Bytes re-sent by network-level RPC retries this epoch (0 on
+    /// shared-memory transports, which never retransmit).
+    pub retrans_bytes: u64,
 }
 
 /// Folds a timeline into per-epoch breakdowns, ordered by epoch number.
@@ -69,6 +72,7 @@ pub fn epoch_breakdown(t: &Timeline) -> Vec<EpochBreakdown> {
                         workers: vec![PhaseTotals::default(); workers],
                         pull_bytes: 0,
                         push_bytes: 0,
+                        retrans_bytes: 0,
                     },
                 );
                 i
@@ -109,6 +113,10 @@ pub fn epoch_breakdown(t: &Timeline) -> Vec<EpochBreakdown> {
             Event::EpochEnd { epoch, wall_us } => {
                 let i = index_of(&mut epochs, epoch);
                 epochs[i].wall = wall_us as f64 / 1e6;
+            }
+            Event::NetRetry { epoch, bytes, .. } => {
+                let i = index_of(&mut epochs, epoch);
+                epochs[i].retrans_bytes += bytes;
             }
             _ => {}
         }
@@ -269,6 +277,20 @@ mod tests {
                     epoch: 0,
                     wall_us: 2_000,
                 },
+                Event::NetRetry {
+                    epoch: 0,
+                    worker: 0,
+                    cause: crate::event::NetCause::Timeout,
+                    delay_us: 100,
+                    bytes: 30,
+                },
+                Event::NetRetry {
+                    epoch: 0,
+                    worker: 1,
+                    cause: crate::event::NetCause::Corrupt,
+                    delay_us: 200,
+                    bytes: 12,
+                },
                 phase(1, 1, Phase::Comp, 700),
             ],
             dropped: 0,
@@ -282,6 +304,8 @@ mod tests {
         assert!((b[0].workers[1].push - 0.0002).abs() < 1e-12);
         assert_eq!(b[0].pull_bytes, 10);
         assert_eq!(b[0].push_bytes, 20);
+        assert_eq!(b[0].retrans_bytes, 42, "net retries cumulate per epoch");
+        assert_eq!(b[1].retrans_bytes, 0);
         assert!((b[0].wall - 0.002).abs() < 1e-12);
         assert!((b[1].workers[1].comp - 0.0007).abs() < 1e-12);
         assert!((b[0].workers[0].total() - 0.00165).abs() < 1e-12);

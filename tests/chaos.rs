@@ -5,11 +5,13 @@
 //! the same failure schedule — the [`hcc_mf::FaultPlan`] has no wall-clock
 //! dependence.
 
+use hcc_comm::{ChaosTransport, CommSocket, NetChaosPlan, Precision, Transport};
 use hcc_mf::{
     FaultPlan, HccConfig, HccError, HccMf, LearningRate, PartitionMode, SupervisorConfig,
-    WorkerHealth, WorkerSpec,
+    TransportKind, WorkerHealth, WorkerSpec,
 };
 use hcc_sparse::{GenConfig, SyntheticDataset};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn chaos_seed() -> u64 {
@@ -296,4 +298,150 @@ fn multiple_simultaneous_faults_still_converge() {
     // Worker 0 died at epoch 4: the last epochs run on three survivors.
     assert_eq!(report.health_history.last().unwrap().len(), 3);
     assert!(serial_rmse(&ds, &report) < report.rmse_history[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Network chaos: the socket transport under a seeded hostile network.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn socket_transport_matches_shared_memory_bit_for_bit() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let shared = HccMf::new(base(seed).build()).train(&ds.matrix).unwrap();
+    let socket = HccMf::new(base(seed).transport(TransportKind::Socket).build())
+        .train(&ds.matrix)
+        .unwrap();
+    // Fp32 frames round-trip exactly and merges happen in the same worker
+    // order, so moving the wire under the run must not move a single bit.
+    assert_eq!(shared.p, socket.p);
+    assert_eq!(shared.q, socket.q);
+}
+
+#[test]
+fn network_chaos_converges_within_two_percent_of_fault_free() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let fault_free = HccMf::new(base(seed).build()).train(&ds.matrix).unwrap();
+    // The CLI recipe: 10% drops, 10% delays, 15% duplicates, 5% corruption.
+    let report = HccMf::new(
+        base(seed)
+            .transport(TransportKind::Socket)
+            .fault_tolerance(test_supervisor())
+            .net_chaos(seed)
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+    assert!(report.p.as_slice().iter().all(|v| v.is_finite()));
+    assert!(report.q.as_slice().iter().all(|v| v.is_finite()));
+    // Drops and corruption are transient: nobody gets voted off the fleet.
+    assert!(report.health_history.iter().all(|h| h.len() == 4));
+    let rmse_chaos = serial_rmse(&ds, &report);
+    let rmse_clean = serial_rmse(&ds, &fault_free);
+    assert!(
+        rmse_chaos <= rmse_clean * 1.02,
+        "chaos cost too much accuracy: {rmse_chaos} vs {rmse_clean}"
+    );
+}
+
+#[test]
+fn partitioned_worker_is_marked_dead_and_survivors_replan() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let report = HccMf::new(
+        base(seed)
+            .transport(TransportKind::Socket)
+            .fault_tolerance(test_supervisor())
+            .net_chaos_plan(NetChaosPlan::quiet(seed).with_partition(3, 2))
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+    // Before the partition bites, everyone is healthy.
+    assert!(report.health_history[..2]
+        .iter()
+        .all(|h| h.iter().all(|w| *w == WorkerHealth::Healthy)));
+    // The partition starts at push 2; the worker keeps computing and
+    // heartbeating, so only the PartitionedLink collect error can kill it —
+    // a straggler classification would keep it forever.
+    let dead_epoch = report
+        .health_history
+        .iter()
+        .position(|h| h.len() == 4 && h[3] == WorkerHealth::Dead)
+        .expect("partitioned worker was never marked dead");
+    assert!((2..=4).contains(&dead_epoch), "died at epoch {dead_epoch}");
+    // Survivors re-plan: every later epoch runs on exactly three workers.
+    assert!(report.health_history[dead_epoch + 1..]
+        .iter()
+        .all(|h| h.len() == 3));
+    assert!(serial_rmse(&ds, &report) < report.rmse_history[0]);
+}
+
+#[test]
+fn duplicate_only_chaos_is_invisible_to_training() {
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let plain = HccMf::new(base(seed).build()).train(&ds.matrix).unwrap();
+    // Every push is wire-duplicated; the server's idempotent dedup must
+    // apply each exactly once, so the factors cannot move a single bit.
+    let plan = NetChaosPlan {
+        duplicate_rate: 1.0,
+        ..NetChaosPlan::quiet(seed)
+    };
+    let dup = HccMf::new(
+        base(seed)
+            .transport(TransportKind::Socket)
+            .fault_tolerance(test_supervisor())
+            .net_chaos_plan(plan)
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+    assert_eq!(plain.p, dup.p);
+    assert_eq!(plain.q, dup.q);
+}
+
+#[test]
+fn wire_duplicates_are_deduplicated_exactly() {
+    let seed = chaos_seed();
+    let (workers, len) = (2usize, 8usize);
+    let socket = Arc::new(CommSocket::new(workers, len, len, Precision::Fp32).unwrap());
+    let plan = NetChaosPlan {
+        duplicate_rate: 1.0,
+        ..NetChaosPlan::quiet(seed)
+    };
+    let chaos = ChaosTransport::new(socket.clone() as Arc<dyn Transport>, plan);
+
+    // Drive the pull → push → collect cycle by hand for a few epochs. The
+    // chaos layer re-sends every push under its original sequence number;
+    // the server must ack the duplicate without re-applying it, or a later
+    // collect would observe the stale payload.
+    let rounds = 5u64;
+    for round in 0..rounds {
+        let q = vec![round as f32; len];
+        chaos.publish(&q);
+        for w in 0..workers {
+            let mut pulled = vec![0.0f32; len];
+            chaos.pull(w, &mut pulled);
+            assert_eq!(pulled, q, "round {round} worker {w} pulled stale data");
+            chaos.push(w, &vec![(round * 10 + w as u64) as f32; len]);
+        }
+        for w in 0..workers {
+            let mut got = vec![0.0f32; len];
+            chaos.collect(w, &mut got);
+            let expect = vec![(round * 10 + w as u64) as f32; len];
+            assert_eq!(
+                got, expect,
+                "round {round} worker {w} saw a re-applied push"
+            );
+        }
+    }
+
+    // Exact accounting: one wire duplicate per push, one dedup hit per
+    // duplicate, zero drift between the injector and the server.
+    let stats = chaos.stats();
+    assert_eq!(stats.duplicated, (workers as u64) * rounds);
+    assert_eq!(socket.net_stats().dedup_hits, stats.duplicated);
+    assert_eq!(socket.net_stats().retrans_bytes, 0);
 }
