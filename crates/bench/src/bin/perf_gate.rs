@@ -18,6 +18,11 @@
 //! cargo run --release -p hcc-bench --bin serving_quant -- --quick --out quant.json
 //! cargo run --release -p hcc-bench --bin perf_gate -- \
 //!     --quant-baseline results/BENCH_serving_quant_quick.json --quant-current quant.json
+//!
+//! # and/or the cluster-scaling bench (also enforces the 3.2x scaling floor):
+//! cargo run --release -p hcc-bench --bin cluster_scaling -- --out cluster.json
+//! cargo run --release -p hcc-bench --bin perf_gate -- \
+//!     --cluster-baseline results/BENCH_cluster.json --cluster-current cluster.json
 //! ```
 //!
 //! A cell that exists in a baseline but not in the current run (e.g. the
@@ -28,14 +33,18 @@
 //! `.github/workflows/ci.yml` and `results/README.md`).
 
 use hcc_bench::gate::{
-    compare, compare_serving, compare_serving_quant, parse_hotpath, parse_serving,
-    parse_serving_quant, Verdict,
+    compare, compare_cluster, compare_serving, compare_serving_quant, parse_cluster, parse_hotpath,
+    parse_serving, parse_serving_quant, Verdict,
 };
 
 /// Recall floor for the quantized serving gate: quantization or pruning
 /// changes that trade more than a point of recall@topk for speed fail even
 /// when throughput holds.
 const QUANT_RECALL_FLOOR: f64 = 0.99;
+
+/// Scaling floor for the cluster gate: the node-sharded server must keep
+/// at least 3.2x of the 1-node throughput at 4 nodes on every dataset.
+const CLUSTER_SCALING_FLOOR: f64 = 3.2;
 
 fn print_verdicts(title: &str, baseline_path: &str, current_path: &str, verdicts: &[Verdict]) {
     println!("perf gate [{title}]: {current_path} vs {baseline_path}");
@@ -65,6 +74,8 @@ fn main() {
     let mut serving_current_path: Option<String> = None;
     let mut quant_baseline_path = "results/BENCH_serving_quant_quick.json".to_string();
     let mut quant_current_path: Option<String> = None;
+    let mut cluster_baseline_path = "results/BENCH_cluster.json".to_string();
+    let mut cluster_current_path: Option<String> = None;
     let mut threshold = 0.15f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -83,6 +94,12 @@ fn main() {
             "--quant-current" => {
                 quant_current_path = Some(it.next().expect("--quant-current FILE").clone())
             }
+            "--cluster-baseline" => {
+                cluster_baseline_path = it.next().expect("--cluster-baseline FILE").clone()
+            }
+            "--cluster-current" => {
+                cluster_current_path = Some(it.next().expect("--cluster-current FILE").clone())
+            }
             "--threshold" => {
                 threshold = it
                     .next()
@@ -92,7 +109,8 @@ fn main() {
             other => panic!(
                 "unknown flag {other} (supported: --baseline FILE, --current FILE, \
                  --serving-baseline FILE, --serving-current FILE, \
-                 --quant-baseline FILE, --quant-current FILE, --threshold F)"
+                 --quant-baseline FILE, --quant-current FILE, \
+                 --cluster-baseline FILE, --cluster-current FILE, --threshold F)"
             ),
         }
     }
@@ -159,10 +177,32 @@ fn main() {
         pass &= ok;
         gated = true;
     }
+    if let Some(cluster_current_path) = &cluster_current_path {
+        let (baseline, _) = parse_cluster(&read(&cluster_baseline_path))
+            .unwrap_or_else(|e| panic!("parsing cluster baseline {cluster_baseline_path}: {e}"));
+        let (current, scaling_min) = parse_cluster(&read(cluster_current_path))
+            .unwrap_or_else(|e| panic!("parsing cluster current {cluster_current_path}: {e}"));
+        let (verdicts, ok) = compare_cluster(&baseline, &current, threshold);
+        print_verdicts(
+            "cluster",
+            &cluster_baseline_path,
+            cluster_current_path,
+            &verdicts,
+        );
+        if scaling_min < CLUSTER_SCALING_FLOOR {
+            println!(
+                "  4-node scaling {scaling_min:.2}x below the {CLUSTER_SCALING_FLOOR}x floor  \
+                 REGRESSED"
+            );
+        }
+        println!("  worst-case 4-node scaling: {scaling_min:.2}x");
+        pass &= ok && scaling_min >= CLUSTER_SCALING_FLOOR;
+        gated = true;
+    }
     if !gated {
         panic!(
-            "perf_gate requires --current FILE, --serving-current FILE and/or \
-             --quant-current FILE"
+            "perf_gate requires --current FILE, --serving-current FILE, \
+             --quant-current FILE and/or --cluster-current FILE"
         );
     }
 

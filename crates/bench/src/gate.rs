@@ -416,6 +416,144 @@ pub fn validate_epoch_breakdown_schema(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// One measured cell of the cluster-scaling bench: a dataset simulated at a
+/// node count, with one server shard per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRow {
+    pub dataset: String,
+    pub nodes: u64,
+    pub updates_per_sec: f64,
+}
+
+/// Extracts the per-(dataset, nodes) rows and the headline worst-case
+/// 4-node scaling of a `BENCH_cluster.json` document.
+pub fn parse_cluster(src: &str) -> Result<(Vec<ClusterRow>, f64), String> {
+    let doc = json::parse(src)?;
+    validate_cluster_schema(&doc)?;
+    let mut parsed = Vec::new();
+    for d in doc.get("datasets").and_then(Value::as_arr).unwrap() {
+        let dataset = d.get("name").and_then(Value::as_str).unwrap().to_string();
+        for r in d.get("results").and_then(Value::as_arr).unwrap() {
+            parsed.push(ClusterRow {
+                dataset: dataset.clone(),
+                nodes: r.get("nodes").and_then(Value::as_f64).unwrap() as u64,
+                updates_per_sec: r.get("updates_per_sec").and_then(Value::as_f64).unwrap(),
+            });
+        }
+    }
+    let scaling_min = doc
+        .get("scaling_4node_min")
+        .and_then(Value::as_f64)
+        .unwrap();
+    Ok((parsed, scaling_min))
+}
+
+/// Compares a current cluster-scaling run against the committed baseline
+/// with the same rules as the hotpath gate: a (dataset, nodes) cell
+/// regresses when its throughput drops by more than `threshold` or
+/// vanishes entirely.
+pub fn compare_cluster(
+    baseline: &[ClusterRow],
+    current: &[ClusterRow],
+    threshold: f64,
+) -> (Vec<Verdict>, bool) {
+    let as_hotpath = |rows: &[ClusterRow]| -> Vec<HotpathRow> {
+        rows.iter()
+            .map(|r| HotpathRow {
+                backend: r.dataset.clone(),
+                schedule: format!("nodes-{}", r.nodes),
+                updates_per_sec: r.updates_per_sec,
+            })
+            .collect()
+    };
+    compare(&as_hotpath(baseline), &as_hotpath(current), threshold)
+}
+
+/// Validates the `BENCH_cluster.json` schema (see `results/README.md`).
+/// Beyond shape, this encodes the artifact's two load-bearing claims: every
+/// dataset carries a 1-node reference and a 4-node cell (so the scaling
+/// ratio is well-defined), and the delta section ships strictly fewer bytes
+/// than full-buffer pushing would.
+pub fn validate_cluster_schema(doc: &Value) -> Result<(), String> {
+    let what = "cluster";
+    let bench = require_str(doc, "bench", what)?;
+    if bench != "cluster_scaling" {
+        return Err(format!(
+            "{what}: \"bench\" is \"{bench}\", expected \"cluster_scaling\""
+        ));
+    }
+    require_num(doc, "epochs", what)?;
+    let counts = require_arr(doc, "node_counts", what)?;
+    if counts.is_empty() {
+        return Err(format!("{what}: \"node_counts\" is empty"));
+    }
+    let datasets = require_arr(doc, "datasets", what)?;
+    if datasets.is_empty() {
+        return Err(format!("{what}: \"datasets\" is empty"));
+    }
+    for d in datasets {
+        let name = require_str(d, "name", "cluster.datasets[]")?.to_string();
+        let what = format!("cluster.{name}");
+        let scaling = require_num(d, "scaling_4node", &what)?;
+        if scaling <= 0.0 {
+            return Err(format!("{what}: non-positive scaling_4node"));
+        }
+        let rows = require_arr(d, "results", &what)?;
+        if rows.is_empty() {
+            return Err(format!("{what}: \"results\" is empty"));
+        }
+        let mut node_counts_seen = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            let what = format!("{what}.results[{i}]");
+            let nodes = require_num(r, "nodes", &what)?;
+            let shards = require_num(r, "server_shards", &what)?;
+            require_num(r, "workers", &what)?;
+            require_str(r, "strategy", &what)?;
+            let ups = require_num(r, "updates_per_sec", &what)?;
+            let ideal = require_num(r, "ideal_updates_per_sec", &what)?;
+            if ups <= 0.0 || ideal < ups {
+                return Err(format!("{what}: updates/s outside (0, ideal]"));
+            }
+            if shards < 1.0 {
+                return Err(format!("{what}: server_shards below 1"));
+            }
+            node_counts_seen.push(nodes as u64);
+        }
+        for need in [1, 4] {
+            if !node_counts_seen.contains(&need) {
+                return Err(format!("{what}: no {need}-node cell"));
+            }
+        }
+    }
+    let scaling_min = require_num(doc, "scaling_4node_min", what)?;
+    if scaling_min <= 0.0 {
+        return Err(format!("{what}: non-positive scaling_4node_min"));
+    }
+    let delta = require(doc, "delta", what)?;
+    let what = "cluster.delta";
+    for key in ["workers", "region_rows", "k", "epochs"] {
+        require_num(delta, key, what)?;
+    }
+    let rows_shipped = require_num(delta, "rows_shipped", what)?;
+    let rows_total = require_num(delta, "rows_total", what)?;
+    let bytes_shipped = require_num(delta, "bytes_shipped", what)?;
+    let bytes_full = require_num(delta, "bytes_full", what)?;
+    let ratio = require_num(delta, "shipped_ratio", what)?;
+    if rows_shipped > rows_total {
+        return Err(format!("{what}: rows_shipped exceeds rows_total"));
+    }
+    if bytes_shipped >= bytes_full {
+        return Err(format!(
+            "{what}: delta shipping must beat full shipping \
+             ({bytes_shipped} >= {bytes_full} bytes)"
+        ));
+    }
+    if !(0.0..1.0).contains(&ratio) {
+        return Err(format!("{what}: shipped_ratio outside [0, 1)"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,5 +772,93 @@ mod tests {
         let doc = json::parse(r#"{"bench": "wrong"}"#).unwrap();
         assert!(validate_hotpath_schema(&doc).is_err());
         assert!(validate_epoch_breakdown_schema(&doc).is_err());
+    }
+
+    #[test]
+    fn committed_cluster_artifact_meets_scaling_and_delta_floors() {
+        let src =
+            committed("BENCH_cluster.json").expect("BENCH_cluster.json missing from results/");
+        let (rows, scaling_min) = parse_cluster(&src).unwrap_or_else(|e| panic!("{e}"));
+        // The schema already enforced bytes_shipped < bytes_full; the
+        // committed artifact must additionally meet the design floor:
+        // every dataset scales at least 3.2x from 1 to 4 nodes.
+        assert!(
+            scaling_min >= 3.2,
+            "4-node scaling {scaling_min} below the 3.2x floor"
+        );
+        for dataset in ["Yahoo! Music R2", "Netflix"] {
+            for nodes in [1, 2, 4] {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.dataset == dataset && r.nodes == nodes),
+                    "no ({dataset}, {nodes}-node) cell"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_gate_compares_dataset_node_cells() {
+        let crow = |dataset: &str, nodes: u64, ups: f64| ClusterRow {
+            dataset: dataset.into(),
+            nodes,
+            updates_per_sec: ups,
+        };
+        let base = vec![crow("Netflix", 1, 2500.0), crow("Netflix", 4, 9000.0)];
+        let ok = vec![crow("Netflix", 1, 2450.0), crow("Netflix", 4, 8800.0)];
+        assert!(compare_cluster(&base, &ok, 0.15).1);
+        let slow = vec![crow("Netflix", 1, 2500.0), crow("Netflix", 4, 5000.0)];
+        let (verdicts, pass) = compare_cluster(&base, &slow, 0.15);
+        assert!(!pass);
+        assert_eq!(verdicts[1].cell, "Netflix + nodes-4");
+        // A vanished node count fails, same rule as hotpath.
+        assert!(!compare_cluster(&base, &base[..1], 0.15).1);
+    }
+
+    #[test]
+    fn cluster_schema_rejects_malformed_documents() {
+        let reject = |src: &str, why: &str| {
+            let doc = json::parse(src).unwrap();
+            assert!(validate_cluster_schema(&doc).is_err(), "accepted: {why}");
+        };
+        reject(r#"{"bench": "wrong"}"#, "wrong bench tag");
+        reject(
+            r#"{"bench": "cluster_scaling", "epochs": 20, "node_counts": [1],
+                "datasets": [], "scaling_4node_min": 3.5,
+                "delta": {"workers": 4, "region_rows": 10, "k": 8, "epochs": 1,
+                          "rows_shipped": 1, "rows_total": 10,
+                          "bytes_shipped": 10, "bytes_full": 100,
+                          "shipped_ratio": 0.1}}"#,
+            "empty datasets",
+        );
+        // A delta section whose shipped bytes do not beat full shipping is
+        // rejected outright — the artifact's whole point.
+        reject(
+            r#"{"bench": "cluster_scaling", "epochs": 20, "node_counts": [1, 4],
+                "datasets": [{"name": "Netflix", "scaling_4node": 3.5, "results": [
+                    {"nodes": 1, "workers": 4, "server_shards": 1, "strategy": "Dp1",
+                     "updates_per_sec": 100, "ideal_updates_per_sec": 120},
+                    {"nodes": 4, "workers": 16, "server_shards": 4, "strategy": "Dp2",
+                     "updates_per_sec": 350, "ideal_updates_per_sec": 480}]}],
+                "scaling_4node_min": 3.5,
+                "delta": {"workers": 4, "region_rows": 10, "k": 8, "epochs": 1,
+                          "rows_shipped": 10, "rows_total": 10,
+                          "bytes_shipped": 100, "bytes_full": 100,
+                          "shipped_ratio": 1.0}}"#,
+            "delta not below full shipping",
+        );
+        // Missing the 4-node cell: scaling would be undefined.
+        reject(
+            r#"{"bench": "cluster_scaling", "epochs": 20, "node_counts": [1],
+                "datasets": [{"name": "Netflix", "scaling_4node": 3.5, "results": [
+                    {"nodes": 1, "workers": 4, "server_shards": 1, "strategy": "Dp1",
+                     "updates_per_sec": 100, "ideal_updates_per_sec": 120}]}],
+                "scaling_4node_min": 3.5,
+                "delta": {"workers": 4, "region_rows": 10, "k": 8, "epochs": 1,
+                          "rows_shipped": 1, "rows_total": 10,
+                          "bytes_shipped": 10, "bytes_full": 100,
+                          "shipped_ratio": 0.1}}"#,
+            "missing 4-node cell",
+        );
     }
 }

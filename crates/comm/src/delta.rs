@@ -1,0 +1,177 @@
+//! Row-delta payload codec for sharded parameter pushes.
+//!
+//! The paper's "Transmit Q only" insight cuts the *columns* shipped per
+//! sync; a sharded parameter server generalizes it along the other axis:
+//! a worker only touches the parameter rows its ratings reference, so a
+//! push to a shard need only carry the rows that changed since the shard
+//! last published. The codec here packs such a delta into a flat f32
+//! payload that rides inside an ordinary [`crate::Frame`]
+//! ([`crate::RpcKind::DeltaPush`]):
+//!
+//! ```text
+//! ┌───────┬───────────────────┬─────────────────────────┐
+//! │ count │ row indices       │ row data                │
+//! │ 1 f32 │ count f32 (exact) │ count × k f32           │
+//! └───────┴───────────────────┴─────────────────────────┘
+//! ```
+//!
+//! Indices are stored as f32, which is exact for rows below 2^24 — far
+//! above any shard's row range (shards split an n ≤ tens-of-millions row
+//! space N ways). "Changed" is a *bitwise* row comparison, so applying a
+//! delta on top of the published base reconstructs the worker's full
+//! buffer bit-for-bit: unshipped rows are, by construction, bit-equal to
+//! what the server already published.
+
+/// Rows per delta are capped at 2^24 so an f32 index is always exact.
+pub const MAX_DELTA_ROWS: usize = 1 << 24;
+
+/// A malformed delta payload (truncated, or a row index outside the
+/// destination). Surfaced instead of panicking so a corrupt frame that
+/// sneaks past the CRC cannot take the server down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaError;
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed delta payload")
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Worst-case encoded length in f32 elements for a buffer of `rows` rows:
+/// every row touched.
+pub fn max_delta_len(rows: usize, k: usize) -> usize {
+    1 + rows + rows * k
+}
+
+/// Encoded length in f32 elements for a delta carrying `touched` rows.
+pub fn delta_len(touched: usize, k: usize) -> usize {
+    1 + touched + touched * k
+}
+
+/// Encodes the rows of `cur` that differ bitwise from `base`. Both slices
+/// must hold the same whole number of `k`-element rows; extra trailing
+/// elements (a non-row-aligned tail) are never shipped.
+pub fn encode_delta(base: &[f32], cur: &[f32], k: usize) -> Vec<f32> {
+    let rows = cur.len().min(base.len()).checked_div(k).unwrap_or(0);
+    let mut touched: Vec<usize> = Vec::new();
+    for r in 0..rows.min(MAX_DELTA_ROWS) {
+        let at = r * k;
+        let changed = cur[at..at + k]
+            .iter()
+            .zip(&base[at..at + k])
+            .any(|(a, b)| a.to_bits() != b.to_bits());
+        if changed {
+            touched.push(r);
+        }
+    }
+    let mut out = Vec::with_capacity(delta_len(touched.len(), k));
+    out.push(touched.len() as f32);
+    for &r in &touched {
+        out.push(r as f32);
+    }
+    for &r in &touched {
+        out.extend_from_slice(&cur[r * k..r * k + k]);
+    }
+    out
+}
+
+/// Applies a delta on top of `dst` (which must already hold the published
+/// base rows) and returns the number of rows applied. Trailing elements
+/// beyond the encoded length are ignored, so `delta` may be a prefix of a
+/// larger staging buffer.
+pub fn apply_delta(delta: &[f32], k: usize, dst: &mut [f32]) -> Result<usize, DeltaError> {
+    let &count = delta.first().ok_or(DeltaError)?;
+    if !(0.0..=MAX_DELTA_ROWS as f32).contains(&count) || count.fract() != 0.0 {
+        return Err(DeltaError);
+    }
+    let count = count as usize;
+    if delta.len() < delta_len(count, k) {
+        return Err(DeltaError);
+    }
+    let rows = dst.len().checked_div(k).unwrap_or(0);
+    let (indices, data) = delta[1..].split_at(count);
+    for (i, &idx) in indices.iter().enumerate() {
+        if !(0.0..rows as f32).contains(&idx) || idx.fract() != 0.0 {
+            return Err(DeltaError);
+        }
+        let r = idx as usize;
+        dst[r * k..r * k + k].copy_from_slice(&data[i * k..i * k + k]);
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_delta_when_nothing_changed() {
+        let base = vec![1.0f32; 12];
+        let delta = encode_delta(&base, &base, 4);
+        assert_eq!(delta, vec![0.0]);
+        let mut dst = base.clone();
+        assert_eq!(apply_delta(&delta, 4, &mut dst), Ok(0));
+        assert_eq!(dst, base);
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_bit_for_bit() {
+        let k = 3;
+        let base: Vec<f32> = (0..15).map(|i| i as f32 * 0.5).collect();
+        let mut cur = base.clone();
+        cur[0] = -7.5; // row 0
+        cur[9] = 100.0; // row 3
+        let delta = encode_delta(&base, &cur, k);
+        assert_eq!(delta[0], 2.0);
+        assert_eq!(&delta[1..3], &[0.0, 3.0]);
+        assert_eq!(delta.len(), delta_len(2, k));
+        let mut dst = base.clone();
+        assert_eq!(apply_delta(&delta, k, &mut dst), Ok(2));
+        assert_eq!(dst, cur);
+    }
+
+    #[test]
+    fn bitwise_diff_catches_negative_zero_and_nan() {
+        let base = vec![0.0f32, f32::NAN];
+        // -0.0 == 0.0 numerically but differs bitwise: must ship.
+        let cur = vec![-0.0f32, f32::NAN];
+        let delta = encode_delta(&base, &cur, 2);
+        assert_eq!(delta[0], 1.0, "-0.0 row must be shipped");
+        // An identical NaN row is bit-equal: nothing to ship.
+        let delta = encode_delta(&base, &base, 2);
+        assert_eq!(delta[0], 0.0);
+    }
+
+    #[test]
+    fn trailing_staging_garbage_is_ignored() {
+        let base = vec![1.0f32; 4];
+        let cur = vec![2.0f32; 4];
+        let mut staged = encode_delta(&base, &cur, 2);
+        staged.extend_from_slice(&[9.9; 7]); // oversized staging buffer
+        let mut dst = base.clone();
+        assert_eq!(apply_delta(&staged, 2, &mut dst), Ok(2));
+        assert_eq!(dst, cur);
+    }
+
+    #[test]
+    fn malformed_deltas_are_rejected_not_applied() {
+        let mut dst = vec![0.0f32; 6];
+        assert_eq!(apply_delta(&[], 2, &mut dst), Err(DeltaError));
+        // Truncated: claims 2 rows, carries 1.
+        let short = [2.0, 0.0, 1.0, 5.0, 5.0];
+        assert_eq!(apply_delta(&short, 2, &mut dst), Err(DeltaError));
+        // Row index out of range for dst.
+        let oob = [1.0, 3.0, 5.0, 5.0];
+        assert_eq!(apply_delta(&oob, 2, &mut dst), Err(DeltaError));
+        // Non-integer count / index.
+        let frac = [0.5];
+        assert_eq!(apply_delta(&frac, 2, &mut dst), Err(DeltaError));
+        let frac_idx = [1.0, 0.5, 5.0, 5.0];
+        assert_eq!(apply_delta(&frac_idx, 2, &mut dst), Err(DeltaError));
+        // Negative count.
+        assert_eq!(apply_delta(&[-1.0], 2, &mut dst), Err(DeltaError));
+        assert_eq!(dst, vec![0.0; 6], "rejected deltas must not write");
+    }
+}

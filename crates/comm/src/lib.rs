@@ -20,8 +20,11 @@
 //! * [`frame`] — the length-prefixed, CRC-32-trailed wire frame codec the
 //!   socket transport speaks (and the checkpoint footer reuses).
 //! * [`socket`] — [`CommSocket`]: the same [`Transport`] contract over a
-//!   Unix domain socket with per-RPC deadlines, bounded retries, jittered
-//!   reconnect backoff, and idempotent push dedup.
+//!   Unix domain socket or loopback TCP with per-RPC deadlines, bounded
+//!   retries, jittered reconnect backoff, and idempotent push dedup.
+//! * [`delta`] — the row-delta payload codec that generalizes "Transmit Q
+//!   only" to per-shard delta shipping: a push carries only the rows
+//!   touched since the last publish.
 //! * [`chaos`] — [`ChaosTransport`]: a seeded, deterministic
 //!   drop/delay/duplicate/corrupt/partition wrapper around any transport.
 //! * [`backoff`] — the jittered-exponential [`Backoff`] ladder shared by
@@ -46,6 +49,7 @@
 pub mod backoff;
 pub mod buffer;
 pub mod chaos;
+pub mod delta;
 pub mod frame;
 pub mod pipeline;
 pub mod socket;
@@ -55,6 +59,7 @@ pub mod transport;
 pub use backoff::Backoff;
 pub use buffer::SharedBuffer;
 pub use chaos::{ChaosStats, ChaosTransport, NetChaosPlan, Partition};
+pub use delta::{apply_delta, delta_len, encode_delta, max_delta_len, DeltaError};
 pub use frame::{crc32, Frame, FrameError, RpcKind};
 pub use pipeline::{run_pipeline, PipelineStats};
 pub use socket::{CommSocket, NetEvent, NetEventKind, NetStats, SocketConfig};

@@ -1,10 +1,12 @@
 //! `CommSocket`: the [`Transport`] trait over a real socket.
 //!
 //! The shared-memory transports assume server and workers share an address
-//! space; this one speaks the [`crate::frame`] RPC protocol over a Unix
-//! domain socket, so the same supervised training loop is one
-//! `UnixStream → TcpStream` swap away from multi-node operation while
-//! staying loopback-testable on one box.
+//! space; this one speaks the [`crate::frame`] RPC protocol over a real
+//! socket — a Unix domain socket by default ([`CommSocket::new`]) or a
+//! loopback TCP listener ([`CommSocket::new_tcp`]), the multi-node wire.
+//! Both speak the same `HCF1` frames through the same deadline / retry /
+//! reconnect / dedup machinery; the only difference is how the stream is
+//! dialed.
 //!
 //! Resilience model:
 //!
@@ -31,11 +33,109 @@ use crate::frame::{Frame, RpcKind, HEADER_LEN};
 use crate::transport::{CommError, Precision, Transport};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Where a [`CommSocket`] listens: a Unix socket path or a TCP address.
+#[derive(Debug, Clone)]
+enum SockAddr {
+    Unix(PathBuf),
+    Tcp(SocketAddr),
+}
+
+/// A listener over either socket family.
+enum SockListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl SockListener {
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            SockListener::Unix(l) => l.set_nonblocking(nonblocking),
+            SockListener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<SockStream> {
+        match self {
+            SockListener::Unix(l) => l.accept().map(|(s, _)| SockStream::Unix(s)),
+            SockListener::Tcp(l) => l.accept().map(|(s, _)| SockStream::Tcp(s)),
+        }
+    }
+}
+
+/// A connected stream over either socket family. Both std types expose the
+/// same blocking/timeout surface, so the RPC machinery is family-blind.
+enum SockStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl SockStream {
+    fn connect(addr: &SockAddr) -> std::io::Result<SockStream> {
+        match addr {
+            SockAddr::Unix(path) => UnixStream::connect(path).map(SockStream::Unix),
+            SockAddr::Tcp(sa) => {
+                let s = TcpStream::connect(sa)?;
+                // Request/response RPCs are latency-bound: never batch the
+                // small request frames behind Nagle.
+                s.set_nodelay(true)?;
+                Ok(SockStream::Tcp(s))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            SockStream::Unix(s) => s.set_nonblocking(nonblocking),
+            SockStream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            SockStream::Unix(s) => s.set_read_timeout(t),
+            SockStream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            SockStream::Unix(s) => s.set_write_timeout(t),
+            SockStream::Tcp(s) => s.set_write_timeout(t),
+        }
+    }
+}
+
+impl Read for SockStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            SockStream::Unix(s) => s.read(buf),
+            SockStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SockStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            SockStream::Unix(s) => s.write(buf),
+            SockStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            SockStream::Unix(s) => s.flush(),
+            SockStream::Tcp(s) => s.flush(),
+        }
+    }
+}
 
 /// Push acknowledged and applied (or deduplicated).
 const STATUS_OK: u32 = 0;
@@ -66,6 +166,11 @@ pub struct SocketConfig {
     pub backoff_max: Duration,
     /// Seed for the deterministic jitter stream (mixed with the worker id).
     pub seed: u64,
+    /// Tag pushes as [`RpcKind::DeltaPush`]: the payload is a row-delta in
+    /// the [`crate::delta`] layout rather than a full buffer. The server
+    /// treats both kinds identically (same dedup/ack path) — the tag lets
+    /// the *collector* know the buffer needs delta decoding.
+    pub delta_push: bool,
 }
 
 impl Default for SocketConfig {
@@ -79,6 +184,7 @@ impl Default for SocketConfig {
             backoff_jitter: 0.25,
             backoff_max: Duration::from_millis(200),
             seed: 0x5EED,
+            delta_push: false,
         }
     }
 }
@@ -129,6 +235,10 @@ pub struct NetEvent {
 
 struct SlotData {
     buf: Vec<f32>,
+    /// Elements of `buf` the last push actually wrote. Delta pushes are
+    /// variable-length, so a collect must not read stale tail elements
+    /// from an earlier, longer push.
+    len: usize,
     ready: bool,
     /// Idempotency key of the last applied push: `(seq, chunk)`.
     last_applied: Option<(u32, u32)>,
@@ -152,7 +262,7 @@ struct ServerState {
 impl ServerState {
     /// Handles one accepted connection until EOF or an unrecoverable
     /// framing error.
-    fn serve_conn(&self, mut stream: UnixStream) {
+    fn serve_conn(&self, mut stream: SockStream) {
         let mut header = [0u8; HEADER_LEN];
         loop {
             // ordering: Relaxed — shutdown flag; the dummy wake-up connect
@@ -207,7 +317,10 @@ impl ServerState {
                         return;
                     }
                 }
-                RpcKind::Push => {
+                // DeltaPush differs from Push only in what the payload
+                // *means* (a row-delta vs a full buffer); on the server it
+                // is plain bytes into the slot, same dedup, same ack.
+                RpcKind::Push | RpcKind::DeltaPush => {
                     // ordering: Relaxed — wire-byte statistic.
                     self.push_bytes
                         .fetch_add(buf.len() as u64, Ordering::Relaxed);
@@ -227,6 +340,7 @@ impl ServerState {
                         } else {
                             let n = frame.payload.len().min(data.buf.len());
                             data.buf[..n].copy_from_slice(&frame.payload[..n]);
+                            data.len = n;
                             data.ready = true;
                             data.last_applied = Some(key);
                             slot.cv.notify_all();
@@ -250,7 +364,7 @@ impl ServerState {
 // ---------------------------------------------------------------------------
 
 struct WorkerConn {
-    stream: Option<UnixStream>,
+    stream: Option<SockStream>,
     /// Per-worker push sequence number (the idempotency key's coarse
     /// half; one push per supervised epoch makes it the epoch counter).
     push_seq: u32,
@@ -260,11 +374,11 @@ struct WorkerConn {
 // CommSocket
 // ---------------------------------------------------------------------------
 
-/// A [`Transport`] over a Unix domain socket with deadlines, bounded
-/// retries, jittered reconnect backoff, and idempotent pushes. See the
-/// module docs for the resilience model.
+/// A [`Transport`] over a Unix domain socket or loopback TCP with
+/// deadlines, bounded retries, jittered reconnect backoff, and idempotent
+/// pushes. See the module docs for the resilience model.
 pub struct CommSocket {
-    path: PathBuf,
+    addr: SockAddr,
     cfg: SocketConfig,
     precision: Precision,
     state: Arc<ServerState>,
@@ -308,7 +422,68 @@ impl CommSocket {
         let path =
             std::env::temp_dir().join(format!("hcc-comm-{}-{}.sock", std::process::id(), id));
         let _ = std::fs::remove_file(&path);
-        let listener = UnixListener::bind(&path)?;
+        let listener = SockListener::Unix(UnixListener::bind(&path)?);
+        Self::start(
+            SockAddr::Unix(path),
+            listener,
+            workers,
+            pull_len,
+            push_len,
+            precision,
+            cfg,
+        )
+    }
+
+    /// Binds a loopback TCP listener (an OS-assigned port on 127.0.0.1)
+    /// instead of a Unix socket — the multi-node wire — with default
+    /// resilience tuning.
+    pub fn new_tcp(
+        workers: usize,
+        pull_len: usize,
+        push_len: usize,
+        precision: Precision,
+    ) -> std::io::Result<CommSocket> {
+        Self::with_config_tcp(
+            workers,
+            pull_len,
+            push_len,
+            precision,
+            SocketConfig::default(),
+        )
+    }
+
+    /// [`CommSocket::new_tcp`] with explicit [`SocketConfig`] tuning.
+    pub fn with_config_tcp(
+        workers: usize,
+        pull_len: usize,
+        push_len: usize,
+        precision: Precision,
+        cfg: SocketConfig,
+    ) -> std::io::Result<CommSocket> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = SockAddr::Tcp(listener.local_addr()?);
+        Self::start(
+            addr,
+            SockListener::Tcp(listener),
+            workers,
+            pull_len,
+            push_len,
+            precision,
+            cfg,
+        )
+    }
+
+    /// Shared tail of the constructors: spins up server state and the
+    /// accept loop over an already-bound listener.
+    fn start(
+        addr: SockAddr,
+        listener: SockListener,
+        workers: usize,
+        pull_len: usize,
+        push_len: usize,
+        precision: Precision,
+        cfg: SocketConfig,
+    ) -> std::io::Result<CommSocket> {
         let state = Arc::new(ServerState {
             precision,
             published: RwLock::new(vec![0f32; pull_len]),
@@ -316,6 +491,7 @@ impl CommSocket {
                 .map(|_| PushSlot {
                     data: Mutex::new(SlotData {
                         buf: vec![0f32; push_len],
+                        len: push_len,
                         ready: false,
                         last_applied: None,
                     }),
@@ -342,7 +518,7 @@ impl CommSocket {
                 return;
             }
             match listener.accept() {
-                Ok((stream, _)) => {
+                Ok(stream) => {
                     // Accepted sockets must block: serve_conn reads frames
                     // with plain read_exact.
                     if stream.set_nonblocking(false).is_err() {
@@ -356,7 +532,7 @@ impl CommSocket {
             }
         });
         Ok(CommSocket {
-            path,
+            addr,
             cfg,
             precision,
             state,
@@ -376,9 +552,21 @@ impl CommSocket {
         })
     }
 
-    /// Filesystem path of the listening socket (for diagnostics).
-    pub fn socket_path(&self) -> &std::path::Path {
-        &self.path
+    /// Filesystem path of the listening socket (for diagnostics); `None`
+    /// for a TCP transport.
+    pub fn socket_path(&self) -> Option<&std::path::Path> {
+        match &self.addr {
+            SockAddr::Unix(path) => Some(path),
+            SockAddr::Tcp(_) => None,
+        }
+    }
+
+    /// TCP address of the listening socket; `None` for a Unix transport.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.addr {
+            SockAddr::Unix(_) => None,
+            SockAddr::Tcp(sa) => Some(*sa),
+        }
     }
 
     /// Cumulative resilience counters.
@@ -430,7 +618,7 @@ impl CommSocket {
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
-            if let Ok(stream) = UnixStream::connect(&self.path) {
+            if let Ok(stream) = SockStream::connect(&self.addr) {
                 conn.stream = Some(stream);
                 if attempt > 0 {
                     // ordering: Relaxed — statistic.
@@ -451,7 +639,7 @@ impl CommSocket {
 
     /// One framed request/response exchange with the deadline applied.
     fn exchange(
-        stream: &mut UnixStream,
+        stream: &mut SockStream,
         request: &[u8],
         timeout: Duration,
     ) -> std::io::Result<Result<Frame, CommError>> {
@@ -557,8 +745,13 @@ impl Transport for CommSocket {
             conn.push_seq = conn.push_seq.wrapping_add(1);
             conn.push_seq
         };
+        let kind = if self.cfg.delta_push {
+            RpcKind::DeltaPush
+        } else {
+            RpcKind::Push
+        };
         let frame = Frame {
-            kind: RpcKind::Push,
+            kind,
             precision: self.precision,
             worker: worker as u16,
             epoch: seq,
@@ -575,8 +768,13 @@ impl Transport for CommSocket {
         // of the last push. The server's (worker, seq, chunk) dedup must
         // acknowledge it without re-applying.
         let seq = self.conns[worker].lock().push_seq;
+        let kind = if self.cfg.delta_push {
+            RpcKind::DeltaPush
+        } else {
+            RpcKind::Push
+        };
         let frame = Frame {
-            kind: RpcKind::Push,
+            kind,
             precision: self.precision,
             worker: worker as u16,
             epoch: seq,
@@ -593,7 +791,7 @@ impl Transport for CommSocket {
             slot.cv.wait(&mut data);
         }
         data.ready = false;
-        let n = data.buf.len().min(dst.len());
+        let n = data.len.min(data.buf.len()).min(dst.len());
         dst[..n].copy_from_slice(&data.buf[..n]);
     }
 
@@ -615,7 +813,7 @@ impl Transport for CommSocket {
             slot.cv.wait_for(&mut data, deadline - now);
         }
         data.ready = false;
-        let n = data.buf.len().min(dst.len());
+        let n = data.len.min(data.buf.len()).min(dst.len());
         dst[..n].copy_from_slice(&data.buf[..n]);
         Ok(())
     }
@@ -656,7 +854,9 @@ impl Drop for CommSocket {
         for h in handles {
             let _ = h.join();
         }
-        let _ = std::fs::remove_file(&self.path);
+        if let SockAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -841,10 +1041,93 @@ mod tests {
         };
         let t = CommSocket::with_config(1, 4, 4, Precision::Fp32, cfg).unwrap();
         // Tear the listener down by stealing its socket file.
-        std::fs::remove_file(t.socket_path()).unwrap();
+        std::fs::remove_file(t.socket_path().unwrap()).unwrap();
         let req = Frame::control(RpcKind::Pull, 0, 0, 0);
         let err = t.rpc(0, &req).unwrap_err();
         assert_eq!(err, CommError::PartitionedLink);
+    }
+
+    #[test]
+    fn tcp_roundtrip_all_workers() {
+        let t = CommSocket::new_tcp(3, 64, 64, Precision::Fp32).unwrap();
+        assert!(t.socket_path().is_none());
+        let addr = t.tcp_addr().unwrap();
+        assert!(addr.ip().is_loopback());
+        let data: Vec<f32> = (0..64).map(|j| j as f32 * 0.25).collect();
+        t.publish(&data);
+        for w in 0..3 {
+            let mut pulled = vec![0f32; 64];
+            t.pull(w, &mut pulled);
+            assert_eq!(pulled, data, "worker {w} pull mismatch over tcp");
+            let local: Vec<f32> = pulled.iter().map(|v| v - 1.0).collect();
+            t.push(w, &local);
+            let mut collected = vec![0f32; 64];
+            t.collect(w, &mut collected);
+            assert_eq!(collected, local, "worker {w} collect mismatch over tcp");
+        }
+    }
+
+    #[test]
+    fn tcp_reconnect_and_dedup_match_unix_path() {
+        let t = CommSocket::new_tcp(1, 4, 4, Precision::Fp32).unwrap();
+        t.publish(&[1.0, 2.0, 3.0, 4.0]);
+        let mut dst = vec![0f32; 4];
+        t.pull(0, &mut dst);
+        assert_eq!(dst, vec![1.0, 2.0, 3.0, 4.0]);
+        // Break the stream under the transport's feet: the re-dial path
+        // must be family-blind.
+        t.conns[0].lock().stream = None;
+        t.pull(0, &mut dst);
+        assert_eq!(dst, vec![1.0, 2.0, 3.0, 4.0], "tcp re-dial served the pull");
+        // Same-seq duplicate dedups over TCP exactly as over UDS.
+        let frame = Frame {
+            kind: RpcKind::Push,
+            precision: Precision::Fp32,
+            worker: 0,
+            epoch: 9,
+            chunk: 0,
+            payload: vec![7.0; 4],
+        };
+        assert_eq!(t.rpc(0, &frame).unwrap().chunk, STATUS_OK);
+        assert_eq!(t.rpc(0, &frame).unwrap().chunk, STATUS_OK);
+        assert_eq!(t.net_stats().dedup_hits, 1);
+    }
+
+    #[test]
+    fn delta_push_mode_ships_variable_length_payloads() {
+        let cfg = SocketConfig {
+            delta_push: true,
+            ..SocketConfig::default()
+        };
+        // Slot sized for a worst-case delta over 4 rows of k=2.
+        let staging = crate::delta::max_delta_len(4, 2);
+        let t = CommSocket::with_config(1, 8, staging, Precision::Fp32, cfg).unwrap();
+        let base = vec![0f32; 8];
+        let mut cur = base.clone();
+        cur[2] = 5.0; // row 1
+        cur[7] = -3.0; // row 3
+        let delta = crate::delta::encode_delta(&base, &cur, 2);
+        t.push(0, &delta);
+        // Collect must yield exactly the pushed delta, not a stale tail of
+        // the staging-sized slot.
+        let mut got = vec![f32::NAN; staging];
+        t.collect(0, &mut got);
+        assert_eq!(&got[..delta.len()], &delta[..]);
+        let mut dst = base.clone();
+        assert_eq!(crate::delta::apply_delta(&got, 2, &mut dst), Ok(2));
+        assert_eq!(dst, cur);
+
+        // A shorter follow-up delta must not expose the longer one's tail.
+        let mut cur2 = cur.clone();
+        cur2[0] = 1.0; // row 0 only
+        let delta2 = crate::delta::encode_delta(&cur, &cur2, 2);
+        assert!(delta2.len() < delta.len());
+        t.push(0, &delta2);
+        let mut got2 = vec![f32::NAN; staging];
+        t.collect(0, &mut got2);
+        let mut dst2 = cur.clone();
+        assert_eq!(crate::delta::apply_delta(&got2, 2, &mut dst2), Ok(1));
+        assert_eq!(dst2, cur2);
     }
 
     #[test]

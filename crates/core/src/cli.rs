@@ -115,6 +115,10 @@ pub struct TrainArgs {
     pub fault_tolerant: bool,
     /// Transport carrying pull/push traffic between server and workers.
     pub transport: TransportKind,
+    /// Parameter-server shards (1 = single endpoint; N > 1 splits the
+    /// synchronized region by contiguous row range with per-shard
+    /// delta shipping).
+    pub server_shards: usize,
     /// Seed for deterministic network chaos injection (drops, delays,
     /// duplicates, corruption). Implies `--fault-tolerant`.
     pub net_chaos: Option<u64>,
@@ -145,6 +149,7 @@ impl Default for TrainArgs {
             resume: None,
             fault_tolerant: false,
             transport: TransportKind::Shared,
+            server_shards: 1,
             net_chaos: None,
             telemetry: None,
         }
@@ -158,8 +163,8 @@ pub const USAGE: &str = "usage:
             [--partition auto|uniform|dp0|dp1|dp2] [--schedule stripe|tiled]
             [--test-frac F] [--seed N] [--out PREFIX] [--rank-metrics]
             [--checkpoint-every N [--checkpoint-path FILE]] [--resume FILE]
-            [--fault-tolerant] [--transport shared|commp|socket]
-            [--net-chaos SEED] [--telemetry FILE.jsonl]
+            [--fault-tolerant] [--transport shared|commp|socket|tcp]
+            [--server-shards N] [--net-chaos SEED] [--telemetry FILE.jsonl]
   hcc analyze <ratings.txt>
   hcc recommend <model.hccmf> <ratings.txt> --user N [--count K]
   hcc serve <model.hccmf> <ratings.txt> --queries FILE [--topk N]
@@ -345,7 +350,16 @@ fn parse_train<'a, I: Iterator<Item = &'a String>>(
                     "shared" => TransportKind::Shared,
                     "commp" => TransportKind::CommP,
                     "socket" => TransportKind::Socket,
+                    "tcp" => TransportKind::Tcp,
                     other => return Err(format!("unknown transport {other}")),
+                }
+            }
+            "--server-shards" => {
+                args.server_shards = next("--server-shards")?
+                    .parse()
+                    .map_err(|e| format!("--server-shards: {e}"))?;
+                if args.server_shards == 0 {
+                    return Err("--server-shards must be >= 1".into());
                 }
             }
             "--net-chaos" => {
@@ -630,6 +644,7 @@ pub fn run(cmd: CliCommand, out: &mut dyn Write) -> Result<(), String> {
                 .schedule(args.schedule)
                 .seed(args.seed)
                 .transport(args.transport)
+                .server_shards(args.server_shards)
                 .track_rmse(true);
             // Network chaos needs the supervisor's bounded collects, so
             // `--net-chaos` implies `--fault-tolerant`.
@@ -779,11 +794,26 @@ mod tests {
             CliCommand::Train(args) => {
                 assert_eq!(args.transport, TransportKind::Shared);
                 assert_eq!(args.net_chaos, None);
+                assert_eq!(args.server_shards, 1);
             }
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("train d.txt --transport carrier-pigeon")).is_err());
         assert!(parse(&argv("train d.txt --net-chaos nope")).is_err());
+    }
+
+    #[test]
+    fn parse_sharded_server_flags() {
+        let cmd = parse(&argv("train data.txt --transport tcp --server-shards 4")).unwrap();
+        match cmd {
+            CliCommand::Train(args) => {
+                assert_eq!(args.transport, TransportKind::Tcp);
+                assert_eq!(args.server_shards, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("train d.txt --server-shards 0")).is_err());
+        assert!(parse(&argv("train d.txt --server-shards many")).is_err());
     }
 
     #[test]

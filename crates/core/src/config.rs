@@ -85,6 +85,9 @@ pub enum TransportKind {
     /// per-RPC deadlines, bounded retries with jittered backoff, and
     /// idempotent push dedup ([`hcc_comm::CommSocket`]).
     Socket,
+    /// The same framed RPC stack over a loopback TCP listener — the
+    /// multi-node wire ([`hcc_comm::CommSocket::new_tcp`]).
+    Tcp,
 }
 
 /// Which per-update rule the workers run.
@@ -150,6 +153,12 @@ pub struct HccConfig {
     pub strategy: TransferStrategy,
     /// COMM implementation.
     pub transport: TransportKind,
+    /// Parameter-server shards. `1` is the classic single endpoint; `N > 1`
+    /// splits the synchronized region by contiguous row range across `N`
+    /// shard endpoints (each of the configured [`TransportKind`]) with
+    /// per-shard row-delta shipping. Requires the synchronous path
+    /// (`streams == 1`) and a row-aligned region (`strategy != FullPq`).
+    pub server_shards: usize,
     /// Pipeline streams for asynchronous computing–transmission (1 = off).
     pub streams: usize,
     /// Epochs at the start reserved for Algorithm-1 adaptation (partition
@@ -219,6 +228,23 @@ impl HccConfig {
         }
         if self.streams == 0 {
             return Err(HccError::BadConfig("streams must be >= 1".into()));
+        }
+        if self.server_shards == 0 {
+            return Err(HccError::BadConfig("server_shards must be >= 1".into()));
+        }
+        if self.server_shards > 1 {
+            if self.streams != 1 {
+                return Err(HccError::BadConfig(
+                    "sharded server supports only the synchronous path (streams = 1)".into(),
+                ));
+            }
+            if self.strategy == TransferStrategy::FullPq {
+                return Err(HccError::BadConfig(
+                    "sharded server requires a row-aligned region \
+                     (strategy QOnly or HalfQ, not FullPq)"
+                        .into(),
+                ));
+            }
         }
         if self.early_stop.is_some() && !self.track_rmse {
             return Err(HccError::BadConfig(
@@ -307,6 +333,7 @@ impl Default for HccConfigBuilder {
                 partition: PartitionMode::Auto,
                 strategy: TransferStrategy::QOnly,
                 transport: TransportKind::Shared,
+                server_shards: 1,
                 streams: 1,
                 adapt_epochs: 3,
                 seed: 0x5eed,
@@ -375,6 +402,12 @@ impl HccConfigBuilder {
     /// COMM implementation.
     pub fn transport(mut self, transport: TransportKind) -> Self {
         self.config.transport = transport;
+        self
+    }
+
+    /// Parameter-server shards (1 = single endpoint).
+    pub fn server_shards(mut self, shards: usize) -> Self {
+        self.config.server_shards = shards;
         self
     }
 
@@ -535,6 +568,7 @@ mod tests {
         assert!(HccConfig::builder().epochs(0).try_build().is_err());
         assert!(HccConfig::builder().workers(vec![]).try_build().is_err());
         assert!(HccConfig::builder().streams(0).try_build().is_err());
+        assert!(HccConfig::builder().server_shards(0).try_build().is_err());
         assert!(HccConfig::builder()
             .workers(vec![WorkerSpec::cpu(0)])
             .try_build()
@@ -598,6 +632,35 @@ mod tests {
             .checkpoint("x.hccmf", 2)
             .try_build()
             .is_ok());
+    }
+
+    #[test]
+    fn validation_gates_sharded_server_combinations() {
+        // Sharding needs the synchronous path…
+        assert!(HccConfig::builder()
+            .server_shards(2)
+            .streams(2)
+            .try_build()
+            .is_err());
+        // …and a row-aligned region (FullPq's pull/push layouts differ).
+        assert!(HccConfig::builder()
+            .server_shards(2)
+            .strategy(TransferStrategy::FullPq)
+            .try_build()
+            .is_err());
+        // QOnly/HalfQ shard fine, over any transport kind.
+        for t in [
+            TransportKind::Shared,
+            TransportKind::CommP,
+            TransportKind::Socket,
+            TransportKind::Tcp,
+        ] {
+            assert!(HccConfig::builder()
+                .server_shards(4)
+                .transport(t)
+                .try_build()
+                .is_ok());
+        }
     }
 
     #[test]

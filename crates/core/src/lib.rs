@@ -70,6 +70,7 @@ pub use error::HccError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{evaluate_ranking, RankingMetrics};
 pub use report::{HccReport, WorkerEpochStats};
+pub use server::{DeltaStats, ShardedServer};
 pub use serving::{
     load_served_model, load_served_model_with, reload_from_checkpoint, reload_with_backoff,
 };

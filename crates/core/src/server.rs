@@ -1,13 +1,26 @@
-//! Server-side state: the global feature matrices, region layouts, and the
-//! synchronization merge (step ④ of Fig. 4).
+//! Server-side state: the global feature matrices, region layouts, the
+//! synchronization merge (step ④ of Fig. 4), and the node-sharded
+//! parameter server.
 //!
 //! With a row grid, `P` rows are owned exclusively by workers, but any two
 //! workers can update the same `Q` row — the WAW race §3.1 warns about. The
 //! server therefore *merges* pushed `Q` copies with one multiply-add per
 //! parameter: `q_global = Σ_i w_i · q_i`, weighted by each worker's data
 //! share, which keeps `Q` a convex combination of worker results.
+//!
+//! [`ShardedServer`] splits that server across N shard endpoints, each
+//! owning a contiguous row range of the synchronized region (the CuMF_SGD
+//! scale-out layout), and generalizes "Transmit Q only" to per-shard
+//! row-delta shipping: a push to a shard carries only the rows the worker
+//! actually touched since the last publish.
 
-use hcc_comm::TransferStrategy;
+use hcc_comm::delta::{apply_delta, encode_delta, max_delta_len};
+use hcc_comm::{CommError, Precision, TransferStrategy, Transport};
+use hcc_partition::ShardRouter;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Float offsets/lengths of a worker's view of the pull and push regions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +97,282 @@ pub fn merge_weights(shard_sizes: &[usize]) -> Vec<f32> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Node-sharded parameter server
+// ---------------------------------------------------------------------------
+
+/// Delta-shipping counters for a [`ShardedServer`] (monotonic totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Rows actually shipped across all pushes (touched rows only).
+    pub rows_shipped: u64,
+    /// Rows a full-buffer push would have shipped.
+    pub rows_total: u64,
+    /// Push bytes on the wire under delta shipping (headers excluded:
+    /// payload elements × bytes-per-element, comparable across transports).
+    pub bytes_shipped: u64,
+    /// Push bytes full-buffer shipping would have cost.
+    pub bytes_full: u64,
+}
+
+/// A parameter server sharded by contiguous row range across N inner
+/// [`Transport`] endpoints — one per simulated node.
+///
+/// The synchronized region (e.g. `Q` under the Q-only strategy) is treated
+/// as `region_len / k` rows; a [`ShardRouter`] tiles those rows across the
+/// shards, and every RPC is routed by range:
+///
+/// * `publish` splits the region and publishes each slice to its shard,
+///   keeping a server-side snapshot as the delta base;
+/// * `pull` reassembles the region from per-shard pulls (disjoint ranges,
+///   so the result is bit-identical to a single-endpoint pull);
+/// * `push` encodes, per shard, only the rows that differ bitwise from the
+///   snapshot ([`encode_delta`]) — the "Transmit Q only" idea applied
+///   row-wise within each shard;
+/// * `collect` seeds the destination from the snapshot and applies each
+///   shard's delta, reconstructing the worker's buffer bit-for-bit (an
+///   unshipped row is, by construction, bit-equal to the snapshot).
+///
+/// Sequence numbering and idempotent dedup live in the inner transports
+/// (each [`hcc_comm::CommSocket`] shard keeps its own per-worker seq), so
+/// PR 7's retry/dedup guarantees hold per shard link.
+pub struct ShardedServer {
+    router: ShardRouter,
+    k: usize,
+    precision: Precision,
+    shards: Vec<Arc<dyn Transport>>,
+    /// Server-side copy of the last published region: the delta base for
+    /// pushes and the reconstruction base for collects.
+    published: RwLock<Vec<f32>>,
+    pull_bytes: AtomicU64,
+    push_bytes: AtomicU64,
+    rows_shipped: AtomicU64,
+    rows_total: AtomicU64,
+    bytes_full: AtomicU64,
+}
+
+impl ShardedServer {
+    /// Wraps `shards` (one endpoint per node) behind a row router over a
+    /// `region_len`-element region of `k`-element rows.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty, its length differs from the router's
+    /// shard count, or `k` is zero.
+    pub fn new(
+        router: ShardRouter,
+        k: usize,
+        region_len: usize,
+        precision: Precision,
+        shards: Vec<Arc<dyn Transport>>,
+    ) -> ShardedServer {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(
+            router.shards(),
+            shards.len(),
+            "router shard count must match endpoints"
+        );
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert_eq!(
+            router.n_rows() * k,
+            region_len - region_len % k,
+            "router must tile the region's whole rows"
+        );
+        ShardedServer {
+            router,
+            k,
+            precision,
+            shards,
+            published: RwLock::new(vec![0f32; region_len]),
+            pull_bytes: AtomicU64::new(0),
+            push_bytes: AtomicU64::new(0),
+            rows_shipped: AtomicU64::new(0),
+            rows_total: AtomicU64::new(0),
+            bytes_full: AtomicU64::new(0),
+        }
+    }
+
+    /// Worst-case per-shard push-buffer length in elements (what the inner
+    /// transports' push regions must be sized for).
+    pub fn shard_push_len(router: &ShardRouter, shard: usize, k: usize) -> usize {
+        max_delta_len(router.range(shard).len(), k)
+    }
+
+    /// The element range shard `s` owns within the region.
+    fn elems(&self, shard: usize) -> std::ops::Range<usize> {
+        let r = self.router.range(shard);
+        r.start * self.k..r.end * self.k
+    }
+
+    /// The row router in use.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of server shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cumulative delta-shipping accounting.
+    pub fn delta_stats(&self) -> DeltaStats {
+        DeltaStats {
+            // ordering: Relaxed — statistics read for reports.
+            rows_shipped: self.rows_shipped.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistic (see above).
+            rows_total: self.rows_total.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistic (see above).
+            bytes_shipped: self.push_bytes.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistic (see above).
+            bytes_full: self.bytes_full.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Encodes the delta for one worker push against the current snapshot
+    /// and ships it to shard `s` via `send`.
+    fn push_shard(&self, shard: usize, src: &[f32], send: impl FnOnce(&[f32])) {
+        let elems = self.elems(shard);
+        if src.len() < elems.end {
+            return; // short push: nothing for this shard's range
+        }
+        let snapshot = self.published.read();
+        let delta = encode_delta(&snapshot[elems.clone()], &src[elems.clone()], self.k);
+        drop(snapshot);
+        let touched = delta[0] as u64;
+        let bpe = self.precision.bytes_per_element();
+        // ordering: Relaxed — delta-accounting statistics.
+        self.rows_shipped.fetch_add(touched, Ordering::Relaxed);
+        // ordering: Relaxed — statistic (see above).
+        self.rows_total
+            .fetch_add((elems.len() / self.k) as u64, Ordering::Relaxed);
+        // ordering: Relaxed — statistic (see above).
+        self.push_bytes
+            .fetch_add(delta.len() as u64 * bpe, Ordering::Relaxed);
+        // ordering: Relaxed — statistic (see above).
+        self.bytes_full
+            .fetch_add(elems.len() as u64 * bpe, Ordering::Relaxed);
+        send(&delta);
+    }
+
+    /// Collects one shard's delta into `dst` (the full region buffer),
+    /// seeding the shard's range from the snapshot first.
+    fn apply_shard(
+        &self,
+        shard: usize,
+        worker: usize,
+        dst: &mut [f32],
+        deadline: Option<Instant>,
+    ) -> Result<(), CommError> {
+        let elems = self.elems(shard);
+        if dst.len() < elems.end {
+            return Ok(()); // short destination: range not requested
+        }
+        let mut staging = vec![0f32; max_delta_len(elems.len() / self.k, self.k)];
+        match deadline {
+            None => self.shards[shard].collect(worker, &mut staging),
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return Err(CommError::Timeout);
+                }
+                self.shards[shard].collect_timeout(worker, &mut staging, d - now)?;
+            }
+        }
+        let region = &mut dst[elems.clone()];
+        {
+            let snapshot = self.published.read();
+            region.copy_from_slice(&snapshot[elems]);
+        }
+        // A malformed delta (possible only under deliberate corruption
+        // that beat the CRC) leaves the snapshot rows in place — the same
+        // degradation as a dropped push.
+        let _ = apply_delta(&staging, self.k, region);
+        Ok(())
+    }
+}
+
+impl Transport for ShardedServer {
+    fn publish(&self, src: &[f32]) {
+        {
+            let mut snapshot = self.published.write();
+            let n = src.len().min(snapshot.len());
+            snapshot[..n].copy_from_slice(&src[..n]);
+        }
+        for s in 0..self.shards.len() {
+            let elems = self.elems(s);
+            if src.len() >= elems.end {
+                self.shards[s].publish(&src[elems]);
+            }
+        }
+    }
+
+    fn pull(&self, worker: usize, dst: &mut [f32]) {
+        let bpe = self.precision.bytes_per_element();
+        for s in 0..self.shards.len() {
+            let elems = self.elems(s);
+            if dst.len() >= elems.end {
+                self.shards[s].pull(worker, &mut dst[elems.clone()]);
+                // ordering: Relaxed — wire-byte statistic.
+                self.pull_bytes
+                    .fetch_add(elems.len() as u64 * bpe, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn push(&self, worker: usize, src: &[f32]) {
+        for s in 0..self.shards.len() {
+            self.push_shard(s, src, |delta| self.shards[s].push(worker, delta));
+        }
+    }
+
+    fn push_duplicate(&self, worker: usize, src: &[f32]) {
+        // Re-encoding is deterministic (the snapshot cannot change between
+        // a push and its wire duplicate in the lock-step loop), so the
+        // duplicate carries identical bytes and the per-shard dedup holds.
+        for s in 0..self.shards.len() {
+            self.push_shard(s, src, |delta| self.shards[s].push_duplicate(worker, delta));
+        }
+    }
+
+    fn collect(&self, worker: usize, dst: &mut [f32]) {
+        for s in 0..self.shards.len() {
+            let _ = self.apply_shard(s, worker, dst, None);
+        }
+    }
+
+    fn collect_timeout(
+        &self,
+        worker: usize,
+        dst: &mut [f32],
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        // One deadline across all shards: a slow shard eats into the
+        // remaining budget instead of multiplying it.
+        let deadline = Instant::now() + timeout;
+        for s in 0..self.shards.len() {
+            self.apply_shard(s, worker, dst, Some(deadline))?;
+        }
+        Ok(())
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        let (pull, push) = self.wire_bytes_by_dir();
+        pull + push
+    }
+
+    fn wire_bytes_by_dir(&self) -> (u64, u64) {
+        // ordering: Relaxed — statistics read for end-of-run reports.
+        (
+            self.pull_bytes.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistic (see above).
+            self.push_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    fn workers(&self) -> usize {
+        self.shards.first().map_or(0, |s| s.workers())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +424,103 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn merge_length_mismatch_panics() {
         merge_weighted(&mut [0.0], &[1.0, 2.0], 1.0);
+    }
+
+    /// A sharded server over CommShared inners sized per shard range.
+    fn sharded(workers: usize, rows: usize, k: usize, shards: usize) -> ShardedServer {
+        let router = ShardRouter::uniform(rows, shards);
+        let inners: Vec<Arc<dyn Transport>> = (0..shards)
+            .map(|s| {
+                let pull = router.range(s).len() * k;
+                let push = ShardedServer::shard_push_len(&router, s, k);
+                Arc::new(hcc_comm::CommShared::new(
+                    workers,
+                    pull,
+                    push,
+                    Precision::Fp32,
+                )) as Arc<dyn Transport>
+            })
+            .collect();
+        ShardedServer::new(router, k, rows * k, Precision::Fp32, inners)
+    }
+
+    #[test]
+    fn sharded_roundtrip_reconstructs_bit_for_bit() {
+        let (rows, k) = (10, 3);
+        let t = sharded(2, rows, k, 4);
+        let region: Vec<f32> = (0..rows * k).map(|i| i as f32 * 0.25 - 3.0).collect();
+        t.publish(&region);
+        for w in 0..2 {
+            let mut pulled = vec![0f32; rows * k];
+            t.pull(w, &mut pulled);
+            assert_eq!(pulled, region, "worker {w} sharded pull mismatch");
+            // Touch a few rows spread across different shards.
+            let mut local = pulled.clone();
+            local[0] += 1.0; // row 0
+            local[4 * k] = f32::MIN_POSITIVE; // row 4
+            local[9 * k + k - 1] = -0.0; // row 9 (bitwise change)
+            t.push(w, &local);
+            let mut collected = vec![0f32; rows * k];
+            t.collect(w, &mut collected);
+            let a: Vec<u32> = collected.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = local.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "worker {w} reconstruction not bit-identical");
+        }
+    }
+
+    #[test]
+    fn sharded_push_ships_only_touched_rows() {
+        let (rows, k) = (12, 4);
+        let t = sharded(1, rows, k, 3);
+        let region = vec![1.0f32; rows * k];
+        t.publish(&region);
+        let mut local = region.clone();
+        local[0] = 2.0; // row 0 → shard 0
+        local[11 * k] = 2.0; // row 11 → shard 2
+        t.push(0, &local);
+        let mut got = vec![0f32; rows * k];
+        t.collect(0, &mut got);
+        assert_eq!(got, local);
+        let stats = t.delta_stats();
+        assert_eq!(stats.rows_shipped, 2);
+        assert_eq!(stats.rows_total, 12);
+        // 2 touched rows + per-shard framing (count + index elements).
+        let expected = (hcc_comm::delta_len(1, k) * 2 + hcc_comm::delta_len(0, k)) as u64 * 4;
+        assert_eq!(stats.bytes_shipped, expected);
+        assert_eq!(stats.bytes_full, (rows * k * 4) as u64);
+        assert!(stats.bytes_shipped < stats.bytes_full);
+    }
+
+    #[test]
+    fn sharded_collect_timeout_propagates() {
+        let t = sharded(1, 8, 2, 2);
+        let mut dst = vec![0f32; 16];
+        assert_eq!(
+            t.collect_timeout(0, &mut dst, Duration::from_millis(20)),
+            Err(CommError::Timeout)
+        );
+        t.publish(&[0.5f32; 16]);
+        let mut local = vec![0.5f32; 16];
+        local[3] = 9.0;
+        t.push(0, &local);
+        t.collect_timeout(0, &mut dst, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(dst, local);
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_semantics() {
+        let t = sharded(2, 6, 2, 1);
+        let region: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        t.publish(&region);
+        let mut dst = vec![0f32; 12];
+        t.pull(1, &mut dst);
+        assert_eq!(dst, region);
+        assert_eq!(t.num_shards(), 1);
+        assert_eq!(t.workers(), 2);
+        let (pull, push) = t.wire_bytes_by_dir();
+        assert_eq!(pull, 48);
+        assert_eq!(push, 0);
+        assert_eq!(t.wire_bytes(), 48);
     }
 }

@@ -6,7 +6,7 @@ use crate::config::{HccConfig, Optimizer, PartitionMode, TransportKind, WorkerSp
 use crate::error::HccError;
 use crate::fault::FaultKind;
 use crate::report::{HccReport, WorkerEpochStats};
-use crate::server::{merge_weighted, merge_weights, region_layout, RegionLayout};
+use crate::server::{merge_weighted, merge_weights, region_layout, RegionLayout, ShardedServer};
 use crate::supervisor::{Supervisor, WorkerHealth};
 use crate::worker::{bucket_by_stream, rebase_entries, stream_col_range, WorkerState};
 use hcc_comm::socket::NetEventKind;
@@ -14,7 +14,9 @@ use hcc_comm::{
     Backoff, ChaosTransport, CommError, CommP, CommShared, CommSocket, Precision, TransferStrategy,
     Transport,
 };
-use hcc_partition::{dp0, dp1_step, dp2, replan_survivors, StrategyChoice, WorkerClass};
+use hcc_partition::{
+    dp0, dp1_step, dp2, replan_survivors, ShardRouter, StrategyChoice, WorkerClass,
+};
 use hcc_sgd::{rmse_parallel, FactorMatrix, SharedFactors};
 use hcc_sparse::{Axis, CooMatrix, GridPartition};
 use hcc_telemetry::{Dir, Event, NetCause, Phase, Telemetry};
@@ -236,11 +238,13 @@ struct Session<'a> {
 
 /// Transport handle: the async path needs the concrete `CommShared` for
 /// ranged/chunked operations; the sync path only the trait. The socket
-/// variant is additionally queried for its resilience counters/events.
+/// variant is additionally queried for its resilience counters/events, and
+/// the sharded variant for its delta-shipping accounting.
 enum TransportArc {
     Shared(Arc<CommShared>),
     CommP(Arc<CommP>),
     Socket(Arc<CommSocket>),
+    Sharded(Arc<ShardedServer>),
 }
 
 impl TransportArc {
@@ -249,6 +253,7 @@ impl TransportArc {
             TransportArc::Shared(t) => t.as_ref(),
             TransportArc::CommP(t) => t.as_ref(),
             TransportArc::Socket(t) => t.as_ref(),
+            TransportArc::Sharded(t) => t.as_ref(),
         }
     }
 
@@ -257,6 +262,7 @@ impl TransportArc {
             TransportArc::Shared(t) => Arc::clone(t) as Arc<dyn Transport>,
             TransportArc::CommP(t) => Arc::clone(t) as Arc<dyn Transport>,
             TransportArc::Socket(t) => Arc::clone(t) as Arc<dyn Transport>,
+            TransportArc::Sharded(t) => Arc::clone(t) as Arc<dyn Transport>,
         }
     }
 
@@ -440,25 +446,83 @@ impl<'a> Session<'a> {
         } else {
             Precision::Fp32
         };
-        self.transport = match self.config.transport {
-            TransportKind::Shared => TransportArc::Shared(Arc::new(CommShared::new(
-                workers.len(),
-                self.layout.pull_len,
-                self.layout.push_len,
-                precision,
-            ))),
-            TransportKind::CommP => {
-                TransportArc::CommP(Arc::new(CommP::new(workers.len(), precision)))
+        self.transport = if self.config.server_shards > 1 {
+            // Node-sharded parameter server: the synchronized region is
+            // tiled by contiguous row range across N shard endpoints of
+            // the configured transport kind. The sharded wire is always
+            // Fp32 — row-delta shipping replaces fp16 compression, and
+            // delta framing (count + indices as f32) must stay exact.
+            let shards = self.config.server_shards;
+            let rows = self.layout.pull_len / k;
+            let router = ShardRouter::uniform(rows, shards);
+            let mut inners: Vec<Arc<dyn Transport>> = Vec::with_capacity(shards);
+            for s in 0..shards {
+                let pull = router.range(s).len() * k;
+                let push = ShardedServer::shard_push_len(&router, s, k);
+                let inner: Arc<dyn Transport> = match self.config.transport {
+                    TransportKind::Shared => {
+                        Arc::new(CommShared::new(workers.len(), pull, push, Precision::Fp32))
+                    }
+                    TransportKind::CommP => Arc::new(CommP::new(workers.len(), Precision::Fp32)),
+                    TransportKind::Socket | TransportKind::Tcp => {
+                        let cfg = hcc_comm::SocketConfig {
+                            delta_push: true,
+                            ..hcc_comm::SocketConfig::default()
+                        };
+                        let sock = if self.config.transport == TransportKind::Tcp {
+                            CommSocket::with_config_tcp(
+                                workers.len(),
+                                pull,
+                                push,
+                                Precision::Fp32,
+                                cfg,
+                            )
+                        } else {
+                            CommSocket::with_config(workers.len(), pull, push, Precision::Fp32, cfg)
+                        }
+                        .map_err(|e| HccError::Comm(format!("binding shard {s} transport: {e}")))?;
+                        Arc::new(sock)
+                    }
+                };
+                inners.push(inner);
             }
-            TransportKind::Socket => TransportArc::Socket(Arc::new(
-                CommSocket::new(
+            TransportArc::Sharded(Arc::new(ShardedServer::new(
+                router,
+                k,
+                self.layout.pull_len,
+                Precision::Fp32,
+                inners,
+            )))
+        } else {
+            match self.config.transport {
+                TransportKind::Shared => TransportArc::Shared(Arc::new(CommShared::new(
                     workers.len(),
                     self.layout.pull_len,
                     self.layout.push_len,
                     precision,
-                )
-                .map_err(|e| HccError::Comm(format!("binding socket transport: {e}")))?,
-            )),
+                ))),
+                TransportKind::CommP => {
+                    TransportArc::CommP(Arc::new(CommP::new(workers.len(), precision)))
+                }
+                TransportKind::Socket => TransportArc::Socket(Arc::new(
+                    CommSocket::new(
+                        workers.len(),
+                        self.layout.pull_len,
+                        self.layout.push_len,
+                        precision,
+                    )
+                    .map_err(|e| HccError::Comm(format!("binding socket transport: {e}")))?,
+                )),
+                TransportKind::Tcp => TransportArc::Socket(Arc::new(
+                    CommSocket::new_tcp(
+                        workers.len(),
+                        self.layout.pull_len,
+                        self.layout.push_len,
+                        precision,
+                    )
+                    .map_err(|e| HccError::Comm(format!("binding tcp transport: {e}")))?,
+                )),
+            }
         };
         self.net_chaos = self.config.net_chaos.as_ref().map(|plan| {
             // The plan addresses workers by *starting-fleet* id; remap its
@@ -1182,7 +1246,7 @@ impl<'a> Session<'a> {
     fn run_epoch_async(&mut self, lr: f32, epoch: usize) -> (Vec<WorkerEpochStats>, Duration) {
         let comm = match &self.transport {
             TransportArc::Shared(c) => Arc::clone(c),
-            TransportArc::CommP(_) | TransportArc::Socket(_) => {
+            TransportArc::CommP(_) | TransportArc::Socket(_) | TransportArc::Sharded(_) => {
                 unreachable!("validated in train()")
             }
         };

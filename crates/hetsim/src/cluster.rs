@@ -9,7 +9,7 @@
 //! beyond-the-paper scaling study (`cluster_scaling` bench).
 
 use crate::platform::Platform;
-use crate::profile::{BusKind, ProcessorProfile};
+use crate::profile::{BusKind, NicProfile, ProcessorProfile};
 
 /// Effective per-direction bandwidth of a cross-node QPI hop (two QPI
 /// segments in the Fig. 2 ring, conservatively derated).
@@ -24,6 +24,7 @@ pub struct ClusterBuilder {
     cpu_profile: ProcessorProfile,
     gpu_profile: ProcessorProfile,
     server_timeshares: bool,
+    node_nic: Option<NicProfile>,
 }
 
 impl ClusterBuilder {
@@ -36,6 +37,7 @@ impl ClusterBuilder {
             cpu_profile: ProcessorProfile::xeon_6242_24t(),
             gpu_profile: ProcessorProfile::rtx_2080_super(),
             server_timeshares: true,
+            node_nic: None,
         }
     }
 
@@ -69,6 +71,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Gives every remote node this NIC instead of the default QPI-ring
+    /// hop: cross-node workers then ride the NIC's loss-adjusted goodput
+    /// ([`NicProfile::as_bus`]), modeling a sharded parameter server's
+    /// per-node network links.
+    pub fn node_nic(mut self, nic: NicProfile) -> ClusterBuilder {
+        self.node_nic = Some(nic);
+        self
+    }
+
     /// Builds the platform. Node 0 hosts the parameter server on its first
     /// CPU; that CPU becomes a time-sharing worker if configured. All other
     /// processors are ordinary workers: node-0 CPUs on UPI, node-0 GPUs on
@@ -84,15 +95,15 @@ impl ClusterBuilder {
             self.nodes, self.cpus_per_node, self.gpus_per_node
         ));
 
+        let remote_bus = match &self.node_nic {
+            Some(nic) => nic.as_bus(),
+            None => BusKind::Custom(CROSS_NODE_BANDWIDTH),
+        };
         for node in 0..self.nodes {
             let remote = node > 0;
-            let cpu_bus = if remote {
-                BusKind::Custom(CROSS_NODE_BANDWIDTH)
-            } else {
-                BusKind::Upi
-            };
+            let cpu_bus = if remote { remote_bus } else { BusKind::Upi };
             let gpu_bus = if remote {
-                BusKind::Custom(CROSS_NODE_BANDWIDTH)
+                remote_bus
             } else {
                 BusKind::PciE3x16
             };
@@ -148,6 +159,27 @@ mod tests {
         assert_eq!(remote.len(), 4);
         for w in remote {
             assert_eq!(w.bus, BusKind::Custom(CROSS_NODE_BANDWIDTH));
+        }
+    }
+
+    #[test]
+    fn node_nic_overrides_the_remote_bus() {
+        let nic = NicProfile::ten_gbe(0.02);
+        let p = ClusterBuilder::new(2).node_nic(nic).build();
+        for w in &p.workers {
+            let expected = if w.profile.name.starts_with("n0") {
+                // Local node keeps its native buses.
+                assert_ne!(w.bus, nic.as_bus());
+                continue;
+            } else {
+                nic.as_bus()
+            };
+            assert_eq!(w.bus, expected, "{}", w.profile.name);
+        }
+        // The lossy NIC is strictly slower than the lossless QPI hop.
+        match nic.as_bus() {
+            BusKind::Custom(bw) => assert!(bw < nic.bandwidth),
+            other => panic!("nic bus should be custom, got {other:?}"),
         }
     }
 

@@ -97,7 +97,6 @@ pub(crate) fn simulate_epoch_des_impl(
     };
     let mut pull_free: std::collections::HashMap<i64, f64> = Default::default();
     let mut push_free: std::collections::HashMap<i64, f64> = Default::default();
-    let mut server_free = 0.0f64;
 
     // Precompute per-worker chunk durations (full link bandwidth).
     let mut calendar: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
@@ -264,18 +263,29 @@ pub(crate) fn simulate_epoch_des_impl(
         }
     }
 
+    // Same shard-parallel merge model as the strict engine: with one shard
+    // this is the single serialized FIFO, with N shards each push drains
+    // through N concurrent queues in equal slices.
     arrivals.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+    let shards = config.server_shards.max(1);
+    let mut shard_free = vec![0.0f64; shards];
     let mut sync_total = 0.0;
     for (arrival, w, bytes) in arrivals {
-        let dur = 3.0 * bytes / platform.server_bandwidth;
-        let start = arrival.max(server_free);
-        server_free = start + dur;
-        sync_total += dur;
+        let dur = 3.0 * (bytes / shards as f64) / platform.server_bandwidth;
+        let mut start_min = f64::INFINITY;
+        let mut end_max = 0.0f64;
+        for free in shard_free.iter_mut() {
+            let start = arrival.max(*free);
+            *free = start + dur;
+            sync_total += dur;
+            start_min = start_min.min(start);
+            end_max = end_max.max(*free);
+        }
         spans.push(PhaseSpan {
             worker: w,
             phase: Phase::Sync,
-            start,
-            end: server_free,
+            start: start_min,
+            end: end_max,
         });
     }
 

@@ -60,6 +60,12 @@ pub struct SimConfig {
     /// Fraction of nominal bus bandwidth the transport achieves
     /// (COMM ≈ 1.0 by design §3.5; COMM-P ≈ 0.14, Table 5).
     pub transport_efficiency: f64,
+    /// Parameter-server shards merging in parallel (1 = the paper's single
+    /// centralized server). With N shards each push's merge splits into N
+    /// equal slices handled by N concurrent FIFO queues — the node-sharded
+    /// server, where every shard owns `1/N` of the synchronized rows.
+    #[serde(default)]
+    pub server_shards: usize,
 }
 
 impl Default for SimConfig {
@@ -69,6 +75,7 @@ impl Default for SimConfig {
             strategy: TransferStrategy::QOnly,
             streams: 1,
             transport_efficiency: 1.0,
+            server_shards: 1,
         }
     }
 }
@@ -262,21 +269,29 @@ pub fn simulate_epoch(
         };
     }
 
-    // Server merges pushes in arrival order (FIFO), one at a time.
+    // Server merges pushes in arrival order (FIFO). With one shard this is
+    // the paper's single serialized queue; with N shards each push's merge
+    // splits into N equal slices draining through N concurrent queues.
     arrivals.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
-    let mut server_free = 0.0f64;
+    let shards = config.server_shards.max(1);
+    let mut server_free = vec![0.0f64; shards];
     let mut sync_total = 0.0f64;
     for (arrival, w, bytes) in arrivals {
-        let dur = 3.0 * bytes / platform.server_bandwidth;
-        let start = arrival.max(server_free);
-        let end = start + dur;
-        server_free = end;
-        sync_total += dur;
+        let dur = 3.0 * (bytes / shards as f64) / platform.server_bandwidth;
+        let mut start_min = f64::INFINITY;
+        let mut end_max = 0.0f64;
+        for free in server_free.iter_mut() {
+            let start = arrival.max(*free);
+            *free = start + dur;
+            sync_total += dur;
+            start_min = start_min.min(start);
+            end_max = end_max.max(*free);
+        }
         spans.push(PhaseSpan {
             worker: w,
             phase: Phase::Sync,
-            start,
-            end,
+            start: start_min,
+            end: end_max,
         });
     }
 

@@ -94,6 +94,93 @@ pub fn derive_net_faults(plan: &NetChaosPlan, workers: usize, epoch: u64) -> Vec
     faults
 }
 
+/// One fault on a single worker→shard link of a sharded parameter server.
+///
+/// With `N` server shards a worker holds `N` independent links; chaos
+/// rolls per link, so one lossy shard degrades only its own row range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardLinkFault {
+    /// Index into `platform.workers`.
+    pub worker: usize,
+    /// Server shard on the far end of the link.
+    pub shard: usize,
+    pub kind: SimFaultKind,
+}
+
+/// [`derive_net_faults`] generalized to a sharded server: rolls the chaos
+/// dice once per `(worker, shard)` link, mixing the shard into the roll's
+/// worker coordinate (`worker * shards + shard`) so each link draws an
+/// independent deterministic stream. A plan partition severs *all* of the
+/// worker's links (the node, not one link, is unreachable). With
+/// `shards == 1` the rolls coincide with [`derive_net_faults`] exactly.
+pub fn derive_shard_net_faults(
+    plan: &NetChaosPlan,
+    workers: usize,
+    shards: usize,
+    epoch: u64,
+) -> Vec<ShardLinkFault> {
+    let mut faults = Vec::new();
+    for w in 0..workers {
+        for s in 0..shards {
+            if let Some(part) = plan.partition {
+                if part.worker == w && epoch >= part.from_epoch {
+                    faults.push(ShardLinkFault {
+                        worker: w,
+                        shard: s,
+                        kind: SimFaultKind::DropPush,
+                    });
+                    continue;
+                }
+            }
+            let link = w * shards + s;
+            if chaos_roll(plan.seed, link, epoch, OP_DROP) < plan.drop_rate
+                || chaos_roll(plan.seed, link, epoch, OP_CORRUPT) < plan.corrupt_rate
+            {
+                faults.push(ShardLinkFault {
+                    worker: w,
+                    shard: s,
+                    kind: SimFaultKind::DropPush,
+                });
+                continue;
+            }
+            if chaos_roll(plan.seed, link, epoch, OP_DELAY) < plan.delay_rate {
+                faults.push(ShardLinkFault {
+                    worker: w,
+                    shard: s,
+                    kind: SimFaultKind::Stall(plan.delay.as_secs_f64()),
+                });
+            }
+        }
+    }
+    faults
+}
+
+/// Collapses per-link faults to the DES calendar's worker-level
+/// vocabulary: a worker with any dropped link loses its merge (the server
+/// cannot assemble a partial row update), otherwise its stalls add up
+/// (shard RPCs are sequential on the worker's connection).
+pub fn collapse_shard_faults(link_faults: &[ShardLinkFault]) -> Vec<SimFault> {
+    let workers: usize = link_faults.iter().map(|f| f.worker + 1).max().unwrap_or(0);
+    let mut out = Vec::new();
+    for w in 0..workers {
+        let mine = link_faults.iter().filter(|f| f.worker == w);
+        let mut stall = 0.0f64;
+        let mut dropped = false;
+        for f in mine {
+            match f.kind {
+                SimFaultKind::DropPush | SimFaultKind::Crash => dropped = true,
+                SimFaultKind::Stall(s) => stall += s,
+            }
+        }
+        if dropped {
+            out.push(SimFault::drop_push(w));
+        } else if stall > 0.0 {
+            out.push(SimFault::stall(w, stall));
+        }
+    }
+    out
+}
+
 /// Simulates one epoch under the given faults with the strict event
 /// calendar. An empty fault list reproduces
 /// [`simulate_epoch_des`](crate::des::simulate_epoch_des) bit-for-bit.
@@ -250,5 +337,99 @@ mod tests {
     fn out_of_range_worker_panics() {
         let (platform, cfg, x) = testbed();
         simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &[SimFault::crash(9)]);
+    }
+
+    #[test]
+    fn one_shard_reduces_to_the_unsharded_derivation() {
+        let plan = NetChaosPlan::from_seed(42);
+        for epoch in 0..50 {
+            let flat = derive_net_faults(&plan, 4, epoch);
+            let linked = derive_shard_net_faults(&plan, 4, 1, epoch);
+            let collapsed: Vec<SimFault> = linked
+                .iter()
+                .map(|f| SimFault {
+                    worker: f.worker,
+                    kind: f.kind,
+                })
+                .collect();
+            assert_eq!(flat, collapsed, "epoch {epoch}");
+            assert!(linked.iter().all(|f| f.shard == 0));
+        }
+    }
+
+    #[test]
+    fn partition_severs_every_shard_link_of_its_worker() {
+        let plan = NetChaosPlan::quiet(7).with_partition(2, 5);
+        assert!(derive_shard_net_faults(&plan, 4, 4, 4).is_empty());
+        let faults = derive_shard_net_faults(&plan, 4, 4, 6);
+        assert_eq!(faults.len(), 4);
+        for (s, f) in faults.iter().enumerate() {
+            assert_eq!(f.worker, 2);
+            assert_eq!(f.shard, s);
+            assert_eq!(f.kind, SimFaultKind::DropPush);
+        }
+    }
+
+    #[test]
+    fn shard_links_roll_independent_chaos_streams() {
+        let plan = NetChaosPlan::from_seed(42);
+        // Over many epochs, sibling links of the same worker must disagree
+        // sometimes: one drops while the other stays clean.
+        let mut disagreements = 0usize;
+        for epoch in 0..200 {
+            let faults = derive_shard_net_faults(&plan, 2, 2, epoch);
+            for w in 0..2 {
+                let hit: Vec<bool> = (0..2)
+                    .map(|s| faults.iter().any(|f| f.worker == w && f.shard == s))
+                    .collect();
+                if hit[0] != hit[1] {
+                    disagreements += 1;
+                }
+            }
+        }
+        assert!(disagreements > 20, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn collapse_drops_dominate_and_stalls_add_up() {
+        let links = [
+            ShardLinkFault {
+                worker: 0,
+                shard: 0,
+                kind: SimFaultKind::Stall(0.25),
+            },
+            ShardLinkFault {
+                worker: 0,
+                shard: 2,
+                kind: SimFaultKind::Stall(0.5),
+            },
+            ShardLinkFault {
+                worker: 1,
+                shard: 1,
+                kind: SimFaultKind::Stall(1.0),
+            },
+            ShardLinkFault {
+                worker: 1,
+                shard: 3,
+                kind: SimFaultKind::DropPush,
+            },
+        ];
+        let collapsed = collapse_shard_faults(&links);
+        assert_eq!(
+            collapsed,
+            vec![SimFault::stall(0, 0.75), SimFault::drop_push(1)]
+        );
+        assert!(collapse_shard_faults(&[]).is_empty());
+    }
+
+    #[test]
+    fn collapsed_shard_faults_feed_the_des_calendar() {
+        let (platform, cfg, x) = testbed();
+        let plan = NetChaosPlan::quiet(1).with_partition(1, 0);
+        let links = derive_shard_net_faults(&plan, platform.workers.len(), 4, 0);
+        let faults = collapse_shard_faults(&links);
+        assert_eq!(faults, vec![SimFault::drop_push(1)]);
+        let trace = simulate_epoch_des_faulty(&platform, &netflix(), &cfg, &x, &faults);
+        assert!(trace.worker_spans(1).iter().all(|s| s.phase != Phase::Sync));
     }
 }

@@ -52,7 +52,10 @@ pub use engine::{
     ideal_computing_power, simulate_epoch, simulate_training, EpochTrace, Phase, PhaseSpan,
     SimConfig, TrainingSim, Workload,
 };
-pub use fault::{derive_net_faults, simulate_epoch_des_faulty, SimFault, SimFaultKind};
+pub use fault::{
+    collapse_shard_faults, derive_net_faults, derive_shard_net_faults, simulate_epoch_des_faulty,
+    ShardLinkFault, SimFault, SimFaultKind,
+};
 pub use measure::{
     bandwidth_table, cost_model_for, standalone_times, virtual_measure, virtual_measure_total,
     worker_classes,

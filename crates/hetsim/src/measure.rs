@@ -147,8 +147,12 @@ pub fn cost_model_for(platform: &Platform, workload: &Workload, config: &SimConf
         .map(|slot| config.streams.min(slot.profile.max_streams).max(1))
         .max()
         .unwrap_or(1) as u64;
-    let sync_bytes =
-        config.strategy.push_elements(m_avg, workload.n, config.k) * 4 / effective_streams;
+    // A sharded server merges each push's slices on N concurrent shard
+    // queues, so the serialized unit the model (and DP2's stagger) sees is
+    // the per-shard slice.
+    let sync_bytes = config.strategy.push_elements(m_avg, workload.n, config.k) * 4
+        / effective_streams
+        / config.server_shards.max(1) as u64;
 
     CostModel {
         nnz: workload.nnz,

@@ -17,6 +17,8 @@
 //! * [`dp::dp2`] — "data partition with hidden synchronization" (Eq. 7).
 //! * [`planner::PartitionPlanner`] — the λ-threshold dispatch (Eq. 5)
 //!   between DP1 and DP2.
+//! * [`shard::ShardRouter`] — contiguous row-range sharding for the
+//!   node-sharded parameter server, sized by the same DP0 shares.
 
 //!
 //! ```
@@ -36,11 +38,13 @@
 pub mod dp;
 pub mod model;
 pub mod planner;
+pub mod shard;
 pub mod sweep;
 pub mod theorem;
 
 pub use dp::{dp0, dp1, dp1_step, dp2, Dp1Options, WorkerClass};
 pub use model::CostModel;
 pub use planner::{replan_survivors, PartitionPlan, PartitionPlanner, StrategyChoice};
+pub use shard::ShardRouter;
 pub use sweep::{perturbation_cost, sweep_lambda};
 pub use theorem::equalize;

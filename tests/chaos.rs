@@ -379,6 +379,43 @@ fn partitioned_worker_is_marked_dead_and_survivors_replan() {
 }
 
 #[test]
+fn node_kill_on_a_four_shard_cluster_replans_and_converges() {
+    // The sharded-server variant of the partition test: four socket shard
+    // endpoints behind the row router, one worker's node severed mid-run.
+    // The survivors must detect the kill, re-plan to three workers, and
+    // land within 2% of the fault-free sharded run.
+    let seed = chaos_seed();
+    let ds = dataset(seed);
+    let sharded = |b: hcc_mf::HccConfigBuilder| b.transport(TransportKind::Socket).server_shards(4);
+    let fault_free = HccMf::new(sharded(base(seed)).build())
+        .train(&ds.matrix)
+        .unwrap();
+    let report = HccMf::new(
+        sharded(base(seed))
+            .fault_tolerance(test_supervisor())
+            .net_chaos_plan(NetChaosPlan::quiet(seed).with_partition(3, 2))
+            .build(),
+    )
+    .train(&ds.matrix)
+    .unwrap();
+    let dead_epoch = report
+        .health_history
+        .iter()
+        .position(|h| h.len() == 4 && h[3] == WorkerHealth::Dead)
+        .expect("killed node's worker was never marked dead");
+    assert!((2..=4).contains(&dead_epoch), "died at epoch {dead_epoch}");
+    assert!(report.health_history[dead_epoch + 1..]
+        .iter()
+        .all(|h| h.len() == 3));
+    let rmse_faulty = serial_rmse(&ds, &report);
+    let rmse_clean = serial_rmse(&ds, &fault_free);
+    assert!(
+        rmse_faulty <= rmse_clean * 1.02,
+        "node kill cost too much accuracy: {rmse_faulty} vs {rmse_clean}"
+    );
+}
+
+#[test]
 fn duplicate_only_chaos_is_invisible_to_training() {
     let seed = chaos_seed();
     let ds = dataset(seed);

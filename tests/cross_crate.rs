@@ -1,5 +1,6 @@
 //! Cross-crate integration: the simulator, the cost model, and the planner
-//! agree with each other and with the paper's qualitative results.
+//! agree with each other and with the paper's qualitative results — and the
+//! trainer's wire implementations agree with one another.
 
 use hcc_comm::TransferStrategy;
 use hcc_hetsim::{
@@ -191,6 +192,52 @@ fn multi_stream_simulation_reduces_exposed_comm_on_r1() {
     let t_sync = simulate_epoch(&platform, &wl, &sync_cfg, &x).epoch_time;
     let t_async = simulate_epoch(&platform, &wl, &async_cfg, &x).epoch_time;
     assert!(t_async < t_sync, "async {t_async} !< sync {t_sync}");
+}
+
+#[test]
+fn trainer_is_transport_invariant_across_wires() {
+    // The same deterministic run over every wire the trainer supports:
+    // in-process shared memory, the lock-free CommP buffers, Unix sockets,
+    // and TCP. Fp32 frames round-trip exactly and merges happen in the
+    // same worker order, so the factors must agree bit-for-bit.
+    use hcc_mf::{HccConfig, HccMf, TransportKind, WorkerSpec};
+    let ds = hcc_sparse::SyntheticDataset::generate(hcc_sparse::GenConfig {
+        rows: 200,
+        cols: 100,
+        nnz: 5_000,
+        planted_rank: 4,
+        noise: 0.0,
+        ..hcc_sparse::GenConfig::default()
+    });
+    let cfg = |transport: TransportKind| {
+        HccConfig::builder()
+            .k(8)
+            .epochs(6)
+            .learning_rate(hcc_mf::LearningRate::Constant(0.02))
+            .lambda(0.01)
+            .workers(vec![WorkerSpec::cpu(1), WorkerSpec::cpu(1)])
+            .partition(hcc_mf::PartitionMode::Uniform)
+            .adapt_epochs(0)
+            .track_rmse(true)
+            .transport(transport)
+            .build()
+    };
+    let reference = HccMf::new(cfg(TransportKind::Shared))
+        .train(&ds.matrix)
+        .unwrap();
+    for transport in [
+        TransportKind::CommP,
+        TransportKind::Socket,
+        TransportKind::Tcp,
+    ] {
+        let report = HccMf::new(cfg(transport)).train(&ds.matrix).unwrap();
+        assert_eq!(reference.p, report.p, "{transport:?}: P diverged");
+        assert_eq!(reference.q, report.q, "{transport:?}: Q diverged");
+        assert_eq!(
+            reference.rmse_history, report.rmse_history,
+            "{transport:?}: RMSE diverged"
+        );
+    }
 }
 
 #[test]

@@ -86,11 +86,44 @@ fn every_partition_mode_converges() {
 fn every_strategy_and_transport_converges() {
     let ds = dataset();
     for strategy in TransferStrategy::ALL {
-        for transport in [TransportKind::Shared, TransportKind::CommP] {
+        for transport in [
+            TransportKind::Shared,
+            TransportKind::CommP,
+            TransportKind::Socket,
+            TransportKind::Tcp,
+        ] {
             let report = HccMf::new(hcc_base().strategy(strategy).transport(transport).build())
                 .train(&ds.matrix)
                 .unwrap();
             assert_converged(&report.rmse_history, &format!("{strategy:?}/{transport:?}"));
+        }
+    }
+}
+
+#[test]
+fn sharded_server_converges_on_every_wire() {
+    // The row-aligned strategies behind 2 server shards, across all three
+    // wire implementations (in-process, Unix socket, TCP).
+    let ds = dataset();
+    for strategy in [TransferStrategy::QOnly, TransferStrategy::HalfQ] {
+        for transport in [
+            TransportKind::Shared,
+            TransportKind::Socket,
+            TransportKind::Tcp,
+        ] {
+            let report = HccMf::new(
+                hcc_base()
+                    .strategy(strategy)
+                    .transport(transport)
+                    .server_shards(2)
+                    .build(),
+            )
+            .train(&ds.matrix)
+            .unwrap();
+            assert_converged(
+                &report.rmse_history,
+                &format!("sharded {strategy:?}/{transport:?}"),
+            );
         }
     }
 }
