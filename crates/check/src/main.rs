@@ -1,0 +1,112 @@
+//! CLI for the two-stage concurrency verifier.
+//!
+//! ```text
+//! cargo run -p hcc-check -- [--deny] [--root DIR] [--allow FILE] [--verbose]
+//! ```
+//!
+//! Stage 1 runs here: the full `hcc-lint` rule set R1–R8 (R6 cross-file
+//! Release/Acquire pairing, R7 SHARED-cell annotations, R8 SeqCst /
+//! `static mut` ban) plus the `hcc-sync` routing guard. Stage 2 — the
+//! deterministic interleaving suite — runs as
+//! `cargo test -p hcc-check --features model`.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use hcc_lint::Allowlist;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut verbose = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--verbose" => verbose = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow" => allow_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "hcc-check: two-stage concurrency verifier.\n\
+                     Stage 1 (this binary): hcc-lint rules R1-R8 + hcc-sync routing guard.\n\
+                     Stage 2 (interleaving suite): cargo test -p hcc-check --features model\n\n\
+                     USAGE: hcc-check [--deny] [--root DIR] [--allow FILE] [--verbose]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hcc-check: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("hcc-check: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let allow_file = allow_path.unwrap_or_else(|| root.join("lint-allow.toml"));
+    let allow = match std::fs::read_to_string(&allow_file) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+
+    let report = match hcc_lint::run(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hcc-check: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if verbose {
+        for v in &report.suppressed {
+            println!("(suppressed) {v}");
+        }
+    }
+
+    let routing = hcc_check::routing_violations(&root);
+    for r in &routing {
+        println!("[ROUTE] {r}");
+    }
+
+    let total = report.violations.len() + routing.len();
+    println!(
+        "hcc-check: stage 1 — {} file(s) scanned, {} violation(s) ({} lint + {} routing), \
+         {} suppressed; stage 2 runs via `cargo test -p hcc-check --features model`",
+        report.files_scanned,
+        total,
+        report.violations.len(),
+        routing.len(),
+        report.suppressed.len()
+    );
+
+    if deny && total > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the first dir holding both a
+/// `Cargo.toml` and a `crates/` dir.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Model: admission queue backpressure + last-worker merger election.
+//!
+//! Real code: `crates/serve/src/admission.rs`. Two protocols share the
+//! pipeline: (a) `submit` checks-then-enqueues under one mutex hold, so
+//! the queue never exceeds `capacity`; (b) each shard worker publishes its
+//! partial heap, then decrements the job's `remaining` counter with
+//! `AcqRel` — the worker that brings it to zero becomes the merger, and
+//! the AcqRel edge chain guarantees the merger sees every partial.
+//!
+//! **Invariants:** queue depth never exceeds capacity (cap = 1 here), and
+//! the elected merger observes both partials in full.
+//!
+//! **Weakened:** the `remaining` decrement drops to `Relaxed`; the merger
+//! reads the other worker's partial without a happens-before edge and the
+//! checker reports the race — the exact bug the AcqRel comment in
+//! `merge_and_respond`'s caller guards against.
+
+use hcc_sync::{spawn, Arc, AtomicUsize, MCell, Mutex, Ordering};
+
+const CAPACITY: usize = 1;
+
+pub fn body(weakened: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        // (len, max_len_seen): mutated only under the lock.
+        let queue = Arc::new(Mutex::new((0usize, 0usize)));
+        let partial_a = Arc::new(MCell::new("admission.partial_a", 0u64));
+        let partial_b = Arc::new(MCell::new("admission.partial_b", 0u64));
+        let remaining = Arc::new(AtomicUsize::new(2));
+
+        let mut handles = Vec::new();
+        for w in 0..2u64 {
+            let queue = Arc::clone(&queue);
+            let partial_a = Arc::clone(&partial_a);
+            let partial_b = Arc::clone(&partial_b);
+            let remaining = Arc::clone(&remaining);
+            handles.push(spawn(move || {
+                // Bounded admission: check-then-enqueue under ONE hold.
+                {
+                    let mut q = queue.lock();
+                    if q.0 < CAPACITY {
+                        q.0 += 1;
+                        q.1 = q.1.max(q.0);
+                    } // else: shed at the door, exactly like submit()
+                }
+                // Publish my partial, then decrement; last one merges.
+                if w == 0 {
+                    partial_a.write(1);
+                } else {
+                    partial_b.write(2);
+                }
+                let last = if weakened {
+                    // ordering: Relaxed — MUTATION under test: the merger
+                    // election loses its publish/consume edge.
+                    remaining.fetch_sub(1, Ordering::Relaxed) == 1
+                } else {
+                    // ordering: AcqRel — decrement publishes my partial
+                    // (Release) and the final decrement consumes every
+                    // earlier one (Acquire), like the real job counter.
+                    remaining.fetch_sub(1, Ordering::AcqRel) == 1
+                };
+                if last {
+                    let sum = partial_a.read() + partial_b.read();
+                    assert_eq!(sum, 3, "merger is missing a partial (sum {sum})");
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        let q = queue.lock();
+        assert!(
+            q.1 <= CAPACITY,
+            "admission exceeded capacity: max depth {} > {CAPACITY}",
+            q.1
+        );
+    }
+}
+
+pub fn boxed_body(weakened: bool) -> super::ModelBody {
+    Box::new(body(weakened))
+}

@@ -1,0 +1,58 @@
+//! Model: sharded-server delta-base publication.
+//!
+//! Real code: `crates/core/src/server.rs`. A shard publishes successive
+//! base snapshots; pushes encode deltas against the base sequence they
+//! read, so a consumer that observes base seq `n` must see the payload
+//! that belongs to `n` — and the sequence it observes must never move
+//! backwards, or delta reconstruction would apply rows against the wrong
+//! base.
+//!
+//! **Invariants:** the published seq is monotone from any single
+//! consumer's viewpoint, and a consumer observing the final seq sees the
+//! matching payload.
+//!
+//! **Weakened:** the seq publish drops to `Relaxed`; the payload read
+//! loses its happens-before edge and races with the publisher.
+
+use hcc_sync::{spawn, Arc, AtomicU64, MCell, Ordering};
+
+pub fn body(weakened: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let base_val = Arc::new(MCell::new("delta.base_val", 0u64));
+        let base_seq = Arc::new(AtomicU64::new(0));
+
+        let publisher = {
+            let base_val = Arc::clone(&base_val);
+            let base_seq = Arc::clone(&base_seq);
+            spawn(move || {
+                for n in 1..=2u64 {
+                    base_val.write(n);
+                    if weakened {
+                        // ordering: Relaxed — MUTATION under test: the seq
+                        // no longer publishes the payload it numbers.
+                        base_seq.store(n, Ordering::Relaxed);
+                    } else {
+                        // ordering: Release — seq `n` publishes payload
+                        // `n`, pairing with the consumer's Acquire.
+                        base_seq.store(n, Ordering::Release);
+                    }
+                }
+            })
+        };
+
+        // ordering: Acquire — pairs with the publisher's Release stores.
+        let s1 = base_seq.load(Ordering::Acquire);
+        if s1 == 2 {
+            // Final base observed: its payload must be the matching one.
+            assert_eq!(base_val.read(), 2, "delta base payload mismatch at seq 2");
+        }
+        // ordering: Acquire — second observation for the monotonicity check.
+        let s2 = base_seq.load(Ordering::Acquire);
+        assert!(s2 >= s1, "published base seq went backwards: {s1} -> {s2}");
+        publisher.join();
+    }
+}
+
+pub fn boxed_body(weakened: bool) -> super::ModelBody {
+    Box::new(body(weakened))
+}

@@ -1,0 +1,58 @@
+//! Model: heartbeat board beat/classification pairing.
+//!
+//! Real code: `crates/core/src/supervisor.rs`. A worker finishes an epoch,
+//! records its compute-time statistic, then stamps its beat with Release;
+//! the supervisor classifies workers at the epoch boundary from an Acquire
+//! read of the beat. The documented contract is exactly the edge under
+//! test: *a supervisor that sees the beat for epoch `e` also sees every
+//! write the worker made computing epoch `e`*.
+//!
+//! **Invariant:** an observed beat implies the worker's stats are settled
+//! (and the worker is therefore never classified dead with half-written
+//! state behind it).
+//!
+//! **Weakened:** the beat store drops to `Relaxed`; the supervisor's stat
+//! read becomes a data race — the checker's rendering of classifying from
+//! unsettled state.
+
+use hcc_sync::{spawn, Arc, AtomicU64, MCell, Ordering};
+
+pub fn body(weakened: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let stat = Arc::new(MCell::new("heartbeat.compute_us", 0u64));
+        let beat = Arc::new(AtomicU64::new(0));
+
+        let worker = {
+            let stat = Arc::clone(&stat);
+            let beat = Arc::clone(&beat);
+            spawn(move || {
+                stat.write(7);
+                if weakened {
+                    // ordering: Relaxed — MUTATION under test: the beat no
+                    // longer publishes the stat write.
+                    beat.store(1, Ordering::Relaxed);
+                } else {
+                    // ordering: Release — pairs with the supervisor's
+                    // Acquire below, exactly like HeartbeatBoard::beat.
+                    beat.store(1, Ordering::Release);
+                }
+            })
+        };
+
+        // ordering: Acquire — pairs with the worker's Release beat, like
+        // HeartbeatBoard::has_beat.
+        let beaten = beat.load(Ordering::Acquire) > 0;
+        if beaten {
+            // The classifier consumes the worker's stats only because the
+            // beat promised they are settled.
+            assert_eq!(stat.read(), 7, "observed beat with unsettled stats");
+        }
+        // No beat observed ⇒ the supervisor may mark the worker dead but
+        // must not touch its stats; nothing to read on this branch.
+        worker.join();
+    }
+}
+
+pub fn boxed_body(weakened: bool) -> super::ModelBody {
+    Box::new(body(weakened))
+}

@@ -1,0 +1,57 @@
+//! Model: single-writer telemetry ring lane handoff.
+//!
+//! Real code: `crates/telemetry/src/ring.rs`. A lane's buffer is an
+//! `UnsafeCell<Vec<Event>>` written by exactly one thread; the drain (and
+//! any writer handoff) happens only across a synchronization edge the
+//! caller supplies. The model reduces the buffer to two plain slots plus a
+//! published length: the writer fills both slots and publishes the length
+//! with Release; the drainer that observes the published length reads the
+//! slots.
+//!
+//! **Invariant:** a drainer that observes `len == 2` reads both slots
+//! fully written — no torn ring read.
+//!
+//! **Weakened:** the length publish drops to `Relaxed`, severing the
+//! happens-before edge; the slot reads become data races (the model-world
+//! rendering of a torn read).
+
+use hcc_sync::{spawn, Arc, AtomicU64, MCell, Ordering};
+
+pub fn body(weakened: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let slot_a = Arc::new(MCell::new("ring.slot_a", 0u32));
+        let slot_b = Arc::new(MCell::new("ring.slot_b", 0u32));
+        let len = Arc::new(AtomicU64::new(0));
+
+        let writer = {
+            let slot_a = Arc::clone(&slot_a);
+            let slot_b = Arc::clone(&slot_b);
+            let len = Arc::clone(&len);
+            spawn(move || {
+                slot_a.write(11);
+                slot_b.write(22);
+                if weakened {
+                    // ordering: Relaxed — MUTATION under test: drops the
+                    // publish edge; the checker must catch the torn read.
+                    len.store(2, Ordering::Relaxed);
+                } else {
+                    // ordering: Release — publishes both slot writes to the
+                    // drainer's Acquire load below (the model stand-in for
+                    // the scope-join edge the real ring relies on).
+                    len.store(2, Ordering::Release);
+                }
+            })
+        };
+
+        // ordering: Acquire — pairs with the writer's Release publish.
+        if len.load(Ordering::Acquire) == 2 {
+            assert_eq!(slot_a.read(), 11, "torn ring read: slot_a");
+            assert_eq!(slot_b.read(), 22, "torn ring read: slot_b");
+        }
+        writer.join();
+    }
+}
+
+pub fn boxed_body(weakened: bool) -> super::ModelBody {
+    Box::new(body(weakened))
+}

@@ -1,0 +1,58 @@
+//! Model: serve-engine snapshot swap.
+//!
+//! Real code: `crates/serve/src/engine.rs`. The live model is one
+//! `Arc<ServedModel>` behind an `RwLock`; `reload` replaces the whole Arc
+//! in a single write-critical-section, so a query (read lock) sees either
+//! the old snapshot or the new one — never a mix of old P with new Q.
+//! The model tracks the P and Q generation numbers as the lock-protected
+//! payload.
+//!
+//! **Invariant:** a reader never observes a mixed P/Q view
+//! (`p_gen != q_gen`).
+//!
+//! **Weakened:** the reload splits into two write critical sections (P
+//! swapped, lock released, Q swapped) — the textbook broken "update in
+//! place" a future refactor could introduce; a reader between them sees
+//! the mixed view and the checker reports it.
+
+use hcc_sync::{spawn, Arc, RwLock};
+
+pub fn body(weakened: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        // (p_gen, q_gen): both move 0 → 1 on reload.
+        let snap = Arc::new(RwLock::new((0u64, 0u64)));
+
+        let reloader = {
+            let snap = Arc::clone(&snap);
+            spawn(move || {
+                if weakened {
+                    // MUTATION under test: two critical sections expose a
+                    // half-swapped snapshot.
+                    {
+                        let mut g = snap.write();
+                        g.0 = 1;
+                    }
+                    {
+                        let mut g = snap.write();
+                        g.1 = 1;
+                    }
+                } else {
+                    // The real reload: one atomic whole-snapshot swap.
+                    let mut g = snap.write();
+                    g.0 = 1;
+                    g.1 = 1;
+                }
+            })
+        };
+
+        {
+            let g = snap.read();
+            assert_eq!(g.0, g.1, "mixed P/Q snapshot view: p={} q={}", g.0, g.1);
+        }
+        reloader.join();
+    }
+}
+
+pub fn boxed_body(weakened: bool) -> super::ModelBody {
+    Box::new(body(weakened))
+}

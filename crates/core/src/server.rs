@@ -17,9 +17,7 @@
 use hcc_comm::delta::{apply_delta, encode_delta, max_delta_len};
 use hcc_comm::{CommError, Precision, TransferStrategy, Transport};
 use hcc_partition::ShardRouter;
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use hcc_sync::{Arc, AtomicU64, Ordering, RwLock};
 use std::time::{Duration, Instant};
 
 /// Float offsets/lengths of a worker's view of the pull and push regions.

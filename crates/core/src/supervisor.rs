@@ -16,7 +16,7 @@
 //! the typed [`HccError::Diverged`](crate::HccError::Diverged) instead of
 //! looping forever.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use hcc_sync::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Tuning knobs for the fault-tolerance layer. Constructed via

@@ -12,7 +12,8 @@ use std::cell::Cell;
 /// One `[[allow]]` entry.
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
-    /// Rule id the entry suppresses (`R1`…`R5`).
+    /// Rule id the entry suppresses (`R1`…`R7`; `R8` entries are config
+    /// errors — that rule has no escape hatch).
     pub rule: String,
     /// Workspace-relative path (forward slashes); empty = any file.
     pub path: String,
@@ -103,7 +104,19 @@ impl Allowlist {
 
     fn finish(&mut self, entry: Option<AllowEntry>) {
         let Some(entry) = entry else { return };
-        if !matches!(entry.rule.as_str(), "R1" | "R2" | "R3" | "R4" | "R5") {
+        if entry.rule == "R8" {
+            // Rejected outright, not just flagged: the entry never reaches
+            // `entries`, so it cannot suppress anything.
+            self.errors.push((
+                entry.decl_line,
+                "R8 (SeqCst / static mut) is not allowlistable — fix the code instead".into(),
+            ));
+            return;
+        }
+        if !matches!(
+            entry.rule.as_str(),
+            "R1" | "R2" | "R3" | "R4" | "R5" | "R6" | "R7"
+        ) {
             self.errors.push((
                 entry.decl_line,
                 format!("entry has unknown rule `{}`", entry.rule),
@@ -183,6 +196,24 @@ reason = ""
         assert_eq!(list.entries[0].contains, "expect(");
         // One unknown rule id, one empty reason.
         assert_eq!(list.errors.len(), 2, "{:?}", list.errors);
+    }
+
+    #[test]
+    fn r8_entries_are_rejected_r6_r7_accepted() {
+        let text = "[[allow]]\nrule = \"R8\"\nreason = \"please let me SeqCst\"\n\n\
+                    [[allow]]\nrule = \"R6\"\npath = \"crates/x/src/lib.rs\"\nreason = \"half \
+                    the pair lives behind a cfg gate\"\n\n\
+                    [[allow]]\nrule = \"R7\"\npath = \"crates/x/src/lib.rs\"\nreason = \"FFI \
+                    pointer, not a shared cell\"\n";
+        let list = Allowlist::parse(text);
+        assert_eq!(
+            list.entries.len(),
+            2,
+            "the R8 entry must be rejected outright"
+        );
+        assert!(list.entries.iter().all(|e| e.rule != "R8"));
+        assert_eq!(list.errors.len(), 1, "{:?}", list.errors);
+        assert!(list.errors[0].1.contains("not allowlistable"));
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! `unsafe` is sound, lock-free structures choose specific memory
 //! orderings, and library crates promise typed errors instead of panics.
 //! This crate turns those comment-level contracts into CI-enforced rules
-//! (R1–R5, see [`rules`]) with a reasoned escape hatch
-//! ([`allow`], `lint-allow.toml` at the workspace root).
+//! (R1–R8, see [`rules`]) with a reasoned escape hatch
+//! ([`allow`], `lint-allow.toml` at the workspace root). R8 (SeqCst /
+//! `static mut`) has no escape hatch, and R6 resolves Release/Acquire
+//! pairs across files within each crate.
 //!
-//! Run locally with `cargo run -p hcc-lint -- --deny`; see DESIGN.md §11
-//! for the full policy.
+//! Run locally with `cargo run -p hcc-lint -- --deny` (stage 1 of
+//! `hcc-check` runs the same scan plus the `hcc-sync` routing guard); see
+//! DESIGN.md §11 and §15 for the full policy.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 

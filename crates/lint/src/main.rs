@@ -31,7 +31,8 @@ fn main() -> ExitCode {
                 println!(
                     "hcc-lint: workspace invariant checker (R1 SAFETY comments, R2 atomic \
                      orderings, R3 panic-free library code, R4 unsafe_op_in_unsafe_fn, R5 \
-                     vendored deps)\n\n\
+                     vendored deps, R6 Release/Acquire pairing, R7 SHARED cell annotations, \
+                     R8 SeqCst + static mut ban)\n\n\
                      USAGE: hcc-lint [--deny] [--root DIR] [--allow FILE] [--verbose]"
                 );
                 return ExitCode::SUCCESS;

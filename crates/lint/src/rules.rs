@@ -1,17 +1,22 @@
-//! The five workspace invariants.
+//! The eight workspace invariants.
 //!
 //! | Rule | Contract |
 //! |------|----------|
 //! | R1 | every non-test `unsafe` site carries a `SAFETY:` argument |
-//! | R2 | every non-test atomic op carries an `// ordering:` justification; `SeqCst` additionally needs an allowlist entry or a downgrade |
+//! | R2 | every non-test atomic op carries an `// ordering:` justification, and when the comment names orderings, at least one must match what the code uses |
 //! | R3 | no `unwrap()` / `expect()` / `panic!` in library code of the error-disciplined crates (typed `HccError` instead, or an allowlisted infallibility argument) |
 //! | R4 | every crate root sets `#![deny(unsafe_op_in_unsafe_fn)]` |
 //! | R5 | every `Cargo.lock` package resolves to the workspace or `vendor/` |
+//! | R6 | every `Release` store of an atomic field pairs with ≥1 `Acquire`/`AcqRel` load of the same field in the same crate (and vice versa) — resolved across files |
+//! | R7 | every raw-pointer / `UnsafeCell` region carries a `SHARED:` comment naming the shared cells it touches; the named cells must be atomics, lock-protected, or documented single-writer |
+//! | R8 | no `SeqCst` and no `static mut`, ever — not allowlistable |
 //!
-//! R1–R3 run on the lexed lines from [`crate::source`]; test regions are
-//! exempt (asserting in tests is the point of tests). R3 additionally
-//! skips `src/bin/`: a binary's `main` may abort with a message, the
-//! *library* surface must return typed errors.
+//! R1–R3 and R7–R8 run on the lexed lines from [`crate::source`]; test
+//! regions are exempt (asserting in tests is the point of tests). R3
+//! additionally skips `src/bin/`: a binary's `main` may abort with a
+//! message, the *library* surface must return typed errors. R6 is a
+//! cross-file protocol rule: [`collect_atomic_ops`] gathers the per-file
+//! evidence and [`check_release_acquire_pairing`] judges each crate.
 
 use crate::source::Line;
 
@@ -54,6 +59,8 @@ pub fn check_file(path: &str, lines: &[Line], raw_lines: &[&str]) -> Vec<Violati
     if r3_applies(path) {
         check_panic_freedom(path, lines, raw_lines, &mut out);
     }
+    check_shared_cells(path, lines, raw_lines, &mut out);
+    check_static_mut(path, lines, raw_lines, &mut out);
     out
 }
 
@@ -166,6 +173,17 @@ fn is_atomic_line(line: &Line) -> bool {
     line.code.contains("Ordering::") && ATOMIC_METHODS.iter().any(|m| line.code.contains(m))
 }
 
+/// Ordering names R2 cross-checks between comment and code.
+const ORDERING_NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn orderings_named(text: &str) -> Vec<&'static str> {
+    ORDERING_NAMES
+        .iter()
+        .filter(|n| has_word(text, n))
+        .copied()
+        .collect()
+}
+
 fn check_atomic_orderings(
     path: &str,
     lines: &[Line],
@@ -178,23 +196,310 @@ fn check_atomic_orderings(
         }
         if line.code.contains("Ordering::SeqCst") {
             out.push(Violation {
-                rule: "R2",
+                rule: "R8",
                 path: path.to_string(),
                 line: idx + 1,
-                message: "SeqCst ordering: downgrade to the weakest sufficient ordering, or \
-                          justify it with a lint-allow.toml entry"
+                message: "SeqCst ordering is banned: downgrade to the weakest sufficient \
+                          ordering (R8 is not allowlistable)"
                     .into(),
                 line_text: raw_text(raw_lines, idx),
             });
             continue;
         }
-        if !justified(lines, idx, &["ordering:"], is_atomic_line) {
-            out.push(Violation {
+        match justification(lines, idx, &["ordering:"], is_atomic_line) {
+            None => out.push(Violation {
                 rule: "R2",
                 path: path.to_string(),
                 line: idx + 1,
                 message: "atomic operation without an `// ordering:` justification on the same \
                           or a preceding line"
+                    .into(),
+                line_text: raw_text(raw_lines, idx),
+            }),
+            Some(comment) => {
+                // A justification that names orderings must name the one the
+                // code actually uses — a comment saying `Release` above a
+                // Relaxed store documents a protocol the code doesn't run.
+                let named = orderings_named(&comment);
+                let used = orderings_named(&line.code);
+                if !named.is_empty() && !named.iter().any(|n| used.contains(n)) {
+                    out.push(Violation {
+                        rule: "R2",
+                        path: path.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "ordering comment names {} but the code uses {} — the \
+                             justification no longer matches the operation",
+                            named.join("/"),
+                            used.join("/")
+                        ),
+                        line_text: raw_text(raw_lines, idx),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---- R6 ----------------------------------------------------------------
+
+/// One atomic operation with synchronizing semantics, as evidence for the
+/// crate-wide Release/Acquire pairing check.
+#[derive(Debug, Clone)]
+pub struct AtomicOp {
+    pub path: String,
+    /// 1-indexed source line.
+    pub line: usize,
+    pub line_text: String,
+    /// Receiver field key: the final identifier of the receiver chain with
+    /// index brackets stripped (`self.beats[i].store(..)` → `beats`).
+    pub field: String,
+    /// Publishes (Release or AcqRel store/RMW side).
+    pub releases: bool,
+    /// Consumes (Acquire or AcqRel load/RMW side).
+    pub acquires: bool,
+}
+
+/// Gathers the R6 evidence from one lexed file: every non-test atomic op
+/// carrying Release/Acquire/AcqRel semantics whose receiver field can be
+/// named. `fence(..)` and free-standing calls without a receiver are
+/// skipped — they have no field to pair on.
+pub fn collect_atomic_ops(path: &str, lines: &[Line], raw_lines: &[&str]) -> Vec<AtomicOp> {
+    let mut ops = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || !is_atomic_line(line) || line.code.contains("Ordering::SeqCst") {
+            continue;
+        }
+        let code = &line.code;
+        let Some((method, pos)) = ATOMIC_METHODS
+            .iter()
+            .filter(|m| **m != "fence(")
+            .filter_map(|m| code.find(*m).map(|p| (*m, p)))
+            .min_by_key(|&(_, p)| p)
+        else {
+            continue;
+        };
+        let Some(field) = receiver_field(code, pos) else {
+            continue;
+        };
+        let rel = has_word(code, "Release") || has_word(code, "AcqRel");
+        let acq = has_word(code, "Acquire") || has_word(code, "AcqRel");
+        let (releases, acquires) = match method {
+            ".load(" => (false, acq),
+            ".store(" => (rel, false),
+            // RMWs read-modify-write: Release publishes, Acquire consumes,
+            // AcqRel does both (and so pairs with its own kind).
+            _ => (rel, acq),
+        };
+        if releases || acquires {
+            ops.push(AtomicOp {
+                path: path.to_string(),
+                line: idx + 1,
+                line_text: raw_text(raw_lines, idx),
+                field,
+                releases,
+                acquires,
+            });
+        }
+    }
+    ops
+}
+
+/// R6 judgement over one crate's collected ops: every field written with
+/// Release semantics must be read with Acquire semantics somewhere in the
+/// crate, and vice versa. An unpaired side means the protocol's other half
+/// is missing — or lives in another crate, which the rule deliberately
+/// rejects (cross-crate protocols must keep both halves visible to one
+/// reviewer; split them behind an API instead).
+pub fn check_release_acquire_pairing(ops: &[AtomicOp]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut fields: Vec<&str> = ops.iter().map(|o| o.field.as_str()).collect();
+    fields.sort_unstable();
+    fields.dedup();
+    for field in fields {
+        let has_rel = ops.iter().any(|o| o.field == field && o.releases);
+        let has_acq = ops.iter().any(|o| o.field == field && o.acquires);
+        if has_rel && !has_acq {
+            for o in ops.iter().filter(|o| o.field == field && o.releases) {
+                out.push(Violation {
+                    rule: "R6",
+                    path: o.path.clone(),
+                    line: o.line,
+                    message: format!(
+                        "Release store to `{field}` has no paired Acquire/AcqRel load of the \
+                         same field in this crate — the publish edge dangles"
+                    ),
+                    line_text: o.line_text.clone(),
+                });
+            }
+        }
+        if has_acq && !has_rel {
+            for o in ops.iter().filter(|o| o.field == field && o.acquires) {
+                out.push(Violation {
+                    rule: "R6",
+                    path: o.path.clone(),
+                    line: o.line,
+                    message: format!(
+                        "Acquire load of `{field}` has no paired Release/AcqRel store of the \
+                         same field in this crate — nothing publishes what it consumes"
+                    ),
+                    line_text: o.line_text.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Walks backwards from the method call at `pos` over the receiver chain
+/// (identifiers, `.`, balanced `[..]` index groups) and returns the final
+/// field identifier, or `None` when no receiver precedes the call.
+fn receiver_field(code: &str, pos: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = pos;
+    let start;
+    loop {
+        if i == 0 {
+            start = 0;
+            break;
+        }
+        let b = bytes[i - 1];
+        if is_ident(b) || b == b'.' {
+            i -= 1;
+        } else if b == b']' {
+            // Skip the balanced index group.
+            let mut depth = 0usize;
+            let mut j = i;
+            loop {
+                if j == 0 {
+                    return None; // unbalanced — give up on this line
+                }
+                j -= 1;
+                match bytes[j] {
+                    b']' => depth += 1,
+                    b'[' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i = j;
+        } else {
+            start = i;
+            break;
+        }
+    }
+    // Strip index groups so `beats[i]` keys as `beats`.
+    let mut chain = String::new();
+    let mut depth = 0usize;
+    for c in code[start..pos].chars() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => chain.push(c),
+            _ => {}
+        }
+    }
+    let field = chain.rsplit('.').find(|seg| {
+        !seg.is_empty() && seg.bytes().all(is_ident) && !seg.bytes().all(|b| b.is_ascii_digit())
+    })?;
+    Some(field.to_string())
+}
+
+// ---- R7 ----------------------------------------------------------------
+
+/// Tokens marking a type as a legitimately shared cell for R7: the comment
+/// must name something declared with one of these (or documented as
+/// `single-writer` in a nearby comment).
+const SHARED_TYPE_TOKENS: &[&str] = &[
+    "Atomic",
+    "UnsafeCell",
+    "MCell",
+    "Mutex",
+    "RwLock",
+    "*mut",
+    "*const",
+];
+
+fn is_raw_shared_line(line: &Line) -> bool {
+    // Cast expressions (`x.add(j) as *const __m128i`) re-type a pointer the
+    // region already holds; the annotation belongs where the pointer enters
+    // the region — signatures, fields, bindings — so casts don't trigger.
+    let code = line
+        .code
+        .replace("as *mut ", "as ")
+        .replace("as *const ", "as ");
+    code.contains("*mut ") || code.contains("*const ") || code.contains("UnsafeCell<")
+}
+
+/// True when `name` is declared or documented as a shared cell somewhere in
+/// the file: a line using the identifier with an atomic / cell / lock /
+/// raw-pointer type, or a comment documenting it as `single-writer`.
+fn names_shared_cell(name: &str, lines: &[Line]) -> bool {
+    lines.iter().any(|l| {
+        (has_word(&l.code, name) && SHARED_TYPE_TOKENS.iter().any(|t| l.code.contains(t)))
+            || (l.comment.contains("single-writer") && has_word(&l.comment, name))
+    })
+}
+
+fn check_shared_cells(path: &str, lines: &[Line], raw_lines: &[&str], out: &mut Vec<Violation>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || !is_raw_shared_line(line) {
+            continue;
+        }
+        match justification(lines, idx, &["SHARED:"], is_raw_shared_line) {
+            None => out.push(Violation {
+                rule: "R7",
+                path: path.to_string(),
+                line: idx + 1,
+                message: "raw-pointer / UnsafeCell region without a `// SHARED:` comment \
+                          naming the shared cells it touches"
+                    .into(),
+                line_text: raw_text(raw_lines, idx),
+            }),
+            Some(comment) => {
+                let after = comment.split("SHARED:").nth(1).unwrap_or("").to_string();
+                let named_ok = idents_of(&after).any(|id| names_shared_cell(id, lines));
+                if !named_ok {
+                    out.push(Violation {
+                        rule: "R7",
+                        path: path.to_string(),
+                        line: idx + 1,
+                        message: "`SHARED:` comment names no recognizable shared cell — name \
+                                  the atomics, cells, or documented single-writer fields the \
+                                  region touches"
+                            .into(),
+                        line_text: raw_text(raw_lines, idx),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Identifier tokens of `text`, longest-first order of appearance.
+fn idents_of(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|s| !s.is_empty() && !s.bytes().all(|b| b.is_ascii_digit()))
+}
+
+// ---- R8 (static mut half; the SeqCst half lives in R2's scanner) -------
+
+fn check_static_mut(path: &str, lines: &[Line], raw_lines: &[&str], out: &mut Vec<Violation>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains("static mut ") {
+            out.push(Violation {
+                rule: "R8",
+                path: path.to_string(),
+                line: idx + 1,
+                message: "`static mut` is banned: use an atomic, a lock, or OnceLock (R8 is \
+                          not allowlistable)"
                     .into(),
                 line_text: raw_text(raw_lines, idx),
             });
@@ -269,19 +574,44 @@ fn is_ident(b: u8) -> bool {
 }
 
 /// True when line `idx` carries one of `needles` in a comment on the same
-/// line, or on a preceding line reachable by walking up through comments,
-/// attributes, unterminated statement continuations, and lines for which
-/// `grouped` holds (so one justification can head a run of related
-/// statements, e.g. a block of atomic loads).
+/// line or a preceding justification line (see [`justification`]).
 fn justified(
     lines: &[Line],
     idx: usize,
     needles: &[&str],
     grouped: impl Fn(&Line) -> bool,
 ) -> bool {
+    justification(lines, idx, needles, grouped).is_some()
+}
+
+/// Finds the justification comment for line `idx`: a comment containing
+/// one of `needles` on the same line, or on a preceding line reachable by
+/// walking up through comments, attributes, unterminated statement
+/// continuations, and lines for which `grouped` holds (so one
+/// justification can head a run of related statements, e.g. a block of
+/// atomic loads). Returns the matching comment's full text, extended with
+/// any comment lines directly below it (a justification may wrap).
+fn justification(
+    lines: &[Line],
+    idx: usize,
+    needles: &[&str],
+    grouped: impl Fn(&Line) -> bool,
+) -> Option<String> {
     let hit = |l: &Line| needles.iter().any(|n| l.comment.contains(n));
+    // Gathers the comment at `i` plus immediately following comment-only
+    // lines, so a wrapped justification is judged as one text.
+    let gather = |i: usize| {
+        let mut text = lines[i].comment.clone();
+        let mut j = i + 1;
+        while j <= idx && lines[j].code.trim().is_empty() && !lines[j].comment.is_empty() {
+            text.push(' ');
+            text.push_str(&lines[j].comment);
+            j += 1;
+        }
+        text
+    };
     if hit(&lines[idx]) {
-        return true;
+        return Some(gather(idx));
     }
     let mut i = idx;
     while i > 0 {
@@ -289,7 +619,7 @@ fn justified(
         let l = &lines[i];
         let code = l.code.trim();
         if hit(l) {
-            return true;
+            return Some(gather(i));
         }
         let loop_header = code.ends_with('{')
             && ["for ", "while ", "loop", "for(", "while("]
@@ -305,10 +635,10 @@ fn justified(
             // of the statement we started on.
             || !(code.ends_with(';') || code.ends_with('{') || code.ends_with('}'));
         if !is_passthrough {
-            return false;
+            return None;
         }
     }
-    false
+    None
 }
 
 #[cfg(test)]
@@ -340,15 +670,101 @@ mod tests {
     }
 
     #[test]
-    fn r2_requires_ordering_comment_and_flags_seqcst() {
+    fn r2_requires_ordering_comment_and_r8_flags_seqcst() {
         let bad = "fn f(a: &A) { a.n.store(1, Ordering::Relaxed); }\n";
         let good = "fn f(a: &A) {\n    // ordering: Relaxed — stat counter\n    a.n.store(1, Ordering::Relaxed);\n}\n";
         let seqcst = "fn f(a: &A) {\n    // ordering: belt and braces\n    a.n.store(1, Ordering::SeqCst);\n}\n";
         assert_eq!(check("crates/comm/src/x.rs", bad).len(), 1);
         assert!(check("crates/comm/src/x.rs", good).is_empty());
         let v = check("crates/comm/src/x.rs", seqcst);
-        assert_eq!(v.len(), 1, "SeqCst needs allowlist even with a comment");
+        assert_eq!(v.len(), 1, "SeqCst is banned even with a comment");
+        assert_eq!(v[0].rule, "R8");
         assert!(v[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn r2_rejects_comment_naming_a_different_ordering() {
+        let mismatched = "fn f(a: &A) {\n    // ordering: Release — publishes the row\n    a.n.store(1, Ordering::Relaxed);\n}\n";
+        let v = check("crates/comm/src/x.rs", mismatched);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].rule, "R2");
+        assert!(v[0].message.contains("Release"), "{}", v[0].message);
+        assert!(v[0].message.contains("Relaxed"), "{}", v[0].message);
+        // Naming the partner ordering alongside the real one is fine…
+        let paired = "fn f(a: &A) {\n    // ordering: Release — pairs with the Acquire load\n    a.n.store(1, Ordering::Release);\n}\n";
+        assert!(check("crates/comm/src/x.rs", paired).is_empty());
+        // …and a comment naming no ordering at all still counts as R2
+        // justification (it may explain by reference, e.g. \"see above\").
+        let nameless = "fn f(a: &A) {\n    // ordering: same protocol as the ring header\n    a.n.store(1, Ordering::Relaxed);\n}\n";
+        assert!(check("crates/comm/src/x.rs", nameless).is_empty());
+    }
+
+    #[test]
+    fn r6_pairs_release_stores_with_acquire_loads_across_files() {
+        let writer = "fn w(a: &A) {\n    // ordering: Release — publishes\n    a.seq.store(1, Ordering::Release);\n}\n";
+        let reader = "fn r(a: &A) -> u64 {\n    // ordering: Acquire — consumes\n    a.seq.load(Ordering::Acquire)\n}\n";
+        let collect = |path: &str, src: &str| {
+            let lines = lex(src);
+            let raw: Vec<&str> = src.lines().collect();
+            collect_atomic_ops(path, &lines, &raw)
+        };
+        // Both halves present (in different files): clean.
+        let mut ops = collect("crates/x/src/w.rs", writer);
+        ops.extend(collect("crates/x/src/r.rs", reader));
+        assert!(check_release_acquire_pairing(&ops).is_empty());
+        // Writer alone: the publish edge dangles.
+        let ops = collect("crates/x/src/w.rs", writer);
+        let v = check_release_acquire_pairing(&ops);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].rule, "R6");
+        assert!(v[0].message.contains("seq"), "{}", v[0].message);
+        // Reader alone: nothing publishes what it consumes.
+        let ops = collect("crates/x/src/r.rs", reader);
+        let v = check_release_acquire_pairing(&ops);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("publishes"), "{}", v[0].message);
+        // An AcqRel RMW is both halves at once: it pairs with itself.
+        let rmw = "fn m(a: &A) {\n    // ordering: AcqRel — last decrement elects the merger\n    a.left.fetch_sub(1, Ordering::AcqRel);\n}\n";
+        let ops = collect("crates/x/src/m.rs", rmw);
+        assert!(check_release_acquire_pairing(&ops).is_empty());
+    }
+
+    #[test]
+    fn r6_field_keys_strip_receivers_and_index_brackets() {
+        let src = "fn f(s: &S, i: usize) {\n    // ordering: Release — publish slot\n    s.inner.beats[i].store(1, Ordering::Release);\n    // ordering: Acquire — consume slot\n    let _ = self.beats[i + 1].load(Ordering::Acquire);\n}\n";
+        let lines = lex(src);
+        let raw: Vec<&str> = src.lines().collect();
+        let ops = collect_atomic_ops("crates/x/src/f.rs", &lines, &raw);
+        assert_eq!(ops.len(), 2, "{ops:#?}");
+        assert!(ops.iter().all(|o| o.field == "beats"), "{ops:#?}");
+        assert!(check_release_acquire_pairing(&ops).is_empty());
+    }
+
+    #[test]
+    fn r7_requires_shared_comment_naming_a_shared_cell() {
+        let bare = "pub struct R {\n    buf: UnsafeCell<Vec<u8>>,\n}\n";
+        let v = check("crates/x/src/r.rs", bare);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].rule, "R7");
+        let named = "pub struct R {\n    // SHARED: buf — single consumer drains; producers only\n    // append through the atomic len handshake.\n    buf: UnsafeCell<Vec<u8>>,\n}\n";
+        assert!(check("crates/x/src/r.rs", named).is_empty());
+        let vague =
+            "pub struct R {\n    // SHARED: everything is fine\n    buf: UnsafeCell<Vec<u8>>,\n}\n";
+        let v = check("crates/x/src/r.rs", vague);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("names no"), "{}", v[0].message);
+        // `single-writer` documentation makes a plain field nameable.
+        let single_writer = "// Row `head` is single-writer: only the drain thread moves it.\n// SHARED: head — see the single-writer note above\npub fn f(head: *mut u32) {\n    let _ = head;\n}\n";
+        assert!(check("crates/x/src/s.rs", single_writer).is_empty());
+    }
+
+    #[test]
+    fn r8_flags_static_mut() {
+        let src = "static mut COUNTER: u64 = 0;\n";
+        let v = check("crates/x/src/g.rs", src);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].rule, "R8");
+        assert!(v[0].message.contains("static mut"), "{}", v[0].message);
     }
 
     #[test]

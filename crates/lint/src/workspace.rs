@@ -19,11 +19,12 @@ pub struct Report {
 
 /// Runs every rule over the workspace at `root`, applying `allow`.
 ///
-/// Scans `crates/*/src/**/*.rs` (R1–R3 plus R4 on each `lib.rs`) and
-/// `Cargo.lock` against the package names found under `crates/` and
-/// `vendor/` (R5). Allowlist config errors and stale entries are appended
-/// as `CFG` violations — a broken escape hatch must fail the build, not
-/// widen it.
+/// Scans `crates/*/src/**/*.rs` (R1–R3, R7, R8 plus R4 on each `lib.rs`,
+/// with the cross-file R6 pairing judged once per crate) and `Cargo.lock`
+/// against the package names found under `crates/` and `vendor/` (R5).
+/// Allowlist config errors, entries pointing at files that no longer
+/// exist, and stale entries are appended as `CFG` violations — a broken
+/// escape hatch must fail the build, not widen it.
 pub fn run(root: &Path, allow: &Allowlist) -> std::io::Result<Report> {
     let mut report = Report::default();
     let mut raw = Vec::new();
@@ -33,12 +34,16 @@ pub fn run(root: &Path, allow: &Allowlist) -> std::io::Result<Report> {
         if !src.is_dir() {
             continue;
         }
+        // R6 is judged per crate: both halves of a Release/Acquire pair
+        // may live in different files, but never in different crates.
+        let mut crate_ops = Vec::new();
         for file in rust_files(&src)? {
             let text = fs::read_to_string(&file)?;
             let rel = rel_path(root, &file);
             let lines = source::lex(&text);
             let raw_lines: Vec<&str> = text.lines().collect();
             raw.extend(rules::check_file(&rel, &lines, &raw_lines));
+            crate_ops.extend(rules::collect_atomic_ops(&rel, &lines, &raw_lines));
             report.files_scanned += 1;
             if file.file_name().is_some_and(|n| n == "lib.rs")
                 && file.parent() == Some(src.as_path())
@@ -46,6 +51,7 @@ pub fn run(root: &Path, allow: &Allowlist) -> std::io::Result<Report> {
                 raw.extend(rules::check_crate_root(&rel, &text));
             }
         }
+        raw.extend(rules::check_release_acquire_pairing(&crate_ops));
     }
 
     let lock = root.join("Cargo.lock");
@@ -72,7 +78,19 @@ pub fn run(root: &Path, allow: &Allowlist) -> std::io::Result<Report> {
         });
     }
     for entry in &allow.entries {
-        if !entry.used() {
+        if !entry.path.is_empty() && !root.join(&entry.path).is_file() {
+            report.violations.push(Violation {
+                rule: "CFG",
+                path: "lint-allow.toml".into(),
+                line: entry.decl_line,
+                message: format!(
+                    "allowlist entry (rule {}) points at `{}` which no longer exists — \
+                     remove the entry",
+                    entry.rule, entry.path
+                ),
+                line_text: String::new(),
+            });
+        } else if !entry.used() {
             report.violations.push(Violation {
                 rule: "CFG",
                 path: "lint-allow.toml".into(),

@@ -1,4 +1,4 @@
-//! End-to-end fixture tests: each rule R1–R5 must detect its seeded
+//! End-to-end fixture tests: each rule R1–R8 must detect its seeded
 //! violation (and nothing else), the clean tree must scan clean, and the
 //! allowlist must suppress — and report staleness — as documented.
 
@@ -32,18 +32,35 @@ fn r1_detects_unsafe_without_safety_comment() {
 }
 
 #[test]
-fn r2_detects_unannotated_atomic_and_seqcst() {
+fn r2_detects_unannotated_atomic_and_r8_the_seqcst() {
     let report = scan("r2");
     assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
-    assert!(report.violations.iter().all(|v| v.rule == "R2"));
-    let lines: Vec<usize> = report.violations.iter().map(|v| v.line).collect();
-    assert!(
-        lines.contains(&8),
-        "unannotated fetch_add must be flagged: {lines:?}"
+    let by_line = |n: usize| {
+        report
+            .violations
+            .iter()
+            .find(|v| v.line == n)
+            .unwrap_or_else(|| panic!("no violation at line {n}: {:#?}", report.violations))
+    };
+    assert_eq!(by_line(8).rule, "R2", "unannotated fetch_add is an R2");
+    assert_eq!(
+        by_line(14).rule,
+        "R8",
+        "SeqCst is an R8 even with a comment"
     );
+}
+
+#[test]
+fn r2_detects_ordering_comment_naming_the_wrong_ordering() {
+    let report = scan("r2-mismatch");
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "R2");
+    assert_eq!(v.line, 10, "the Release-commented Relaxed store");
     assert!(
-        lines.contains(&14),
-        "SeqCst must be flagged even with a comment: {lines:?}"
+        v.message.contains("Release") && v.message.contains("Relaxed"),
+        "{}",
+        v.message
     );
 }
 
@@ -83,6 +100,50 @@ fn r5_detects_registry_dependency_in_lockfile() {
 }
 
 #[test]
+fn r6_detects_unpaired_release_store_but_not_the_paired_one() {
+    let report = scan("r6");
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "R6");
+    assert_eq!(
+        v.line, 10,
+        "the reader-less `seq` store, not the paired `flag`"
+    );
+    assert!(v.message.contains("seq"), "{}", v.message);
+}
+
+#[test]
+fn r7_detects_unannotated_raw_pointer_but_not_the_shared_field() {
+    let report = scan("r7");
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "R7");
+    assert_eq!(
+        v.line, 15,
+        "the bare `*mut` fn, not the annotated UnsafeCell"
+    );
+}
+
+#[test]
+fn r8_detects_static_mut_and_seqcst_and_rejects_the_allow_entry() {
+    let report = scan_with_allow("r8");
+    // static mut + SeqCst + the CFG error for the R8 allowlist entry.
+    assert_eq!(report.violations.len(), 3, "{:#?}", report.violations);
+    assert!(
+        report.suppressed.is_empty(),
+        "an R8 entry must never suppress: {:#?}",
+        report.suppressed
+    );
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules.iter().filter(|r| **r == "R8").count(), 2, "{rules:?}");
+    assert_eq!(
+        rules.iter().filter(|r| **r == "CFG").count(),
+        1,
+        "{rules:?}"
+    );
+}
+
+#[test]
 fn clean_tree_scans_clean() {
     let report = scan("clean");
     assert!(report.violations.is_empty(), "{:#?}", report.violations);
@@ -108,6 +169,20 @@ fn stale_allowlist_entry_is_a_violation() {
     let v = &report.violations[0];
     assert_eq!(v.rule, "CFG");
     assert!(v.message.contains("stale"), "{}", v.message);
+}
+
+#[test]
+fn allowlist_entry_for_deleted_file_is_a_violation() {
+    let report = scan_with_allow("stale-missing");
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "CFG");
+    assert!(
+        v.message.contains("no longer exists"),
+        "the message must say the file is gone, not just `stale`: {}",
+        v.message
+    );
+    assert!(v.message.contains("deleted_module.rs"), "{}", v.message);
 }
 
 /// The repo itself must be lint-clean under its checked-in allowlist —

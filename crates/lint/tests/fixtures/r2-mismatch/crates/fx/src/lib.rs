@@ -1,0 +1,16 @@
+//! R2-mismatch fixture: the ordering comment names `Release` but the code
+//! runs `Relaxed` — a justification documenting a protocol the code no
+//! longer executes.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(c: &AtomicU64) {
+    // ordering: Release — publishes the filled row to the reader.
+    c.store(1, Ordering::Relaxed);
+}
+
+pub fn stat(c: &AtomicU64) -> u64 {
+    // ordering: no cross-thread ordering needed, pure statistic.
+    c.load(Ordering::Relaxed)
+}

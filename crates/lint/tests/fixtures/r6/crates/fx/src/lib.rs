@@ -1,0 +1,21 @@
+//! R6 fixture: `seq` is Release-stored but nothing in the crate
+//! Acquire-loads it — the publish edge dangles. `flag` pairs correctly
+//! across the two functions and must not be flagged.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish_seq(seq: &AtomicU64) {
+    // ordering: Release — publishes the snapshot (no reader exists: bug).
+    seq.store(1, Ordering::Release);
+}
+
+pub fn publish_flag(flag: &AtomicU64) {
+    // ordering: Release — pairs with the Acquire load in `check_flag`.
+    flag.store(1, Ordering::Release);
+}
+
+pub fn check_flag(flag: &AtomicU64) -> u64 {
+    // ordering: Acquire — pairs with the Release store in `publish_flag`.
+    flag.load(Ordering::Acquire)
+}

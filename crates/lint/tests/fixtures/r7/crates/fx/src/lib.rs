@@ -1,0 +1,17 @@
+//! R7 fixture: one raw-pointer region with no `SHARED:` comment, one
+//! `UnsafeCell` field annotated correctly (must not be flagged).
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64;
+
+pub struct Lane {
+    // SHARED: slots — single-writer: only the owning thread appends;
+    // readers hand off through the atomic `len`.
+    pub slots: UnsafeCell<Vec<u64>>,
+    pub len: AtomicU64,
+}
+
+pub fn unannotated(rows: *mut f32) {
+    let _ = rows;
+}

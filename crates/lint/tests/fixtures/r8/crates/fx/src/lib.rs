@@ -1,0 +1,11 @@
+//! R8 fixture: a `static mut` and a SeqCst op — both banned outright.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static mut LEGACY_COUNTER: u64 = 0;
+
+pub fn read(c: &AtomicU64) -> u64 {
+    // ordering: SeqCst — no comment or allowlist entry can excuse this.
+    c.load(Ordering::SeqCst)
+}

@@ -1,0 +1,7 @@
+//! Stale-missing fixture: the allowlist points at a file that no longer
+//! exists; the tree itself is clean.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -38,11 +38,10 @@ use crate::engine::{scan_shard, QueryPrep, ServeEngine};
 use crate::error::ServeError;
 use crate::model::ServedModel;
 use crate::topk::TopK;
+use hcc_sync::{Arc, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 use hcc_telemetry::Event;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::mpsc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 

@@ -38,10 +38,8 @@ use crate::model::{ItemShard, ServedModel, ShardData, NORM_BLOCK};
 use crate::precision::Precision;
 use crate::topk::TopK;
 use hcc_sgd::{int8, simd};
+use hcc_sync::{Arc, AtomicU64, Mutex, Ordering, RwLock};
 use hcc_telemetry::{Phase, Telemetry, Timeline};
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Aggregate serving statistics since the engine was built.

@@ -25,7 +25,7 @@
 //!   shared SGD paths — both of which route through [`fused_step_ptr`] —
 //!   produce identical results to each other.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use hcc_sync::{AtomicU8, Ordering};
 
 /// Kernel implementation tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,6 +215,8 @@ pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
 ///   tolerated by the algorithm but must come from rows obtained via
 ///   [`crate::factors::SharedFactors`]; see `sgd_step_shared` for the
 ///   aliasing argument.
+// SHARED: p, q — Hogwild factor rows; other threads may be running this
+// same kernel on the same rows, which the algorithm tolerates lane-wise.
 #[inline]
 pub unsafe fn fused_step_ptr(
     p: *mut f32,
@@ -307,6 +309,7 @@ pub mod scalar {
     ///
     /// # Safety
     /// Same as [`super::fused_step_ptr`].
+    // SHARED: p, q — same Hogwild factor rows as the dispatching wrapper.
     #[inline]
     pub unsafe fn fused_step_ptr(
         p: *mut f32,
@@ -375,6 +378,8 @@ pub mod avx2 {
     ///
     /// # Safety
     /// Requires AVX2+FMA; `a` and `b` must point to `k` valid f32s.
+    // SHARED: a, b — factor rows concurrent Hogwild writers may touch;
+    // the dot only needs per-lane untorn reads.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot_ptr(a: *const f32, b: *const f32, k: usize) -> f32 {
         // SAFETY: all element accesses below stay inside `0..k`, which the
@@ -412,6 +417,7 @@ pub mod avx2 {
     /// # Safety
     /// Requires AVX2+FMA; same pointer contract as
     /// [`super::fused_step_ptr`] (`k` valid f32s each, non-overlapping).
+    // SHARED: p, q — same Hogwild factor rows as the dispatching wrapper.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn fused_step_ptr(
         p: *mut f32,
@@ -461,6 +467,8 @@ pub mod avx2 {
     /// # Safety
     /// Requires AVX2+FMA+F16C; `a` must point to `k` valid f32s and `b` to
     /// `k` valid u16 half patterns.
+    // SHARED: a, b — serving-shard rows, read-only after snapshot
+    // publication; no writer exists while queries run.
     #[target_feature(enable = "avx2,fma,f16c")]
     pub unsafe fn dot_f16_ptr(a: *const f32, b: *const u16, k: usize) -> f32 {
         // SAFETY: element accesses stay in `0..k`, valid for both pointers
@@ -513,6 +521,8 @@ pub mod avx2 {
     ///
     /// # Safety
     /// Requires AVX2; `a` and `b` must each point to `k` valid i8s.
+    // SHARED: a, b — quantized serving-shard rows, read-only after
+    // snapshot publication.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dot_i8_ptr(a: *const i8, b: *const i8, k: usize) -> i32 {
         // SAFETY: element accesses stay in `0..k`, valid per the caller

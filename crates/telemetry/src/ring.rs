@@ -22,11 +22,14 @@
 //! the discipline is enforced by this crate's only call sites.
 
 use crate::event::Event;
+use hcc_sync::{AtomicU64, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-capacity, single-writer event buffer.
 pub(crate) struct Ring {
+    // SHARED: buf — single-writer: only the lane-owning thread (enforced
+    // by `owner` in debug builds) appends or drains; `dropped` is the one
+    // cross-thread cell and is atomic.
     buf: UnsafeCell<Vec<Event>>,
     dropped: AtomicU64,
     /// Debug-only writer identity: 0 = unclaimed, otherwise a hashed
